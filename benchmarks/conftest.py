@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure of the paper's evaluation has one benchmark module here.  The
+benchmarks run the same experiment drivers as ``repro.experiments.figures``,
+at a scale small enough for a pure-Python engine; run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module prints the regenerated series/summary for its figure, so the
+textual output of a benchmark run doubles as the reproduction report (also
+summarized in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.session import Database
+from repro.workloads.job import generate_job_workload
+from repro.workloads.lsqb import generate_lsqb_workload
+
+#: JOB scale used by the benchmarks (the full generator scale is 1.0).
+JOB_SCALE = 0.1
+#: Subset of JOB-like queries used by per-engine comparison benchmarks.
+JOB_QUERIES = ["q01", "q03", "q05", "q06", "q08", "q11", "q13", "q16", "q19"]
+#: LSQB scale factors swept by the benchmarks (paper: 0.1, 0.3, 1, 3).
+LSQB_SCALE_FACTORS = (0.1, 0.3)
+#: Engines compared throughout.
+ENGINES = ("freejoin", "binary", "generic")
+
+
+@pytest.fixture(scope="session")
+def job_workload():
+    """The JOB-like workload shared by all JOB benchmarks."""
+    return generate_job_workload(scale=JOB_SCALE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def job_database(job_workload):
+    """A Database over the JOB-like catalog (statistics cached across queries)."""
+    return Database(job_workload.catalog)
+
+
+@pytest.fixture(scope="session")
+def lsqb_workloads():
+    """LSQB-like workloads keyed by scale factor."""
+    return {
+        scale_factor: generate_lsqb_workload(scale_factor=scale_factor, seed=7)
+        for scale_factor in LSQB_SCALE_FACTORS
+    }
+
+
+def run_queries(database, workload, engine, query_names, freejoin_options=None,
+                bad_estimates=False):
+    """Run a list of queries on one engine; return total reported join seconds."""
+    total = 0.0
+    for name in query_names:
+        query = workload.query(name)
+        outcome = database.execute(
+            query.sql,
+            engine=engine,
+            freejoin_options=freejoin_options,
+            bad_estimates=bad_estimates,
+            name=name,
+        )
+        total += outcome.report.total_seconds
+    return total

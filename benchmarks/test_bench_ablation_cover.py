@@ -1,0 +1,29 @@
+"""Ablation: dynamic vs. static cover selection (Section 4.4, DESIGN.md)."""
+
+import pytest
+
+from benchmarks.conftest import JOB_QUERIES, JOB_SCALE, run_queries
+from repro.core.engine import FreeJoinOptions
+from repro.experiments.figures import run_ablation_cover
+
+
+@pytest.mark.parametrize("variant", ["dynamic", "static"])
+def test_ablation_cover_selection(benchmark, job_workload, job_database, variant):
+    options = FreeJoinOptions(dynamic_cover=(variant == "dynamic"))
+    total = benchmark.pedantic(
+        run_queries,
+        args=(job_database, job_workload, "freejoin", JOB_QUERIES),
+        kwargs=dict(freejoin_options=options),
+        rounds=1, iterations=1,
+    )
+    assert total >= 0.0
+
+
+def test_ablation_cover_report(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_cover, kwargs=dict(scale=JOB_SCALE, query_names=JOB_QUERIES),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("dynamic vs static cover:", result["summary"])
+    assert result["summary"]["count"] == len(JOB_QUERIES)

@@ -1,0 +1,29 @@
+"""Ablation: Free Join plan factoring on vs. off (Section 4.1, DESIGN.md)."""
+
+import pytest
+
+from benchmarks.conftest import JOB_QUERIES, JOB_SCALE, run_queries
+from repro.core.engine import FreeJoinOptions
+from repro.experiments.figures import run_ablation_factoring
+
+
+@pytest.mark.parametrize("variant", ["factored", "unfactored"])
+def test_ablation_factoring(benchmark, job_workload, job_database, variant):
+    options = FreeJoinOptions(factor=(variant == "factored"))
+    total = benchmark.pedantic(
+        run_queries,
+        args=(job_database, job_workload, "freejoin", JOB_QUERIES),
+        kwargs=dict(freejoin_options=options),
+        rounds=1, iterations=1,
+    )
+    assert total >= 0.0
+
+
+def test_ablation_factoring_report(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_factoring, kwargs=dict(scale=JOB_SCALE, query_names=JOB_QUERIES),
+        rounds=1, iterations=1,
+    )
+    print()
+    print("factored vs unfactored:", result["summary"])
+    assert result["summary"]["count"] == len(JOB_QUERIES)

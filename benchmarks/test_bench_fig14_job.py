@@ -1,0 +1,33 @@
+"""Figure 14: JOB run time — Free Join and Generic Join vs. binary join.
+
+The pytest-benchmark table compares the three engines over the same JOB-like
+query subset; the printed scatter and headline summary reproduce the series
+and the geomean/max speedups the paper reports in Section 5.2.
+"""
+
+import pytest
+
+from benchmarks.conftest import ENGINES, JOB_QUERIES, JOB_SCALE, run_queries
+from repro.experiments.figures import run_fig14, format_figure
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig14_engine_comparison(benchmark, job_workload, job_database, engine):
+    """One benchmark row per engine over the shared JOB query subset."""
+    total = benchmark.pedantic(
+        run_queries,
+        args=(job_database, job_workload, engine, JOB_QUERIES),
+        rounds=1, iterations=1,
+    )
+    assert total >= 0.0
+
+
+def test_fig14_report(benchmark):
+    """Regenerate the Figure 14 series and headline summary."""
+    result = benchmark.pedantic(
+        run_fig14, kwargs=dict(scale=JOB_SCALE, query_names=JOB_QUERIES),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure(result))
+    assert len(result["measurements"]) == len(JOB_QUERIES) * len(ENGINES)

@@ -1,0 +1,35 @@
+"""Figure 15: JOB run time when the optimizer's cardinality estimates are bad.
+
+Reproduces the paper's hijacked-estimator experiment: every cardinality
+estimate is 1, the join-order search loses its signal, and all engines run
+the resulting (frequently bushy) plans.
+"""
+
+import pytest
+
+from benchmarks.conftest import ENGINES, JOB_SCALE, run_queries
+from repro.experiments.figures import run_fig15, format_figure
+
+#: A slightly smaller subset: bad plans can explode intermediate results.
+BAD_PLAN_QUERIES = ["q01", "q03", "q05", "q08", "q11", "q13"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig15_engine_comparison_bad_plans(benchmark, job_workload, job_database, engine):
+    total = benchmark.pedantic(
+        run_queries,
+        args=(job_database, job_workload, engine, BAD_PLAN_QUERIES),
+        kwargs=dict(bad_estimates=True),
+        rounds=1, iterations=1,
+    )
+    assert total >= 0.0
+
+
+def test_fig15_report(benchmark):
+    result = benchmark.pedantic(
+        run_fig15, kwargs=dict(scale=JOB_SCALE, query_names=BAD_PLAN_QUERIES),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure(result))
+    assert result["measurements"]

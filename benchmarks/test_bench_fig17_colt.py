@@ -1,0 +1,30 @@
+"""Figure 17: impact of COLT — simple trie vs. simple lazy trie vs. COLT."""
+
+import pytest
+
+from benchmarks.conftest import JOB_QUERIES, JOB_SCALE, run_queries
+from repro.core.colt import TrieStrategy
+from repro.core.engine import FreeJoinOptions
+from repro.experiments.figures import run_fig17, format_figure
+
+
+@pytest.mark.parametrize("strategy", [TrieStrategy.SIMPLE, TrieStrategy.SLT, TrieStrategy.COLT])
+def test_fig17_trie_strategy(benchmark, job_workload, job_database, strategy):
+    options = FreeJoinOptions(trie_strategy=strategy)
+    total = benchmark.pedantic(
+        run_queries,
+        args=(job_database, job_workload, "freejoin", JOB_QUERIES),
+        kwargs=dict(freejoin_options=options),
+        rounds=1, iterations=1,
+    )
+    assert total >= 0.0
+
+
+def test_fig17_report(benchmark):
+    result = benchmark.pedantic(
+        run_fig17, kwargs=dict(scale=JOB_SCALE, query_names=JOB_QUERIES),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure(result))
+    assert result["summary"]["colt_vs_simple"]["count"] == len(JOB_QUERIES)

@@ -1,0 +1,34 @@
+"""Figure 18: impact of vectorization — batch sizes 1, 10, 100, 1000."""
+
+import pytest
+
+from benchmarks.conftest import JOB_QUERIES, JOB_SCALE, run_queries
+from repro.core.engine import FreeJoinOptions
+from repro.experiments.figures import run_fig18, format_figure
+
+BATCH_SIZES = (1, 10, 100, 1000)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_fig18_batch_size(benchmark, job_workload, job_database, batch_size):
+    options = FreeJoinOptions(batch_size=batch_size)
+    total = benchmark.pedantic(
+        run_queries,
+        args=(job_database, job_workload, "freejoin", JOB_QUERIES),
+        kwargs=dict(freejoin_options=options),
+        rounds=1, iterations=1,
+    )
+    assert total >= 0.0
+
+
+def test_fig18_report(benchmark):
+    result = benchmark.pedantic(
+        run_fig18,
+        kwargs=dict(scale=JOB_SCALE, query_names=JOB_QUERIES, batch_sizes=BATCH_SIZES),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure(result))
+    assert {m.variant for m in result["measurements"]} == {
+        f"batch{b}" for b in BATCH_SIZES
+    }

@@ -1,0 +1,30 @@
+"""Figure 20: per-engine sensitivity to plan quality (good vs. bad estimates)."""
+
+import pytest
+
+from benchmarks.conftest import ENGINES, JOB_SCALE, run_queries
+from repro.experiments.figures import run_fig20, format_figure
+
+ROBUSTNESS_QUERIES = ["q01", "q03", "q05", "q08", "q11", "q13"]
+
+
+@pytest.mark.parametrize("estimates", ["good", "bad"])
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fig20_engine_by_estimate_quality(benchmark, job_workload, job_database, engine, estimates):
+    total = benchmark.pedantic(
+        run_queries,
+        args=(job_database, job_workload, engine, ROBUSTNESS_QUERIES),
+        kwargs=dict(bad_estimates=(estimates == "bad")),
+        rounds=1, iterations=1,
+    )
+    assert total >= 0.0
+
+
+def test_fig20_report(benchmark):
+    result = benchmark.pedantic(
+        run_fig20, kwargs=dict(scale=JOB_SCALE, query_names=ROBUSTNESS_QUERIES),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure(result))
+    assert set(result["geomean_slowdown"]) == set(ENGINES)

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Run a slice of the JOB-like workload on all three engines (Figure 14 style).
+
+Generates the synthetic IMDB-like database, runs a handful of queries on
+binary join, Generic Join and Free Join, and prints a Figure-14-style table:
+binary join time on one axis, the other engines on the other, plus the
+geometric-mean speedups the paper quotes in its abstract.
+
+Run with::
+
+    python examples/job_benchmark.py [scale] [query ...]
+"""
+
+import sys
+
+from repro.experiments.figures import run_fig14, format_figure
+from repro.experiments.report import format_headline
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    queries = sys.argv[2:] or ["q01", "q03", "q05", "q08", "q13", "q16", "q19"]
+
+    print(f"JOB-like workload, scale={scale}, queries={queries}")
+    result = run_fig14(scale=scale, query_names=queries)
+    print(result["scatter"])
+    print()
+    print("Headline speedups (freejoin vs binary / generic):")
+    print(format_headline(result["summary"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Run the LSQB-like graph workload across scale factors (Figure 16/19 style).
+
+Counts subgraph patterns (triangles, stars, paths) over a synthetic social
+network with the three engines, then shows the effect of factorized output on
+the star query whose output is much larger than its input.
+
+Run with::
+
+    python examples/lsqb_graph.py [max_scale_factor]
+"""
+
+import sys
+
+from repro.core.engine import FreeJoinOptions
+from repro.engine.session import Database
+from repro.experiments.harness import run_suite
+from repro.experiments.report import format_measurements
+from repro.workloads.lsqb import generate_lsqb_workload
+
+
+def main() -> None:
+    max_scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    scale_factors = [sf for sf in (0.1, 0.3, 1.0, 3.0) if sf <= max_scale]
+
+    print("== Engine comparison across scale factors (Figure 16 style) ==")
+    all_measurements = []
+    for scale_factor in scale_factors:
+        workload = generate_lsqb_workload(scale_factor=scale_factor)
+        measurements = run_suite(
+            workload.catalog,
+            workload.queries,
+            ("freejoin", "binary", "generic"),
+            workload="lsqb",
+            scale=scale_factor,
+        )
+        all_measurements.extend(measurements)
+    print(format_measurements(all_measurements))
+
+    print()
+    print("== Factorized output on the star query q4 (Figure 19 style) ==")
+    workload = generate_lsqb_workload(scale_factor=max_scale)
+    database = Database(workload.catalog)
+    q4 = workload.query("q4")
+    for label, options in (
+        ("flat output", FreeJoinOptions(output="rows")),
+        ("factorized output", FreeJoinOptions(output="factorized")),
+    ):
+        outcome = database.execute(q4.sql, engine="freejoin", freejoin_options=options)
+        print(
+            f"  {label:>18}: {outcome.report.total_seconds * 1000:8.1f} ms, "
+            f"{outcome.join_result.count()} output rows, result={outcome.rows()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

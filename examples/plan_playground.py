@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Explore Free Join plans and the COLT data structure on the paper's examples.
+
+Walks through Sections 3 and 4 of the paper interactively:
+
+1. builds the triangle and clover queries,
+2. shows the binary plan produced by the cost-based optimizer,
+3. converts it with ``binary2fj`` (Figure 9) and factors it (Figure 10),
+4. shows the GHT schemas of the build phase (Example 3.10),
+5. pokes at a COLT directly: which levels get forced by which operations.
+
+Run with::
+
+    python examples/plan_playground.py
+"""
+
+from repro.core.colt import TrieStrategy, build_trie
+from repro.core.convert import binary_to_free_join
+from repro.core.factor import factor_plan
+from repro.optimizer.join_order import optimize_query
+from repro.query.hypergraph import classify_query
+from repro.workloads.synthetic import (
+    clover_instance,
+    clover_query,
+    triangle_instance,
+    triangle_query,
+)
+
+
+def show_query(query):
+    print(f"query        : {query!r}   [{classify_query(query)}]")
+    plan = optimize_query(query)
+    print(f"binary plan  : {plan!r}")
+    atoms = {atom.name: atom for atom in query.atoms}
+    for pipeline in plan.decompose():
+        if any(name not in atoms for name in pipeline.items):
+            print(f"  pipeline {pipeline.output_name}: {pipeline.items} (bushy, materialized)")
+            continue
+        naive = binary_to_free_join(pipeline.items, atoms)
+        factored = factor_plan(naive)
+        print(f"  pipeline {pipeline.output_name}: {pipeline.items}")
+        print(f"    naive free join plan   : {naive!r}")
+        print(f"    factored free join plan: {factored!r}")
+        schemas = factored.ght_schemas(query)
+        for name, levels in schemas.items():
+            print(f"    GHT schema for {name:<2}: {[list(level) for level in levels]}")
+    print()
+
+
+def poke_colt():
+    print("== COLT laziness in action (Section 4.2) ==")
+    tables = clover_instance(5)
+    query = clover_query(tables)
+    s_atom = query.atom("S")
+    trie = build_trie(s_atom, [("x",), ("b",)], TrieStrategy.COLT)
+    print("fresh COLT           :", trie, "| forced nodes:", trie.forced_node_count())
+    child = trie.get(0)
+    print("after S.get(x=0)     :", trie, "| forced nodes:", trie.forced_node_count())
+    print("  sub-trie for x=0   :", child)
+    list(child.iter_entries())
+    print("after iterating child:", child, "| child stays a vector (last level)")
+
+
+def main() -> None:
+    print("== Triangle query (cyclic) ==")
+    show_query(triangle_query(triangle_instance(60, domain=10, skew=0.6, seed=1)))
+    print("== Clover query (acyclic, skewed; Figure 3) ==")
+    show_query(clover_query(clover_instance(8)))
+    poke_colt()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: load tables, run SQL, and compare the three join engines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database, Table
+
+
+def build_database() -> Database:
+    """A tiny movie database, small enough to read by eye."""
+    db = Database()
+    db.register(Table.from_columns("movies", {
+        "id": [1, 2, 3, 4, 5],
+        "title": ["Alien", "Arrival", "Brazil", "Contact", "Dune"],
+        "year": [1979, 2016, 1985, 1997, 2021],
+    }))
+    db.register(Table.from_columns("ratings", {
+        "movie_id": [1, 1, 2, 3, 3, 3, 4, 5, 5],
+        "stars": [5, 4, 5, 3, 4, 5, 4, 5, 4],
+    }))
+    db.register(Table.from_columns("tags", {
+        "movie_id": [1, 2, 2, 3, 4, 5, 5],
+        "tag": ["space", "aliens", "language", "dystopia", "space", "space", "desert"],
+    }))
+    return db
+
+
+def main() -> None:
+    db = build_database()
+
+    print("== All movies tagged 'space' with a 5-star rating ==")
+    sql = """
+        SELECT m.title, MIN(m.year) AS year
+        FROM movies AS m, ratings AS r, tags AS t
+        WHERE r.movie_id = m.id AND t.movie_id = m.id
+          AND t.tag = 'space' AND r.stars = 5
+        GROUP BY m.title
+    """
+    outcome = db.execute(sql)
+    for row in outcome.rows():
+        print("  ", row)
+
+    print()
+    print("== The same join on all three engines ==")
+    count_sql = """
+        SELECT COUNT(*) AS pairs
+        FROM movies AS m, ratings AS r, tags AS t
+        WHERE r.movie_id = m.id AND t.movie_id = m.id
+    """
+    for engine in ("freejoin", "binary", "generic"):
+        outcome = db.execute(count_sql, engine=engine)
+        print(f"  {engine:>9}: {outcome.scalar()} rows  ({outcome.report.summary()})")
+
+    print()
+    print("== Peek at the plans Free Join runs ==")
+    outcome = db.execute(count_sql, engine="freejoin")
+    print("  binary plan :", outcome.binary_plan)
+    for plan in outcome.report.details["plans"]:
+        print("  free join   :", plan)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper and write a single text report.
+
+Usage::
+
+    python scripts/make_report.py [output_path] [job_scale]
+
+This is the long-form version of ``pytest benchmarks/ --benchmark-only``: it
+runs each experiment driver at a configurable scale and concatenates the
+rendered series into one report file (default ``reproduction_report.txt``).
+"""
+
+import sys
+import time
+
+from repro.experiments.figures import FIGURES, format_figure
+
+
+def main() -> None:
+    output_path = sys.argv[1] if len(sys.argv) > 1 else "reproduction_report.txt"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
+
+    sections = []
+    for name in sorted(FIGURES):
+        driver = FIGURES[name]
+        kwargs = {}
+        if "scale" in driver.__code__.co_varnames:
+            kwargs["scale"] = scale
+        started = time.perf_counter()
+        result = driver(**kwargs)
+        elapsed = time.perf_counter() - started
+        sections.append(format_figure(result))
+        sections.append(f"(driver ran in {elapsed:.1f} s)\n")
+        print(f"{name}: done in {elapsed:.1f} s", flush=True)
+
+    with open(output_path, "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {output_path}")
+
+
+if __name__ == "__main__":
+    main()

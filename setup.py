@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on offline machines whose setuptools/pip
+combination cannot build PEP 660 editable wheels (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

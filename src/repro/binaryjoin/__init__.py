@@ -1,0 +1,6 @@
+"""Traditional binary hash join engine (the paper's DuckDB-role baseline)."""
+
+from repro.binaryjoin.hash_table import JoinHashTable
+from repro.binaryjoin.executor import BinaryJoinEngine
+
+__all__ = ["JoinHashTable", "BinaryJoinEngine"]

@@ -1,0 +1,26 @@
+"""Free Join: the paper's primary contribution.
+
+The public entry point is :class:`repro.core.engine.FreeJoinEngine`, which
+takes an optimized binary plan (from :mod:`repro.optimizer`), converts it into
+a Free Join plan (:func:`repro.core.convert.binary_to_free_join`), optimizes
+the plan by factoring (:func:`repro.core.factor.factor_plan`), builds COLT
+tries (:mod:`repro.core.colt`) and executes the plan with optional
+vectorization (:mod:`repro.core.executor`, :mod:`repro.core.vectorized`).
+"""
+
+from repro.core.plan import FreeJoinNode, FreeJoinPlan
+from repro.core.convert import binary_to_free_join
+from repro.core.factor import factor_plan
+from repro.core.colt import TrieStrategy, build_tries
+from repro.core.engine import FreeJoinEngine, FreeJoinOptions
+
+__all__ = [
+    "FreeJoinNode",
+    "FreeJoinPlan",
+    "binary_to_free_join",
+    "factor_plan",
+    "TrieStrategy",
+    "build_tries",
+    "FreeJoinEngine",
+    "FreeJoinOptions",
+]

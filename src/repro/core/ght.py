@@ -1,0 +1,89 @@
+"""The Generalized Hash Trie (GHT) interface.
+
+A GHT (Definition 3.1 in the paper) is a tree where each leaf is a vector of
+tuples and each internal node is a hash map from key tuples to child nodes.
+It generalizes both the hash tables used by binary join (two levels) and the
+hash tries used by Generic Join (one single-variable level per attribute).
+
+The executor accesses tries exclusively through this interface, so the three
+trie strategies compared in Figure 17 (fully eager "simple trie", the simple
+lazy trie of Freitag et al., and COLT) are interchangeable at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.datatypes import Row
+
+
+class GHT:
+    """Interface of one node of a Generalized Hash Trie.
+
+    Attributes
+    ----------
+    relation:
+        Name of the atom this trie represents (sub-tries inherit it).
+    vars:
+        Variables of the keys (for a map node) or of the stored tuples (for a
+        vector node) at this level.
+    """
+
+    relation: str
+    vars: Tuple[str, ...]
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    def levels_remaining(self) -> int:
+        """Number of named levels at or below this node (>= 1)."""
+        raise NotImplementedError
+
+    def is_leaf(self) -> bool:
+        """Whether this node is a leaf: no variables left, only multiplicity."""
+        raise NotImplementedError
+
+    def tuple_count(self) -> int:
+        """Number of base-table tuples represented under this node."""
+        raise NotImplementedError
+
+    def key_count(self) -> int:
+        """Number of keys at this level, or an estimate for unforced vectors.
+
+        Used by dynamic cover selection (Section 4.4): the executor iterates
+        over the cover with the fewest keys.  For an unforced COLT vector the
+        estimate is the vector length, as described in the paper.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Access methods (Figure 5)
+    # ------------------------------------------------------------------ #
+
+    def iter_entries(self) -> Iterator[Tuple[Row, Optional["GHT"]]]:
+        """Iterate ``(tuple, subtrie)`` pairs at this level.
+
+        For a map node the pairs are ``(key, child)``.  For a vector node at
+        the last level the pairs are ``(tuple, None)`` — there is no deeper
+        structure, and each yielded tuple accounts for exactly one base-table
+        row (bag semantics).
+        """
+        raise NotImplementedError
+
+    def iter_entries_batched(
+        self, batch_size: int
+    ) -> Iterator[List[Tuple[Row, Optional["GHT"]]]]:
+        """Iterate entries in batches of up to ``batch_size`` (Section 4.3)."""
+        batch: List[Tuple[Row, Optional["GHT"]]] = []
+        for entry in self.iter_entries():
+            batch.append(entry)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def get(self, key: Row) -> Optional["GHT"]:
+        """Probe this level with a key tuple; return the sub-trie or ``None``."""
+        raise NotImplementedError

@@ -1,0 +1,168 @@
+"""Post-join aggregation and projection.
+
+The paper's benchmark queries (JOB, LSQB) are full joins followed by a simple
+aggregate — typically ``MIN`` over a few columns or ``COUNT(*)`` — and an
+optional group-by (Section 5.1).  Aggregation is performed after the join, on
+the join result, matching the paper's setup where selection/aggregation time
+is excluded from the measured join time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datatypes import Row, Value
+from repro.engine.output import JoinResult
+from repro.errors import ExecutionError, QueryError
+from repro.query.planner import LogicalQuery, ResolvedSelectItem
+from repro.storage.table import Table
+
+
+class _AggregateState:
+    """Running state of one aggregate function."""
+
+    __slots__ = ("function", "count", "total", "minimum", "maximum")
+
+    def __init__(self, function: str) -> None:
+        self.function = function
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[Value] = None
+        self.maximum: Optional[Value] = None
+
+    def update(self, value: Value, multiplicity: int) -> None:
+        if self.function == "COUNT":
+            if value is not None:
+                self.count += multiplicity
+            return
+        if value is None:
+            return
+        self.count += multiplicity
+        if self.function in ("SUM", "AVG"):
+            self.total += float(value) * multiplicity
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def update_count_star(self, multiplicity: int) -> None:
+        self.count += multiplicity
+
+    def finalize(self) -> Value:
+        if self.function == "COUNT":
+            return self.count
+        if self.function == "MIN":
+            return self.minimum
+        if self.function == "MAX":
+            return self.maximum
+        if self.function == "SUM":
+            return self.total if self.count else None
+        if self.function == "AVG":
+            return self.total / self.count if self.count else None
+        raise QueryError(f"unsupported aggregate function {self.function!r}")
+
+
+def aggregate_result(result: JoinResult, logical: LogicalQuery) -> Table:
+    """Apply the SELECT list (projection/aggregation/group-by) to a join result."""
+    if logical.select_star:
+        return _project(result, list(result.variables), list(result.variables))
+
+    if not logical.has_aggregates():
+        variables = [item.variable for item in logical.select_items]
+        labels = [item.label for item in logical.select_items]
+        return _project(result, variables, labels)
+
+    return _aggregate(result, logical)
+
+
+def _project(result: JoinResult, variables: Sequence[str], labels: Sequence[str]) -> Table:
+    positions = [result.variables.index(v) for v in variables]
+    rows = [tuple(row[p] for p in positions) for row in result.iter_rows()]
+    return Table.from_rows("result", list(labels), rows)
+
+
+def _aggregate(result: JoinResult, logical: LogicalQuery) -> Table:
+    items = logical.select_items
+    group_variables = list(logical.group_by)
+    variable_positions = {var: i for i, var in enumerate(result.variables)}
+
+    missing = [
+        item.variable
+        for item in items
+        if item.variable is not None and item.variable not in variable_positions
+    ]
+    missing += [var for var in group_variables if var not in variable_positions]
+    if missing:
+        raise ExecutionError(
+            f"aggregation references variables {missing} absent from the join result"
+        )
+
+    group_positions = [variable_positions[var] for var in group_variables]
+
+    # Fast path: COUNT(*) only, no grouping — use the result's count directly
+    # so count-only sinks do not need materialized rows.
+    only_count_star = (
+        not group_variables
+        and all(item.function == "COUNT" and item.variable is None for item in items)
+    )
+    if only_count_star:
+        total = result.count()
+        return Table.from_rows(
+            "result", [item.label for item in items], [tuple(total for _ in items)]
+        )
+
+    groups: Dict[Row, Tuple[List[_AggregateState], Row]] = {}
+    non_aggregate_items = [item for item in items if not item.is_aggregate()]
+    if non_aggregate_items and not group_variables:
+        raise QueryError(
+            "non-aggregate SELECT items require a GROUP BY over the same variables"
+        )
+
+    if result.count_only is not None and not result.rows and result.groups is None:
+        raise ExecutionError(
+            "cannot compute value aggregates from a count-only join result"
+        )
+
+    for row, multiplicity in _iter_with_multiplicity(result):
+        key = tuple(row[p] for p in group_positions)
+        entry = groups.get(key)
+        if entry is None:
+            entry = ([_AggregateState(item.function or "") for item in items], key)
+            groups[key] = entry
+        states, _ = entry
+        for item, state in zip(items, states):
+            if not item.is_aggregate():
+                continue
+            if item.variable is None:
+                state.update_count_star(multiplicity)
+            else:
+                state.update(row[variable_positions[item.variable]], multiplicity)
+
+    labels = [item.label for item in items]
+    output_rows: List[Row] = []
+    for key, (states, _) in sorted(groups.items(), key=lambda kv: repr(kv[0])):
+        values: List[Value] = []
+        for item, state in zip(items, states):
+            if item.is_aggregate():
+                values.append(state.finalize())
+            else:
+                values.append(key[group_variables.index(item.variable)])
+        output_rows.append(tuple(values))
+
+    if not groups and not group_variables:
+        # Aggregates over an empty input produce one row of empty aggregates.
+        empty_states = [_AggregateState(item.function or "") for item in items]
+        output_rows.append(tuple(state.finalize() for state in empty_states))
+
+    return Table.from_rows("result", labels, output_rows)
+
+
+def _iter_with_multiplicity(result: JoinResult):
+    """Iterate ``(row, multiplicity)`` pairs without expanding duplicates."""
+    if result.groups is not None:
+        # Factorized results: expand groups (aggregation over factorized
+        # results without expansion is future work, as in the paper).
+        for row in result.iter_rows():
+            yield row, 1
+        return
+    yield from zip(result.rows, result.multiplicities)

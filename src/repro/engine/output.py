@@ -1,0 +1,275 @@
+"""Join output sinks: flat rows, counts, and factorized representations.
+
+All three join engines report their results through a *sink*.  The sink
+decides how much of the output to materialize:
+
+* :class:`RowSink` materializes every output row (with bag multiplicities),
+* :class:`CountSink` only counts output rows — the cheapest option, used by
+  ``COUNT(*)`` queries and by benchmark drivers that do not need the rows,
+* :class:`FactorizedSink` stores the output in factorized form: a shared
+  prefix plus independent factors whose Cartesian product is the output.
+  This reproduces the paper's factorized-output optimization (Section 4.4,
+  Figure 19) where large outputs are compressed instead of enumerated.
+
+The engines report results per *group*: a fully bound prefix row plus zero or
+more factors.  A plain output row is a group with no factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datatypes import Row, Value
+from repro.errors import ExecutionError
+
+
+class OutputSink:
+    """Interface implemented by all sinks."""
+
+    def __init__(self, variables: Sequence[str]) -> None:
+        #: Output variables, in the order rows are reported.
+        self.variables: Tuple[str, ...] = tuple(variables)
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        """Report one fully bound output row with a bag multiplicity."""
+        raise NotImplementedError
+
+    def on_group(
+        self,
+        prefix: Row,
+        prefix_variables: Sequence[str],
+        factors: Sequence[Tuple[Tuple[str, ...], List[Row]]],
+        multiplicity: int = 1,
+    ) -> None:
+        """Report a factorized group.
+
+        ``prefix`` binds ``prefix_variables``; each factor is a pair of
+        (variables, rows) and the group represents the Cartesian product of
+        the prefix with all factors, repeated ``multiplicity`` times.
+
+        The default implementation expands the product into flat rows, so
+        sinks that do not care about factorization only implement ``on_row``.
+        """
+        index = {var: i for i, var in enumerate(prefix_variables)}
+        factor_slots = []
+        for position, (factor_vars, _factor_rows) in enumerate(factors):
+            for offset, var in enumerate(factor_vars):
+                index[var] = (position, offset)
+            factor_slots.append(factor_vars)
+
+        missing = [v for v in self.variables if v not in index]
+        if missing:
+            raise ExecutionError(
+                f"factorized group does not bind output variables {missing}"
+            )
+
+        def expand(position: int, chosen: List[Row]) -> None:
+            if position == len(factors):
+                row = []
+                for var in self.variables:
+                    slot = index[var]
+                    if isinstance(slot, int):
+                        row.append(prefix[slot])
+                    else:
+                        factor_position, offset = slot
+                        row.append(chosen[factor_position][offset])
+                self.on_row(tuple(row), multiplicity)
+                return
+            for factor_row in factors[position][1]:
+                chosen.append(factor_row)
+                expand(position + 1, chosen)
+                chosen.pop()
+
+        expand(0, [])
+
+    def result(self) -> "JoinResult":
+        """Finalize and return the collected result."""
+        raise NotImplementedError
+
+
+class RowSink(OutputSink):
+    """Materializes every output row (with multiplicities)."""
+
+    def __init__(self, variables: Sequence[str]) -> None:
+        super().__init__(variables)
+        self._rows: List[Row] = []
+        self._multiplicities: List[int] = []
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        if multiplicity <= 0:
+            return
+        self._rows.append(row)
+        self._multiplicities.append(multiplicity)
+
+    def result(self) -> "JoinResult":
+        return JoinResult(
+            variables=self.variables,
+            rows=self._rows,
+            multiplicities=self._multiplicities,
+        )
+
+
+class CountSink(OutputSink):
+    """Counts output rows without materializing them."""
+
+    def __init__(self, variables: Sequence[str]) -> None:
+        super().__init__(variables)
+        self._count = 0
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        self._count += multiplicity
+
+    def on_group(self, prefix, prefix_variables, factors, multiplicity: int = 1) -> None:
+        total = multiplicity
+        for _vars, rows in factors:
+            total *= len(rows)
+        self._count += total
+
+    def result(self) -> "JoinResult":
+        return JoinResult(variables=self.variables, rows=[], multiplicities=[], count_only=self._count)
+
+
+@dataclass
+class FactorizedGroup:
+    """One group of a factorized result: prefix x factor1 x factor2 x ..."""
+
+    prefix: Row
+    prefix_variables: Tuple[str, ...]
+    factors: List[Tuple[Tuple[str, ...], List[Row]]]
+    multiplicity: int = 1
+
+    def count(self) -> int:
+        """Number of flat rows this group represents."""
+        total = self.multiplicity
+        for _vars, rows in self.factors:
+            total *= len(rows)
+        return total
+
+
+class FactorizedSink(OutputSink):
+    """Stores the output in factorized form (Section 4.4, Figure 19)."""
+
+    def __init__(self, variables: Sequence[str]) -> None:
+        super().__init__(variables)
+        self._groups: List[FactorizedGroup] = []
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        self._groups.append(
+            FactorizedGroup(row, self.variables, [], multiplicity)
+        )
+
+    def on_group(self, prefix, prefix_variables, factors, multiplicity: int = 1) -> None:
+        self._groups.append(
+            FactorizedGroup(
+                tuple(prefix),
+                tuple(prefix_variables),
+                [(tuple(vars_), list(rows)) for vars_, rows in factors],
+                multiplicity,
+            )
+        )
+
+    def result(self) -> "JoinResult":
+        return JoinResult(variables=self.variables, rows=[], multiplicities=[], groups=self._groups)
+
+
+@dataclass
+class JoinResult:
+    """The result of a join: flat rows, a count, or factorized groups."""
+
+    variables: Tuple[str, ...]
+    rows: List[Row] = field(default_factory=list)
+    multiplicities: List[int] = field(default_factory=list)
+    groups: Optional[List[FactorizedGroup]] = None
+    count_only: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Cardinality
+    # ------------------------------------------------------------------ #
+
+    def count(self) -> int:
+        """Total number of output rows (respecting bag multiplicities)."""
+        if self.count_only is not None:
+            return self.count_only
+        if self.groups is not None:
+            return sum(group.count() for group in self.groups)
+        return sum(self.multiplicities)
+
+    def is_factorized(self) -> bool:
+        """Whether the result is stored in factorized form."""
+        return self.groups is not None
+
+    # ------------------------------------------------------------------ #
+    # Row access
+    # ------------------------------------------------------------------ #
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Iterate over flat output rows, expanding factorized groups."""
+        if self.count_only is not None and not self.rows and self.groups is None:
+            raise ExecutionError("count-only results have no rows to iterate")
+        if self.groups is not None:
+            yield from self._iter_group_rows()
+            return
+        for row, multiplicity in zip(self.rows, self.multiplicities):
+            for _ in range(multiplicity):
+                yield row
+
+    def _iter_group_rows(self) -> Iterator[Row]:
+        for group in self.groups or []:
+            index: Dict[str, object] = {
+                var: i for i, var in enumerate(group.prefix_variables)
+            }
+            for position, (factor_vars, _rows) in enumerate(group.factors):
+                for offset, var in enumerate(factor_vars):
+                    index[var] = (position, offset)
+
+            def build(chosen: List[Row]) -> Row:
+                values: List[Value] = []
+                for var in self.variables:
+                    slot = index[var]
+                    if isinstance(slot, int):
+                        values.append(group.prefix[slot])
+                    else:
+                        factor_position, offset = slot
+                        values.append(chosen[factor_position][offset])
+                return tuple(values)
+
+            def expand(position: int, chosen: List[Row]) -> Iterator[Row]:
+                if position == len(group.factors):
+                    row = build(chosen)
+                    for _ in range(group.multiplicity):
+                        yield row
+                    return
+                for factor_row in group.factors[position][1]:
+                    chosen.append(factor_row)
+                    yield from expand(position + 1, chosen)
+                    chosen.pop()
+
+            yield from expand(0, [])
+
+    def to_rows(self) -> List[Row]:
+        """Materialize all flat output rows."""
+        return list(self.iter_rows())
+
+    def distinct_rows(self) -> set:
+        """The set of distinct output rows (ignores multiplicities)."""
+        return set(self.iter_rows())
+
+    def sorted_rows(self) -> List[Row]:
+        """All rows sorted lexicographically (useful for comparing engines)."""
+        return sorted(self.iter_rows(), key=repr)
+
+    def same_bag(self, other: "JoinResult") -> bool:
+        """Whether two results contain the same multiset of rows.
+
+        Both results must report the same variables (possibly in a different
+        order); rows of ``other`` are permuted to match ``self``.
+        """
+        if set(self.variables) != set(other.variables):
+            return False
+        permutation = [other.variables.index(v) for v in self.variables]
+        ours = sorted(self.iter_rows(), key=repr)
+        theirs = sorted(
+            (tuple(row[i] for i in permutation) for row in other.iter_rows()), key=repr
+        )
+        return ours == theirs

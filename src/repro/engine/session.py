@@ -1,0 +1,202 @@
+"""End-to-end database sessions: SQL in, result tables out.
+
+:class:`Database` wires the whole reproduction together: the catalog, the SQL
+planner, the cost-based optimizer, and the three join engines.  It is the
+entry point example applications use::
+
+    db = Database()
+    db.register(my_table)
+    outcome = db.execute("SELECT COUNT(*) FROM r, s WHERE r.x = s.x")
+    print(outcome.table)
+    print(outcome.report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.binaryjoin.executor import BinaryJoinEngine, BinaryJoinOptions
+from repro.core.colt import TrieStrategy
+from repro.core.engine import FreeJoinEngine, FreeJoinOptions
+from repro.engine.aggregates import aggregate_result
+from repro.engine.output import JoinResult, RowSink
+from repro.engine.report import RunReport
+from repro.errors import QueryError
+from repro.genericjoin.executor import GenericJoinEngine, GenericJoinOptions
+from repro.optimizer.binary_plan import BinaryPlan
+from repro.optimizer.join_order import optimize_query
+from repro.optimizer.statistics import StatisticsCache
+from repro.query.planner import LogicalQuery, Planner, variable_environment
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+#: Engines selectable by name.
+ENGINES = ("freejoin", "binary", "generic")
+
+
+@dataclass
+class QueryOutcome:
+    """The result of executing one SQL query end to end."""
+
+    table: Table
+    report: RunReport
+    logical: LogicalQuery
+    binary_plan: BinaryPlan
+    join_result: JoinResult
+
+    def rows(self) -> List[tuple]:
+        """Result rows of the final (post-aggregation) table."""
+        return self.table.to_rows()
+
+    def scalar(self):
+        """The single value of a one-row, one-column result."""
+        rows = self.table.to_rows()
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise QueryError(
+                f"scalar() requires a 1x1 result, got {len(rows)} rows x "
+                f"{self.table.arity} columns"
+            )
+        return rows[0][0]
+
+
+class Database:
+    """A small in-memory database exposing the three join engines."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        default_engine: str = "freejoin",
+        freejoin_options: Optional[FreeJoinOptions] = None,
+    ) -> None:
+        if default_engine not in ENGINES:
+            raise QueryError(f"unknown engine {default_engine!r}; choose from {ENGINES}")
+        self.catalog = catalog or Catalog()
+        self.default_engine = default_engine
+        self.freejoin_options = freejoin_options or FreeJoinOptions()
+        self.statistics_cache = StatisticsCache()
+
+    # ------------------------------------------------------------------ #
+    # Catalog management
+    # ------------------------------------------------------------------ #
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Register a table in the catalog."""
+        self.catalog.register(table, replace=replace)
+
+    def register_all(self, tables: Iterable[Table], replace: bool = False) -> None:
+        """Register many tables."""
+        self.catalog.register_all(tables, replace=replace)
+
+    def table_names(self) -> List[str]:
+        """Names of all registered tables."""
+        return self.catalog.table_names()
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        bad_estimates: bool = False,
+        freejoin_options: Optional[FreeJoinOptions] = None,
+        name: str = "",
+    ) -> QueryOutcome:
+        """Parse, plan, optimize and execute a SQL query."""
+        engine_name = engine or self.default_engine
+        if engine_name not in ENGINES:
+            raise QueryError(f"unknown engine {engine_name!r}; choose from {ENGINES}")
+
+        logical = Planner(self.catalog).plan_sql(sql, name=name)
+        binary_plan = optimize_query(
+            logical.query,
+            bad_estimates=bad_estimates,
+            statistics_cache=self.statistics_cache,
+        )
+        report = self.run_join(logical, binary_plan, engine_name, freejoin_options)
+        join_result = self._apply_residuals(report.result, logical)
+        table = aggregate_result(join_result, logical)
+        return QueryOutcome(
+            table=table,
+            report=report,
+            logical=logical,
+            binary_plan=binary_plan,
+            join_result=join_result,
+        )
+
+    def run_join(
+        self,
+        logical: LogicalQuery,
+        binary_plan: BinaryPlan,
+        engine_name: str,
+        freejoin_options: Optional[FreeJoinOptions] = None,
+    ) -> RunReport:
+        """Run only the join (no residual filters, no aggregation)."""
+        output_mode = self._output_mode(logical)
+        if engine_name == "freejoin":
+            options = freejoin_options or self.freejoin_options
+            options = FreeJoinOptions(
+                trie_strategy=options.trie_strategy,
+                batch_size=options.batch_size,
+                factor=options.factor,
+                dynamic_cover=options.dynamic_cover,
+                output=output_mode if options.output == "rows" else options.output,
+            )
+            return FreeJoinEngine(options).run(logical.query, binary_plan)
+        if engine_name == "binary":
+            return BinaryJoinEngine(BinaryJoinOptions(output=output_mode)).run(
+                logical.query, binary_plan
+            )
+        if engine_name == "generic":
+            return GenericJoinEngine(GenericJoinOptions(output=output_mode)).run(
+                logical.query, binary_plan
+            )
+        raise QueryError(f"unknown engine {engine_name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _output_mode(logical: LogicalQuery) -> str:
+        """Choose the cheapest sink that still supports the SELECT list."""
+        only_count_star = (
+            not logical.select_star
+            and logical.select_items
+            and all(
+                item.function == "COUNT" and item.variable is None
+                for item in logical.select_items
+            )
+            and not logical.group_by
+            and not logical.residual_predicates
+        )
+        return "count" if only_count_star else "rows"
+
+    @staticmethod
+    def _apply_residuals(result: JoinResult, logical: LogicalQuery) -> JoinResult:
+        """Apply cross-table, non-equality predicates after the join."""
+        if not logical.residual_predicates:
+            return result
+        variables = result.variables
+        kept_rows = []
+        kept_multiplicities = []
+        if result.count_only is not None and not result.rows and result.groups is None:
+            raise QueryError(
+                "residual predicates require materialized join rows; "
+                "this is an internal sink-selection bug"
+            )
+        rows = result.rows if result.groups is None else None
+        if rows is not None:
+            pairs = zip(result.rows, result.multiplicities)
+        else:
+            pairs = ((row, 1) for row in result.iter_rows())
+        for row, multiplicity in pairs:
+            env = variable_environment(variables, row)
+            if all(bool(p.evaluate(env)) for p in logical.residual_predicates):
+                kept_rows.append(row)
+                kept_multiplicities.append(multiplicity)
+        return JoinResult(
+            variables=variables, rows=kept_rows, multiplicities=kept_multiplicities
+        )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Free Join reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the common failure categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or query referenced a schema element incorrectly.
+
+    Raised for unknown columns, duplicate column names, arity mismatches
+    between atoms and the tables they reference, and similar problems.
+    """
+
+
+class CatalogError(ReproError):
+    """A catalog operation failed (unknown table, duplicate registration)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (invalid atoms, unbound variables, bad SQL)."""
+
+
+class SQLSyntaxError(QueryError):
+    """The SQL parser rejected the input text.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input where the error was detected, or -1
+        when the offset is unknown.
+    """
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """A join plan (binary or Free Join) is invalid or cannot be executed."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a plan."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""

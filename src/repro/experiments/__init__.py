@@ -1,0 +1,27 @@
+"""Experiment harness regenerating the paper's evaluation (Section 5).
+
+Each figure of the paper has a driver in :mod:`repro.experiments.figures`;
+the drivers produce structured measurement records which
+:mod:`repro.experiments.report` renders as the same series/tables the paper
+plots.  Absolute numbers differ (CPython vs. Rust/DuckDB on the authors'
+laptop); the harness is about reproducing the *relationships*: who wins, by
+roughly what factor, and where the crossovers are.
+"""
+
+from repro.experiments.harness import Measurement, run_query, run_suite
+from repro.experiments.report import (
+    geometric_mean,
+    speedup_summary,
+    format_measurements,
+    format_records,
+)
+
+__all__ = [
+    "Measurement",
+    "run_query",
+    "run_suite",
+    "geometric_mean",
+    "speedup_summary",
+    "format_measurements",
+    "format_records",
+]

@@ -1,0 +1,147 @@
+"""Timing harness shared by all experiment drivers and benchmarks.
+
+Measured time is the engine-reported join time (build + join + intermediate
+materialization), not the end-to-end wall clock: exactly as in the paper,
+time spent in selection pushdown, SQL planning and the final aggregation is
+excluded (Section 5.1, "we exclude the time spent in selection and
+aggregation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.engine import FreeJoinOptions
+from repro.engine.session import Database
+from repro.query.hypergraph import classify_query
+from repro.storage.catalog import Catalog
+from repro.workloads.job import BenchmarkQuery
+
+
+@dataclass
+class Measurement:
+    """One timed execution of one query on one engine configuration."""
+
+    workload: str
+    query: str
+    engine: str
+    variant: str
+    seconds: float
+    build_seconds: float
+    join_seconds: float
+    output_rows: int
+    category: str = ""
+    scale: float = 1.0
+
+    def as_record(self) -> Dict[str, object]:
+        """Plain-dict view, convenient for report formatting."""
+        return {
+            "workload": self.workload,
+            "query": self.query,
+            "engine": self.engine,
+            "variant": self.variant,
+            "seconds": self.seconds,
+            "build_seconds": self.build_seconds,
+            "join_seconds": self.join_seconds,
+            "output_rows": self.output_rows,
+            "category": self.category,
+            "scale": self.scale,
+        }
+
+
+def run_query(
+    database: Database,
+    query: BenchmarkQuery,
+    engine: str,
+    workload: str = "",
+    variant: str = "default",
+    bad_estimates: bool = False,
+    freejoin_options: Optional[FreeJoinOptions] = None,
+    repeats: int = 1,
+    scale: float = 1.0,
+) -> Measurement:
+    """Execute a benchmark query and return the best-of-``repeats`` timing."""
+    best = None
+    for _ in range(max(1, repeats)):
+        outcome = database.execute(
+            query.sql,
+            engine=engine,
+            bad_estimates=bad_estimates,
+            freejoin_options=freejoin_options,
+            name=query.name,
+        )
+        report = outcome.report
+        category = query.category or classify_query(outcome.logical.query)
+        measurement = Measurement(
+            workload=workload,
+            query=query.name,
+            engine=engine,
+            variant=variant,
+            seconds=report.total_seconds,
+            build_seconds=report.build_seconds,
+            join_seconds=report.join_seconds,
+            output_rows=outcome.join_result.count(),
+            category=category,
+            scale=scale,
+        )
+        if best is None or measurement.seconds < best.seconds:
+            best = measurement
+    assert best is not None
+    return best
+
+
+def run_suite(
+    catalog: Catalog,
+    queries: Sequence[BenchmarkQuery],
+    engines: Sequence[str],
+    workload: str = "",
+    variant: str = "default",
+    bad_estimates: bool = False,
+    freejoin_options: Optional[FreeJoinOptions] = None,
+    repeats: int = 1,
+    scale: float = 1.0,
+    query_names: Optional[Iterable[str]] = None,
+) -> List[Measurement]:
+    """Run every query of a suite on every engine and collect measurements."""
+    database = Database(catalog)
+    wanted = set(query_names) if query_names is not None else None
+    measurements: List[Measurement] = []
+    for query in queries:
+        if wanted is not None and query.name not in wanted:
+            continue
+        for engine in engines:
+            measurements.append(
+                run_query(
+                    database,
+                    query,
+                    engine,
+                    workload=workload,
+                    variant=variant,
+                    bad_estimates=bad_estimates,
+                    freejoin_options=freejoin_options,
+                    repeats=repeats,
+                    scale=scale,
+                )
+            )
+    return measurements
+
+
+def pivot_by_engine(measurements: Sequence[Measurement]) -> Dict[str, Dict[str, Measurement]]:
+    """Group measurements as ``{query: {engine_or_variant: measurement}}``.
+
+    The key within a query is ``engine`` when all variants are identical, and
+    ``engine/variant`` otherwise, so ablation runs of the same engine do not
+    collide.
+    """
+    variants = {m.variant for m in measurements}
+    use_variant = len(variants) > 1
+    table: Dict[str, Dict[str, Measurement]] = {}
+    for measurement in measurements:
+        key = (
+            f"{measurement.engine}/{measurement.variant}"
+            if use_variant
+            else measurement.engine
+        )
+        table.setdefault(measurement.query, {})[key] = measurement
+    return table

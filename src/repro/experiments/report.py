@@ -1,0 +1,165 @@
+"""Rendering measurement records as the tables/series the paper reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.harness import Measurement, pivot_by_engine
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; the paper reports average speedups this way."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedups(
+    measurements: Sequence[Measurement],
+    baseline: str,
+    challenger: str,
+) -> Dict[str, float]:
+    """Per-query speedup of ``challenger`` over ``baseline`` (>1 = faster)."""
+    table = pivot_by_engine(measurements)
+    result: Dict[str, float] = {}
+    for query, by_engine in table.items():
+        if baseline in by_engine and challenger in by_engine:
+            base = by_engine[baseline].seconds
+            other = by_engine[challenger].seconds
+            if other > 0:
+                result[query] = base / other
+    return result
+
+
+def speedup_summary(
+    measurements: Sequence[Measurement],
+    baseline: str,
+    challenger: str,
+) -> Dict[str, float]:
+    """Geomean/max/min speedup of ``challenger`` over ``baseline``."""
+    ratios = list(speedups(measurements, baseline, challenger).values())
+    if not ratios:
+        return {"geomean": 0.0, "max": 0.0, "min": 0.0, "count": 0}
+    return {
+        "geomean": geometric_mean(ratios),
+        "max": max(ratios),
+        "min": min(ratios),
+        "count": len(ratios),
+    }
+
+
+def format_records(
+    records: Iterable[Mapping[str, object]],
+    columns: Sequence[str],
+    floats: int = 4,
+) -> str:
+    """Render dict records as an aligned plain-text table."""
+    rows: List[List[str]] = []
+    for record in records:
+        row = []
+        for column in columns:
+            value = record.get(column, "")
+            if isinstance(value, float):
+                row.append(f"{value:.{floats}f}")
+            else:
+                row.append(str(value))
+        rows.append(row)
+    widths = [
+        max(len(column), *(len(row[i]) for row in rows)) if rows else len(column)
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(row[i].ljust(widths[i]) for i in range(len(columns))) for row in rows
+    ]
+    return "\n".join([header, separator] + body)
+
+
+def format_measurements(measurements: Sequence[Measurement]) -> str:
+    """Render raw measurements as a text table."""
+    return format_records(
+        [m.as_record() for m in measurements],
+        columns=[
+            "workload", "query", "engine", "variant", "category",
+            "seconds", "build_seconds", "join_seconds", "output_rows",
+        ],
+    )
+
+
+def format_scatter(
+    measurements: Sequence[Measurement],
+    baseline: str,
+    challengers: Sequence[str],
+) -> str:
+    """Render a Figure-14-style series: baseline time vs. challenger times."""
+    table = pivot_by_engine(measurements)
+    records = []
+    for query in sorted(table):
+        by_engine = table[query]
+        if baseline not in by_engine:
+            continue
+        record: Dict[str, object] = {
+            "query": query,
+            "category": by_engine[baseline].category,
+            f"{baseline}_s": by_engine[baseline].seconds,
+        }
+        for challenger in challengers:
+            if challenger in by_engine:
+                record[f"{challenger}_s"] = by_engine[challenger].seconds
+                base = by_engine[baseline].seconds
+                record[f"{challenger}_speedup"] = (
+                    base / by_engine[challenger].seconds
+                    if by_engine[challenger].seconds > 0
+                    else float("inf")
+                )
+        records.append(record)
+    columns = ["query", "category", f"{baseline}_s"]
+    for challenger in challengers:
+        columns += [f"{challenger}_s", f"{challenger}_speedup"]
+    return format_records(records, columns)
+
+
+def summarize_headline(
+    measurements: Sequence[Measurement],
+    baseline: str = "binary",
+    challenger: str = "freejoin",
+    reference: str = "generic",
+) -> Dict[str, Dict[str, float]]:
+    """The paper's headline numbers: Free Join vs. binary join and Generic Join.
+
+    Returns per-category (acyclic/cyclic/all) summaries of the challenger's
+    speedup over both the baseline and the reference engine.
+    """
+    by_category: Dict[str, List[Measurement]] = {"all": list(measurements)}
+    for measurement in measurements:
+        by_category.setdefault(measurement.category or "uncategorized", []).append(
+            measurement
+        )
+    summary: Dict[str, Dict[str, float]] = {}
+    for category, subset in by_category.items():
+        versus_baseline = speedup_summary(subset, baseline, challenger)
+        versus_reference = speedup_summary(subset, reference, challenger)
+        summary[category] = {
+            f"vs_{baseline}_geomean": versus_baseline["geomean"],
+            f"vs_{baseline}_max": versus_baseline["max"],
+            f"vs_{baseline}_min": versus_baseline["min"],
+            f"vs_{reference}_geomean": versus_reference["geomean"],
+            f"vs_{reference}_max": versus_reference["max"],
+            f"vs_{reference}_min": versus_reference["min"],
+            "queries": versus_baseline["count"],
+        }
+    return summary
+
+
+def format_headline(summary: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the headline summary as text."""
+    records = []
+    for category in sorted(summary):
+        record = {"category": category}
+        record.update(summary[category])
+        records.append(record)
+    columns = ["category"] + [c for c in records[0] if c != "category"] if records else []
+    return format_records(records, columns, floats=2)

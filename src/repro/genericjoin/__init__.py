@@ -1,0 +1,17 @@
+"""Generic Join: the worst-case optimal join baseline (Section 2.3)."""
+
+from repro.genericjoin.trie import HashTrie, build_hash_trie
+from repro.genericjoin.variable_order import (
+    variable_order_from_binary_plan,
+    variable_order_from_free_join_plan,
+)
+from repro.genericjoin.executor import GenericJoinEngine, GenericJoinOptions
+
+__all__ = [
+    "HashTrie",
+    "build_hash_trie",
+    "variable_order_from_binary_plan",
+    "variable_order_from_free_join_plan",
+    "GenericJoinEngine",
+    "GenericJoinOptions",
+]

@@ -1,0 +1,92 @@
+"""Hash tries for Generic Join (Section 2.3).
+
+A hash trie has one level per attribute of the relation (following the query's
+global variable order restricted to the relation's variables); each level is a
+hash map from a single value to the next level, and the leaves store the bag
+multiplicity of the tuple.  Building every trie eagerly up front is precisely
+the preprocessing cost the paper identifies as Generic Join's main source of
+inefficiency (Sections 2.4 and 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import PlanError
+from repro.query.atoms import Atom
+
+#: A trie node is either an inner hash map or a leaf multiplicity count.
+TrieNode = Union[Dict, int]
+
+
+class HashTrie:
+    """An eagerly built hash trie over one atom.
+
+    Parameters
+    ----------
+    atom:
+        The atom whose tuples the trie stores.
+    variable_order:
+        The relation's variables in global variable order; this determines the
+        nesting order of the trie levels.
+    """
+
+    __slots__ = ("atom", "variable_order", "root", "build_rows")
+
+    def __init__(self, atom: Atom, variable_order: Sequence[str]) -> None:
+        ordered = list(variable_order)
+        if set(ordered) != set(atom.variables):
+            raise PlanError(
+                f"variable order {ordered} does not cover the variables "
+                f"{list(atom.variables)} of atom {atom.name!r}"
+            )
+        self.atom = atom
+        self.variable_order = tuple(ordered)
+        self.build_rows = atom.size
+        self.root = self._build()
+
+    def _build(self) -> TrieNode:
+        columns = [
+            self.atom.table.column(self.atom.column_for(var)).values
+            for var in self.variable_order
+        ]
+        if not columns:
+            return self.atom.size
+
+        root: Dict = {}
+        last = len(columns) - 1
+        for offset in range(self.atom.size):
+            node = root
+            for level, column in enumerate(columns):
+                value = column[offset]
+                if level == last:
+                    node[value] = node.get(value, 0) + 1
+                else:
+                    child = node.get(value)
+                    if child is None:
+                        child = {}
+                        node[value] = child
+                    node = child
+        return root
+
+    def level_count(self) -> int:
+        """Number of named levels (one per variable)."""
+        return len(self.variable_order)
+
+    def key_count(self) -> int:
+        """Number of distinct values at the first level."""
+        if isinstance(self.root, int):
+            return 1
+        return len(self.root)
+
+
+def build_hash_trie(atom: Atom, global_order: Sequence[str]) -> HashTrie:
+    """Build the hash trie of an atom following a global variable order."""
+    ordered = [var for var in global_order if atom.has_variable(var)]
+    missing = set(atom.variables) - set(ordered)
+    if missing:
+        raise PlanError(
+            f"global variable order {list(global_order)} does not mention "
+            f"variables {sorted(missing)} of atom {atom.name!r}"
+        )
+    return HashTrie(atom, ordered)

@@ -1,0 +1,33 @@
+"""Cost-based optimizer producing binary join plans.
+
+This package plays the role DuckDB's optimizer plays in the paper: it takes a
+conjunctive query and produces an optimized binary join plan, which Free Join
+then converts and further optimizes.  The "bad cardinality estimate"
+experiments (Figures 15 and 20) are reproduced by swapping in
+:class:`~repro.optimizer.cardinality.AlwaysOneCardinalityEstimator`, exactly
+as the paper hijacked DuckDB's estimator to always return 1.
+"""
+
+from repro.optimizer.statistics import ColumnStatistics, TableStatistics, collect_statistics
+from repro.optimizer.cardinality import (
+    CardinalityEstimator,
+    DefaultCardinalityEstimator,
+    AlwaysOneCardinalityEstimator,
+)
+from repro.optimizer.binary_plan import BinaryPlan, JoinNode, LeafNode, Pipeline
+from repro.optimizer.join_order import JoinOrderOptimizer, optimize_query
+
+__all__ = [
+    "ColumnStatistics",
+    "TableStatistics",
+    "collect_statistics",
+    "CardinalityEstimator",
+    "DefaultCardinalityEstimator",
+    "AlwaysOneCardinalityEstimator",
+    "BinaryPlan",
+    "JoinNode",
+    "LeafNode",
+    "Pipeline",
+    "JoinOrderOptimizer",
+    "optimize_query",
+]

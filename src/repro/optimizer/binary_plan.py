@@ -1,0 +1,185 @@
+"""Binary join plan trees and their decomposition into left-deep pipelines.
+
+A binary plan is a binary tree whose leaves are query atoms (Section 2.2).
+Left-deep linear plans are executed by pipelining; bushy plans are decomposed
+into a collection of left-deep pipelines, where every join node that is a
+right child becomes the root of a new subplan that is materialized first.
+Both the binary join engine and the Free Join engine consume the decomposed
+:class:`Pipeline` form, so they execute exactly the same plan shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+
+class PlanNode:
+    """Base class for binary plan tree nodes."""
+
+    def leaves(self) -> List[str]:
+        """Atom names of all leaves, left to right."""
+        raise NotImplementedError
+
+    def is_left_deep(self) -> bool:
+        """Whether every right child is a leaf."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Height of the tree (a leaf has depth 0)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LeafNode(PlanNode):
+    """A leaf referencing a query atom by name."""
+
+    relation: str
+
+    def leaves(self) -> List[str]:
+        return [self.relation]
+
+    def is_left_deep(self) -> bool:
+        return True
+
+    def depth(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return self.relation
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """An inner join of two subplans."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def leaves(self) -> List[str]:
+        return self.left.leaves() + self.right.leaves()
+
+    def is_left_deep(self) -> bool:
+        return isinstance(self.right, LeafNode) and self.left.is_left_deep()
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} JOIN {self.right!r})"
+
+
+@dataclass
+class Pipeline:
+    """One left-deep pipeline produced by decomposing a binary plan.
+
+    ``items`` lists the relations in pipeline order: the first is iterated
+    over, the rest are probed.  An item is either a base atom name or the name
+    of a materialized intermediate (``output_name`` of an earlier pipeline).
+    """
+
+    output_name: str
+    items: List[str]
+    is_final: bool = False
+
+    def __repr__(self) -> str:
+        marker = " (final)" if self.is_final else ""
+        return f"Pipeline({self.output_name}: {self.items}){marker}"
+
+
+class BinaryPlan:
+    """A binary join plan for a conjunctive query."""
+
+    INTERMEDIATE_PREFIX = "__intermediate"
+
+    def __init__(self, root: PlanNode, estimated_cost: float = 0.0) -> None:
+        self.root = root
+        self.estimated_cost = estimated_cost
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def left_deep(cls, relations: Sequence[str], estimated_cost: float = 0.0) -> "BinaryPlan":
+        """Build the left-deep plan ``[r1, r2, ..., rn]``."""
+        if not relations:
+            raise ValueError("a plan needs at least one relation")
+        node: PlanNode = LeafNode(relations[0])
+        for name in relations[1:]:
+            node = JoinNode(node, LeafNode(name))
+        return cls(node, estimated_cost)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def leaves(self) -> List[str]:
+        """Atom names of the plan's leaves, left to right."""
+        return self.root.leaves()
+
+    def is_left_deep(self) -> bool:
+        """Whether the plan is a single left-deep pipeline."""
+        return self.root.is_left_deep()
+
+    def is_bushy(self) -> bool:
+        """Whether the plan contains a join as some join's right child."""
+        return not self.is_left_deep()
+
+    def num_joins(self) -> int:
+        """Number of join operators."""
+        return max(len(self.leaves()) - 1, 0)
+
+    def __repr__(self) -> str:
+        return f"BinaryPlan({self.root!r})"
+
+    # ------------------------------------------------------------------ #
+    # Decomposition (Section 2.2)
+    # ------------------------------------------------------------------ #
+
+    def decompose(self) -> List[Pipeline]:
+        """Decompose into left-deep pipelines in dependency order.
+
+        Every join node that is a right child becomes the root of a new
+        pipeline whose output is materialized before the parent pipeline runs.
+        The final pipeline is marked ``is_final``.
+        """
+        pipelines: List[Pipeline] = []
+        counter = [0]
+
+        def fresh_name() -> str:
+            name = f"{self.INTERMEDIATE_PREFIX}{counter[0]}"
+            counter[0] += 1
+            return name
+
+        def flatten(node: PlanNode) -> str:
+            """Return the item name representing ``node`` in its parent pipeline.
+
+            Leaves map to themselves; join subtrees become materialized
+            pipelines and map to their intermediate name.
+            """
+            if isinstance(node, LeafNode):
+                return node.relation
+            pipeline_items = build_pipeline(node)
+            name = fresh_name()
+            pipelines.append(Pipeline(name, pipeline_items))
+            return name
+
+        def build_pipeline(node: PlanNode) -> List[str]:
+            """Build the item list for the maximal left-deep spine at ``node``."""
+            if isinstance(node, LeafNode):
+                return [node.relation]
+            assert isinstance(node, JoinNode)
+            left_items = build_pipeline(node.left)
+            right_item = flatten(node.right)
+            return left_items + [right_item]
+
+        final_items = build_pipeline(self.root)
+        pipelines.append(Pipeline("__result", final_items, is_final=True))
+        return pipelines
+
+    def left_deep_order(self) -> List[str]:
+        """For a left-deep plan, the pipeline order of its relations."""
+        if not self.is_left_deep():
+            raise ValueError("plan is bushy; call decompose() instead")
+        return self.leaves()

@@ -1,0 +1,46 @@
+"""Cost model for binary hash-join plans.
+
+The model follows the standard ``C_out``-plus-build formulation used in the
+join-ordering literature: the cost of a hash join is the cost of its inputs,
+plus the cardinality of the probe (left) input, plus the cardinality of the
+build (right) input (building the hash table), plus the estimated output
+cardinality.  The constants do not matter for plan choice, only the relative
+ordering of plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optimizer.cardinality import RelationEstimate
+
+#: Relative weight of building a hash table per input row.
+BUILD_COST_FACTOR = 2.0
+#: Relative weight of probing per input row.
+PROBE_COST_FACTOR = 1.0
+#: Relative weight of producing an output row.
+OUTPUT_COST_FACTOR = 1.0
+
+
+@dataclass
+class CostedSubplan:
+    """A subplan with its estimate and accumulated cost."""
+
+    estimate: RelationEstimate
+    cost: float
+
+
+def join_cost(left: CostedSubplan, right: CostedSubplan, output: RelationEstimate) -> float:
+    """Total cost of joining two costed subplans with the given output estimate."""
+    return (
+        left.cost
+        + right.cost
+        + PROBE_COST_FACTOR * left.estimate.cardinality
+        + BUILD_COST_FACTOR * right.estimate.cardinality
+        + OUTPUT_COST_FACTOR * output.cardinality
+    )
+
+
+def scan_cost(estimate: RelationEstimate) -> float:
+    """Cost of scanning a base relation."""
+    return estimate.cardinality

@@ -1,0 +1,258 @@
+"""Join-order optimization: dynamic programming plus a greedy fallback.
+
+This module is the reproduction's substitute for DuckDB's cost-based
+optimizer (paper Sections 4.1, 5.1): given a conjunctive query it produces an
+optimized binary plan (possibly bushy) that the binary-join baseline executes
+directly and that Free Join converts with ``binary2fj``.
+
+Two search strategies are provided:
+
+* exact dynamic programming over connected subsets (DPsub) for queries with at
+  most ``dp_threshold`` atoms,
+* a greedy pairwise-merge heuristic for larger queries.
+
+Swapping the cardinality estimator for
+:class:`~repro.optimizer.cardinality.AlwaysOneCardinalityEstimator` removes
+all cost signal from the search and yields the "bad plans" used by the
+robustness experiments.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.errors import PlanError
+from repro.optimizer.binary_plan import BinaryPlan, JoinNode, LeafNode, PlanNode
+from repro.optimizer.cardinality import (
+    CardinalityEstimator,
+    DefaultCardinalityEstimator,
+    RelationEstimate,
+)
+from repro.optimizer.cost import CostedSubplan, join_cost, scan_cost
+from repro.optimizer.statistics import StatisticsCache, TableStatistics
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+class JoinOrderOptimizer:
+    """Cost-based join order search over binary hash-join plans.
+
+    Parameters
+    ----------
+    estimator:
+        Cardinality estimator; defaults to the independence-assumption model.
+    dp_threshold:
+        Maximum number of atoms for which exhaustive DP is used; larger
+        queries fall back to the greedy heuristic.
+    statistics_cache:
+        Optional shared statistics cache, so repeated optimization of queries
+        over the same base tables does not rescan them.
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[CardinalityEstimator] = None,
+        dp_threshold: int = 10,
+        statistics_cache: Optional[StatisticsCache] = None,
+    ) -> None:
+        self.estimator = estimator or DefaultCardinalityEstimator()
+        self.dp_threshold = dp_threshold
+        self.statistics_cache = statistics_cache or StatisticsCache()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def optimize(self, query: ConjunctiveQuery) -> BinaryPlan:
+        """Return the cheapest binary plan found for ``query``."""
+        if query.num_atoms == 1:
+            name = query.atoms[0].name
+            return BinaryPlan(LeafNode(name), estimated_cost=query.atoms[0].size)
+        statistics = self.statistics_cache.for_query(query)
+        if query.num_atoms <= self.dp_threshold:
+            return self._optimize_dp(query, statistics)
+        return self._optimize_greedy(query, statistics)
+
+    def optimize_left_deep(self, query: ConjunctiveQuery) -> BinaryPlan:
+        """Return a greedy left-deep plan (used by ablation experiments)."""
+        statistics = self.statistics_cache.for_query(query)
+        base = self._base_estimates(query, statistics)
+        names = [atom.name for atom in query.atoms]
+        if len(names) == 1:
+            return BinaryPlan(LeafNode(names[0]), estimated_cost=base[names[0]].estimate.cardinality)
+
+        # Start from the relation whose estimated cardinality is largest:
+        # traditional plans iterate over the largest relation and build hash
+        # tables on the smaller ones (paper Section 4.2).
+        start = max(names, key=lambda n: base[n].estimate.cardinality)
+        remaining = [n for n in names if n != start]
+        order = [start]
+        current = base[start]
+        while remaining:
+            candidates = [
+                n for n in remaining
+                if current.estimate.variables & base[n].estimate.variables
+            ] or remaining
+            best_name = None
+            best_cost = float("inf")
+            best_plan: Optional[CostedSubplan] = None
+            for name in candidates:
+                output = self.estimator.join_estimate(current.estimate, base[name].estimate)
+                cost = join_cost(current, base[name], output)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_name = name
+                    best_plan = CostedSubplan(output, cost)
+            order.append(best_name)
+            remaining.remove(best_name)
+            current = best_plan
+        return BinaryPlan.left_deep(order, estimated_cost=current.cost)
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+
+    def _base_estimates(
+        self,
+        query: ConjunctiveQuery,
+        statistics: Mapping[str, TableStatistics],
+    ) -> Dict[str, CostedSubplan]:
+        estimates: Dict[str, CostedSubplan] = {}
+        for atom in query.atoms:
+            estimate = self.estimator.base_estimate(atom.name, query, statistics)
+            estimates[atom.name] = CostedSubplan(estimate, scan_cost(estimate))
+        return estimates
+
+    # ------------------------------------------------------------------ #
+    # Dynamic programming over subsets
+    # ------------------------------------------------------------------ #
+
+    def _optimize_dp(
+        self,
+        query: ConjunctiveQuery,
+        statistics: Mapping[str, TableStatistics],
+    ) -> BinaryPlan:
+        names = [atom.name for atom in query.atoms]
+        base = self._base_estimates(query, statistics)
+
+        Entry = Tuple[PlanNode, CostedSubplan]
+        best: Dict[FrozenSet[str], Entry] = {}
+        for name in names:
+            best[frozenset({name})] = (LeafNode(name), base[name])
+
+        def connected(left_vars: FrozenSet[str], right_vars: FrozenSet[str]) -> bool:
+            return bool(left_vars & right_vars)
+
+        for size in range(2, len(names) + 1):
+            for subset_names in combinations(names, size):
+                subset = frozenset(subset_names)
+                best_entry: Optional[Entry] = None
+                # Enumerate splits; prefer connected splits, fall back to
+                # Cartesian products only when no connected split exists.
+                for allow_cartesian in (False, True):
+                    if best_entry is not None:
+                        break
+                    for left_size in range(1, size):
+                        for left_names in combinations(subset_names, left_size):
+                            left_set = frozenset(left_names)
+                            right_set = subset - left_set
+                            if left_set not in best or right_set not in best:
+                                continue
+                            left_node, left_costed = best[left_set]
+                            right_node, right_costed = best[right_set]
+                            if not allow_cartesian and not connected(
+                                left_costed.estimate.variables,
+                                right_costed.estimate.variables,
+                            ):
+                                continue
+                            output = self.estimator.join_estimate(
+                                left_costed.estimate, right_costed.estimate
+                            )
+                            cost = join_cost(left_costed, right_costed, output)
+                            if best_entry is None or cost < best_entry[1].cost:
+                                best_entry = (
+                                    JoinNode(left_node, right_node),
+                                    CostedSubplan(output, cost),
+                                )
+                if best_entry is None:
+                    raise PlanError(
+                        f"no plan found for subset {sorted(subset)} of query {query.name!r}"
+                    )
+                best[subset] = best_entry
+
+        root, costed = best[frozenset(names)]
+        return BinaryPlan(root, estimated_cost=costed.cost)
+
+    # ------------------------------------------------------------------ #
+    # Greedy pairwise merging (for large queries)
+    # ------------------------------------------------------------------ #
+
+    def _optimize_greedy(
+        self,
+        query: ConjunctiveQuery,
+        statistics: Mapping[str, TableStatistics],
+    ) -> BinaryPlan:
+        base = self._base_estimates(query, statistics)
+        subplans: List[Tuple[PlanNode, CostedSubplan]] = [
+            (LeafNode(atom.name), base[atom.name]) for atom in query.atoms
+        ]
+
+        while len(subplans) > 1:
+            best_pair: Optional[Tuple[int, int]] = None
+            best_entry: Optional[Tuple[PlanNode, CostedSubplan]] = None
+            for allow_cartesian in (False, True):
+                if best_entry is not None:
+                    break
+                for i in range(len(subplans)):
+                    for j in range(len(subplans)):
+                        if i == j:
+                            continue
+                        left_node, left_costed = subplans[i]
+                        right_node, right_costed = subplans[j]
+                        if not allow_cartesian and not (
+                            left_costed.estimate.variables
+                            & right_costed.estimate.variables
+                        ):
+                            continue
+                        output = self.estimator.join_estimate(
+                            left_costed.estimate, right_costed.estimate
+                        )
+                        cost = join_cost(left_costed, right_costed, output)
+                        if best_entry is None or cost < best_entry[1].cost:
+                            best_pair = (i, j)
+                            best_entry = (
+                                JoinNode(left_node, right_node),
+                                CostedSubplan(output, cost),
+                            )
+            assert best_pair is not None and best_entry is not None
+            i, j = best_pair
+            merged = best_entry
+            subplans = [
+                plan for index, plan in enumerate(subplans) if index not in (i, j)
+            ]
+            subplans.append(merged)
+
+        root, costed = subplans[0]
+        return BinaryPlan(root, estimated_cost=costed.cost)
+
+
+def optimize_query(
+    query: ConjunctiveQuery,
+    bad_estimates: bool = False,
+    dp_threshold: int = 10,
+    statistics_cache: Optional[StatisticsCache] = None,
+) -> BinaryPlan:
+    """Convenience wrapper: optimize a query with good or bad estimates."""
+    from repro.optimizer.cardinality import AlwaysOneCardinalityEstimator
+
+    estimator: CardinalityEstimator
+    if bad_estimates:
+        estimator = AlwaysOneCardinalityEstimator()
+    else:
+        estimator = DefaultCardinalityEstimator()
+    optimizer = JoinOrderOptimizer(
+        estimator=estimator,
+        dp_threshold=dp_threshold,
+        statistics_cache=statistics_cache,
+    )
+    return optimizer.optimize(query)

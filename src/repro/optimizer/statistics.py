@@ -1,0 +1,96 @@
+"""Table and column statistics used by the cost-based optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.storage.table import Table
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics of one column: cardinality, distinct count, min/max."""
+
+    row_count: int
+    distinct_count: int
+    minimum: object = None
+    maximum: object = None
+
+    @property
+    def average_duplication(self) -> float:
+        """Average number of rows per distinct value (>= 1 for non-empty)."""
+        if self.distinct_count == 0:
+            return 0.0
+        return self.row_count / self.distinct_count
+
+
+@dataclass
+class TableStatistics:
+    """Statistics of one table: row count plus per-column statistics."""
+
+    row_count: int
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def distinct(self, column: str) -> int:
+        """Distinct count of a column, defaulting to the row count."""
+        stats = self.columns.get(column)
+        if stats is None:
+            return max(self.row_count, 1)
+        return max(stats.distinct_count, 1)
+
+
+def analyze_table(table: Table) -> TableStatistics:
+    """Compute statistics for every column of a table."""
+    stats = TableStatistics(row_count=table.num_rows)
+    for column in table.columns:
+        minimum, maximum = column.min_max()
+        stats.columns[column.name] = ColumnStatistics(
+            row_count=len(column),
+            distinct_count=column.distinct_count(),
+            minimum=minimum,
+            maximum=maximum,
+        )
+    return stats
+
+
+def collect_statistics(query: ConjunctiveQuery) -> Dict[str, TableStatistics]:
+    """Compute statistics for every atom of a query, keyed by atom name.
+
+    Statistics are computed over the atom's (already filtered) base table, so
+    selection pushdown is reflected in the estimates — the same behaviour a
+    real optimizer gets from sampling the filtered input.
+    """
+    return {atom.name: analyze_table(atom.table) for atom in query.atoms}
+
+
+class StatisticsCache:
+    """Memoizes per-table statistics keyed by table identity.
+
+    Workload drivers run many queries over the same base tables; caching the
+    scan avoids re-analyzing each table for every query.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[int, TableStatistics] = {}
+
+    def for_table(self, table: Table) -> TableStatistics:
+        """Statistics of a table, computed once per table object."""
+        key = id(table)
+        if key not in self._cache:
+            self._cache[key] = analyze_table(table)
+        return self._cache[key]
+
+    def for_atom(self, atom: Atom) -> TableStatistics:
+        """Statistics of an atom's base table."""
+        return self.for_table(atom.table)
+
+    def for_query(self, query: ConjunctiveQuery) -> Dict[str, TableStatistics]:
+        """Statistics for every atom of a query."""
+        return {atom.name: self.for_atom(atom) for atom in query.atoms}
+
+    def clear(self) -> None:
+        """Drop all cached statistics."""
+        self._cache.clear()

@@ -1,0 +1,15 @@
+"""Logical query layer: expressions, atoms, conjunctive queries, SQL parsing.
+
+Queries enter the system either through the small SQL dialect in
+:mod:`repro.query.sql` or programmatically through
+:class:`repro.query.builder.QueryBuilder`; both produce a
+:class:`repro.query.conjunctive.ConjunctiveQuery`, the common currency of the
+optimizer and the join engines.
+"""
+
+from repro.query.atoms import Atom, Subatom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.builder import QueryBuilder
+from repro.query.hypergraph import Hypergraph
+
+__all__ = ["Atom", "Subatom", "ConjunctiveQuery", "QueryBuilder", "Hypergraph"]

@@ -1,0 +1,139 @@
+"""Atoms and subatoms of conjunctive queries.
+
+An *atom* ``R(x1, ..., xk)`` pairs a base table (already filtered by pushed
+selections) with one query variable per table column.  A *subatom* names a
+subset of an atom's variables; Free Join plan nodes are lists of subatoms
+(Definition 3.4 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import QueryError, SchemaError
+from repro.storage.table import Table
+
+
+class Atom:
+    """An atom ``name(variables)`` backed by a concrete table.
+
+    Parameters
+    ----------
+    name:
+        Unique alias of this atom within its query.  Self-joins must use two
+        distinct aliases over the same underlying table, matching the paper's
+        renaming convention (Section 2.1).
+    table:
+        The base table providing this atom's tuples.  Selections are assumed
+        to be already pushed into this table.
+    variables:
+        Query variable names, one per table column, in schema order.  All
+        variables of one atom must be distinct.
+    """
+
+    __slots__ = ("name", "table", "variables", "_var_to_column")
+
+    def __init__(self, name: str, table: Table, variables: Sequence[str]) -> None:
+        variables = tuple(variables)
+        if len(variables) != table.arity:
+            raise SchemaError(
+                f"atom {name!r}: {len(variables)} variables given for a table "
+                f"with {table.arity} columns"
+            )
+        if len(set(variables)) != len(variables):
+            raise QueryError(
+                f"atom {name!r}: variables must be distinct, got {variables}"
+            )
+        self.name = name
+        self.table = table
+        self.variables: Tuple[str, ...] = variables
+        self._var_to_column: Dict[str, str] = {
+            var: col for var, col in zip(variables, table.column_names)
+        }
+
+    @property
+    def arity(self) -> int:
+        """Number of variables (equals the table arity)."""
+        return len(self.variables)
+
+    @property
+    def size(self) -> int:
+        """Number of tuples in the backing table."""
+        return self.table.num_rows
+
+    def column_for(self, variable: str) -> str:
+        """Name of the table column bound to ``variable``."""
+        try:
+            return self._var_to_column[variable]
+        except KeyError:
+            raise QueryError(
+                f"atom {self.name!r} does not bind variable {variable!r}; "
+                f"its variables are {self.variables}"
+            ) from None
+
+    def columns_for(self, variables: Sequence[str]) -> List[str]:
+        """Table columns bound to each of the given variables, in order."""
+        return [self.column_for(v) for v in variables]
+
+    def has_variable(self, variable: str) -> bool:
+        """Whether this atom binds the given variable."""
+        return variable in self._var_to_column
+
+    def subatom(self, variables: Sequence[str]) -> "Subatom":
+        """Create a subatom of this atom over the given variables."""
+        for variable in variables:
+            if variable not in self._var_to_column:
+                raise QueryError(
+                    f"cannot build subatom: {variable!r} is not a variable of "
+                    f"atom {self.name!r}"
+                )
+        return Subatom(self.name, tuple(variables))
+
+    def full_subatom(self) -> "Subatom":
+        """The subatom containing all of this atom's variables."""
+        return Subatom(self.name, self.variables)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.variables)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.variables == other.variables
+            and self.table is other.table
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.variables, id(self.table)))
+
+
+class Subatom:
+    """A relation name paired with a subset of its atom's variables.
+
+    Subatoms are the building blocks of Free Join plan nodes
+    (Definition 3.4/3.5).  They are plain value objects: equality and hashing
+    look only at the relation name and the variable tuple.
+    """
+
+    __slots__ = ("relation", "variables")
+
+    def __init__(self, relation: str, variables: Sequence[str]) -> None:
+        self.relation = relation
+        self.variables: Tuple[str, ...] = tuple(variables)
+
+    def __repr__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Subatom):
+            return NotImplemented
+        return self.relation == other.relation and self.variables == other.variables
+
+    def __hash__(self) -> int:
+        return hash((self.relation, self.variables))
+
+    def is_empty(self) -> bool:
+        """Whether the subatom has no variables."""
+        return not self.variables

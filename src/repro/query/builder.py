@@ -1,0 +1,64 @@
+"""Programmatic construction of conjunctive queries.
+
+The builder is the most direct way to express the paper's example queries
+(the triangle query, the clover query) and is what the synthetic workload
+generators use::
+
+    builder = QueryBuilder("triangle")
+    builder.add_atom("R", table_r, ["x", "y"])
+    builder.add_atom("S", table_s, ["y", "z"])
+    builder.add_atom("T", table_t, ["z", "x"])
+    query = builder.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.storage.table import Table
+
+
+class QueryBuilder:
+    """Incrementally assemble a :class:`ConjunctiveQuery`."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._atoms: List[Atom] = []
+        self._names: set = set()
+
+    def add_atom(
+        self, name: str, table: Table, variables: Sequence[str]
+    ) -> "QueryBuilder":
+        """Add an atom ``name(variables)`` backed by ``table``.
+
+        Returns the builder to allow chaining.
+        """
+        if name in self._names:
+            raise QueryError(
+                f"atom name {name!r} used twice; rename self-joins explicitly"
+            )
+        self._atoms.append(Atom(name, table, variables))
+        self._names.add(name)
+        return self
+
+    def add_filtered_atom(
+        self,
+        name: str,
+        table: Table,
+        variables: Sequence[str],
+        predicate,
+    ) -> "QueryBuilder":
+        """Add an atom over ``table`` filtered by a row predicate.
+
+        This is the builder-level form of selection pushdown: the predicate is
+        applied once, up front, and the atom is backed by the filtered table.
+        """
+        filtered = table.filter(predicate, name=f"{table.name}__{name}")
+        return self.add_atom(name, filtered, variables)
+
+    def build(self, output_variables: Optional[Sequence[str]] = None) -> ConjunctiveQuery:
+        """Finalize the query."""
+        return ConjunctiveQuery(self._atoms, output_variables, name=self.name)

@@ -1,0 +1,351 @@
+"""Scalar and boolean expressions used for selection pushdown.
+
+The paper assumes that base-table selections are pushed below the join
+(Section 2.1).  The SQL planner uses this expression AST to represent WHERE
+predicates, decide which atom each predicate belongs to, and evaluate the
+predicate against rows of the base table during pushdown.
+
+Expressions are evaluated against an *environment*: a mapping from qualified
+column name (``alias.column``) to value.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.datatypes import Value
+from repro.errors import QueryError
+
+Environment = Dict[str, Value]
+
+
+class Expression:
+    """Base class of the expression AST."""
+
+    def evaluate(self, env: Environment) -> Value:
+        """Evaluate the expression against an environment."""
+        raise NotImplementedError
+
+    def columns(self) -> FrozenSet[str]:
+        """Qualified column names referenced by this expression."""
+        raise NotImplementedError
+
+    def aliases(self) -> FrozenSet[str]:
+        """Table aliases referenced by this expression.
+
+        Unqualified column references contribute no alias; the planner
+        qualifies every reference before alias information is relied upon.
+        """
+        return frozenset(
+            col.split(".", 1)[0] for col in self.columns() if "." in col
+        )
+
+
+class ColumnRef(Expression):
+    """Reference to a column, e.g. ``t.production_year``.
+
+    References may be temporarily unqualified (no ``alias.`` prefix) as they
+    come out of the SQL parser; the planner qualifies them against the FROM
+    list before any evaluation happens.
+    """
+
+    __slots__ = ("qualified_name",)
+
+    def __init__(self, qualified_name: str) -> None:
+        if not qualified_name:
+            raise QueryError("column reference must be non-empty")
+        self.qualified_name = qualified_name
+
+    def evaluate(self, env: Environment) -> Value:
+        try:
+            return env[self.qualified_name]
+        except KeyError:
+            raise QueryError(
+                f"column {self.qualified_name!r} is not bound in the environment"
+            ) from None
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.qualified_name})
+
+    def __repr__(self) -> str:
+        return f"ColumnRef({self.qualified_name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ColumnRef) and self.qualified_name == other.qualified_name
+
+    def __hash__(self) -> int:
+        return hash(("ColumnRef", self.qualified_name))
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+    def evaluate(self, env: Environment) -> Value:
+        return self.value
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Literal) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.value))
+
+
+_COMPARISONS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Comparison(Expression):
+    """A binary comparison between two expressions."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _COMPARISONS:
+            raise QueryError(f"unsupported comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env: Environment) -> bool:
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if left is None or right is None:
+            return False
+        return _COMPARISONS[self.op](left, right)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.left.columns() | self.right.columns()
+
+    def is_equi_join(self) -> bool:
+        """Whether this is an equality between columns of two different aliases."""
+        return (
+            self.op == "="
+            and isinstance(self.left, ColumnRef)
+            and isinstance(self.right, ColumnRef)
+            and self.left.aliases() != self.right.aliases()
+        )
+
+    def __repr__(self) -> str:
+        return f"Comparison({self.op!r}, {self.left!r}, {self.right!r})"
+
+
+class And(Expression):
+    """Logical conjunction of sub-expressions."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[Expression]) -> None:
+        if not operands:
+            raise QueryError("AND requires at least one operand")
+        self.operands = list(operands)
+
+    def evaluate(self, env: Environment) -> bool:
+        return all(bool(op.evaluate(env)) for op in self.operands)
+
+    def columns(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            result |= op.columns()
+        return result
+
+    def __repr__(self) -> str:
+        return f"And({self.operands!r})"
+
+
+class Or(Expression):
+    """Logical disjunction of sub-expressions."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[Expression]) -> None:
+        if not operands:
+            raise QueryError("OR requires at least one operand")
+        self.operands = list(operands)
+
+    def evaluate(self, env: Environment) -> bool:
+        return any(bool(op.evaluate(env)) for op in self.operands)
+
+    def columns(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for op in self.operands:
+            result |= op.columns()
+        return result
+
+    def __repr__(self) -> str:
+        return f"Or({self.operands!r})"
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, env: Environment) -> bool:
+        return not bool(self.operand.evaluate(env))
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"Not({self.operand!r})"
+
+
+class Like(Expression):
+    """SQL ``LIKE`` pattern matching (``%`` and ``_`` wildcards)."""
+
+    __slots__ = ("operand", "pattern", "negated", "_regex")
+
+    def __init__(self, operand: Expression, pattern: str, negated: bool = False) -> None:
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+        self._regex = re.compile(_like_to_regex(pattern), re.DOTALL)
+
+    def evaluate(self, env: Environment) -> bool:
+        value = self.operand.evaluate(env)
+        if value is None:
+            return False
+        matched = bool(self._regex.match(str(value)))
+        return (not matched) if self.negated else matched
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"Like({self.operand!r} {keyword} {self.pattern!r})"
+
+
+class InList(Expression):
+    """SQL ``IN (v1, v2, ...)`` membership test."""
+
+    __slots__ = ("operand", "values", "negated")
+
+    def __init__(self, operand: Expression, values: Sequence[Value], negated: bool = False) -> None:
+        self.operand = operand
+        self.values = list(values)
+        self.negated = negated
+        self._value_set = set(self.values)
+
+    def evaluate(self, env: Environment) -> bool:
+        value = self.operand.evaluate(env)
+        if value is None:
+            return False
+        member = value in self._value_set
+        return (not member) if self.negated else member
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"InList({self.operand!r} {keyword} {self.values!r})"
+
+
+class Between(Expression):
+    """SQL ``BETWEEN low AND high`` (inclusive)."""
+
+    __slots__ = ("operand", "low", "high")
+
+    def __init__(self, operand: Expression, low: Expression, high: Expression) -> None:
+        self.operand = operand
+        self.low = low
+        self.high = high
+
+    def evaluate(self, env: Environment) -> bool:
+        value = self.operand.evaluate(env)
+        low = self.low.evaluate(env)
+        high = self.high.evaluate(env)
+        if value is None or low is None or high is None:
+            return False
+        return low <= value <= high
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns() | self.low.columns() | self.high.columns()
+
+    def __repr__(self) -> str:
+        return f"Between({self.operand!r}, {self.low!r}, {self.high!r})"
+
+
+class IsNull(Expression):
+    """SQL ``IS [NOT] NULL`` test."""
+
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand: Expression, negated: bool = False) -> None:
+        self.operand = operand
+        self.negated = negated
+
+    def evaluate(self, env: Environment) -> bool:
+        value = self.operand.evaluate(env)
+        return (value is not None) if self.negated else (value is None)
+
+    def columns(self) -> FrozenSet[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"IsNull({self.operand!r} {keyword})"
+
+
+def _like_to_regex(pattern: str) -> str:
+    """Translate a SQL LIKE pattern to an anchored regular expression."""
+    parts: List[str] = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return "^" + "".join(parts) + "$"
+
+
+def conjuncts(expression: Optional[Expression]) -> List[Expression]:
+    """Flatten nested AND expressions into a list of conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, And):
+        result: List[Expression] = []
+        for operand in expression.operands:
+            result.extend(conjuncts(operand))
+        return result
+    return [expression]
+
+
+def make_row_predicate(expression: Expression, alias: str, column_names: Sequence[str]):
+    """Compile an expression on a single alias into a predicate on row tuples.
+
+    The returned callable accepts a row tuple in ``column_names`` order and
+    returns a bool; used to push a selection into
+    :meth:`repro.storage.table.Table.filter`.
+    """
+    qualified = [f"{alias}.{name}" for name in column_names]
+
+    def predicate(row) -> bool:
+        env = dict(zip(qualified, row))
+        return bool(expression.evaluate(env))
+
+    return predicate

@@ -1,0 +1,145 @@
+"""Query hypergraphs and acyclicity testing.
+
+The hypergraph of a conjunctive query has the query variables as vertices and
+one hyperedge per atom (Section 2.1).  The classic GYO reduction decides
+alpha-acyclicity; the optimizer and the benchmark harness use it to classify
+queries as acyclic or cyclic (the paper reports speedups separately for the
+two classes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+class Hypergraph:
+    """A hypergraph with named hyperedges.
+
+    Parameters
+    ----------
+    edges:
+        Mapping from edge name (atom alias) to the set of vertices (variables)
+        it covers.
+    """
+
+    def __init__(self, edges: Dict[str, Iterable[str]]) -> None:
+        self.edges: Dict[str, FrozenSet[str]] = {
+            name: frozenset(vertices) for name, vertices in edges.items()
+        }
+
+    @classmethod
+    def of_query(cls, query: ConjunctiveQuery) -> "Hypergraph":
+        """Build the hypergraph of a conjunctive query."""
+        return cls({atom.name: atom.variables for atom in query.atoms})
+
+    @property
+    def vertices(self) -> FrozenSet[str]:
+        """All vertices of the hypergraph."""
+        result: Set[str] = set()
+        for vertices in self.edges.values():
+            result |= vertices
+        return frozenset(result)
+
+    def is_acyclic(self) -> bool:
+        """Alpha-acyclicity via the GYO (Graham/Yu-Ozsoyoglu) reduction.
+
+        Repeatedly (a) remove vertices that occur in exactly one edge ("ear
+        vertices") and (b) remove edges that are subsets of another edge.  The
+        hypergraph is alpha-acyclic iff the reduction terminates with no edges
+        left (or a single empty edge).
+        """
+        edges: Dict[str, Set[str]] = {name: set(vs) for name, vs in self.edges.items()}
+
+        changed = True
+        while changed:
+            changed = False
+
+            # Rule 1: drop vertices contained in only one edge.
+            occurrence: Dict[str, int] = {}
+            for vertices in edges.values():
+                for v in vertices:
+                    occurrence[v] = occurrence.get(v, 0) + 1
+            for vertices in edges.values():
+                lonely = {v for v in vertices if occurrence[v] == 1}
+                if lonely:
+                    vertices -= lonely
+                    changed = True
+
+            # Rule 2: drop edges that are subsets of another edge (or empty).
+            names = list(edges)
+            removed: Set[str] = set()
+            for name in names:
+                if name in removed:
+                    continue
+                vertices = edges[name]
+                if not vertices:
+                    removed.add(name)
+                    continue
+                for other in names:
+                    if other == name or other in removed:
+                        continue
+                    if vertices <= edges[other]:
+                        removed.add(name)
+                        break
+            if removed:
+                for name in removed:
+                    del edges[name]
+                changed = True
+
+        return not edges
+
+    def is_cyclic(self) -> bool:
+        """Negation of :meth:`is_acyclic`."""
+        return not self.is_acyclic()
+
+    def join_graph_edges(self) -> List[Tuple[str, str]]:
+        """Pairs of edge names that share at least one vertex.
+
+        This is the "join graph" used by the optimizer to enumerate only
+        connected join orders and avoid Cartesian products where possible.
+        """
+        names = sorted(self.edges)
+        pairs = []
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                if self.edges[first] & self.edges[second]:
+                    pairs.append((first, second))
+        return pairs
+
+    def neighbors(self, name: str) -> Set[str]:
+        """Edge names sharing at least one vertex with the named edge."""
+        mine = self.edges[name]
+        return {
+            other
+            for other, vertices in self.edges.items()
+            if other != name and vertices & mine
+        }
+
+    def connected_components(self) -> List[Set[str]]:
+        """Partition edge names into connected components of the join graph."""
+        remaining = set(self.edges)
+        components: List[Set[str]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            component = {seed}
+            frontier = [seed]
+            while frontier:
+                current = frontier.pop()
+                for neighbor in self.neighbors(current):
+                    if neighbor in remaining and neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            remaining -= component
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        """Whether the join graph forms a single connected component."""
+        return len(self.connected_components()) <= 1
+
+
+def classify_query(query: ConjunctiveQuery) -> str:
+    """Return ``"acyclic"`` or ``"cyclic"`` for reporting purposes."""
+    return "acyclic" if Hypergraph.of_query(query).is_acyclic() else "cyclic"

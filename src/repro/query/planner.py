@@ -1,0 +1,416 @@
+"""Translate parsed SQL into conjunctive queries against a catalog.
+
+The planner performs the logical rewrites the paper assumes before joining
+(Section 2.1):
+
+* selections (single-table predicates) are pushed into the base tables,
+* equality join predicates are turned into shared query variables,
+* projections and aggregates are deferred until after the full join,
+* self-joins are handled by giving each occurrence its own alias.
+
+The output is a :class:`LogicalQuery`: a full
+:class:`~repro.query.conjunctive.ConjunctiveQuery` plus the deferred
+post-join work (residual predicates, aggregates, group-by).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryError
+from repro.query.atoms import Atom
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    conjuncts,
+    make_row_predicate,
+)
+from repro.query.sql import FromItem, ParsedQuery, SelectItem, parse_sql
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@dataclass
+class ResolvedSelectItem:
+    """A SELECT item with its column resolved to a query variable."""
+
+    function: Optional[str]  # None for plain column, else COUNT/MIN/MAX/SUM/AVG
+    variable: Optional[str]  # None only for COUNT(*)
+    label: str
+
+    def is_aggregate(self) -> bool:
+        """Whether this item aggregates over the join result."""
+        return self.function is not None
+
+
+@dataclass
+class LogicalQuery:
+    """A planned query: full conjunctive join plus deferred post-join work."""
+
+    query: ConjunctiveQuery
+    select_items: List[ResolvedSelectItem]
+    select_star: bool
+    group_by: List[str]
+    residual_predicates: List[Expression] = field(default_factory=list)
+    column_to_variable: Dict[str, str] = field(default_factory=dict)
+
+    def has_aggregates(self) -> bool:
+        """Whether any SELECT item is an aggregate."""
+        return any(item.is_aggregate() for item in self.select_items)
+
+    def output_labels(self) -> List[str]:
+        """Labels of the result columns, in SELECT order."""
+        if self.select_star:
+            return list(self.query.output_variables)
+        return [item.label for item in self.select_items]
+
+
+class _UnionFind:
+    """Union-find over qualified column names, for join-variable classes."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def add(self, item: str) -> None:
+        self._parent.setdefault(item, item)
+
+    def find(self, item: str) -> str:
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, first: str, second: str) -> None:
+        root_first = self.find(first)
+        root_second = self.find(second)
+        if root_first != root_second:
+            self._parent[root_second] = root_first
+
+    def groups(self) -> Dict[str, List[str]]:
+        result: Dict[str, List[str]] = {}
+        for item in self._parent:
+            result.setdefault(self.find(item), []).append(item)
+        return {root: sorted(members) for root, members in result.items()}
+
+
+class Planner:
+    """Plans parsed SQL queries against a :class:`~repro.storage.catalog.Catalog`."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+
+    def plan_sql(self, sql_text: str, name: str = "") -> LogicalQuery:
+        """Parse and plan a SQL string."""
+        return self.plan(parse_sql(sql_text), name=name)
+
+    def plan(self, parsed: ParsedQuery, name: str = "") -> LogicalQuery:
+        """Plan an already-parsed query."""
+        alias_tables = self._resolve_from(parsed.from_items)
+        where_conjuncts = [
+            self._qualify(conjunct, alias_tables) for conjunct in conjuncts(parsed.where)
+        ]
+
+        join_classes, intra_equalities = self._join_classes(where_conjuncts, alias_tables)
+        pushdown, residual = self._split_predicates(where_conjuncts)
+        variables, column_to_variable = self._assign_variables(
+            alias_tables, join_classes
+        )
+
+        atoms = self._build_atoms(
+            alias_tables, pushdown, intra_equalities, variables
+        )
+        query = ConjunctiveQuery(atoms, name=name)
+
+        select_items = self._resolve_select(
+            parsed.select_items, parsed.select_star, alias_tables, column_to_variable
+        )
+        group_by = [
+            self._resolve_column(column, alias_tables, column_to_variable)
+            for column in parsed.group_by
+        ]
+        residual = [self._rewrite_to_variables(expr, column_to_variable) for expr in residual]
+
+        return LogicalQuery(
+            query=query,
+            select_items=select_items,
+            select_star=parsed.select_star,
+            group_by=group_by,
+            residual_predicates=residual,
+            column_to_variable=column_to_variable,
+        )
+
+    # ------------------------------------------------------------------ #
+    # FROM resolution
+    # ------------------------------------------------------------------ #
+
+    def _resolve_from(self, from_items: Sequence[FromItem]) -> Dict[str, Table]:
+        alias_tables: Dict[str, Table] = {}
+        for item in from_items:
+            if item.alias in alias_tables:
+                raise QueryError(f"duplicate alias {item.alias!r} in FROM clause")
+            alias_tables[item.alias] = self.catalog.get(item.table)
+        return alias_tables
+
+    # ------------------------------------------------------------------ #
+    # Column qualification
+    # ------------------------------------------------------------------ #
+
+    def _qualify(self, expression: Expression, alias_tables: Dict[str, Table]) -> Expression:
+        """Rewrite bare column references to ``alias.column`` form."""
+        if isinstance(expression, ColumnRef):
+            return ColumnRef(self._qualify_name(expression.qualified_name, alias_tables))
+        for attribute in ("left", "right", "operand", "low", "high"):
+            if hasattr(expression, attribute):
+                setattr(
+                    expression,
+                    attribute,
+                    self._qualify(getattr(expression, attribute), alias_tables),
+                )
+        if hasattr(expression, "operands"):
+            expression.operands = [
+                self._qualify(op, alias_tables) for op in expression.operands
+            ]
+        return expression
+
+    def _qualify_name(self, name: str, alias_tables: Dict[str, Table]) -> str:
+        if "." in name:
+            alias, column = name.split(".", 1)
+            if alias not in alias_tables:
+                raise QueryError(f"unknown alias {alias!r} in column {name!r}")
+            if not alias_tables[alias].has_column(column):
+                raise QueryError(
+                    f"table aliased {alias!r} has no column {column!r}"
+                )
+            return name
+        owners = [
+            alias for alias, table in alias_tables.items() if table.has_column(name)
+        ]
+        if not owners:
+            raise QueryError(f"column {name!r} not found in any FROM table")
+        if len(owners) > 1:
+            raise QueryError(
+                f"column {name!r} is ambiguous across aliases {sorted(owners)}"
+            )
+        return f"{owners[0]}.{name}"
+
+    # ------------------------------------------------------------------ #
+    # Predicate classification
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _is_cross_alias_equality(expression: Expression) -> bool:
+        return isinstance(expression, Comparison) and expression.is_equi_join()
+
+    @staticmethod
+    def _is_same_alias_column_equality(expression: Expression) -> bool:
+        return (
+            isinstance(expression, Comparison)
+            and expression.op == "="
+            and isinstance(expression.left, ColumnRef)
+            and isinstance(expression.right, ColumnRef)
+            and expression.left.aliases() == expression.right.aliases()
+        )
+
+    def _join_classes(
+        self,
+        where_conjuncts: Sequence[Expression],
+        alias_tables: Dict[str, Table],
+    ) -> Tuple[_UnionFind, Dict[str, List[Expression]]]:
+        """Build join-variable equivalence classes and same-alias equalities."""
+        union_find = _UnionFind()
+        intra: Dict[str, List[Expression]] = {alias: [] for alias in alias_tables}
+        for conjunct in where_conjuncts:
+            if self._is_cross_alias_equality(conjunct):
+                union_find.union(
+                    conjunct.left.qualified_name, conjunct.right.qualified_name
+                )
+            elif self._is_same_alias_column_equality(conjunct):
+                alias = next(iter(conjunct.left.aliases()))
+                intra[alias].append(conjunct)
+        return union_find, intra
+
+    def _split_predicates(
+        self, where_conjuncts: Sequence[Expression]
+    ) -> Tuple[Dict[str, List[Expression]], List[Expression]]:
+        """Split conjuncts into per-alias pushdowns and residual predicates."""
+        pushdown: Dict[str, List[Expression]] = {}
+        residual: List[Expression] = []
+        for conjunct in where_conjuncts:
+            if self._is_cross_alias_equality(conjunct):
+                continue  # becomes a shared variable, not a filter
+            aliases = conjunct.aliases()
+            if len(aliases) == 1:
+                alias = next(iter(aliases))
+                pushdown.setdefault(alias, []).append(conjunct)
+            elif len(aliases) == 0:
+                # Constant predicate: treat as a residual filter.
+                residual.append(conjunct)
+            else:
+                residual.append(conjunct)
+        return pushdown, residual
+
+    # ------------------------------------------------------------------ #
+    # Variable assignment
+    # ------------------------------------------------------------------ #
+
+    def _assign_variables(
+        self,
+        alias_tables: Dict[str, Table],
+        join_classes: _UnionFind,
+    ) -> Tuple[Dict[str, Dict[str, str]], Dict[str, str]]:
+        """Assign a variable name to every (alias, column).
+
+        Columns connected by equality join predicates share a variable.  If a
+        class contains two columns of the *same* alias, only the first keeps
+        the shared variable; the others get fresh variables (the planner also
+        pushes an equality filter for them, see ``_build_atoms``), preserving
+        the paper's requirement that atom variables be distinct.
+        """
+        class_members = join_classes.groups()
+        column_class: Dict[str, str] = {}
+        for root, members in class_members.items():
+            for member in members:
+                column_class[member] = root
+
+        used_names: Set[str] = set()
+        class_variable: Dict[str, str] = {}
+        column_to_variable: Dict[str, str] = {}
+        variables: Dict[str, Dict[str, str]] = {alias: {} for alias in alias_tables}
+
+        def fresh(base: str) -> str:
+            candidate = base
+            suffix = 1
+            while candidate in used_names:
+                suffix += 1
+                candidate = f"{base}_{suffix}"
+            used_names.add(candidate)
+            return candidate
+
+        for alias, table in alias_tables.items():
+            for column in table.column_names:
+                qualified = f"{alias}.{column}"
+                root = column_class.get(qualified)
+                if root is not None:
+                    if root not in class_variable:
+                        class_variable[root] = fresh(root.replace(".", "_"))
+                    variable = class_variable[root]
+                    if variable in variables[alias].values():
+                        # Same-alias collision within a join class: give this
+                        # column its own variable instead.
+                        variable = fresh(qualified.replace(".", "_"))
+                else:
+                    variable = fresh(qualified.replace(".", "_"))
+                variables[alias][column] = variable
+                column_to_variable[qualified] = variable
+        return variables, column_to_variable
+
+    # ------------------------------------------------------------------ #
+    # Atom construction (selection pushdown)
+    # ------------------------------------------------------------------ #
+
+    def _build_atoms(
+        self,
+        alias_tables: Dict[str, Table],
+        pushdown: Dict[str, List[Expression]],
+        intra_equalities: Dict[str, List[Expression]],
+        variables: Dict[str, Dict[str, str]],
+    ) -> List[Atom]:
+        atoms: List[Atom] = []
+        for alias, table in alias_tables.items():
+            predicates = list(pushdown.get(alias, []))
+            # Same-alias equalities coming from join classes collapsing two
+            # columns of this alias: enforce them as filters.
+            predicates.extend(intra_equalities.get(alias, []))
+            if predicates:
+                expression = predicates[0] if len(predicates) == 1 else And(predicates)
+                predicate = make_row_predicate(expression, alias, table.column_names)
+                base = table.filter(predicate, name=alias)
+            else:
+                base = Table(alias, table.columns)
+            atom_variables = [variables[alias][column] for column in table.column_names]
+            atoms.append(Atom(alias, base, atom_variables))
+        return atoms
+
+    # ------------------------------------------------------------------ #
+    # SELECT resolution
+    # ------------------------------------------------------------------ #
+
+    def _resolve_column(
+        self,
+        column: str,
+        alias_tables: Dict[str, Table],
+        column_to_variable: Dict[str, str],
+    ) -> str:
+        qualified = self._qualify_name(column, alias_tables)
+        return column_to_variable[qualified]
+
+    def _resolve_select(
+        self,
+        select_items: Sequence[SelectItem],
+        select_star: bool,
+        alias_tables: Dict[str, Table],
+        column_to_variable: Dict[str, str],
+    ) -> List[ResolvedSelectItem]:
+        if select_star:
+            return []
+        resolved = []
+        for item in select_items:
+            if item.function is not None and item.column is None:
+                resolved.append(ResolvedSelectItem(item.function, None, item.label()))
+                continue
+            variable = self._resolve_column(
+                item.column, alias_tables, column_to_variable
+            )
+            resolved.append(ResolvedSelectItem(item.function, variable, item.label()))
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # Residual predicate rewriting
+    # ------------------------------------------------------------------ #
+
+    def _rewrite_to_variables(
+        self, expression: Expression, column_to_variable: Dict[str, str]
+    ) -> Expression:
+        """Rewrite qualified column refs to variable refs for post-join eval.
+
+        Residual predicates are evaluated against an environment keyed by
+        query variable, so column references are renamed in place.
+        """
+        if isinstance(expression, ColumnRef):
+            variable = column_to_variable[expression.qualified_name]
+            # Variables contain no dot, but ColumnRef requires one; store the
+            # variable under a reserved pseudo-alias.
+            rewritten = ColumnRef(f"_var.{variable}")
+            return rewritten
+        for attribute in ("left", "right", "operand", "low", "high"):
+            if hasattr(expression, attribute):
+                setattr(
+                    expression,
+                    attribute,
+                    self._rewrite_to_variables(
+                        getattr(expression, attribute), column_to_variable
+                    ),
+                )
+        if hasattr(expression, "operands"):
+            expression.operands = [
+                self._rewrite_to_variables(op, column_to_variable)
+                for op in expression.operands
+            ]
+        return expression
+
+
+def variable_environment(variables: Sequence[str], row: Sequence) -> Dict[str, object]:
+    """Build the environment used to evaluate residual predicates on a row."""
+    return {f"_var.{var}": value for var, value in zip(variables, row)}

@@ -1,0 +1,436 @@
+"""A small SQL dialect: SELECT / FROM / WHERE / GROUP BY over natural joins.
+
+This parser covers the query shapes found in the paper's benchmarks (JOB and
+LSQB, Section 5.1): base-table filters, equality joins, and a simple aggregate
+at the end.  The grammar, roughly::
+
+    query      := SELECT select_list FROM from_list [WHERE condition]
+                  [GROUP BY column_list] [;]
+    select_list:= '*' | select_item (',' select_item)*
+    select_item:= agg '(' ('*' | column) ')' [AS ident] | column [AS ident]
+    agg        := COUNT | MIN | MAX | SUM | AVG
+    from_list  := table [AS] alias (',' table [AS] alias)*
+    condition  := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | primary
+    primary    := '(' condition ')' | predicate
+    predicate  := operand comparison operand
+                | operand [NOT] LIKE string
+                | operand [NOT] IN '(' literal (',' literal)* ')'
+                | operand BETWEEN literal AND literal
+                | operand IS [NOT] NULL
+    operand    := column | literal
+    column     := ident '.' ident | ident
+
+The parser produces a :class:`ParsedQuery`; turning it into a
+:class:`~repro.query.conjunctive.ConjunctiveQuery` against a catalog is the
+job of :mod:`repro.query.planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.datatypes import Value
+from repro.errors import SQLSyntaxError
+from repro.query.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+)
+
+AGGREGATE_FUNCTIONS = ("COUNT", "MIN", "MAX", "SUM", "AVG")
+
+_KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "LIKE",
+    "IN",
+    "BETWEEN",
+    "IS",
+    "NULL",
+    "ORDER",
+    "LIMIT",
+} | set(AGGREGATE_FUNCTIONS)
+
+
+# --------------------------------------------------------------------------- #
+# Tokenizer
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Token:
+    """A lexical token with its source position (for error messages)."""
+
+    kind: str  # KEYWORD, IDENT, NUMBER, STRING, OP, PUNCT, EOF
+    text: str
+    value: Value
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split SQL text into tokens, raising :class:`SQLSyntaxError` on garbage."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "-" and i + 1 < length and text[i + 1] == "-":
+            # Line comment.
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = i
+            while i < length and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in _KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, upper, start))
+            else:
+                tokens.append(Token("IDENT", word, word, start))
+            continue
+        if char.isdigit() or (
+            char == "." and i + 1 < length and text[i + 1].isdigit()
+        ):
+            start = i
+            seen_dot = False
+            while i < length and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+                if text[i] == ".":
+                    seen_dot = True
+                i += 1
+            literal = text[start:i]
+            value: Value = float(literal) if seen_dot else int(literal)
+            tokens.append(Token("NUMBER", literal, value, start))
+            continue
+        if char == "'":
+            start = i
+            i += 1
+            chunks: List[str] = []
+            while True:
+                if i >= length:
+                    raise SQLSyntaxError("unterminated string literal", start)
+                if text[i] == "'":
+                    if i + 1 < length and text[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(text[i])
+                i += 1
+            tokens.append(Token("STRING", text[start:i], "".join(chunks), start))
+            continue
+        if char in "<>!=":
+            start = i
+            if text[i : i + 2] in ("<=", ">=", "<>", "!="):
+                op = text[i : i + 2]
+                i += 2
+            else:
+                op = char
+                i += 1
+            if op == "!":
+                raise SQLSyntaxError("unexpected '!'", start)
+            tokens.append(Token("OP", op, op, start))
+            continue
+        if char in "(),.*;":
+            tokens.append(Token("PUNCT", char, char, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {char!r}", i)
+    tokens.append(Token("EOF", "", None, length))
+    return tokens
+
+
+# --------------------------------------------------------------------------- #
+# Parse results
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class SelectItem:
+    """One item of the SELECT list.
+
+    ``function`` is ``None`` for a plain column reference, ``"*"`` paired with
+    ``column=None`` for ``COUNT(*)``-style items, otherwise one of
+    :data:`AGGREGATE_FUNCTIONS`.
+    """
+
+    function: Optional[str]
+    column: Optional[str]  # qualified column name, or None for COUNT(*)
+    alias: Optional[str] = None
+
+    def label(self) -> str:
+        """Output column label used in result tables."""
+        if self.alias:
+            return self.alias
+        if self.function is None:
+            return self.column or "*"
+        inner = self.column if self.column else "*"
+        return f"{self.function.lower()}({inner})"
+
+    def is_aggregate(self) -> bool:
+        """Whether the item is an aggregate function application."""
+        return self.function is not None
+
+
+@dataclass
+class FromItem:
+    """One entry of the FROM list: a table and its alias."""
+
+    table: str
+    alias: str
+
+
+@dataclass
+class ParsedQuery:
+    """Syntactic representation of a parsed SQL query."""
+
+    select_items: List[SelectItem]
+    select_star: bool
+    from_items: List[FromItem]
+    where: Optional[Expression]
+    group_by: List[str] = field(default_factory=list)
+
+    def aliases(self) -> List[str]:
+        """Aliases of the FROM list, in order."""
+        return [item.alias for item in self.from_items]
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # Token plumbing ------------------------------------------------------ #
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            token = self._peek()
+            expected = text or kind
+            raise SQLSyntaxError(
+                f"expected {expected} but found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    # Grammar rules -------------------------------------------------------- #
+
+    def parse(self) -> ParsedQuery:
+        self._expect("KEYWORD", "SELECT")
+        select_star, select_items = self._select_list()
+        self._expect("KEYWORD", "FROM")
+        from_items = self._from_list()
+        where = None
+        if self._accept("KEYWORD", "WHERE"):
+            where = self._condition()
+        group_by: List[str] = []
+        if self._accept("KEYWORD", "GROUP"):
+            self._expect("KEYWORD", "BY")
+            group_by.append(self._column_name())
+            while self._accept("PUNCT", ","):
+                group_by.append(self._column_name())
+        self._accept("PUNCT", ";")
+        self._expect("EOF")
+        return ParsedQuery(select_items, select_star, from_items, where, group_by)
+
+    def _select_list(self) -> Tuple[bool, List[SelectItem]]:
+        if self._accept("PUNCT", "*"):
+            return True, []
+        items = [self._select_item()]
+        while self._accept("PUNCT", ","):
+            items.append(self._select_item())
+        return False, items
+
+    def _select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.text in AGGREGATE_FUNCTIONS:
+            function = self._advance().text
+            self._expect("PUNCT", "(")
+            if self._accept("PUNCT", "*"):
+                column = None
+            else:
+                column = self._column_name()
+            self._expect("PUNCT", ")")
+            alias = self._optional_alias()
+            return SelectItem(function, column, alias)
+        column = self._column_name()
+        alias = self._optional_alias()
+        return SelectItem(None, column, alias)
+
+    def _optional_alias(self) -> Optional[str]:
+        if self._accept("KEYWORD", "AS"):
+            return self._expect("IDENT").text
+        if self._check("IDENT"):
+            return self._advance().text
+        return None
+
+    def _from_list(self) -> List[FromItem]:
+        items = [self._from_item()]
+        while self._accept("PUNCT", ","):
+            items.append(self._from_item())
+        return items
+
+    def _from_item(self) -> FromItem:
+        table = self._expect("IDENT").text
+        alias = self._optional_alias()
+        return FromItem(table, alias or table)
+
+    def _column_name(self) -> str:
+        first = self._expect("IDENT").text
+        if self._accept("PUNCT", "."):
+            second = self._expect("IDENT").text
+            return f"{first}.{second}"
+        return first
+
+    # Conditions ----------------------------------------------------------- #
+
+    def _condition(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        operands = [self._and_expr()]
+        while self._accept("KEYWORD", "OR"):
+            operands.append(self._and_expr())
+        return operands[0] if len(operands) == 1 else Or(operands)
+
+    def _and_expr(self) -> Expression:
+        operands = [self._not_expr()]
+        while self._accept("KEYWORD", "AND"):
+            operands.append(self._not_expr())
+        return operands[0] if len(operands) == 1 else And(operands)
+
+    def _not_expr(self) -> Expression:
+        if self._accept("KEYWORD", "NOT"):
+            return Not(self._not_expr())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        if self._accept("PUNCT", "("):
+            inner = self._condition()
+            self._expect("PUNCT", ")")
+            return inner
+        return self._predicate()
+
+    def _operand(self) -> Expression:
+        token = self._peek()
+        if token.kind == "IDENT":
+            return ColumnRef(self._column_name_or_bare())
+        if token.kind in ("NUMBER", "STRING"):
+            return Literal(self._advance().value)
+        if token.kind == "KEYWORD" and token.text == "NULL":
+            self._advance()
+            return Literal(None)
+        raise SQLSyntaxError(
+            f"expected a column or literal, found {token.text!r}", token.position
+        )
+
+    def _column_name_or_bare(self) -> str:
+        # Bare column names are allowed syntactically; the planner rejects
+        # them if they are ambiguous across aliases.
+        return self._column_name()
+
+    def _literal(self) -> Value:
+        token = self._peek()
+        if token.kind in ("NUMBER", "STRING"):
+            return self._advance().value
+        if token.kind == "KEYWORD" and token.text == "NULL":
+            self._advance()
+            return None
+        raise SQLSyntaxError(f"expected a literal, found {token.text!r}", token.position)
+
+    def _predicate(self) -> Expression:
+        operand = self._operand()
+
+        negated = bool(self._accept("KEYWORD", "NOT"))
+
+        if self._accept("KEYWORD", "LIKE"):
+            pattern_token = self._expect("STRING")
+            return Like(operand, str(pattern_token.value), negated=negated)
+
+        if self._accept("KEYWORD", "IN"):
+            self._expect("PUNCT", "(")
+            values = [self._literal()]
+            while self._accept("PUNCT", ","):
+                values.append(self._literal())
+            self._expect("PUNCT", ")")
+            return InList(operand, values, negated=negated)
+
+        if negated:
+            token = self._peek()
+            raise SQLSyntaxError(
+                "NOT must be followed by LIKE or IN in this position", token.position
+            )
+
+        if self._accept("KEYWORD", "BETWEEN"):
+            low = Literal(self._literal())
+            self._expect("KEYWORD", "AND")
+            high = Literal(self._literal())
+            return Between(operand, low, high)
+
+        if self._accept("KEYWORD", "IS"):
+            is_negated = bool(self._accept("KEYWORD", "NOT"))
+            self._expect("KEYWORD", "NULL")
+            return IsNull(operand, negated=is_negated)
+
+        op_token = self._peek()
+        if op_token.kind == "OP":
+            self._advance()
+            right = self._operand()
+            return Comparison(op_token.text, operand, right)
+
+        raise SQLSyntaxError(
+            f"expected a comparison operator, found {op_token.text!r}",
+            op_token.position,
+        )
+
+
+def parse_sql(text: str) -> ParsedQuery:
+    """Parse SQL text into a :class:`ParsedQuery`."""
+    return _Parser(tokenize(text)).parse()

@@ -1,0 +1,14 @@
+"""Column-oriented in-memory storage substrate.
+
+All three join engines in this library (binary hash join, Generic Join, and
+Free Join) read the same :class:`~repro.storage.table.Table` representation,
+so measured differences between the engines come from the join algorithms and
+not from the storage layer.
+"""
+
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.storage.catalog import Catalog
+from repro.storage.csv_io import load_csv, save_csv
+
+__all__ = ["Column", "Table", "Catalog", "load_csv", "save_csv"]

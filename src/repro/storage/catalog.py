@@ -1,0 +1,75 @@
+"""A catalog of named tables plus cached statistics.
+
+The catalog plays the role of the database instance: workload generators
+populate it, the SQL planner resolves table names against it, and the
+optimizer reads per-table statistics from it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+
+class Catalog:
+    """Mapping from table name to :class:`~repro.storage.table.Table`."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Add a table to the catalog.
+
+        Raises :class:`~repro.errors.CatalogError` if a table with the same
+        name already exists and ``replace`` is false.
+        """
+        if table.name in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} is already registered")
+        self._tables[table.name] = table
+
+    def register_all(self, tables, replace: bool = False) -> None:
+        """Register many tables at once."""
+        for table in tables:
+            self.register(table, replace=replace)
+
+    def get(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; known tables: {sorted(self._tables)}"
+            ) from None
+
+    def maybe_get(self, name: str) -> Optional[Table]:
+        """Look up a table by name, returning ``None`` when absent."""
+        return self._tables.get(name)
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+
+    def table_names(self) -> List[str]:
+        """Names of all registered tables, sorted."""
+        return sorted(self._tables)
+
+    def tables(self) -> List[Table]:
+        """All registered tables."""
+        return list(self._tables.values())
+
+    def total_rows(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(t.num_rows for t in self._tables.values())

@@ -1,0 +1,88 @@
+"""CSV loading and saving for tables.
+
+The JOB benchmark distributes IMDB as CSV files; this module lets users load
+their own CSV data into the engine, and lets the workload generators persist
+generated datasets for inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.datatypes import format_value, parse_value
+from repro.errors import SchemaError
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+PathLike = Union[str, Path]
+
+
+def load_csv(
+    path: PathLike,
+    name: Optional[str] = None,
+    column_names: Optional[Sequence[str]] = None,
+    has_header: bool = True,
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV file into a :class:`~repro.storage.table.Table`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    name:
+        Table name; defaults to the file stem.
+    column_names:
+        Explicit column names.  Required when ``has_header`` is false.
+    has_header:
+        Whether the first line holds column names.
+    delimiter:
+        CSV field delimiter.
+    """
+    path = Path(path)
+    table_name = name or path.stem
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+
+    if has_header:
+        if not rows:
+            raise SchemaError(f"CSV file {path} is empty and has no header")
+        header = rows[0]
+        body = rows[1:]
+        names = list(column_names) if column_names else header
+    else:
+        if column_names is None:
+            raise SchemaError("column_names is required when has_header is False")
+        names = list(column_names)
+        body = rows
+
+    parsed = [tuple(parse_value(cell) for cell in line) for line in body]
+    for line_number, row in enumerate(parsed, start=2 if has_header else 1):
+        if len(row) != len(names):
+            raise SchemaError(
+                f"{path}:{line_number}: expected {len(names)} fields, got {len(row)}"
+            )
+    return Table.from_rows(table_name, names, parsed)
+
+
+def save_csv(table: Table, path: PathLike, delimiter: str = ",") -> None:
+    """Write a table to a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            writer.writerow([format_value(v) for v in row])
+
+
+def load_directory(directory: PathLike, delimiter: str = ",") -> list:
+    """Load every ``*.csv`` file in a directory into a list of tables."""
+    directory = Path(directory)
+    tables = []
+    for csv_path in sorted(directory.glob("*.csv")):
+        tables.append(load_csv(csv_path, delimiter=delimiter))
+    return tables

@@ -1,0 +1,233 @@
+"""Column-oriented tables with bag semantics.
+
+A :class:`Table` is an ordered collection of equally long
+:class:`~repro.storage.column.Column` vectors.  Duplicate rows are allowed
+(bag semantics, Section 2.1 of the paper).  Tables are the common input to all
+three join engines; the join engines access them through column references
+and row offsets rather than materializing row objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datatypes import Row, Value, rows_to_columns
+from repro.errors import SchemaError
+from repro.storage.column import Column
+
+
+class Table:
+    """An in-memory, column-oriented relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name.
+    columns:
+        The column vectors, in schema order.  All columns must have distinct
+        names and equal length.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {name!r}: {names}")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise SchemaError(
+                f"columns of table {name!r} have differing lengths: "
+                + ", ".join(f"{c.name}={len(c)}" for c in columns)
+            )
+        self.name = name
+        self.columns: List[Column] = list(columns)
+        self._by_name: Dict[str, Column] = {c.name: c for c in self.columns}
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_rows(
+        cls, name: str, column_names: Sequence[str], rows: Sequence[Row]
+    ) -> "Table":
+        """Build a table from row tuples."""
+        data = rows_to_columns(rows, len(column_names))
+        columns = [Column(cname, values) for cname, values in zip(column_names, data)]
+        if not columns:
+            raise SchemaError("a table needs at least one column")
+        return cls(name, columns)
+
+    @classmethod
+    def from_columns(cls, name: str, data: Dict[str, Sequence[Value]]) -> "Table":
+        """Build a table from a mapping of column name to values."""
+        columns = [Column(cname, list(values)) for cname, values in data.items()]
+        if not columns:
+            raise SchemaError("a table needs at least one column")
+        return cls(name, columns)
+
+    @classmethod
+    def empty_like(cls, other: "Table", name: Optional[str] = None) -> "Table":
+        """An empty table with the same schema as ``other``."""
+        columns = [Column(c.name, [], dtype=c.dtype) for c in other.columns]
+        return cls(name or other.name, columns)
+
+    # ------------------------------------------------------------------ #
+    # Schema accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in schema order."""
+        return [c.name for c in self.columns]
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (with duplicates)."""
+        return len(self.columns[0]) if self.columns else 0
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column with the given name exists."""
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        """Return the column with the given name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def column_index(self, name: str) -> int:
+        """Return the position of a column in schema order."""
+        for i, c in enumerate(self.columns):
+            if c.name == name:
+                return i
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # Row access
+    # ------------------------------------------------------------------ #
+
+    def row(self, index: int) -> Row:
+        """Materialize a single row as a tuple."""
+        return tuple(c.values[index] for c in self.columns)
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Iterate over all rows as tuples."""
+        cols = [c.values for c in self.columns]
+        for i in range(self.num_rows):
+            yield tuple(col[i] for col in cols)
+
+    def to_rows(self) -> List[Row]:
+        """Materialize all rows."""
+        return list(self.iter_rows())
+
+    def row_values(self, index: int, column_names: Sequence[str]) -> Row:
+        """Materialize the given columns of one row as a tuple."""
+        return tuple(self._by_name[name].values[index] for name in column_names)
+
+    # ------------------------------------------------------------------ #
+    # Relational operations (used for selection/projection pushdown)
+    # ------------------------------------------------------------------ #
+
+    def take(self, offsets: Sequence[int], name: Optional[str] = None) -> "Table":
+        """Return a table containing the rows at the given offsets."""
+        columns = [c.take(offsets) for c in self.columns]
+        return Table(name or self.name, columns)
+
+    def project(self, column_names: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Return a table with only the given columns (no deduplication).
+
+        Bag semantics are preserved: projecting does not remove duplicates,
+        matching the paper's treatment of projections as post-join operations
+        except when explicitly requested via :meth:`distinct`.
+        """
+        columns = [self.column(cname) for cname in column_names]
+        return Table(name or self.name, [Column(c.name, c.values, c.dtype) for c in columns])
+
+    def rename_columns(self, mapping: Dict[str, str], name: Optional[str] = None) -> "Table":
+        """Return a table with some columns renamed."""
+        columns = [
+            c.rename(mapping.get(c.name, c.name)) for c in self.columns
+        ]
+        return Table(name or self.name, columns)
+
+    def filter(self, predicate: Callable[[Row], bool], name: Optional[str] = None) -> "Table":
+        """Return a table with only the rows for which ``predicate`` holds.
+
+        The predicate receives each row as a tuple in schema order.
+        """
+        offsets = [i for i, row in enumerate(self.iter_rows()) if predicate(row)]
+        return self.take(offsets, name=name)
+
+    def filter_offsets(self, predicate: Callable[[Row], bool]) -> List[int]:
+        """Return the offsets of rows satisfying ``predicate``."""
+        return [i for i, row in enumerate(self.iter_rows()) if predicate(row)]
+
+    def distinct(self, name: Optional[str] = None) -> "Table":
+        """Return a table with duplicate rows removed (first occurrence kept)."""
+        seen = set()
+        offsets = []
+        for i, row in enumerate(self.iter_rows()):
+            if row not in seen:
+                seen.add(row)
+                offsets.append(i)
+        return self.take(offsets, name=name)
+
+    def head(self, limit: int, name: Optional[str] = None) -> "Table":
+        """Return the first ``limit`` rows."""
+        return self.take(range(min(limit, self.num_rows)), name=name)
+
+    def concat(self, other: "Table", name: Optional[str] = None) -> "Table":
+        """Append another table with an identical schema (bag union)."""
+        if self.column_names != other.column_names:
+            raise SchemaError(
+                f"cannot concat {self.name!r} and {other.name!r}: "
+                f"schemas differ ({self.column_names} vs {other.column_names})"
+            )
+        columns = [
+            Column(c.name, list(c.values) + list(o.values), dtype=c.dtype)
+            for c, o in zip(self.columns, other.columns)
+        ]
+        return Table(name or self.name, columns)
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.column_names == other.column_names
+            and all(a.values == b.values for a, b in zip(self.columns, other.columns))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, columns={self.column_names}, "
+            f"rows={self.num_rows})"
+        )
+
+    def same_bag(self, other: "Table") -> bool:
+        """Whether two tables contain the same multiset of rows.
+
+        Column names are ignored; only arity and row contents matter.  Useful
+        in tests comparing the output of different join engines.
+        """
+        if self.arity != other.arity or self.num_rows != other.num_rows:
+            return False
+        return sorted(self.iter_rows(), key=repr) == sorted(other.iter_rows(), key=repr)

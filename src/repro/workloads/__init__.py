@@ -1,0 +1,34 @@
+"""Benchmark workloads: synthetic micro-queries, JOB-like, and LSQB-like data.
+
+The paper evaluates on the Join Order Benchmark (real IMDB data) and LSQB
+(synthetic social-graph data).  Neither dataset can be shipped here, so this
+package generates synthetic datasets that reproduce the properties the
+paper's analysis relies on: many-join acyclic queries with heavily skewed
+many-to-many foreign keys (JOB), and cyclic/acyclic graph patterns whose
+output is much larger than the input (LSQB).  See DESIGN.md for the full
+substitution rationale.
+"""
+
+from repro.workloads.synthetic import (
+    clover_instance,
+    clover_query,
+    triangle_instance,
+    chain_workload,
+    star_workload,
+    cycle_workload,
+)
+from repro.workloads.job import JobWorkload, generate_job_workload
+from repro.workloads.lsqb import LsqbWorkload, generate_lsqb_workload
+
+__all__ = [
+    "clover_instance",
+    "clover_query",
+    "triangle_instance",
+    "chain_workload",
+    "star_workload",
+    "cycle_workload",
+    "JobWorkload",
+    "generate_job_workload",
+    "LsqbWorkload",
+    "generate_lsqb_workload",
+]

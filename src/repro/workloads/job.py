@@ -1,0 +1,374 @@
+"""A synthetic Join Order Benchmark (JOB)-like workload.
+
+The paper evaluates on JOB: 113 acyclic queries over the IMDB dataset with an
+average of 8 joins per query, base-table filters, natural joins, and a simple
+aggregate at the end (Section 5.1).  The IMDB dataset cannot be shipped, so
+this module generates an IMDB-*like* database that preserves the two
+properties the paper's analysis depends on:
+
+* star-shaped schemas around a large fact-like table (``title``) with several
+  large many-to-many satellite tables (``cast_info``, ``movie_info``,
+  ``movie_keyword``, ``movie_companies``), and
+* Zipf-skewed foreign keys, so that joining several satellites on the same
+  attribute explodes intermediate results — the exact situation the paper
+  dissects for JOB Q13a.
+
+The query suite mirrors JOB's shape: acyclic, 3–8 joins, pushed-down filters,
+``MIN``/``COUNT`` aggregates.  Query ``q13`` is designed as the Q13a
+analogue: several large satellites joined on the same join key.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+from repro.workloads.synthetic import zipf_sample
+
+
+@dataclass
+class BenchmarkQuery:
+    """One named benchmark query."""
+
+    name: str
+    sql: str
+    category: str = "acyclic"
+    description: str = ""
+
+
+@dataclass
+class JobWorkload:
+    """Generated JOB-like tables plus the query suite."""
+
+    catalog: Catalog
+    queries: List[BenchmarkQuery]
+    scale: float
+    seed: int
+
+    def query(self, name: str) -> BenchmarkQuery:
+        """Look up a query by name."""
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise KeyError(f"no JOB query named {name!r}")
+
+    def query_names(self) -> List[str]:
+        """Names of all queries in suite order."""
+        return [query.name for query in self.queries]
+
+
+# --------------------------------------------------------------------------- #
+# Data generation
+# --------------------------------------------------------------------------- #
+
+_COUNTRY_CODES = ["us", "gb", "de", "fr", "jp", "in", "ca", "it", "es", "se"]
+_GENRES = [
+    "drama", "comedy", "action", "thriller", "documentary",
+    "horror", "romance", "animation", "crime", "adventure",
+]
+_KIND_NAMES = [
+    "movie", "tv series", "tv movie", "video movie",
+    "tv mini series", "video game", "episode", "short",
+]
+_COMPANY_KINDS = [
+    "production companies", "distributors", "special effects companies",
+    "miscellaneous companies",
+]
+_ROLE_NAMES = [
+    "actor", "actress", "producer", "writer", "cinematographer",
+    "composer", "costume designer", "director", "editor",
+    "miscellaneous crew", "production designer", "guest",
+]
+_INFO_NAMES = [
+    "genres", "rating", "release dates", "languages", "budget",
+    "runtimes", "countries", "color info", "votes", "gross",
+] + [f"info_type_{i}" for i in range(10, 40)]
+_POPULAR_KEYWORDS = [
+    "sequel", "character-name-in-title", "based-on-novel", "love",
+    "murder", "independent-film", "female-nudity", "violence",
+]
+
+
+def _rows(base: int, scale: float) -> int:
+    return max(4, int(base * scale))
+
+
+def generate_job_workload(scale: float = 1.0, seed: int = 42) -> JobWorkload:
+    """Generate the JOB-like workload at the given scale factor.
+
+    ``scale=1.0`` yields a few thousand rows per large table — small enough
+    for a pure-Python engine, large enough for skew effects to dominate.
+    """
+    rng = random.Random(seed)
+    catalog = Catalog()
+
+    n_title = _rows(3000, scale)
+    n_company = _rows(300, scale)
+    n_keyword = _rows(400, scale)
+    n_person = _rows(2000, scale)
+
+    # Dimension tables ---------------------------------------------------- #
+    catalog.register(Table.from_columns("kind_type", {
+        "id": list(range(1, len(_KIND_NAMES) + 1)),
+        "kind": list(_KIND_NAMES),
+    }))
+    catalog.register(Table.from_columns("company_type", {
+        "id": list(range(1, len(_COMPANY_KINDS) + 1)),
+        "kind": list(_COMPANY_KINDS),
+    }))
+    catalog.register(Table.from_columns("role_type", {
+        "id": list(range(1, len(_ROLE_NAMES) + 1)),
+        "role": list(_ROLE_NAMES),
+    }))
+    catalog.register(Table.from_columns("info_type", {
+        "id": list(range(1, len(_INFO_NAMES) + 1)),
+        "info": list(_INFO_NAMES),
+    }))
+    catalog.register(Table.from_columns("company_name", {
+        "id": list(range(n_company)),
+        "name": [f"company_{i}" for i in range(n_company)],
+        "country_code": [
+            _COUNTRY_CODES[zipf_sample(rng, len(_COUNTRY_CODES), 1.1)]
+            for _ in range(n_company)
+        ],
+    }))
+    keyword_values = list(_POPULAR_KEYWORDS) + [
+        f"keyword_{i}" for i in range(n_keyword - len(_POPULAR_KEYWORDS))
+    ]
+    catalog.register(Table.from_columns("keyword", {
+        "id": list(range(n_keyword)),
+        "keyword": keyword_values[:n_keyword],
+    }))
+    catalog.register(Table.from_columns("name", {
+        "id": list(range(n_person)),
+        "name": [f"person_{i}" for i in range(n_person)],
+        "gender": [rng.choice(["m", "f"]) for _ in range(n_person)],
+    }))
+
+    # Fact-like tables ----------------------------------------------------- #
+    catalog.register(Table.from_columns("title", {
+        "id": list(range(n_title)),
+        "title": [f"movie_{i}" for i in range(n_title)],
+        "kind_id": [zipf_sample(rng, len(_KIND_NAMES), 0.8) + 1 for _ in range(n_title)],
+        "production_year": [
+            1950 + min(75, int(zipf_sample(rng, 75, 0.4))) for _ in range(n_title)
+        ],
+    }))
+
+    def movie() -> int:
+        # Skewed: popular movies attract many satellite rows (the Q13a effect).
+        return zipf_sample(rng, n_title, 1.0)
+
+    n_mc = _rows(6000, scale)
+    catalog.register(Table.from_columns("movie_companies", {
+        "movie_id": [movie() for _ in range(n_mc)],
+        "company_id": [zipf_sample(rng, n_company, 1.0) for _ in range(n_mc)],
+        "company_type_id": [
+            zipf_sample(rng, len(_COMPANY_KINDS), 0.8) + 1 for _ in range(n_mc)
+        ],
+    }))
+
+    n_mi = _rows(8000, scale)
+    catalog.register(Table.from_columns("movie_info", {
+        "movie_id": [movie() for _ in range(n_mi)],
+        "info_type_id": [zipf_sample(rng, len(_INFO_NAMES), 1.0) + 1 for _ in range(n_mi)],
+        "info": [rng.choice(_GENRES) for _ in range(n_mi)],
+    }))
+
+    n_midx = _rows(3000, scale)
+    catalog.register(Table.from_columns("movie_info_idx", {
+        "movie_id": [movie() for _ in range(n_midx)],
+        "info_type_id": [rng.choice([2, 9]) for _ in range(n_midx)],
+        "info": [round(1 + 9 * rng.random(), 1) for _ in range(n_midx)],
+    }))
+
+    n_mk = _rows(6000, scale)
+    catalog.register(Table.from_columns("movie_keyword", {
+        "movie_id": [movie() for _ in range(n_mk)],
+        "keyword_id": [zipf_sample(rng, n_keyword, 1.1) for _ in range(n_mk)],
+    }))
+
+    n_ci = _rows(10000, scale)
+    catalog.register(Table.from_columns("cast_info", {
+        "movie_id": [movie() for _ in range(n_ci)],
+        "person_id": [zipf_sample(rng, n_person, 0.9) for _ in range(n_ci)],
+        "role_id": [zipf_sample(rng, len(_ROLE_NAMES), 0.8) + 1 for _ in range(n_ci)],
+    }))
+
+    return JobWorkload(catalog=catalog, queries=_job_queries(), scale=scale, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Query suite
+# --------------------------------------------------------------------------- #
+
+
+def _job_queries() -> List[BenchmarkQuery]:
+    queries = [
+        BenchmarkQuery("q01", """
+            SELECT MIN(t.production_year) AS year
+            FROM company_type AS ct, movie_companies AS mc, title AS t
+            WHERE ct.kind = 'production companies'
+              AND mc.company_type_id = ct.id AND mc.movie_id = t.id
+              AND t.production_year > 1990
+        """, description="2 joins through a small dimension"),
+        BenchmarkQuery("q02", """
+            SELECT MIN(t.title) AS movie_title
+            FROM company_name AS cn, movie_companies AS mc, title AS t
+            WHERE cn.country_code = 'de' AND cn.id = mc.company_id
+              AND mc.movie_id = t.id
+        """, description="company country filter"),
+        BenchmarkQuery("q03", """
+            SELECT MIN(t.production_year) AS year
+            FROM keyword AS k, movie_keyword AS mk, title AS t
+            WHERE k.keyword = 'sequel' AND k.id = mk.keyword_id
+              AND mk.movie_id = t.id AND t.production_year > 1980
+        """, description="keyword equality filter"),
+        BenchmarkQuery("q04", """
+            SELECT MIN(mi.info) AS rating, MIN(t.title) AS movie_title
+            FROM info_type AS it, movie_info_idx AS mi, title AS t
+            WHERE it.id = mi.info_type_id AND mi.movie_id = t.id
+              AND mi.info > 5.0 AND t.production_year > 2000
+        """, description="rating range"),
+        BenchmarkQuery("q05", """
+            SELECT MIN(t.title) AS movie_title
+            FROM company_type AS ct, movie_companies AS mc, movie_info AS mi,
+                 title AS t, info_type AS it
+            WHERE ct.kind = 'production companies' AND mc.company_type_id = ct.id
+              AND mc.movie_id = t.id AND mi.movie_id = t.id
+              AND mi.info_type_id = it.id
+              AND mi.info IN ('drama', 'comedy')
+        """, description="two satellites on the same movie key"),
+        BenchmarkQuery("q06", """
+            SELECT MIN(k.keyword) AS kw, MIN(n.name) AS person
+            FROM cast_info AS ci, keyword AS k, movie_keyword AS mk,
+                 name AS n, title AS t
+            WHERE k.keyword = 'character-name-in-title' AND mk.keyword_id = k.id
+              AND mk.movie_id = t.id AND ci.movie_id = t.id
+              AND ci.person_id = n.id
+        """, description="cast and keyword satellites share the movie key"),
+        BenchmarkQuery("q07", """
+            SELECT MIN(t.production_year) AS year
+            FROM cast_info AS ci, name AS n, role_type AS rt, title AS t
+            WHERE ci.person_id = n.id AND ci.role_id = rt.id
+              AND ci.movie_id = t.id AND n.gender = 'f'
+              AND rt.role = 'actress'
+        """, description="role and gender filters"),
+        BenchmarkQuery("q08", """
+            SELECT MIN(cn.name) AS company, MIN(t.title) AS movie_title
+            FROM cast_info AS ci, company_name AS cn, movie_companies AS mc,
+                 role_type AS rt, title AS t
+            WHERE ci.movie_id = t.id AND mc.movie_id = t.id
+              AND mc.company_id = cn.id AND ci.role_id = rt.id
+              AND cn.country_code = 'us' AND rt.role = 'actor'
+        """, description="cast x companies many-to-many on the movie key"),
+        BenchmarkQuery("q09", """
+            SELECT MIN(n.name) AS person, MIN(t.title) AS movie_title
+            FROM cast_info AS ci, company_name AS cn, movie_companies AS mc,
+                 name AS n, role_type AS rt, title AS t
+            WHERE ci.movie_id = t.id AND mc.movie_id = t.id
+              AND mc.company_id = cn.id AND ci.person_id = n.id
+              AND ci.role_id = rt.id AND n.gender = 'f'
+              AND cn.country_code = 'us'
+        """, description="6-way acyclic join"),
+        BenchmarkQuery("q10", """
+            SELECT MIN(t.production_year) AS year, COUNT(*) AS matches
+            FROM movie_keyword AS mk, keyword AS k, title AS t,
+                 movie_info AS mi, info_type AS it
+            WHERE mk.keyword_id = k.id AND mk.movie_id = t.id
+              AND mi.movie_id = t.id AND mi.info_type_id = it.id
+              AND it.info = 'genres' AND t.production_year BETWEEN 1985 AND 2015
+        """, description="keyword x genre info"),
+        BenchmarkQuery("q11", """
+            SELECT MIN(cn.name) AS company
+            FROM company_name AS cn, company_type AS ct, movie_companies AS mc,
+                 title AS t, movie_keyword AS mk, keyword AS k
+            WHERE cn.id = mc.company_id AND ct.id = mc.company_type_id
+              AND mc.movie_id = t.id AND mk.movie_id = t.id
+              AND mk.keyword_id = k.id AND cn.country_code <> 'jp'
+              AND k.keyword = 'based-on-novel'
+        """, description="6-way with inequality filter"),
+        BenchmarkQuery("q12", """
+            SELECT MIN(t.title) AS movie_title
+            FROM movie_companies AS mc, movie_info AS mi, movie_info_idx AS midx,
+                 title AS t, info_type AS it
+            WHERE mc.movie_id = t.id AND mi.movie_id = t.id
+              AND midx.movie_id = t.id AND midx.info_type_id = it.id
+              AND midx.info > 9.0 AND mi.info = 'action'
+        """, description="three satellites on the movie key"),
+        BenchmarkQuery("q13", """
+            SELECT MIN(t.production_year) AS year, COUNT(*) AS matches
+            FROM cast_info AS ci, movie_keyword AS mk, movie_companies AS mc,
+                 title AS t, company_name AS cn, keyword AS k
+            WHERE ci.movie_id = t.id AND mk.movie_id = t.id
+              AND mc.movie_id = t.id AND mc.company_id = cn.id
+              AND mk.keyword_id = k.id AND cn.country_code = 'it'
+              AND k.keyword = 'love'
+        """, description="Q13a analogue: large many-to-many joins on one key, "
+                         "pruned later by selective dimension joins"),
+        BenchmarkQuery("q14", """
+            SELECT MIN(mi.info) AS genre, MIN(t.production_year) AS year
+            FROM info_type AS it, movie_info AS mi, movie_info_idx AS midx,
+                 title AS t, kind_type AS kt
+            WHERE it.id = mi.info_type_id AND mi.movie_id = t.id
+              AND midx.movie_id = t.id AND kt.id = t.kind_id
+              AND kt.kind = 'movie' AND midx.info > 7.0
+        """, description="kind filter plus rating"),
+        BenchmarkQuery("q15", """
+            SELECT MIN(t.title) AS movie_title
+            FROM title AS t, kind_type AS kt, movie_companies AS mc,
+                 company_name AS cn, company_type AS ct
+            WHERE t.kind_id = kt.id AND mc.movie_id = t.id
+              AND mc.company_id = cn.id AND mc.company_type_id = ct.id
+              AND kt.kind IN ('movie', 'tv series') AND cn.country_code = 'gb'
+        """, description="snowflake around movie_companies"),
+        BenchmarkQuery("q16", """
+            SELECT MIN(n.name) AS person, COUNT(*) AS matches
+            FROM cast_info AS ci, name AS n, title AS t, movie_keyword AS mk
+            WHERE ci.person_id = n.id AND ci.movie_id = t.id
+              AND mk.movie_id = t.id AND t.production_year > 2005
+        """, description="cast x keyword explosion with year filter"),
+        BenchmarkQuery("q17", """
+            SELECT MIN(n.name) AS person
+            FROM cast_info AS ci, name AS n, role_type AS rt,
+                 movie_companies AS mc, company_name AS cn, title AS t
+            WHERE ci.person_id = n.id AND ci.role_id = rt.id
+              AND ci.movie_id = t.id AND mc.movie_id = t.id
+              AND mc.company_id = cn.id
+              AND rt.role IN ('actor', 'actress', 'director')
+              AND n.name LIKE 'person_1%'
+        """, description="LIKE filter on the person dimension"),
+        BenchmarkQuery("q18", """
+            SELECT MIN(t.production_year) AS year, MIN(k.keyword) AS kw
+            FROM movie_keyword AS mk, keyword AS k, title AS t,
+                 cast_info AS ci, role_type AS rt
+            WHERE mk.keyword_id = k.id AND mk.movie_id = t.id
+              AND ci.movie_id = t.id AND ci.role_id = rt.id
+              AND rt.role = 'producer' AND k.keyword LIKE 'keyword_%'
+        """, description="keyword prefix plus role filter"),
+        BenchmarkQuery("q19", """
+            SELECT MIN(t.title) AS movie_title, COUNT(*) AS matches
+            FROM movie_info AS mi, movie_keyword AS mk, movie_companies AS mc,
+                 title AS t, kind_type AS kt
+            WHERE mi.movie_id = t.id AND mk.movie_id = t.id
+              AND mc.movie_id = t.id AND t.kind_id = kt.id
+              AND mi.info = 'horror'
+              AND t.production_year BETWEEN 1995 AND 2020
+        """, description="three satellites plus kind dimension"),
+        BenchmarkQuery("q20", """
+            SELECT MIN(t.production_year) AS year
+            FROM cast_info AS ci, movie_info_idx AS midx, movie_keyword AS mk,
+                 movie_companies AS mc, title AS t, company_name AS cn
+            WHERE ci.movie_id = t.id AND midx.movie_id = t.id
+              AND mk.movie_id = t.id AND mc.movie_id = t.id
+              AND mc.company_id = cn.id AND cn.country_code = 'it'
+              AND midx.info > 9.0
+        """, description="four satellites with selective rating and country filters"),
+    ]
+    return [
+        BenchmarkQuery(q.name, " ".join(q.sql.split()), q.category, q.description)
+        for q in queries
+    ]

@@ -1,0 +1,220 @@
+"""Synthetic micro-workloads: the paper's example queries, parameterized.
+
+These generators produce the instances the paper uses to *explain* Free Join:
+
+* the clover query :math:`Q_\\clubsuit` with the skewed instance of Figure 3,
+  where the binary plan takes :math:`\\Theta(n^2)` but the factored Free Join
+  plan takes :math:`O(n)`;
+* the triangle query :math:`Q_\\triangle` over random (optionally skewed)
+  edge relations;
+* chain, star and cycle queries of configurable length, used by unit tests
+  and by the plan-conversion examples.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.query.builder import QueryBuilder
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.storage.table import Table
+
+
+# --------------------------------------------------------------------------- #
+# Clover query (Figure 3)
+# --------------------------------------------------------------------------- #
+
+
+def clover_instance(n: int) -> Dict[str, Table]:
+    """The clover instance of Figure 3.
+
+    ``R`` is skewed on ``x1``/``x2``, ``S`` on ``x2``/``x3`` and ``T`` on
+    ``x3``/``x1``; only the hub value ``x0`` joins across all three relations,
+    so the full output has exactly one tuple while the pairwise join
+    ``R JOIN S`` has :math:`n^2` tuples.
+    """
+    if n < 1:
+        raise WorkloadError("clover instance needs n >= 1")
+    # Encode x0..x3 as integers 0..3; attribute values get disjoint ranges.
+    r_rows = [(0, 1000)]
+    s_rows = [(0, 2000)]
+    t_rows = [(0, 3000)]
+    for i in range(1, n + 1):
+        r_rows.append((1, 1000 + 2 * i))
+        r_rows.append((2, 1000 + 2 * i + 1))
+        s_rows.append((2, 2000 + 2 * i))
+        s_rows.append((3, 2000 + 2 * i + 1))
+        t_rows.append((3, 3000 + 2 * i))
+        t_rows.append((1, 3000 + 2 * i + 1))
+    return {
+        "R": Table.from_rows("R", ["x", "a"], r_rows),
+        "S": Table.from_rows("S", ["x", "b"], s_rows),
+        "T": Table.from_rows("T", ["x", "c"], t_rows),
+    }
+
+
+def clover_query(tables: Dict[str, Table], name: str = "clover") -> ConjunctiveQuery:
+    """Build :math:`Q_\\clubsuit(x,a,b,c) :- R(x,a), S(x,b), T(x,c)`."""
+    builder = QueryBuilder(name)
+    builder.add_atom("R", tables["R"], ["x", "a"])
+    builder.add_atom("S", tables["S"], ["x", "b"])
+    builder.add_atom("T", tables["T"], ["x", "c"])
+    return builder.build()
+
+
+# --------------------------------------------------------------------------- #
+# Value sampling with skew
+# --------------------------------------------------------------------------- #
+
+
+def zipf_sample(rng: random.Random, domain: int, skew: float) -> int:
+    """Sample a value in ``[0, domain)`` with an (approximate) Zipf-like skew.
+
+    ``skew == 0`` is uniform.  Larger skew concentrates mass on small values;
+    the implementation uses inverse-power transform sampling, which is cheap
+    and good enough to create the hub-and-spoke join explosions the paper's
+    analysis of JOB Q13a describes.
+    """
+    if domain <= 0:
+        raise WorkloadError("domain must be positive")
+    if skew <= 0:
+        return rng.randrange(domain)
+    u = rng.random()
+    # Inverse-power transform: density ~ x^(-skew) over [1, domain].
+    exponent = 1.0 - skew if skew != 1.0 else 1e-9
+    value = (u * (domain ** exponent - 1.0) + 1.0) ** (1.0 / exponent)
+    return min(domain - 1, max(0, int(value) - 1))
+
+
+def _edge_table(
+    name: str,
+    columns: Tuple[str, str],
+    num_rows: int,
+    domain: int,
+    skew: float,
+    rng: random.Random,
+) -> Table:
+    sources = [zipf_sample(rng, domain, skew) for _ in range(num_rows)]
+    targets = [zipf_sample(rng, domain, skew) for _ in range(num_rows)]
+    return Table.from_columns(name, {columns[0]: sources, columns[1]: targets})
+
+
+# --------------------------------------------------------------------------- #
+# Triangle query
+# --------------------------------------------------------------------------- #
+
+
+def triangle_instance(
+    n: int, domain: Optional[int] = None, skew: float = 0.0, seed: int = 0
+) -> Dict[str, Table]:
+    """Three random edge relations for the triangle query."""
+    rng = random.Random(seed)
+    domain = domain or max(4, int(n ** 0.5) * 2)
+    return {
+        "R": _edge_table("R", ("x", "y"), n, domain, skew, rng),
+        "S": _edge_table("S", ("y", "z"), n, domain, skew, rng),
+        "T": _edge_table("T", ("z", "x"), n, domain, skew, rng),
+    }
+
+
+def triangle_query(tables: Dict[str, Table], name: str = "triangle") -> ConjunctiveQuery:
+    """Build :math:`Q_\\triangle(x,y,z) :- R(x,y), S(y,z), T(z,x)`."""
+    builder = QueryBuilder(name)
+    builder.add_atom("R", tables["R"], ["x", "y"])
+    builder.add_atom("S", tables["S"], ["y", "z"])
+    builder.add_atom("T", tables["T"], ["z", "x"])
+    return builder.build()
+
+
+# --------------------------------------------------------------------------- #
+# Parameterized query families
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class SyntheticWorkload:
+    """A generated query plus its input tables, for tests and examples."""
+
+    name: str
+    query: ConjunctiveQuery
+    tables: Dict[str, Table]
+
+
+def chain_workload(
+    length: int, rows_per_relation: int = 200, domain: int = 50,
+    skew: float = 0.0, seed: int = 0,
+) -> SyntheticWorkload:
+    """A chain query ``R1(v0,v1), R2(v1,v2), ..., Rk(v_{k-1},v_k)``."""
+    if length < 1:
+        raise WorkloadError("chain length must be at least 1")
+    rng = random.Random(seed)
+    builder = QueryBuilder(f"chain_{length}")
+    tables: Dict[str, Table] = {}
+    for i in range(length):
+        name = f"R{i + 1}"
+        table = _edge_table(name, ("src", "dst"), rows_per_relation, domain, skew, rng)
+        tables[name] = table
+        builder.add_atom(name, table, [f"v{i}", f"v{i + 1}"])
+    return SyntheticWorkload(f"chain_{length}", builder.build(), tables)
+
+
+def star_workload(
+    arms: int, rows_per_relation: int = 200, domain: int = 50,
+    skew: float = 0.0, seed: int = 0,
+) -> SyntheticWorkload:
+    """A star query ``R1(h,a1), R2(h,a2), ..., Rk(h,ak)`` (clover-shaped)."""
+    if arms < 1:
+        raise WorkloadError("a star query needs at least one arm")
+    rng = random.Random(seed)
+    builder = QueryBuilder(f"star_{arms}")
+    tables: Dict[str, Table] = {}
+    for i in range(arms):
+        name = f"R{i + 1}"
+        table = _edge_table(name, ("hub", "spoke"), rows_per_relation, domain, skew, rng)
+        tables[name] = table
+        builder.add_atom(name, table, ["h", f"a{i + 1}"])
+    return SyntheticWorkload(f"star_{arms}", builder.build(), tables)
+
+
+def cycle_workload(
+    length: int, rows_per_relation: int = 200, domain: int = 50,
+    skew: float = 0.0, seed: int = 0,
+) -> SyntheticWorkload:
+    """A cycle query ``R1(v0,v1), ..., Rk(v_{k-1},v0)`` (cyclic for k >= 3)."""
+    if length < 2:
+        raise WorkloadError("a cycle query needs at least two relations")
+    rng = random.Random(seed)
+    builder = QueryBuilder(f"cycle_{length}")
+    tables: Dict[str, Table] = {}
+    for i in range(length):
+        name = f"R{i + 1}"
+        table = _edge_table(name, ("src", "dst"), rows_per_relation, domain, skew, rng)
+        tables[name] = table
+        first = f"v{i}"
+        second = f"v{(i + 1) % length}"
+        builder.add_atom(name, table, [first, second])
+    return SyntheticWorkload(f"cycle_{length}", builder.build(), tables)
+
+
+def random_tables(
+    schemas: Dict[str, Sequence[str]],
+    num_rows: int,
+    domain: int,
+    seed: int = 0,
+    skew: float = 0.0,
+) -> Dict[str, Table]:
+    """Random tables with the given column names, for property-based tests."""
+    rng = random.Random(seed)
+    tables = {}
+    for name, columns in schemas.items():
+        data = {
+            column: [zipf_sample(rng, domain, skew) for _ in range(num_rows)]
+            for column in columns
+        }
+        tables[name] = Table.from_columns(name, data)
+    return tables

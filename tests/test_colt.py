@@ -1,0 +1,115 @@
+"""Tests for the COLT / lazy trie data structure."""
+
+import pytest
+
+from repro.core.colt import LazyTrie, TrieStrategy, build_trie, build_tries, make_key
+from repro.errors import PlanError
+from repro.query.atoms import Atom
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def s_atom():
+    """The relation S of the clover query (Figure 3/11), with x-skew."""
+    rows = [(0, 200)] + [(2, 300 + i) for i in range(4)] + [(3, 400 + i) for i in range(4)]
+    table = Table.from_rows("S", ["x", "b"], rows)
+    return Atom("S", table, ["x", "b"])
+
+
+class TestLazyTrieStructure:
+    def test_root_starts_unforced(self, s_atom):
+        trie = build_trie(s_atom, [("x",), ("b",)], TrieStrategy.COLT)
+        assert not trie.is_forced()
+        assert trie.key_count() == s_atom.size  # estimate = vector length
+        assert trie.tuple_count() == s_atom.size
+        assert trie.levels_remaining() == 2
+        assert not trie.is_leaf()
+
+    def test_get_forces_first_level_only(self, s_atom):
+        trie = build_trie(s_atom, [("x",), ("b",)], TrieStrategy.COLT)
+        child = trie.get(2)
+        assert trie.is_forced()
+        assert trie.key_count() == 3  # x in {0, 2, 3}
+        assert child is not None and not child.is_forced()
+        assert child.tuple_count() == 4
+        assert trie.get(99) is None
+
+    def test_leaf_probe_returns_multiplicity(self, s_atom):
+        trie = build_trie(s_atom, [("x", "b")], TrieStrategy.COLT)
+        leaf = trie.get((0, 200))
+        assert leaf is not None and leaf.is_leaf()
+        assert leaf.tuple_count() == 1
+
+    def test_iteration_of_last_level_does_not_force(self, s_atom):
+        trie = build_trie(s_atom, [("x", "b")], TrieStrategy.COLT)
+        entries = list(trie.iter_entries())
+        assert not trie.is_forced()
+        assert len(entries) == s_atom.size
+        assert all(child is None for _, child in entries)
+        assert entries[0][0] == (0, 200)
+
+    def test_single_variable_levels_use_bare_keys(self, s_atom):
+        trie = build_trie(s_atom, [("x",), ("b",)], TrieStrategy.COLT)
+        keys = {key for key, _child in trie.iter_entries()}
+        assert keys == {0, 2, 3}
+        child = trie.get(3)
+        inner = {key for key, _ in child.iter_entries()}
+        assert inner == {400, 401, 402, 403}
+
+    def test_iteration_of_inner_level_forces(self, s_atom):
+        trie = build_trie(s_atom, [("x",), ("b",)], TrieStrategy.COLT)
+        list(trie.iter_entries())
+        assert trie.is_forced()
+
+    def test_duplicate_rows_multiplicity(self):
+        table = Table.from_rows("R", ["x", "y"], [(1, 2), (1, 2), (1, 3)])
+        atom = Atom("R", table, ["x", "y"])
+        trie = build_trie(atom, [("x",), ("y",)], TrieStrategy.COLT)
+        leaf = trie.get(1).get(2)
+        assert leaf.tuple_count() == 2
+
+    def test_empty_schema_rejected(self, s_atom):
+        with pytest.raises(PlanError):
+            LazyTrie(s_atom, [])
+
+    def test_batched_iteration(self, s_atom):
+        trie = build_trie(s_atom, [("x", "b")], TrieStrategy.COLT)
+        batches = list(trie.iter_entries_batched(4))
+        assert [len(batch) for batch in batches] == [4, 4, 1]
+
+
+class TestStrategies:
+    def test_simple_strategy_forces_everything(self, s_atom):
+        trie = build_trie(s_atom, [("x",), ("b",)], TrieStrategy.SIMPLE)
+        assert trie.is_forced()
+        assert all(child.is_forced() or child.is_leaf()
+                   for _, child in trie.iter_entries())
+        assert trie.forced_node_count() >= 4
+
+    def test_slt_strategy_forces_first_level_only(self, s_atom):
+        trie = build_trie(s_atom, [("x",), ("b",)], TrieStrategy.SLT)
+        assert trie.is_forced()
+        assert all(not child.is_forced() for _, child in trie.iter_entries())
+
+    def test_colt_strategy_forces_nothing(self, s_atom):
+        trie = build_trie(s_atom, [("x",), ("b",)], TrieStrategy.COLT)
+        assert trie.forced_node_count() == 0
+
+    def test_build_tries_requires_schema_per_atom(self, s_atom):
+        with pytest.raises(PlanError):
+            build_tries({"S": s_atom}, {}, TrieStrategy.COLT)
+        tries = build_tries({"S": s_atom}, {"S": [("x",), ("b",)]})
+        assert set(tries) == {"S"}
+
+
+class TestMakeKey:
+    def test_single_variable_key_is_bare_value(self):
+        assert make_key({"x": 7}, ("x",)) == 7
+
+    def test_multi_variable_key_is_tuple(self):
+        assert make_key({"x": 7, "y": 8}, ("y", "x")) == (8, 7)
+
+    def test_probing_consistency_with_force(self, s_atom):
+        trie = build_trie(s_atom, [("x", "b")], TrieStrategy.SIMPLE)
+        key = make_key({"x": 2, "b": 301}, ("x", "b"))
+        assert trie.get(key) is not None

@@ -1,0 +1,49 @@
+"""Tests for CSV loading and saving."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.csv_io import load_csv, load_directory, save_csv
+from repro.storage.table import Table
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    table = Table.from_rows("movies", ["id", "title", "score"],
+                            [(1, "Alien", 8.5), (2, "Brazil", None)])
+    path = tmp_path / "movies.csv"
+    save_csv(table, path)
+    loaded = load_csv(path)
+    assert loaded.name == "movies"
+    assert loaded.column_names == ["id", "title", "score"]
+    assert loaded.to_rows() == [(1, "Alien", 8.5), (2, "Brazil", None)]
+
+
+def test_load_without_header_needs_column_names(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("1,2\n3,4\n")
+    with pytest.raises(SchemaError):
+        load_csv(path, has_header=False)
+    loaded = load_csv(path, has_header=False, column_names=["a", "b"])
+    assert loaded.to_rows() == [(1, 2), (3, 4)]
+
+
+def test_ragged_rows_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1,2\n3\n")
+    with pytest.raises(SchemaError):
+        load_csv(path)
+
+
+def test_custom_name_and_delimiter(tmp_path):
+    path = tmp_path / "pipe.csv"
+    path.write_text("a|b\n1|x\n")
+    loaded = load_csv(path, name="renamed", delimiter="|")
+    assert loaded.name == "renamed"
+    assert loaded.to_rows() == [(1, "x")]
+
+
+def test_load_directory(tmp_path):
+    save_csv(Table.from_columns("a", {"x": [1]}), tmp_path / "a.csv")
+    save_csv(Table.from_columns("b", {"y": [2]}), tmp_path / "b.csv")
+    tables = load_directory(tmp_path)
+    assert [t.name for t in tables] == ["a", "b"]

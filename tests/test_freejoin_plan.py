@@ -1,0 +1,221 @@
+"""Tests for Free Join plans, validity, conversion and factoring."""
+
+import pytest
+
+from repro.core.convert import binary_to_free_join
+from repro.core.factor import factor_plan
+from repro.core.plan import FreeJoinNode, FreeJoinPlan
+from repro.errors import PlanError
+from repro.query.atoms import Subatom
+from repro.query.builder import QueryBuilder
+from repro.storage.table import Table
+from repro.workloads.synthetic import clover_instance, clover_query
+
+
+@pytest.fixture
+def clover():
+    tables = clover_instance(3)
+    query = clover_query(tables)
+    atoms = {atom.name: atom for atom in query.atoms}
+    return query, atoms
+
+
+def sub(rel, *vars_):
+    return Subatom(rel, vars_)
+
+
+class TestPlanBasics:
+    def test_vs_avs_and_covers(self, clover):
+        query, _atoms = clover
+        # The paper's Eq. (2) plan for the clover query.
+        plan = FreeJoinPlan.from_lists([
+            [sub("R", "x", "a"), sub("S", "x")],
+            [sub("S", "b"), sub("T", "x")],
+            [sub("T", "c")],
+        ])
+        assert plan.node_variables(0) == ["x", "a"]
+        assert plan.available_variables(1) == {"x", "a"}
+        assert plan.new_variables(1) == {"b"}
+        assert [s.relation for s in plan.covers(0)] == ["R"]
+        assert [s.relation for s in plan.covers(1)] == ["S"]
+        assert plan.variable_order() == ["x", "a", "b", "c"]
+        assert plan.is_valid(query)
+
+    def test_generic_join_style_plan_is_valid(self, clover):
+        query, _atoms = clover
+        # The paper's Eq. (3) plan: Generic Join with order [x, a, b, c].
+        plan = FreeJoinPlan.from_lists([
+            [sub("R", "x"), sub("S", "x"), sub("T", "x")],
+            [sub("R", "a")],
+            [sub("S", "b")],
+            [sub("T", "c")],
+        ])
+        plan.validate(query)
+        assert len(plan.covers(0)) == 3
+
+    def test_invalid_single_node_plan(self, clover):
+        query, _atoms = clover
+        # The paper's Example 3.9: no subatom covers all new variables.
+        plan = FreeJoinPlan.from_lists([
+            [sub("R", "x", "a"), sub("S", "x", "b"), sub("T", "x", "c")],
+        ])
+        assert not plan.is_valid(query)
+
+    def test_partitioning_violations_detected(self, clover):
+        query, _atoms = clover
+        missing_var = FreeJoinPlan.from_lists([
+            [sub("R", "x", "a"), sub("S", "x")],
+            [sub("S", "b")],
+            [sub("T", "x")],  # T(c) never appears
+        ])
+        with pytest.raises(PlanError):
+            missing_var.validate(query)
+
+        repeated_var = FreeJoinPlan.from_lists([
+            [sub("R", "x", "a"), sub("S", "x")],
+            [sub("S", "x", "b"), sub("T", "x")],
+            [sub("T", "c")],
+        ])
+        with pytest.raises(PlanError):
+            repeated_var.validate(query)
+
+        duplicate_relation_in_node = FreeJoinPlan.from_lists([
+            [sub("R", "x"), sub("R", "a")],
+            [sub("S", "x", "b")],
+            [sub("T", "x", "c")],
+        ])
+        with pytest.raises(PlanError):
+            duplicate_relation_in_node.validate(query)
+
+    def test_ght_schemas(self, clover):
+        query, _atoms = clover
+        plan = FreeJoinPlan.from_lists([
+            [sub("R", "x", "a"), sub("S", "x")],
+            [sub("S", "b"), sub("T", "x")],
+            [sub("T", "c")],
+        ])
+        schemas = plan.ght_schemas(query)
+        assert schemas["R"] == [("x", "a")]
+        assert schemas["S"] == [("x",), ("b",)]
+        assert schemas["T"] == [("x",), ("c",)]
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(PlanError):
+            FreeJoinPlan([])
+        with pytest.raises(PlanError):
+            FreeJoinNode([])
+
+
+class TestBinaryToFreeJoin:
+    def test_clover_conversion_matches_paper(self, clover):
+        _query, atoms = clover
+        plan = binary_to_free_join(["R", "S", "T"], atoms)
+        assert plan == FreeJoinPlan.from_lists([
+            [sub("R", "x", "a"), sub("S", "x")],
+            [sub("S", "b"), sub("T", "x")],
+            [sub("T", "c")],
+        ])
+
+    def test_chain_conversion_matches_paper_example_41(self):
+        # Q :- R(x,y), S(y,z), T(z,u), W(u,v)  with plan [R, S, T, W].
+        tables = {
+            name: Table.from_columns(name, {"c1": [1], "c2": [2]})
+            for name in ("R", "S", "T", "W")
+        }
+        builder = QueryBuilder()
+        builder.add_atom("R", tables["R"], ["x", "y"])
+        builder.add_atom("S", tables["S"], ["y", "z"])
+        builder.add_atom("T", tables["T"], ["z", "u"])
+        builder.add_atom("W", tables["W"], ["u", "v"])
+        query = builder.build()
+        atoms = {a.name: a for a in query.atoms}
+        plan = binary_to_free_join(["R", "S", "T", "W"], atoms)
+        assert plan == FreeJoinPlan.from_lists([
+            [sub("R", "x", "y"), sub("S", "y")],
+            [sub("S", "z"), sub("T", "z")],
+            [sub("T", "u"), sub("W", "u")],
+            [sub("W", "v")],
+        ])
+        plan.validate(query)
+
+    def test_semijoin_relation_does_not_open_empty_node(self):
+        # t's variables are all available once r is iterated and s probed.
+        r = Table.from_columns("r", {"x": [1], "y": [2]})
+        s = Table.from_columns("s", {"y": [2], "z": [3]})
+        t = Table.from_columns("t", {"y": [2]})
+        query = (
+            QueryBuilder()
+            .add_atom("r", r, ["x", "y"])
+            .add_atom("s", s, ["y", "z"])
+            .add_atom("t", t, ["y"])
+            .build()
+        )
+        atoms = {a.name: a for a in query.atoms}
+        plan = binary_to_free_join(["r", "s", "t"], atoms)
+        plan.validate(query)
+        assert all(len(node.variables()) > 0 for node in plan)
+
+    def test_unknown_or_duplicate_relations_rejected(self, clover):
+        _query, atoms = clover
+        with pytest.raises(PlanError):
+            binary_to_free_join(["R", "NOPE"], atoms)
+        with pytest.raises(PlanError):
+            binary_to_free_join(["R", "R"], atoms)
+        with pytest.raises(PlanError):
+            binary_to_free_join([], atoms)
+
+
+class TestFactoring:
+    def test_clover_factoring_matches_paper(self, clover):
+        query, atoms = clover
+        naive = binary_to_free_join(["R", "S", "T"], atoms)
+        factored = factor_plan(naive)
+        assert factored == FreeJoinPlan.from_lists([
+            [sub("R", "x", "a"), sub("S", "x"), sub("T", "x")],
+            [sub("S", "b")],
+            [sub("T", "c")],
+        ])
+        factored.validate(query)
+
+    def test_factoring_is_idempotent(self, clover):
+        _query, atoms = clover
+        plan = factor_plan(binary_to_free_join(["R", "S", "T"], atoms))
+        assert factor_plan(plan) == plan
+
+    def test_factoring_does_not_hoist_unavailable_vars(self):
+        # Triangle query: T is probed on (x, z) and z only becomes available
+        # in the second node, so nothing can be hoisted.
+        tables = {
+            "R": Table.from_columns("R", {"a": [1], "b": [2]}),
+            "S": Table.from_columns("S", {"a": [2], "b": [3]}),
+            "T": Table.from_columns("T", {"a": [3], "b": [1]}),
+        }
+        query = (
+            QueryBuilder()
+            .add_atom("R", tables["R"], ["x", "y"])
+            .add_atom("S", tables["S"], ["y", "z"])
+            .add_atom("T", tables["T"], ["z", "x"])
+            .build()
+        )
+        atoms = {a.name: a for a in query.atoms}
+        naive = binary_to_free_join(["R", "S", "T"], atoms)
+        assert factor_plan(naive) == naive
+
+    def test_factoring_never_breaks_validity_on_job_queries(self):
+        from repro.optimizer.join_order import optimize_query
+        from repro.query.planner import Planner
+        from repro.workloads.job import generate_job_workload
+
+        workload = generate_job_workload(scale=0.02, seed=5)
+        planner = Planner(workload.catalog)
+        for bench_query in workload.queries[:8]:
+            logical = planner.plan_sql(bench_query.sql)
+            plan = optimize_query(logical.query)
+            for pipeline in plan.decompose():
+                if not pipeline.is_final:
+                    continue
+                atoms = {a.name: a for a in logical.query.atoms}
+                if any(item not in atoms for item in pipeline.items):
+                    continue  # bushy pipelines reference intermediates
+                fj = binary_to_free_join(pipeline.items, atoms)
+                factor_plan(fj).validate(logical.query)

@@ -1,0 +1,179 @@
+"""Tests for statistics, cardinality estimation, plans, and join ordering."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.optimizer.binary_plan import BinaryPlan, JoinNode, LeafNode
+from repro.optimizer.cardinality import (
+    AlwaysOneCardinalityEstimator,
+    DefaultCardinalityEstimator,
+)
+from repro.optimizer.join_order import JoinOrderOptimizer, optimize_query
+from repro.optimizer.statistics import StatisticsCache, analyze_table, collect_statistics
+from repro.query.builder import QueryBuilder
+from repro.storage.table import Table
+from repro.workloads.synthetic import chain_workload, star_workload
+
+
+class TestStatistics:
+    def test_analyze_table(self):
+        table = Table.from_columns("t", {"a": [1, 1, 2], "b": ["x", "y", "y"]})
+        stats = analyze_table(table)
+        assert stats.row_count == 3
+        assert stats.columns["a"].distinct_count == 2
+        assert stats.columns["a"].minimum == 1
+        assert stats.columns["a"].maximum == 2
+        assert stats.distinct("a") == 2
+        assert stats.distinct("missing") == 3
+
+    def test_collect_statistics_reflects_pushdown(self):
+        table = Table.from_columns("t", {"a": [1, 2, 3, 4]})
+        query = (
+            QueryBuilder()
+            .add_filtered_atom("t", table, ["a"], lambda row: row[0] > 2)
+            .build()
+        )
+        stats = collect_statistics(query)
+        assert stats["t"].row_count == 2
+
+    def test_statistics_cache_reuses_analysis(self):
+        table = Table.from_columns("t", {"a": [1, 2]})
+        cache = StatisticsCache()
+        first = cache.for_table(table)
+        assert cache.for_table(table) is first
+        cache.clear()
+        assert cache.for_table(table) is not first
+
+
+class TestCardinality:
+    def _query(self):
+        r = Table.from_columns("r", {"x": [1, 2, 3, 4], "y": [1, 1, 2, 2]})
+        s = Table.from_columns("s", {"y": [1, 2], "z": [5, 6]})
+        return (
+            QueryBuilder()
+            .add_atom("r", r, ["x", "y"])
+            .add_atom("s", s, ["y", "z"])
+            .build()
+        )
+
+    def test_default_estimator_join_formula(self):
+        query = self._query()
+        stats = collect_statistics(query)
+        estimator = DefaultCardinalityEstimator()
+        left = estimator.base_estimate("r", query, stats)
+        right = estimator.base_estimate("s", query, stats)
+        joined = estimator.join_estimate(left, right)
+        # |r| * |s| / max(ndv_y) = 4 * 2 / 2 = 4
+        assert joined.cardinality == pytest.approx(4.0)
+        assert joined.variables == {"x", "y", "z"}
+        assert joined.distinct_of("y") <= 2
+
+    def test_always_one_estimator(self):
+        query = self._query()
+        stats = collect_statistics(query)
+        estimator = AlwaysOneCardinalityEstimator()
+        left = estimator.base_estimate("r", query, stats)
+        right = estimator.base_estimate("s", query, stats)
+        assert left.cardinality == 1.0
+        assert estimator.join_estimate(left, right).cardinality == 1.0
+
+
+class TestBinaryPlan:
+    def test_left_deep_shape(self):
+        plan = BinaryPlan.left_deep(["a", "b", "c"])
+        assert plan.leaves() == ["a", "b", "c"]
+        assert plan.is_left_deep()
+        assert not plan.is_bushy()
+        assert plan.num_joins() == 2
+        assert plan.left_deep_order() == ["a", "b", "c"]
+
+    def test_bushy_detection_and_decomposition(self):
+        bushy = BinaryPlan(JoinNode(
+            JoinNode(LeafNode("r"), LeafNode("s")),
+            JoinNode(LeafNode("t"), LeafNode("u")),
+        ))
+        assert bushy.is_bushy()
+        with pytest.raises(ValueError):
+            bushy.left_deep_order()
+        pipelines = bushy.decompose()
+        assert len(pipelines) == 2
+        assert pipelines[0].items == ["t", "u"]
+        assert pipelines[0].is_final is False
+        assert pipelines[1].items == ["r", "s", pipelines[0].output_name]
+        assert pipelines[1].is_final
+
+    def test_left_deep_decomposes_to_single_pipeline(self):
+        plan = BinaryPlan.left_deep(["a", "b", "c"])
+        pipelines = plan.decompose()
+        assert len(pipelines) == 1
+        assert pipelines[0].items == ["a", "b", "c"]
+        assert pipelines[0].is_final
+
+    def test_single_relation_plan(self):
+        plan = BinaryPlan(LeafNode("only"))
+        assert plan.decompose()[0].items == ["only"]
+
+    def test_empty_left_deep_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryPlan.left_deep([])
+
+
+class TestJoinOrderOptimizer:
+    def test_dp_prefers_selective_join_first(self):
+        # big-small-big chain: the optimizer should not start with the two
+        # big relations (their join is huge).
+        big1 = Table.from_columns("big1", {"a": list(range(200)), "b": [1] * 200})
+        small = Table.from_columns("small", {"b": [1, 2], "c": [1, 2]})
+        big2 = Table.from_columns("big2", {"c": [1] * 200, "d": list(range(200))})
+        query = (
+            QueryBuilder()
+            .add_atom("big1", big1, ["a", "b"])
+            .add_atom("small", small, ["b", "c"])
+            .add_atom("big2", big2, ["c", "d"])
+            .build()
+        )
+        plan = optimize_query(query)
+        leaves = plan.leaves()
+        assert set(leaves) == {"big1", "small", "big2"}
+        # The two big relations must not be joined directly (they share no
+        # variable anyway, so a sane plan keeps `small` in the middle).
+        assert leaves.index("small") != 2 or plan.is_bushy()
+
+    def test_all_atoms_present_for_larger_query(self):
+        workload = chain_workload(6, rows_per_relation=30, domain=10, seed=1)
+        plan = optimize_query(workload.query)
+        assert sorted(plan.leaves()) == sorted(a.name for a in workload.query.atoms)
+
+    def test_greedy_path_for_many_relations(self):
+        workload = chain_workload(8, rows_per_relation=10, domain=5, seed=2)
+        optimizer = JoinOrderOptimizer(dp_threshold=4)
+        plan = optimizer.optimize(workload.query)
+        assert sorted(plan.leaves()) == sorted(a.name for a in workload.query.atoms)
+
+    def test_left_deep_optimizer(self):
+        workload = star_workload(4, rows_per_relation=40, domain=12, seed=3)
+        optimizer = JoinOrderOptimizer()
+        plan = optimizer.optimize_left_deep(workload.query)
+        assert plan.is_left_deep()
+        assert sorted(plan.leaves()) == sorted(a.name for a in workload.query.atoms)
+
+    def test_single_atom_query(self):
+        table = Table.from_columns("t", {"a": [1]})
+        query = QueryBuilder().add_atom("t", table, ["a"]).build()
+        plan = optimize_query(query)
+        assert plan.leaves() == ["t"]
+
+    def test_bad_estimates_still_produce_valid_plans(self):
+        workload = chain_workload(5, rows_per_relation=20, domain=8, seed=4)
+        plan = optimize_query(workload.query, bad_estimates=True)
+        assert sorted(plan.leaves()) == sorted(a.name for a in workload.query.atoms)
+
+    def test_cartesian_product_fallback(self):
+        # Two relations that share no variable still get a plan.
+        r = Table.from_columns("r", {"a": [1, 2]})
+        s = Table.from_columns("s", {"b": [3]})
+        query = (
+            QueryBuilder().add_atom("r", r, ["a"]).add_atom("s", s, ["b"]).build()
+        )
+        plan = optimize_query(query)
+        assert sorted(plan.leaves()) == ["r", "s"]

@@ -1,0 +1,179 @@
+"""Tests for output sinks, join results, aggregation, and sessions."""
+
+import pytest
+
+from repro.engine.output import CountSink, FactorizedSink, JoinResult, RowSink
+from repro.engine.session import Database
+from repro.errors import ExecutionError, QueryError
+from repro.storage.table import Table
+
+
+class TestSinks:
+    def test_row_sink_collects_multiplicities(self):
+        sink = RowSink(["x", "y"])
+        sink.on_row((1, 2), 2)
+        sink.on_row((3, 4), 1)
+        sink.on_row((5, 6), 0)  # zero multiplicity is dropped
+        result = sink.result()
+        assert result.count() == 3
+        assert sorted(result.iter_rows()) == [(1, 2), (1, 2), (3, 4)]
+
+    def test_count_sink(self):
+        sink = CountSink(["x"])
+        sink.on_row((1,), 3)
+        sink.on_group((7,), ["x"], [], 2)
+        result = sink.result()
+        assert result.count() == 5
+        with pytest.raises(ExecutionError):
+            list(result.iter_rows())
+
+    def test_group_expansion_in_row_sink(self):
+        sink = RowSink(["x", "a", "b"])
+        sink.on_group(
+            prefix=(1,),
+            prefix_variables=["x"],
+            factors=[(("a",), [(10,), (11,)]), (("b",), [(20,)])],
+            multiplicity=2,
+        )
+        result = sink.result()
+        assert sorted(result.iter_rows()) == [
+            (1, 10, 20), (1, 10, 20), (1, 11, 20), (1, 11, 20),
+        ]
+
+    def test_group_missing_variable_rejected(self):
+        sink = RowSink(["x", "missing"])
+        with pytest.raises(ExecutionError):
+            sink.on_group((1,), ["x"], [], 1)
+
+    def test_factorized_sink_counts_without_expansion(self):
+        sink = FactorizedSink(["x", "a", "b"])
+        sink.on_group((1,), ["x"], [(("a",), [(1,)] * 10), (("b",), [(2,)] * 10)], 1)
+        result = sink.result()
+        assert result.is_factorized()
+        assert result.count() == 100
+        assert len(result.groups) == 1
+        assert len(list(result.iter_rows())) == 100
+
+    def test_same_bag_across_variable_orders(self):
+        first = JoinResult(("x", "y"), rows=[(1, 2)], multiplicities=[1])
+        second = JoinResult(("y", "x"), rows=[(2, 1)], multiplicities=[1])
+        assert first.same_bag(second)
+        third = JoinResult(("y", "z"), rows=[(2, 1)], multiplicities=[1])
+        assert not first.same_bag(third)
+
+
+@pytest.fixture
+def movie_db():
+    db = Database()
+    db.register(Table.from_columns("movies", {
+        "id": [1, 2, 3], "year": [1999, 2005, 2005], "kind": ["m", "tv", "m"],
+    }))
+    db.register(Table.from_columns("ratings", {
+        "movie_id": [1, 1, 2, 3, 3], "stars": [5, 4, 3, 5, None],
+    }))
+    return db
+
+
+class TestAggregation:
+    def test_count_star(self, movie_db):
+        outcome = movie_db.execute(
+            "SELECT COUNT(*) FROM movies AS m, ratings AS r WHERE r.movie_id = m.id"
+        )
+        assert outcome.scalar() == 5
+
+    def test_count_column_skips_nulls(self, movie_db):
+        outcome = movie_db.execute(
+            "SELECT COUNT(r.stars) AS n FROM movies AS m, ratings AS r WHERE r.movie_id = m.id"
+        )
+        assert outcome.scalar() == 4
+
+    def test_min_max_sum_avg(self, movie_db):
+        outcome = movie_db.execute(
+            "SELECT MIN(r.stars) AS lo, MAX(r.stars) AS hi, SUM(r.stars) AS s, AVG(r.stars) AS a "
+            "FROM movies AS m, ratings AS r WHERE r.movie_id = m.id"
+        )
+        assert outcome.rows() == [(3, 5, 17.0, 17.0 / 4)]
+
+    def test_group_by(self, movie_db):
+        outcome = movie_db.execute(
+            "SELECT m.year, COUNT(*) AS n FROM movies AS m, ratings AS r "
+            "WHERE r.movie_id = m.id GROUP BY m.year"
+        )
+        assert sorted(outcome.rows()) == [(1999, 2), (2005, 3)]
+
+    def test_plain_projection(self, movie_db):
+        outcome = movie_db.execute(
+            "SELECT m.kind FROM movies AS m, ratings AS r WHERE r.movie_id = m.id"
+        )
+        assert sorted(outcome.rows()) == [("m",)] * 4 + [("tv",)]
+
+    def test_select_star(self, movie_db):
+        outcome = movie_db.execute("SELECT * FROM movies AS m")
+        assert len(outcome.rows()) == 3
+        assert outcome.table.arity == 3
+
+    def test_aggregate_over_empty_result(self, movie_db):
+        outcome = movie_db.execute(
+            "SELECT MIN(m.year) AS y, COUNT(*) AS n FROM movies AS m WHERE m.year > 3000"
+        )
+        assert outcome.rows() == [(None, 0)]
+
+    def test_non_aggregate_without_group_by_rejected(self, movie_db):
+        with pytest.raises(QueryError):
+            movie_db.execute("SELECT m.kind, COUNT(*) FROM movies AS m")
+
+    def test_scalar_requires_1x1(self, movie_db):
+        outcome = movie_db.execute("SELECT * FROM movies AS m")
+        with pytest.raises(QueryError):
+            outcome.scalar()
+
+
+class TestDatabaseSession:
+    def test_engines_agree_end_to_end(self, movie_db):
+        sql = (
+            "SELECT m.year, COUNT(*) AS n FROM movies AS m, ratings AS r "
+            "WHERE r.movie_id = m.id AND r.stars > 3 GROUP BY m.year"
+        )
+        results = {
+            engine: sorted(movie_db.execute(sql, engine=engine).rows())
+            for engine in ("freejoin", "binary", "generic")
+        }
+        assert results["freejoin"] == results["binary"] == results["generic"]
+
+    def test_residual_predicate_across_tables(self, movie_db):
+        outcome = movie_db.execute(
+            "SELECT COUNT(*) FROM movies AS m, ratings AS r "
+            "WHERE r.movie_id = m.id AND r.stars < m.year"
+        )
+        assert outcome.scalar() == 4
+
+    def test_bad_estimates_flag_changes_only_the_plan(self, movie_db):
+        sql = "SELECT COUNT(*) FROM movies AS m, ratings AS r WHERE r.movie_id = m.id"
+        good = movie_db.execute(sql, bad_estimates=False)
+        bad = movie_db.execute(sql, bad_estimates=True)
+        assert good.scalar() == bad.scalar() == 5
+
+    def test_unknown_engine_rejected(self, movie_db):
+        with pytest.raises(QueryError):
+            movie_db.execute("SELECT COUNT(*) FROM movies AS m", engine="spark")
+        with pytest.raises(QueryError):
+            Database(default_engine="spark")
+
+    def test_register_all_and_table_names(self):
+        db = Database()
+        db.register_all([
+            Table.from_columns("a", {"x": [1]}),
+            Table.from_columns("b", {"y": [2]}),
+        ])
+        assert db.table_names() == ["a", "b"]
+
+    def test_freejoin_options_respected(self, movie_db):
+        from repro.core.engine import FreeJoinOptions
+        from repro.core.colt import TrieStrategy
+
+        outcome = movie_db.execute(
+            "SELECT COUNT(*) FROM movies AS m, ratings AS r WHERE r.movie_id = m.id",
+            engine="freejoin",
+            freejoin_options=FreeJoinOptions(trie_strategy=TrieStrategy.SIMPLE, batch_size=4),
+        )
+        assert outcome.scalar() == 5

@@ -1,0 +1,95 @@
+"""Tests for the SQL-to-conjunctive-query planner."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.planner import Planner
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register(Table.from_columns("r", {"x": [1, 2, 3], "y": [10, 20, 30]}))
+    catalog.register(Table.from_columns("s", {"y": [10, 20, 40], "z": [5, 6, 7]}))
+    catalog.register(Table.from_columns("m", {"u": [1, 2], "v": [2, 2], "w": [2, 9]}))
+    return catalog
+
+
+def plan(catalog, sql):
+    return Planner(catalog).plan_sql(sql)
+
+
+def test_equality_join_becomes_shared_variable(catalog):
+    logical = plan(catalog, "SELECT COUNT(*) FROM r, s WHERE r.y = s.y")
+    query = logical.query
+    r, s = query.atom("r"), query.atom("s")
+    assert r.variables[1] == s.variables[0]
+    assert len(set(query.variables)) == 3
+
+
+def test_filter_pushdown_shrinks_atom_table(catalog):
+    logical = plan(catalog, "SELECT COUNT(*) FROM r, s WHERE r.y = s.y AND r.x > 1")
+    assert logical.query.atom("r").table.num_rows == 2
+    assert logical.query.atom("s").table.num_rows == 3
+
+
+def test_self_join_uses_two_atoms(catalog):
+    logical = plan(catalog, "SELECT COUNT(*) FROM r AS a, r AS b WHERE a.y = b.x")
+    assert {atom.name for atom in logical.query.atoms} == {"a", "b"}
+
+
+def test_same_alias_column_equality_is_pushed_down(catalog):
+    # m.v = m.w is a selection, not a join.
+    logical = plan(catalog, "SELECT COUNT(*) FROM m WHERE m.v = m.w")
+    assert logical.query.atom("m").table.to_rows() == [(1, 2, 2)]
+
+
+def test_bare_columns_resolved_and_ambiguity_rejected(catalog):
+    logical = plan(catalog, "SELECT COUNT(*) FROM r, s WHERE x = 1 AND r.y = s.y")
+    assert logical.query.atom("r").table.num_rows == 1
+    with pytest.raises(QueryError):
+        plan(catalog, "SELECT COUNT(*) FROM r, s WHERE y = 1")
+
+
+def test_unknown_column_and_alias_rejected(catalog):
+    with pytest.raises(QueryError):
+        plan(catalog, "SELECT COUNT(*) FROM r WHERE r.nope = 1")
+    with pytest.raises(QueryError):
+        plan(catalog, "SELECT COUNT(*) FROM r WHERE q.x = 1")
+
+
+def test_duplicate_alias_rejected(catalog):
+    with pytest.raises(QueryError):
+        plan(catalog, "SELECT COUNT(*) FROM r AS a, s AS a")
+
+
+def test_residual_predicate_for_cross_table_inequality(catalog):
+    logical = plan(catalog, "SELECT COUNT(*) FROM r, s WHERE r.y = s.y AND r.x < s.z")
+    assert len(logical.residual_predicates) == 1
+
+
+def test_select_items_resolved_to_variables(catalog):
+    logical = plan(catalog, "SELECT MIN(r.x) AS lo, COUNT(*) FROM r, s WHERE r.y = s.y")
+    assert logical.select_items[0].function == "MIN"
+    assert logical.select_items[0].variable in logical.query.variables
+    assert logical.select_items[1].variable is None
+    assert logical.output_labels() == ["lo", "count(*)"]
+    assert logical.has_aggregates()
+
+
+def test_group_by_resolved(catalog):
+    logical = plan(catalog, "SELECT r.x, COUNT(*) FROM r, s WHERE r.y = s.y GROUP BY r.x")
+    assert logical.group_by == [logical.column_to_variable["r.x"]]
+
+
+def test_select_star(catalog):
+    logical = plan(catalog, "SELECT * FROM r")
+    assert logical.select_star
+    assert logical.output_labels() == list(logical.query.output_variables)
+
+
+def test_or_filter_pushed_to_single_table(catalog):
+    logical = plan(catalog, "SELECT COUNT(*) FROM r WHERE (r.x = 1 OR r.x = 3)")
+    assert logical.query.atom("r").table.num_rows == 2

@@ -1,0 +1,147 @@
+"""Tests for atoms, conjunctive queries, hypergraphs and the query builder."""
+
+import pytest
+
+from repro.errors import PlanError, QueryError, SchemaError
+from repro.query.atoms import Atom, Subatom
+from repro.query.builder import QueryBuilder
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.hypergraph import Hypergraph, classify_query
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def edge_table():
+    return Table.from_columns("e", {"src": [1, 2], "dst": [2, 3]})
+
+
+class TestAtom:
+    def test_variable_column_binding(self, edge_table):
+        atom = Atom("R", edge_table, ["x", "y"])
+        assert atom.column_for("x") == "src"
+        assert atom.columns_for(["y", "x"]) == ["dst", "src"]
+        assert atom.has_variable("x") and not atom.has_variable("z")
+        assert atom.size == 2
+
+    def test_arity_mismatch(self, edge_table):
+        with pytest.raises(SchemaError):
+            Atom("R", edge_table, ["x"])
+
+    def test_duplicate_variables_rejected(self, edge_table):
+        with pytest.raises(QueryError):
+            Atom("R", edge_table, ["x", "x"])
+
+    def test_subatom_construction(self, edge_table):
+        atom = Atom("R", edge_table, ["x", "y"])
+        assert atom.subatom(["y"]) == Subatom("R", ("y",))
+        assert atom.full_subatom().variables == ("x", "y")
+        with pytest.raises(QueryError):
+            atom.subatom(["nope"])
+
+    def test_unknown_variable_lookup(self, edge_table):
+        atom = Atom("R", edge_table, ["x", "y"])
+        with pytest.raises(QueryError):
+            atom.column_for("z")
+
+
+class TestSubatom:
+    def test_equality_and_hash(self):
+        assert Subatom("R", ("x",)) == Subatom("R", ["x"])
+        assert len({Subatom("R", ("x",)), Subatom("R", ("x",))}) == 1
+        assert Subatom("R", ()).is_empty()
+
+
+class TestConjunctiveQuery:
+    def test_variables_in_first_appearance_order(self, edge_table):
+        query = (
+            QueryBuilder()
+            .add_atom("R", edge_table, ["x", "y"])
+            .add_atom("S", edge_table, ["y", "z"])
+            .build()
+        )
+        assert query.variables == ("x", "y", "z")
+        assert query.output_variables == ("x", "y", "z")
+        assert query.join_variables() == ["y"]
+        assert [a.name for a in query.atoms_with_variable("y")] == ["R", "S"]
+        assert query.shared_variables("R", "S") == ["y"]
+
+    def test_duplicate_atom_names_rejected(self, edge_table):
+        builder = QueryBuilder().add_atom("R", edge_table, ["x", "y"])
+        with pytest.raises(QueryError):
+            builder.add_atom("R", edge_table, ["y", "z"])
+
+    def test_output_variables_must_cover_all(self, edge_table):
+        atom = Atom("R", edge_table, ["x", "y"])
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([atom], output_variables=["x"])
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([atom], output_variables=["x", "y", "zzz"])
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([])
+
+    def test_filtered_atom_pushdown(self, edge_table):
+        query = (
+            QueryBuilder()
+            .add_filtered_atom("R", edge_table, ["x", "y"], lambda row: row[0] == 1)
+            .build()
+        )
+        assert query.atom("R").table.to_rows() == [(1, 2)]
+
+
+class TestHypergraph:
+    def test_chain_is_acyclic(self):
+        graph = Hypergraph({"R": ["x", "y"], "S": ["y", "z"], "T": ["z", "w"]})
+        assert graph.is_acyclic()
+        assert not graph.is_cyclic()
+
+    def test_triangle_is_cyclic(self):
+        graph = Hypergraph({"R": ["x", "y"], "S": ["y", "z"], "T": ["z", "x"]})
+        assert graph.is_cyclic()
+
+    def test_star_is_acyclic(self):
+        graph = Hypergraph({"R": ["h", "a"], "S": ["h", "b"], "T": ["h", "c"]})
+        assert graph.is_acyclic()
+
+    def test_single_edge_is_acyclic(self):
+        assert Hypergraph({"R": ["x", "y", "z"]}).is_acyclic()
+
+    def test_covered_cycle_is_acyclic(self):
+        # A triangle plus an edge covering all three vertices is alpha-acyclic.
+        graph = Hypergraph({
+            "R": ["x", "y"], "S": ["y", "z"], "T": ["z", "x"],
+            "U": ["x", "y", "z"],
+        })
+        assert graph.is_acyclic()
+
+    def test_four_cycle_is_cyclic(self):
+        graph = Hypergraph({
+            "R": ["a", "b"], "S": ["b", "c"], "T": ["c", "d"], "U": ["d", "a"],
+        })
+        assert graph.is_cyclic()
+
+    def test_join_graph_and_components(self):
+        graph = Hypergraph({"R": ["x", "y"], "S": ["y", "z"], "T": ["p", "q"]})
+        assert graph.join_graph_edges() == [("R", "S")]
+        components = graph.connected_components()
+        assert len(components) == 2
+        assert not graph.is_connected()
+        assert graph.neighbors("R") == {"S"}
+
+    def test_classify_query(self, edge_table):
+        acyclic = (
+            QueryBuilder()
+            .add_atom("R", edge_table, ["x", "y"])
+            .add_atom("S", edge_table, ["y", "z"])
+            .build()
+        )
+        cyclic = (
+            QueryBuilder()
+            .add_atom("R", edge_table, ["x", "y"])
+            .add_atom("S", edge_table, ["y", "z"])
+            .add_atom("T", edge_table, ["z", "x"])
+            .build()
+        )
+        assert classify_query(acyclic) == "acyclic"
+        assert classify_query(cyclic) == "cyclic"

@@ -1,0 +1,135 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.query.expressions import Between, Comparison, InList, IsNull, Like, Not, Or
+from repro.query.sql import parse_sql, tokenize
+
+
+class TestTokenizer:
+    def test_keywords_identifiers_numbers(self):
+        tokens = tokenize("SELECT x FROM t WHERE y >= 4.5")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "IDENT", "KEYWORD", "IDENT", "KEYWORD",
+                         "IDENT", "OP", "NUMBER", "EOF"]
+        assert tokens[-2].value == 4.5
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("SELECT * FROM t WHERE a = 'it''s'")
+        strings = [t for t in tokens if t.kind == "STRING"]
+        assert strings[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT x -- comment here\nFROM t")
+        assert [t.text for t in tokens if t.kind == "KEYWORD"] == ["SELECT", "FROM"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT #")
+
+
+class TestParser:
+    def test_simple_join_query(self):
+        parsed = parse_sql(
+            "SELECT COUNT(*) FROM r, s AS t WHERE r.x = t.y AND r.z > 3"
+        )
+        assert parsed.select_items[0].function == "COUNT"
+        assert parsed.select_items[0].column is None
+        assert [(f.table, f.alias) for f in parsed.from_items] == [("r", "r"), ("s", "t")]
+        assert parsed.where is not None
+
+    def test_select_star(self):
+        parsed = parse_sql("SELECT * FROM r")
+        assert parsed.select_star
+        assert parsed.select_items == []
+
+    def test_aggregates_and_aliases(self):
+        parsed = parse_sql("SELECT MIN(t.year) AS y, MAX(t.year), t.kind FROM t GROUP BY t.kind")
+        labels = [item.label() for item in parsed.select_items]
+        assert labels == ["y", "max(t.year)", "t.kind"]
+        assert parsed.group_by == ["t.kind"]
+
+    def test_like_in_between_is_null(self):
+        parsed = parse_sql(
+            "SELECT * FROM t WHERE a LIKE 'x%' AND b IN (1, 2) "
+            "AND c BETWEEN 1 AND 5 AND d IS NOT NULL AND NOT e = 1"
+        )
+        from repro.query.expressions import conjuncts
+
+        kinds = [type(c) for c in conjuncts(parsed.where)]
+        assert kinds == [Like, InList, Between, IsNull, Not]
+
+    def test_not_like_and_not_in(self):
+        parsed = parse_sql("SELECT * FROM t WHERE a NOT LIKE 'x%' AND b NOT IN (3)")
+        from repro.query.expressions import conjuncts
+
+        like, inlist = conjuncts(parsed.where)
+        assert like.negated and inlist.negated
+
+    def test_or_precedence(self):
+        parsed = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(parsed.where, Or)
+
+    def test_parenthesized_condition(self):
+        parsed = parse_sql("SELECT * FROM t WHERE (a = 1 OR a = 2) AND b = 3")
+        from repro.query.expressions import And
+
+        assert isinstance(parsed.where, And)
+        assert isinstance(parsed.where.operands[0], Or)
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT x")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT x FROM t extra nonsense tokens ,")
+
+    def test_dangling_comparison_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT x FROM t WHERE a =")
+
+    def test_semicolon_allowed(self):
+        parsed = parse_sql("SELECT x FROM t;")
+        assert parsed.from_items[0].table == "t"
+
+
+class TestExpressions:
+    def test_comparison_null_is_false(self):
+        expr = Comparison("=", *_col_and_literal())
+        assert expr.evaluate({"t.a": None}) is False
+
+    def test_like_matching(self):
+        from repro.query.expressions import ColumnRef
+
+        expr = Like(ColumnRef("t.a"), "per%_1")
+        assert expr.evaluate({"t.a": "person_1"})
+        assert not expr.evaluate({"t.a": "person_23"})
+
+    def test_is_null(self):
+        from repro.query.expressions import ColumnRef
+
+        assert IsNull(ColumnRef("t.a")).evaluate({"t.a": None})
+        assert IsNull(ColumnRef("t.a"), negated=True).evaluate({"t.a": 1})
+
+    def test_columns_and_aliases(self):
+        parsed = parse_sql("SELECT * FROM t, u WHERE t.a = u.b AND t.c > 1")
+        assert parsed.where.columns() == frozenset({"t.a", "u.b", "t.c"})
+        assert parsed.where.aliases() == frozenset({"t", "u"})
+
+    def test_equi_join_detection(self):
+        parsed = parse_sql("SELECT * FROM t, u WHERE t.a = u.b")
+        assert parsed.where.is_equi_join()
+        parsed = parse_sql("SELECT * FROM t, u WHERE t.a = t.b")
+        assert not parsed.where.is_equi_join()
+
+
+def _col_and_literal():
+    from repro.query.expressions import ColumnRef, Literal
+
+    return ColumnRef("t.a"), Literal(3)
