@@ -9,9 +9,26 @@ at a scale small enough for a pure-Python engine; run them with::
 Each module prints the regenerated series/summary for its figure, so the
 textual output of a benchmark run doubles as the reproduction report (also
 summarized in EXPERIMENTS.md).
+
+Running benchmarks in CI
+------------------------
+Two environment variables keep CI runs fast and comparable:
+
+* ``REPRO_BENCH_SMOKE=1`` switches the whole suite to *smoke scale*: tiny
+  JOB/LSQB workloads and a reduced query subset, so the full benchmark run
+  finishes in minutes.  The CI workflow (``.github/workflows/ci.yml``) runs
+  ``scripts/make_report.py`` in this mode and uploads the machine-readable
+  ``BENCH_smoke.json`` it emits as a build artifact.
+* ``REPRO_SEED=<int>`` overrides the workload generator seeds.  The JOB and
+  LSQB generators are deterministic for a fixed seed (asserted by
+  ``tests/test_workloads.py``), so smoke numbers are comparable across CI
+  runs as long as the seed is pinned.
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 import pytest
 
@@ -19,20 +36,43 @@ from repro.engine.session import Database
 from repro.workloads.job import generate_job_workload
 from repro.workloads.lsqb import generate_lsqb_workload
 
+#: Smoke mode: tiny scales and fewer queries so CI finishes in minutes.
+BENCH_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Generator seeds; ``REPRO_SEED`` pins both so CI numbers are comparable.
+JOB_SEED = int(os.environ.get("REPRO_SEED", "42"))
+LSQB_SEED = int(os.environ.get("REPRO_SEED", "7"))
+
 #: JOB scale used by the benchmarks (the full generator scale is 1.0).
-JOB_SCALE = 0.1
+JOB_SCALE = 0.02 if BENCH_SMOKE else 0.1
 #: Subset of JOB-like queries used by per-engine comparison benchmarks.
-JOB_QUERIES = ["q01", "q03", "q05", "q06", "q08", "q11", "q13", "q16", "q19"]
+JOB_QUERIES = (
+    ["q01", "q03", "q05", "q13"]
+    if BENCH_SMOKE
+    else ["q01", "q03", "q05", "q06", "q08", "q11", "q13", "q16", "q19"]
+)
 #: LSQB scale factors swept by the benchmarks (paper: 0.1, 0.3, 1, 3).
-LSQB_SCALE_FACTORS = (0.1, 0.3)
+LSQB_SCALE_FACTORS = (0.05,) if BENCH_SMOKE else (0.1, 0.3)
 #: Engines compared throughout.
 ENGINES = ("freejoin", "binary", "generic")
+
+
+#: This directory — the hook below receives ALL collected items (the hook is
+#: global even when defined in a sub-directory conftest), so it must filter.
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ so ``-m "not bench"`` deselects it."""
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")
 def job_workload():
     """The JOB-like workload shared by all JOB benchmarks."""
-    return generate_job_workload(scale=JOB_SCALE, seed=42)
+    return generate_job_workload(scale=JOB_SCALE, seed=JOB_SEED)
 
 
 @pytest.fixture(scope="session")
@@ -45,7 +85,7 @@ def job_database(job_workload):
 def lsqb_workloads():
     """LSQB-like workloads keyed by scale factor."""
     return {
-        scale_factor: generate_lsqb_workload(scale_factor=scale_factor, seed=7)
+        scale_factor: generate_lsqb_workload(scale_factor=scale_factor, seed=LSQB_SEED)
         for scale_factor in LSQB_SCALE_FACTORS
     }
 

@@ -1,0 +1,101 @@
+"""Parallel scaling: intra-query sharding and inter-query workload throughput.
+
+This module gives every PR a scaling axis to benchmark (the paper's engine is
+multi-core; see ROADMAP).  Two series:
+
+* intra-query: one explosive JOB-like query (``q13``, the paper's Q13a
+  analogue) at shard counts 1/2/4.  The benchmark pins
+  ``parallel_mode="thread"`` so the sharded code path (partition, per-shard
+  recursion, merge) is actually exercised at benchmark scale — ``auto``
+  would collapse sub-threshold inputs to one shard — which means the series
+  measures *sharding overhead*; real wall-clock speedup additionally needs
+  process mode, inputs past the fork threshold, and multiple cores;
+* inter-query: the shared JOB query subset pushed through
+  ``Database.execute_many`` with 1 and 4 workers.
+
+Each benchmark asserts parallel/serial parity on the results it produces, so
+a scaling regression can never silently hide a correctness one.
+"""
+
+import pytest
+
+from benchmarks.conftest import JOB_QUERIES, run_queries
+from repro.engine.session import Database
+
+#: Shard counts swept by the intra-query series.
+SHARD_COUNTS = (1, 2, 4)
+#: The Q13a analogue: several large satellites joined on one skewed key.
+INTRA_QUERY = "q13"
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_intra_query_sharding(benchmark, job_workload, shards):
+    """Free Join run time on the explosive query as shards increase."""
+    database = Database(
+        job_workload.catalog, parallelism=shards, parallel_mode="thread"
+    )
+    serial = Database(job_workload.catalog)
+    expected = serial.execute(
+        job_workload.query(INTRA_QUERY).sql, name=INTRA_QUERY
+    ).rows()
+
+    def run():
+        outcome = database.execute(
+            job_workload.query(INTRA_QUERY).sql, name=INTRA_QUERY
+        )
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sorted(outcome.rows(), key=repr) == sorted(expected, key=repr)
+    if shards > 1:
+        detail = outcome.report.details["parallel"][0]
+        assert detail["shards"] == shards  # really sharded, not collapsed
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("engine", ("binary", "generic"))
+def test_intra_query_sharding_baselines(benchmark, job_workload, engine, shards):
+    """The baseline engines shard too; same query, same parity check."""
+    database = Database(
+        job_workload.catalog, parallelism=shards, parallel_mode="thread"
+    )
+    serial = Database(job_workload.catalog)
+    expected = serial.execute(
+        job_workload.query(INTRA_QUERY).sql, engine=engine, name=INTRA_QUERY
+    ).rows()
+
+    outcome = benchmark.pedantic(
+        lambda: database.execute(
+            job_workload.query(INTRA_QUERY).sql, engine=engine, name=INTRA_QUERY
+        ),
+        rounds=1, iterations=1,
+    )
+    assert sorted(outcome.rows(), key=repr) == sorted(expected, key=repr)
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+def test_inter_query_workload_throughput(benchmark, job_workload, workers):
+    """Wall-clock for the JOB subset through ``execute_many``."""
+    database = Database(job_workload.catalog)
+    queries = [job_workload.query(name) for name in JOB_QUERIES]
+
+    outcome = benchmark.pedantic(
+        lambda: database.execute_many(queries, max_workers=workers),
+        rounds=1, iterations=1,
+    )
+    assert outcome.all_ok()
+    assert len(outcome.executions) == len(JOB_QUERIES)
+    # Parity with the serial session, query by query.
+    for query in queries:
+        serial = database.execute(query.sql, name=query.name)
+        assert outcome.query(query.name).rows == serial.rows()
+
+
+def test_workload_serial_reference(benchmark, job_workload, job_database):
+    """The serial loop the throughput series is compared against."""
+    total = benchmark.pedantic(
+        run_queries,
+        args=(job_database, job_workload, "freejoin", JOB_QUERIES),
+        rounds=1, iterations=1,
+    )
+    assert total >= 0.0

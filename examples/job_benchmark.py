@@ -13,7 +13,7 @@ Run with::
 
 import sys
 
-from repro.experiments.figures import run_fig14, format_figure
+from repro.experiments.figures import run_fig14
 from repro.experiments.report import format_headline
 
 

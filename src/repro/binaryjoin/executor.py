@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.binaryjoin.hash_table import JoinHashTable
 from repro.engine.output import CountSink, OutputSink, RowSink
@@ -25,9 +25,18 @@ from repro.storage.table import Table
 
 @dataclass
 class BinaryJoinOptions:
-    """Knobs of the binary join engine."""
+    """Knobs of the binary join engine.
+
+    ``parallelism > 1`` shards each pipeline's probe loop: the left-most
+    relation's row offsets are split into that many contiguous ranges, each
+    processed by a worker with its own hash tables (see
+    :mod:`repro.parallel.intra`).  ``parallel_mode`` selects the backend
+    (``"auto"``, ``"process"`` or ``"thread"``).
+    """
 
     output: str = "rows"  # "rows" or "count"
+    parallelism: Optional[int] = None  # None = inherit the session setting
+    parallel_mode: str = "auto"
 
     def make_sink(self, variables: Sequence[str]) -> OutputSink:
         if self.output == "rows":
@@ -61,40 +70,64 @@ class BinaryJoinEngine:
         other_seconds = 0.0
         final_result = None
 
+        parallel_details: List[Dict[str, object]] = []
         for pipeline in pipelines:
             pipeline_atoms = self._resolve(pipeline, atoms)
             output_variables = self._output_variables(pipeline, pipeline_atoms, query)
+            sink_mode = options.output if pipeline.is_final else "rows"
 
-            started = time.perf_counter()
-            hash_tables = self._build_hash_tables(pipeline, pipeline_atoms)
-            build_seconds += time.perf_counter() - started
+            if (options.parallelism or 1) > 1:
+                from repro.parallel.intra import run_binary_pipeline_sharded
 
-            if pipeline.is_final:
-                sink = options.make_sink(output_variables)
+                shard_run = run_binary_pipeline_sharded(
+                    pipeline_atoms,
+                    output_variables,
+                    output=sink_mode,
+                    shard_count=options.parallelism,
+                    mode=options.parallel_mode,
+                )
+                build_seconds += shard_run.build_seconds
+                join_seconds += shard_run.join_seconds
+                parallel_details.append(shard_run.details())
+                result = shard_run.result
             else:
-                sink = RowSink(output_variables)
+                started = time.perf_counter()
+                hash_tables = self._build_hash_tables(pipeline_atoms)
+                build_seconds += time.perf_counter() - started
 
-            started = time.perf_counter()
-            self._run_pipeline(pipeline, pipeline_atoms, hash_tables, output_variables, sink)
-            join_seconds += time.perf_counter() - started
+                if pipeline.is_final:
+                    sink = options.make_sink(output_variables)
+                else:
+                    sink = RowSink(output_variables)
+
+                started = time.perf_counter()
+                self._run_pipeline(pipeline_atoms, hash_tables, output_variables, sink)
+                join_seconds += time.perf_counter() - started
+                result = sink.result()
 
             if pipeline.is_final:
-                final_result = sink.result()
+                final_result = result
             else:
                 started = time.perf_counter()
                 atoms[pipeline.output_name] = self._materialize(
-                    pipeline.output_name, sink.result()
+                    pipeline.output_name, result
                 )
                 other_seconds += time.perf_counter() - started
 
         assert final_result is not None
+        details: Dict[str, object] = {
+            "num_pipelines": len(pipelines),
+            "options": options,
+        }
+        if parallel_details:
+            details["parallel"] = parallel_details
         return RunReport(
             engine=self.name,
             result=final_result,
             build_seconds=build_seconds,
             join_seconds=join_seconds,
             other_seconds=other_seconds,
-            details={"num_pipelines": len(pipelines), "options": options},
+            details=details,
         )
 
     # ------------------------------------------------------------------ #
@@ -124,7 +157,7 @@ class BinaryJoinEngine:
 
     @staticmethod
     def _build_hash_tables(
-        pipeline: Pipeline, pipeline_atoms: List[Atom]
+        pipeline_atoms: List[Atom],
     ) -> List[Optional[JoinHashTable]]:
         """Build one hash table per probed relation (none for the left-most)."""
         tables: List[Optional[JoinHashTable]] = [None]
@@ -135,14 +168,21 @@ class BinaryJoinEngine:
             available.update(atom.variables)
         return tables
 
+    @staticmethod
     def _run_pipeline(
-        self,
-        pipeline: Pipeline,
         pipeline_atoms: List[Atom],
         hash_tables: List[Optional[JoinHashTable]],
         output_variables: List[str],
         sink: OutputSink,
+        offset_range: Optional[Tuple[int, int]] = None,
     ) -> None:
+        """Run one pipeline's probe loop over the left relation's rows.
+
+        ``offset_range`` restricts the iteration to a half-open slice of the
+        left relation's offsets; the parallel subsystem shards a pipeline by
+        giving each worker one slice (the union of the slices reproduces the
+        serial output exactly, order included).
+        """
         left = pipeline_atoms[0]
         left_columns = [
             left.table.column(left.column_for(var)).values for var in left.variables
@@ -162,7 +202,8 @@ class BinaryJoinEngine:
                     bindings[var] = value
                 probe_level(position + 1)
 
-        for offset in range(left.size):
+        start, stop = offset_range if offset_range is not None else (0, left.size)
+        for offset in range(start, stop):
             for var, column in zip(left.variables, left_columns):
                 bindings[var] = column[offset]
             probe_level(1)

@@ -8,7 +8,7 @@ two-level structure the paper identifies as a special case of the GHT: level
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.datatypes import Row
 from repro.query.atoms import Atom

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Sequence
 
 from repro.errors import PlanError
-from repro.core.plan import FreeJoinNode, FreeJoinPlan
+from repro.core.plan import FreeJoinPlan
 from repro.query.atoms import Atom, Subatom
 from repro.query.conjunctive import ConjunctiveQuery
 

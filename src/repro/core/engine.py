@@ -16,7 +16,7 @@ robustness results (Sections 5.2 and 5.4).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.colt import TrieStrategy, build_tries
@@ -24,7 +24,6 @@ from repro.core.convert import binary_to_free_join
 from repro.core.executor import FreeJoinExecutor
 from repro.core.factor import factor_plan
 from repro.core.plan import FreeJoinPlan
-from repro.core.vectorized import DEFAULT_BATCH_SIZE
 from repro.engine.output import CountSink, FactorizedSink, OutputSink, RowSink
 from repro.engine.report import RunReport
 from repro.errors import PlanError
@@ -57,6 +56,16 @@ class FreeJoinOptions:
         (Section 4.4) instead of the first cover subatom.
     output:
         ``"rows"``, ``"count"``, or ``"factorized"`` (Figure 19).
+    parallelism:
+        Number of intra-query shards.  With ``parallelism > 1`` every
+        pipeline's root cover iteration is partitioned across that many
+        workers (see :mod:`repro.parallel.intra`).  ``None`` (the default)
+        inherits the session's setting; an explicit 1 forces the serial
+        path even on a parallel session.  Factorized output always runs
+        serially.
+    parallel_mode:
+        ``"auto"`` (processes for large inputs, threads for small ones),
+        ``"process"``, or ``"thread"``.
     """
 
     trie_strategy: TrieStrategy = TrieStrategy.COLT
@@ -64,6 +73,8 @@ class FreeJoinOptions:
     factor: bool = True
     dynamic_cover: bool = True
     output: str = "rows"
+    parallelism: Optional[int] = None
+    parallel_mode: str = "auto"
 
     def make_sink(self, variables: Sequence[str]) -> OutputSink:
         """Create the output sink matching the ``output`` mode."""
@@ -103,6 +114,7 @@ class FreeJoinEngine:
         join_seconds = 0.0
         other_seconds = 0.0
         plans_used: List[str] = []
+        parallel_details: List[Dict[str, object]] = []
         final_result = None
 
         for pipeline in pipelines:
@@ -113,51 +125,79 @@ class FreeJoinEngine:
             schemas = self._schemas(plan, pipeline_atoms)
             other_seconds += time.perf_counter() - started
 
-            started = time.perf_counter()
-            tries = build_tries(pipeline_atoms, schemas, options.trie_strategy)
-            build_seconds += time.perf_counter() - started
-
             output_variables = self._pipeline_output_variables(
                 pipeline, pipeline_atoms, query
             )
-            if pipeline.is_final:
-                sink = options.make_sink(output_variables)
+            sink_mode = options.output if pipeline.is_final else "rows"
+            shard_count = options.parallelism or 1
+            # Factorized output interleaves groups in ways shards cannot
+            # reproduce; it always takes the serial path.
+            if shard_count > 1 and sink_mode in ("rows", "count"):
+                from repro.parallel.intra import run_freejoin_pipeline_sharded
+
+                shard_run = run_freejoin_pipeline_sharded(
+                    plan,
+                    output_variables,
+                    pipeline_atoms,
+                    schemas,
+                    trie_strategy=options.trie_strategy,
+                    batch_size=options.batch_size,
+                    dynamic_cover=options.dynamic_cover,
+                    output=sink_mode,
+                    shard_count=shard_count,
+                    mode=options.parallel_mode,
+                )
+                build_seconds += shard_run.build_seconds
+                join_seconds += shard_run.join_seconds
+                parallel_details.append(shard_run.details())
+                result = shard_run.result
             else:
-                sink = RowSink(output_variables)
+                started = time.perf_counter()
+                tries = build_tries(pipeline_atoms, schemas, options.trie_strategy)
+                build_seconds += time.perf_counter() - started
 
-            executor = FreeJoinExecutor(
-                plan,
-                output_variables,
-                sink,
-                dynamic_cover=options.dynamic_cover,
-                batch_size=options.batch_size,
-                factorize=(pipeline.is_final and options.output == "factorized"),
-            )
-            started = time.perf_counter()
-            executor.run(tries)
-            join_seconds += time.perf_counter() - started
+                if pipeline.is_final:
+                    sink = options.make_sink(output_variables)
+                else:
+                    sink = RowSink(output_variables)
+
+                executor = FreeJoinExecutor(
+                    plan,
+                    output_variables,
+                    sink,
+                    dynamic_cover=options.dynamic_cover,
+                    batch_size=options.batch_size,
+                    factorize=(pipeline.is_final and options.output == "factorized"),
+                )
+                started = time.perf_counter()
+                executor.run(tries)
+                join_seconds += time.perf_counter() - started
+                result = sink.result()
 
             if pipeline.is_final:
-                final_result = sink.result()
+                final_result = result
             else:
                 started = time.perf_counter()
                 atoms[pipeline.output_name] = self._materialize(
-                    pipeline.output_name, sink.result()
+                    pipeline.output_name, result
                 )
                 other_seconds += time.perf_counter() - started
 
         assert final_result is not None
+        details: Dict[str, object] = {
+            "plans": plans_used,
+            "num_pipelines": len(pipelines),
+            "options": options,
+        }
+        if parallel_details:
+            details["parallel"] = parallel_details
         return RunReport(
             engine=self.name,
             result=final_result,
             build_seconds=build_seconds,
             join_seconds=join_seconds,
             other_seconds=other_seconds,
-            details={
-                "plans": plans_used,
-                "num_pipelines": len(pipelines),
-                "options": options,
-            },
+            details=details,
         )
 
     def run_with_plan(
@@ -175,9 +215,38 @@ class FreeJoinEngine:
         options = options or self.options
         plan.validate(query)
         atoms = {atom.name: atom for atom in query.atoms}
+        schemas = self._schemas(plan, atoms)
+
+        shard_count = options.parallelism or 1
+        if shard_count > 1 and options.output in ("rows", "count"):
+            from repro.parallel.intra import run_freejoin_pipeline_sharded
+
+            shard_run = run_freejoin_pipeline_sharded(
+                plan,
+                query.output_variables,
+                atoms,
+                schemas,
+                trie_strategy=options.trie_strategy,
+                batch_size=options.batch_size,
+                dynamic_cover=options.dynamic_cover,
+                output=options.output,
+                shard_count=shard_count,
+                mode=options.parallel_mode,
+            )
+            return RunReport(
+                engine=self.name,
+                result=shard_run.result,
+                build_seconds=shard_run.build_seconds,
+                join_seconds=shard_run.join_seconds,
+                details={
+                    "plans": [repr(plan)],
+                    "options": options,
+                    "stats": shard_run.stats,
+                    "parallel": [shard_run.details()],
+                },
+            )
 
         started = time.perf_counter()
-        schemas = self._schemas(plan, atoms)
         tries = build_tries(atoms, schemas, options.trie_strategy)
         build_seconds = time.perf_counter() - started
 

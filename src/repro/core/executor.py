@@ -40,6 +40,36 @@ class ExecutorStats:
     outputs: int = 0
     batches: int = 0
 
+    def merge(self, other: "ExecutorStats") -> "ExecutorStats":
+        """Accumulate another executor's counters into this one.
+
+        Used by the parallel subsystem to combine per-shard statistics; the
+        counters partition the serial work, so ``sum(shard.outputs)`` over all
+        shards equals the serial ``outputs`` (and likewise for the other
+        counters under static cover selection).
+        """
+        self.iterations += other.iterations
+        self.probes += other.probes
+        self.failed_probes += other.failed_probes
+        self.outputs += other.outputs
+        self.batches += other.batches
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view, convenient for JSON reports and shard transport."""
+        return {
+            "iterations": self.iterations,
+            "probes": self.probes,
+            "failed_probes": self.failed_probes,
+            "outputs": self.outputs,
+            "batches": self.batches,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, int]) -> "ExecutorStats":
+        """Rebuild stats from :meth:`as_dict` output (crosses process pipes)."""
+        return cls(**record)
+
 
 @dataclass
 class CoverPlan:
@@ -177,6 +207,46 @@ class FreeJoinExecutor:
             if relation not in tries:
                 raise ExecutionError(f"no trie provided for relation {relation!r}")
         self._join(dict(tries), 0, {}, 1)
+
+    def run_sharded(
+        self, tries: Dict[str, GHT], shard_index: int, shard_count: int
+    ) -> None:
+        """Execute shard ``shard_index`` of ``shard_count`` over ``tries``.
+
+        The root node's cover trie is restricted to a contiguous slice of its
+        entries; the recursion below the root is unchanged.  The union of all
+        shards' outputs equals (as a bag) the output of :meth:`run`, and with
+        static cover selection the concatenation of shard outputs in shard
+        order reproduces the serial output order exactly.  Each shard must run
+        on its own trie instances (COLT forcing mutates trie nodes), which is
+        how the parallel subsystem uses this entry point: one trie build per
+        worker.
+        """
+        if shard_count <= 1:
+            self.run(tries)
+            return
+        if not 0 <= shard_index < shard_count:
+            raise ExecutionError(
+                f"shard index {shard_index} out of range for {shard_count} shards"
+            )
+        for relation in self.plan.relations():
+            if relation not in tries:
+                raise ExecutionError(f"no trie provided for relation {relation!r}")
+
+        from repro.parallel.sharding import ShardView
+
+        working = dict(tries)
+        info = self._nodes[0]
+        cover_position = self._choose_cover(info, working)
+        if cover_position is None:
+            # Probe-only root node: nothing to partition, the whole plan is
+            # one unit of work.  Shard 0 runs it, the others are empty.
+            if shard_index == 0:
+                self._join(working, 0, {}, 1)
+            return
+        relation = info.cover_plans[cover_position].relation
+        working[relation] = ShardView(working[relation], shard_index, shard_count)
+        self._join(working, 0, {}, 1)
 
     # ------------------------------------------------------------------ #
     # Recursive join (Figure 7)

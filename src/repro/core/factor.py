@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Set
 
-from repro.core.plan import FreeJoinNode, FreeJoinPlan
+from repro.core.plan import FreeJoinPlan
 from repro.query.atoms import Subatom
 
 

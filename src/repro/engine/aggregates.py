@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.datatypes import Row, Value
 from repro.engine.output import JoinResult
 from repro.errors import ExecutionError, QueryError
-from repro.query.planner import LogicalQuery, ResolvedSelectItem
+from repro.query.planner import LogicalQuery
 from repro.storage.table import Table
 
 

@@ -127,7 +127,10 @@ class CountSink(OutputSink):
         self._count += total
 
     def result(self) -> "JoinResult":
-        return JoinResult(variables=self.variables, rows=[], multiplicities=[], count_only=self._count)
+        return JoinResult(
+            variables=self.variables, rows=[], multiplicities=[],
+            count_only=self._count,
+        )
 
 
 @dataclass

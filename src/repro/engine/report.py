@@ -9,7 +9,7 @@ Section 2.4 and 5.3), so every engine reports it separately.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.engine.output import JoinResult
 
@@ -42,3 +42,23 @@ class RunReport:
             f"join {self.join_seconds * 1000:.2f} ms), "
             f"{self.output_count()} rows"
         )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable view of the report (timings and counters only).
+
+        ``details`` holds arbitrary objects (options, plan reprs, executor
+        stats), so only the JSON-safe parts are included: the parallel
+        execution summary, when present, is already plain data.
+        """
+        record: Dict[str, object] = {
+            "engine": self.engine,
+            "build_seconds": self.build_seconds,
+            "join_seconds": self.join_seconds,
+            "other_seconds": self.other_seconds,
+            "total_seconds": self.total_seconds,
+            "output_rows": self.output_count(),
+        }
+        parallel = self.details.get("parallel")
+        if parallel is not None:
+            record["parallel"] = parallel
+        return record

@@ -13,14 +13,13 @@ entry point example applications use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional
 
 from repro.binaryjoin.executor import BinaryJoinEngine, BinaryJoinOptions
-from repro.core.colt import TrieStrategy
 from repro.core.engine import FreeJoinEngine, FreeJoinOptions
 from repro.engine.aggregates import aggregate_result
-from repro.engine.output import JoinResult, RowSink
+from repro.engine.output import JoinResult
 from repro.engine.report import RunReport
 from repro.errors import QueryError
 from repro.genericjoin.executor import GenericJoinEngine, GenericJoinOptions
@@ -68,12 +67,30 @@ class Database:
         catalog: Optional[Catalog] = None,
         default_engine: str = "freejoin",
         freejoin_options: Optional[FreeJoinOptions] = None,
+        parallelism: int = 1,
+        parallel_mode: str = "auto",
     ) -> None:
+        """Create a session.
+
+        ``parallelism`` is the session-wide intra-query shard count: every
+        engine splits each join across that many workers unless the
+        per-query options ask for a different value.  ``parallel_mode``
+        selects the worker backend (``"auto"``, ``"process"``, ``"thread"``).
+        """
         if default_engine not in ENGINES:
             raise QueryError(f"unknown engine {default_engine!r}; choose from {ENGINES}")
+        if parallelism < 1:
+            raise QueryError(f"parallelism must be at least 1, got {parallelism}")
+        if parallel_mode not in ("auto", "process", "thread"):
+            raise QueryError(
+                f"unknown parallel mode {parallel_mode!r}; "
+                f"choose 'auto', 'process' or 'thread'"
+            )
         self.catalog = catalog or Catalog()
         self.default_engine = default_engine
         self.freejoin_options = freejoin_options or FreeJoinOptions()
+        self.parallelism = parallelism
+        self.parallel_mode = parallel_mode
         self.statistics_cache = StatisticsCache()
 
     # ------------------------------------------------------------------ #
@@ -126,6 +143,47 @@ class Database:
             join_result=join_result,
         )
 
+    def execute_many(
+        self,
+        queries: Iterable,
+        max_workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        engine: Optional[str] = None,
+        freejoin_options: Optional[FreeJoinOptions] = None,
+        mode: str = "auto",
+        collect_rows: bool = True,
+    ):
+        """Evaluate a workload of queries concurrently.
+
+        ``queries`` may contain SQL strings, ``(name, sql)`` pairs, or
+        objects with ``name``/``sql`` attributes (benchmark queries).  Each
+        query runs in its own worker — a process (with an enforced per-query
+        ``timeout``) or a thread (timeout recorded, not enforced), chosen by
+        ``mode`` — and errors are captured per query instead of aborting the
+        workload.  Returns a :class:`repro.parallel.workload.WorkloadOutcome`
+        whose per-query status/seconds/rows serialize to JSON.
+
+        Results are identical to calling :meth:`execute` serially for each
+        query; see :mod:`repro.parallel.workload` for the guarantees.
+        """
+        from repro.parallel.workload import execute_workload
+
+        if engine is not None and engine not in ENGINES:
+            raise QueryError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        return execute_workload(
+            self.catalog,
+            queries,
+            max_workers=max_workers,
+            timeout=timeout,
+            engine=engine or self.default_engine,
+            freejoin_options=freejoin_options or self.freejoin_options,
+            parallelism=self.parallelism,
+            parallel_mode=self.parallel_mode,
+            mode=mode,
+            collect_rows=collect_rows,
+            statistics_cache=self.statistics_cache,
+        )
+
     def run_join(
         self,
         logical: LogicalQuery,
@@ -137,23 +195,40 @@ class Database:
         output_mode = self._output_mode(logical)
         if engine_name == "freejoin":
             options = freejoin_options or self.freejoin_options
-            options = FreeJoinOptions(
-                trie_strategy=options.trie_strategy,
-                batch_size=options.batch_size,
-                factor=options.factor,
-                dynamic_cover=options.dynamic_cover,
+            # replace() keeps every other field as the caller set it — a
+            # hand-rolled copy here would silently reset fields added later.
+            options = replace(
+                options,
                 output=output_mode if options.output == "rows" else options.output,
+                parallelism=self._effective_parallelism(options.parallelism),
+                parallel_mode=options.parallel_mode
+                if options.parallel_mode != "auto"
+                else self.parallel_mode,
             )
             return FreeJoinEngine(options).run(logical.query, binary_plan)
         if engine_name == "binary":
-            return BinaryJoinEngine(BinaryJoinOptions(output=output_mode)).run(
-                logical.query, binary_plan
+            options = BinaryJoinOptions(
+                output=output_mode,
+                parallelism=self.parallelism,
+                parallel_mode=self.parallel_mode,
             )
+            return BinaryJoinEngine(options).run(logical.query, binary_plan)
         if engine_name == "generic":
-            return GenericJoinEngine(GenericJoinOptions(output=output_mode)).run(
-                logical.query, binary_plan
+            options = GenericJoinOptions(
+                output=output_mode,
+                parallelism=self.parallelism,
+                parallel_mode=self.parallel_mode,
             )
+            return GenericJoinEngine(options).run(logical.query, binary_plan)
         raise QueryError(f"unknown engine {engine_name!r}")
+
+    def _effective_parallelism(self, requested: Optional[int]) -> int:
+        """Per-query options win over the session default when set.
+
+        ``None`` means "inherit the session's parallelism"; an explicit 1
+        forces serial execution even on a parallel session.
+        """
+        return requested if requested is not None else self.parallelism
 
     # ------------------------------------------------------------------ #
     # Helpers

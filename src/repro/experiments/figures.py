@@ -20,10 +20,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.colt import TrieStrategy
 from repro.core.engine import FreeJoinOptions
 from repro.engine.session import Database
-from repro.experiments.harness import Measurement, run_query, run_suite
+from repro.experiments.harness import Measurement, run_suite
 from repro.experiments.report import (
     format_headline,
-    format_measurements,
     format_records,
     format_scatter,
     speedup_summary,

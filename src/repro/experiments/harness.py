@@ -9,7 +9,7 @@ aggregation").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.engine import FreeJoinOptions

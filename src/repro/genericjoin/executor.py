@@ -12,9 +12,10 @@ front and execution is strictly tuple-at-a-time (no vectorization).
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.output import CountSink, OutputSink, RowSink
 from repro.engine.report import RunReport
@@ -30,10 +31,19 @@ from repro.query.conjunctive import ConjunctiveQuery
 
 @dataclass
 class GenericJoinOptions:
-    """Knobs of the Generic Join engine."""
+    """Knobs of the Generic Join engine.
+
+    ``parallelism > 1`` shards the first variable's intersection: the
+    iteration over the smallest trie level is split into contiguous ranges,
+    one worker per range (see :mod:`repro.parallel.intra`).
+    ``parallel_mode`` selects the backend (``"auto"``, ``"process"`` or
+    ``"thread"``).
+    """
 
     output: str = "rows"  # "rows" or "count"
     variable_order: Optional[Sequence[str]] = None
+    parallelism: Optional[int] = None  # None = inherit the session setting
+    parallel_mode: str = "auto"
 
     def make_sink(self, variables: Sequence[str]) -> OutputSink:
         if self.output == "rows":
@@ -71,6 +81,31 @@ class GenericJoinEngine:
         else:
             order = default_variable_order(query)
         self._check_order(query, order)
+
+        if (options.parallelism or 1) > 1 and options.output in ("rows", "count"):
+            from repro.parallel.intra import run_generic_sharded
+
+            shard_run = run_generic_sharded(
+                list(query.atoms),
+                query.output_variables,
+                order,
+                output=options.output,
+                shard_count=options.parallelism,
+                mode=options.parallel_mode,
+            )
+            return RunReport(
+                engine=self.name,
+                result=shard_run.result,
+                build_seconds=shard_run.build_seconds,
+                join_seconds=shard_run.join_seconds,
+                details={
+                    "variable_order": order,
+                    "options": options,
+                    # One entry per sharded unit, matching the list shape the
+                    # pipelined engines report.
+                    "parallel": [shard_run.details()],
+                },
+            )
 
         started = time.perf_counter()
         tries: Dict[str, HashTrie] = {
@@ -111,16 +146,36 @@ class GenericJoinEngine:
         tries: Dict[str, HashTrie],
         sink: OutputSink,
     ) -> None:
-        output_variables = query.output_variables
+        self._execute_atoms(
+            list(query.atoms), query.output_variables, order, tries, sink
+        )
+
+    @staticmethod
+    def _execute_atoms(
+        atoms: Sequence,
+        output_variables: Sequence[str],
+        order: Sequence[str],
+        tries: Dict[str, HashTrie],
+        sink: OutputSink,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Run the Generic Join recursion over pre-built tries.
+
+        ``shard`` (shard_index, shard_count) restricts the *first* variable's
+        intersection to a contiguous slice of the smallest level's entries;
+        the parallel subsystem runs one worker per slice and the union of the
+        slices reproduces the serial output (see
+        :mod:`repro.parallel.sharding`).
+        """
         # For every variable, the atoms that contain it (their trie level is
         # keyed on it when the recursion reaches that variable).
         participants: List[List[str]] = [
-            [atom.name for atom in query.atoms if atom.has_variable(var)]
+            [atom.name for atom in atoms if atom.has_variable(var)]
             for var in order
         ]
         # Remaining variable count per atom, to detect completion (leaf).
         remaining: Dict[str, int] = {
-            atom.name: atom.arity for atom in query.atoms
+            atom.name: atom.arity for atom in atoms
         }
         nodes: Dict[str, object] = {name: trie.root for name, trie in tries.items()}
         bindings: Dict[str, object] = {}
@@ -148,7 +203,14 @@ class GenericJoinEngine:
             saved = {name: nodes[name] for name in names}
             saved_remaining = {name: remaining[name] for name in names}
 
-            for value, child in saved[smallest].items():
+            entries = saved[smallest].items()
+            if position == 0 and shard is not None:
+                from repro.parallel.sharding import shard_bounds
+
+                start, stop = shard_bounds(len(entries), shard[0], shard[1])
+                entries = itertools.islice(iter(entries), start, stop)
+
+            for value, child in entries:
                 new_multiplicity = multiplicity
                 matched = True
                 for name in others:

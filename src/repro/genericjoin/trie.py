@@ -10,7 +10,7 @@ inefficiency (Sections 2.4 and 4.2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import Dict, Sequence, Union
 
 from repro.errors import PlanError
 from repro.query.atoms import Atom

@@ -9,7 +9,7 @@ order ultimately follows the binary plan's left-to-right leaf order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.core.plan import FreeJoinPlan
 from repro.optimizer.binary_plan import BinaryPlan

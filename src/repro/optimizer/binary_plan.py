@@ -10,8 +10,8 @@ Both the binary join engine and the Free Join engine consume the decomposed
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import List, Sequence
 
 
 class PlanNode:

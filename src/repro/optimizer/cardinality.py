@@ -10,7 +10,7 @@ paper's robustness experiment where DuckDB's estimator was hijacked
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping
+from typing import Dict, FrozenSet, Mapping
 
 from repro.optimizer.statistics import TableStatistics
 from repro.query.conjunctive import ConjunctiveQuery

@@ -27,7 +27,6 @@ from repro.optimizer.binary_plan import BinaryPlan, JoinNode, LeafNode, PlanNode
 from repro.optimizer.cardinality import (
     CardinalityEstimator,
     DefaultCardinalityEstimator,
-    RelationEstimate,
 )
 from repro.optimizer.cost import CostedSubplan, join_cost, scan_cost
 from repro.optimizer.statistics import StatisticsCache, TableStatistics
@@ -79,7 +78,10 @@ class JoinOrderOptimizer:
         base = self._base_estimates(query, statistics)
         names = [atom.name for atom in query.atoms]
         if len(names) == 1:
-            return BinaryPlan(LeafNode(names[0]), estimated_cost=base[names[0]].estimate.cardinality)
+            return BinaryPlan(
+                LeafNode(names[0]),
+                estimated_cost=base[names[0]].estimate.cardinality,
+            )
 
         # Start from the relation whose estimated cardinality is largest:
         # traditional plans iterate over the largest relation and build hash

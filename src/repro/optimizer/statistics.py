@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.query.atoms import Atom
 from repro.query.conjunctive import ConjunctiveQuery
@@ -67,21 +68,64 @@ def collect_statistics(query: ConjunctiveQuery) -> Dict[str, TableStatistics]:
 
 
 class StatisticsCache:
-    """Memoizes per-table statistics keyed by table identity.
+    """Memoizes per-table statistics keyed by column identity.
 
     Workload drivers run many queries over the same base tables; caching the
     scan avoids re-analyzing each table for every query.
+
+    The key is the tuple of the table's column object ids, not ``id(table)``:
+    the planner wraps every atom in a fresh per-query ``Table`` that *shares*
+    the catalog table's column vectors, so column identity survives the
+    wrapping (one analysis per base table across the whole workload) while
+    per-query filtered tables — whose columns are new objects holding
+    different data — get their own entries.  Each entry keeps a strong
+    reference to the analyzed table so a dead object's ids can never be
+    reused for a different table (id reuse after garbage collection
+    previously produced stale statistics and nondeterministic plans).
+    Entries are bounded FIFO so long sessions cannot pin unbounded per-query
+    filtered data.
     """
 
+    #: Maximum number of cached analyses (FIFO eviction beyond this).
+    max_entries = 512
+
     def __init__(self) -> None:
-        self._cache: Dict[int, TableStatistics] = {}
+        self._cache: Dict[tuple, tuple] = {}
+        # The cache is shared across execute_many thread workers; the lock
+        # keeps the evict-then-insert sequence atomic (analysis itself runs
+        # outside the lock, so a rare concurrent miss costs one duplicate
+        # scan, never a wrong result).
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(table: Table) -> tuple:
+        return tuple(id(column) for column in table.columns)
 
     def for_table(self, table: Table) -> TableStatistics:
-        """Statistics of a table, computed once per table object."""
-        key = id(table)
-        if key not in self._cache:
-            self._cache[key] = analyze_table(table)
-        return self._cache[key]
+        """Statistics of a table, computed once per distinct column set."""
+        key = self._key(table)
+        entry = self._cache.get(key)
+        if entry is None:
+            statistics = analyze_table(table)
+            with self._lock:
+                entry = self._cache.get(key)
+                if entry is None:
+                    while len(self._cache) >= self.max_entries:
+                        self._cache.pop(next(iter(self._cache)))
+                    entry = (table, statistics)
+                    self._cache[key] = entry
+        return entry[1]
+
+    def __getstate__(self):
+        # Locks do not pickle; workload workers on spawn platforms receive a
+        # copy of the cache, which recreates its own lock on arrival.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def for_atom(self, atom: Atom) -> TableStatistics:
         """Statistics of an atom's base table."""

@@ -1,0 +1,60 @@
+"""Parallel execution subsystem: intra-query sharding and workload sessions.
+
+Two layers, mirroring how a multi-core engine would serve the paper's
+workloads in production:
+
+* :mod:`repro.parallel.intra` — *intra-query* parallelism: one join is
+  sharded by partitioning the root node's cover trie into contiguous ranges,
+  each executed by a worker (processes for large inputs, threads for small
+  ones), with per-shard :class:`~repro.core.executor.ExecutorStats`, sink
+  outputs and phase timings merged back into a single result.
+* :mod:`repro.parallel.workload` — *inter-query* parallelism: a workload of
+  SQL queries evaluated concurrently with per-query timeout and error
+  capture, returning a JSON-serializable
+  :class:`~repro.parallel.workload.WorkloadOutcome`.
+
+The engines reach the first layer through their ``parallelism`` option
+(:class:`~repro.core.engine.FreeJoinOptions`,
+:class:`~repro.binaryjoin.executor.BinaryJoinOptions`,
+:class:`~repro.genericjoin.executor.GenericJoinOptions`); sessions reach the
+second through :meth:`repro.engine.session.Database.execute_many`.
+"""
+
+from repro.parallel.intra import (
+    PROCESS_INPUT_THRESHOLD,
+    ShardedRunResult,
+    resolve_mode,
+    run_binary_pipeline_sharded,
+    run_freejoin_pipeline_sharded,
+    run_generic_sharded,
+)
+from repro.parallel.sharding import ShardView, entry_count, shard_bounds, shard_offsets
+from repro.parallel.workload import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    QueryExecution,
+    WorkloadOutcome,
+    execute_workload,
+    normalize_queries,
+)
+
+__all__ = [
+    "PROCESS_INPUT_THRESHOLD",
+    "QueryExecution",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "ShardView",
+    "ShardedRunResult",
+    "WorkloadOutcome",
+    "entry_count",
+    "execute_workload",
+    "normalize_queries",
+    "resolve_mode",
+    "run_binary_pipeline_sharded",
+    "run_freejoin_pipeline_sharded",
+    "run_generic_sharded",
+    "shard_bounds",
+    "shard_offsets",
+]

@@ -1,0 +1,511 @@
+"""Intra-query parallelism: shard one join across worker processes or threads.
+
+The unit of parallelism is the *root shard* (see
+:mod:`repro.parallel.sharding`): the iteration over the root node's cover is
+split into ``K`` contiguous ranges and each worker runs the full join
+recursion over its range.  A worker receives a pickle-able task description
+(plan + atoms + options + shard coordinates), rebuilds its tries locally —
+trie building parallelizes along with the join, and COLT forcing mutates
+nodes so tries cannot be shared across processes anyway — and ships back the
+shard's rows (or count) plus its :class:`ExecutorStats` and phase timings.
+
+Two backends are available:
+
+* ``process`` — one ``multiprocessing.Process`` per shard; under the fork
+  start method the task is inherited through the copy-on-write image (no
+  input pickling), so the per-worker cost is the fork plus the local trie
+  build, and it wins on large inputs with multiple cores.
+* ``thread`` — ``concurrent.futures.ThreadPoolExecutor``; under CPython the
+  GIL serializes the work, so this is a correctness-preserving fallback
+  (and a determinism/testing aid) rather than a speedup.
+
+``mode="auto"`` picks ``process`` for large inputs on multi-core hosts
+(threshold :data:`PROCESS_INPUT_THRESHOLD` total input tuples) and otherwise
+collapses to a single shard — K GIL-bound thread shards would multiply the
+build cost without speeding up the join.
+
+All three engines are supported: Free Join (optionally vectorized), binary
+hash join (sharding the left relation's row offsets of a pipeline) and
+Generic Join (sharding the first variable's intersection).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.colt import TrieStrategy, build_tries
+from repro.core.executor import ExecutorStats, FreeJoinExecutor
+from repro.core.plan import FreeJoinPlan
+from repro.engine.output import CountSink, JoinResult, OutputSink, RowSink
+from repro.errors import ExecutionError
+from repro.parallel.sharding import shard_bounds
+from repro.query.atoms import Atom
+
+#: Below this many total input tuples, ``mode="auto"`` uses threads: the
+#: fork/pickle/rebuild overhead of process workers would dominate the join.
+PROCESS_INPUT_THRESHOLD = 20_000
+
+#: Supported shard-output modes.  ``factorized`` output is deliberately not
+#: sharded (groups would interleave with prefix rows across shards); engines
+#: fall back to serial execution for it.
+_SHARD_OUTPUTS = ("rows", "count")
+
+
+def _make_sink(output: str, variables: Sequence[str]) -> OutputSink:
+    if output == "rows":
+        return RowSink(variables)
+    if output == "count":
+        return CountSink(variables)
+    raise ExecutionError(
+        f"sharded execution supports outputs {_SHARD_OUTPUTS}, got {output!r}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Task descriptions and shard outcomes (all pickle-able)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class FreeJoinShardTask:
+    """Everything a worker needs to run one Free Join shard."""
+
+    plan: FreeJoinPlan
+    output_variables: Tuple[str, ...]
+    atoms: Dict[str, Atom]
+    schemas: Dict[str, List[Tuple[str, ...]]]
+    trie_strategy: TrieStrategy
+    batch_size: int
+    dynamic_cover: bool
+    output: str
+    shard_index: int
+    shard_count: int
+
+
+@dataclass
+class BinaryShardTask:
+    """One binary-join pipeline shard: a slice of the left relation's rows."""
+
+    pipeline_atoms: List[Atom]
+    output_variables: List[str]
+    output: str
+    shard_index: int
+    shard_count: int
+
+
+@dataclass
+class GenericShardTask:
+    """One Generic Join shard: a slice of the first variable's intersection."""
+
+    atoms: List[Atom]
+    output_variables: Tuple[str, ...]
+    order: List[str]
+    output: str
+    shard_index: int
+    shard_count: int
+
+
+@dataclass
+class ShardOutcome:
+    """What one worker ships back through the pool."""
+
+    shard_index: int
+    rows: List[tuple] = field(default_factory=list)
+    multiplicities: List[int] = field(default_factory=list)
+    count: int = 0
+    stats: Optional[Dict[str, int]] = None
+    build_seconds: float = 0.0
+    join_seconds: float = 0.0
+
+
+@dataclass
+class ShardedRunResult:
+    """A merged parallel run: the combined result plus per-shard accounting."""
+
+    result: JoinResult
+    stats: Optional[ExecutorStats]
+    build_seconds: float
+    join_seconds: float
+    mode: str
+    shard_count: int
+    shard_details: List[Dict[str, object]] = field(default_factory=list)
+
+    def details(self) -> Dict[str, object]:
+        """Summary suitable for :attr:`RunReport.details` / JSON reports."""
+        return {
+            "mode": self.mode,
+            "shards": self.shard_count,
+            "per_shard": self.shard_details,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Workers (module-level so they pickle under every start method)
+# --------------------------------------------------------------------------- #
+
+
+def _run_freejoin_shard(task: FreeJoinShardTask) -> ShardOutcome:
+    started = time.perf_counter()
+    tries = build_tries(task.atoms, task.schemas, task.trie_strategy)
+    build_seconds = time.perf_counter() - started
+
+    sink = _make_sink(task.output, task.output_variables)
+    executor = FreeJoinExecutor(
+        task.plan,
+        task.output_variables,
+        sink,
+        dynamic_cover=task.dynamic_cover,
+        batch_size=task.batch_size,
+        factorize=False,
+    )
+    started = time.perf_counter()
+    executor.run_sharded(tries, task.shard_index, task.shard_count)
+    join_seconds = time.perf_counter() - started
+
+    result = sink.result()
+    return ShardOutcome(
+        shard_index=task.shard_index,
+        rows=result.rows,
+        multiplicities=result.multiplicities,
+        count=result.count_only or 0,
+        stats=executor.stats.as_dict(),
+        build_seconds=build_seconds,
+        join_seconds=join_seconds,
+    )
+
+
+def _run_binary_shard(task: BinaryShardTask) -> ShardOutcome:
+    # Imported here (not at module top) to keep the dependency one-way at
+    # import time: binaryjoin.executor lazily imports this module as well.
+    from repro.binaryjoin.executor import BinaryJoinEngine
+
+    started = time.perf_counter()
+    hash_tables = BinaryJoinEngine._build_hash_tables(task.pipeline_atoms)
+    build_seconds = time.perf_counter() - started
+
+    sink = _make_sink(task.output, task.output_variables)
+    left_size = task.pipeline_atoms[0].size
+    offset_range = shard_bounds(left_size, task.shard_index, task.shard_count)
+    started = time.perf_counter()
+    BinaryJoinEngine._run_pipeline(
+        task.pipeline_atoms,
+        hash_tables,
+        task.output_variables,
+        sink,
+        offset_range=offset_range,
+    )
+    join_seconds = time.perf_counter() - started
+
+    result = sink.result()
+    return ShardOutcome(
+        shard_index=task.shard_index,
+        rows=result.rows,
+        multiplicities=result.multiplicities,
+        count=result.count_only or 0,
+        build_seconds=build_seconds,
+        join_seconds=join_seconds,
+    )
+
+
+def _run_generic_shard(task: GenericShardTask) -> ShardOutcome:
+    from repro.genericjoin.executor import GenericJoinEngine
+    from repro.genericjoin.trie import build_hash_trie
+
+    started = time.perf_counter()
+    tries = {
+        atom.name: build_hash_trie(atom, task.order) for atom in task.atoms
+    }
+    build_seconds = time.perf_counter() - started
+
+    sink = _make_sink(task.output, task.output_variables)
+    started = time.perf_counter()
+    GenericJoinEngine._execute_atoms(
+        task.atoms,
+        task.output_variables,
+        task.order,
+        tries,
+        sink,
+        shard=(task.shard_index, task.shard_count),
+    )
+    join_seconds = time.perf_counter() - started
+
+    result = sink.result()
+    return ShardOutcome(
+        shard_index=task.shard_index,
+        rows=result.rows,
+        multiplicities=result.multiplicities,
+        count=result.count_only or 0,
+        build_seconds=build_seconds,
+        join_seconds=join_seconds,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Dispatch
+# --------------------------------------------------------------------------- #
+
+
+def resolve_mode(mode: str, shard_count: int, input_tuples: int) -> str:
+    """Resolve ``auto`` into ``process`` or ``thread``.
+
+    Small inputs fall back to threads: forking workers, re-pickling the
+    tables and rebuilding tries per worker costs more than the join saves.
+    """
+    if mode in ("process", "thread"):
+        return mode
+    if mode != "auto":
+        raise ExecutionError(
+            f"unknown parallel mode {mode!r}; choose 'auto', 'process' or 'thread'"
+        )
+    if shard_count <= 1 or input_tuples < PROCESS_INPUT_THRESHOLD:
+        return "thread"
+    if (multiprocessing.cpu_count() or 1) <= 1:
+        # One core: processes only add fork/transfer overhead on top of the
+        # same serialized CPU time.
+        return "thread"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        # Without fork the tables would be pickled into every spawned worker
+        # plus an interpreter cold-start each — the exact overhead the
+        # threshold rationale assumes away.  Explicit mode="process" still
+        # allows it for users who know their workload amortizes the cost.
+        return "thread"
+    return "process"
+
+
+def _fork_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _shard_entry(connection, worker, task) -> None:
+    """Process entry point: run one shard and ship its outcome back."""
+    try:
+        payload = worker(task)
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        payload = {"__error__": f"{type(exc).__name__}: {exc}"}
+    try:
+        connection.send(payload)
+    finally:
+        connection.close()
+
+
+def _run_tasks(tasks: Sequence, worker, mode: str) -> List[ShardOutcome]:
+    if len(tasks) == 1:
+        return [worker(tasks[0])]
+    if mode == "thread":
+        with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
+            return list(pool.map(worker, tasks))
+    # Raw processes instead of a pool: under the fork start method the task
+    # (plan + base tables) is inherited through the copy-on-write image, so
+    # nothing is pickled on the way in — only shard outcomes cross a pipe.
+    # A pool would re-pickle the full table set for every worker.
+    context = _fork_context()
+    workers = []
+    for task in tasks:
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_shard_entry, args=(sender, worker, task), daemon=True
+        )
+        process.start()
+        sender.close()
+        workers.append((process, receiver, task))
+    outcomes: List[ShardOutcome] = []
+    errors: List[str] = []
+    for process, receiver, task in workers:
+        try:
+            payload = receiver.recv()
+        except (EOFError, OSError):
+            payload = {"__error__": "shard worker exited without a result"}
+        receiver.close()
+        process.join()
+        if isinstance(payload, dict) and "__error__" in payload:
+            errors.append(f"shard {task.shard_index}: {payload['__error__']}")
+        else:
+            outcomes.append(payload)
+    if errors:
+        raise ExecutionError("; ".join(errors))
+    return outcomes
+
+
+def _merge_outcomes(
+    variables: Sequence[str],
+    output: str,
+    outcomes: List[ShardOutcome],
+    mode: str,
+    merge_stats: bool,
+) -> ShardedRunResult:
+    """Combine shard outcomes in shard order.
+
+    Rows are concatenated in shard order, so (with static cover selection)
+    the merged row order is byte-identical to the serial executor's output;
+    see :mod:`repro.parallel.sharding`.
+    """
+    rows: List[tuple] = []
+    multiplicities: List[int] = []
+    count = 0
+    stats = ExecutorStats() if merge_stats else None
+    details: List[Dict[str, object]] = []
+    build_seconds = 0.0
+    join_seconds = 0.0
+    for outcome in outcomes:
+        rows.extend(outcome.rows)
+        multiplicities.extend(outcome.multiplicities)
+        count += outcome.count
+        if stats is not None and outcome.stats is not None:
+            stats.merge(ExecutorStats.from_dict(outcome.stats))
+        # Workers run concurrently, so the parallel phase cost is the slowest
+        # shard, not the sum.
+        build_seconds = max(build_seconds, outcome.build_seconds)
+        join_seconds = max(join_seconds, outcome.join_seconds)
+        details.append(
+            {
+                "shard": outcome.shard_index,
+                "outputs": (
+                    outcome.count if output == "count" else len(outcome.rows)
+                ),
+                "build_seconds": outcome.build_seconds,
+                "join_seconds": outcome.join_seconds,
+                "stats": outcome.stats,
+            }
+        )
+    if output == "count":
+        result = JoinResult(
+            variables=tuple(variables), rows=[], multiplicities=[], count_only=count
+        )
+    else:
+        result = JoinResult(
+            variables=tuple(variables), rows=rows, multiplicities=multiplicities
+        )
+    return ShardedRunResult(
+        result=result,
+        stats=stats,
+        build_seconds=build_seconds,
+        join_seconds=join_seconds,
+        mode=mode,
+        shard_count=len(outcomes),
+        shard_details=details,
+    )
+
+
+def _resolve_shards(mode: str, shard_count: int, input_tuples: int):
+    """Resolve the backend and the effective shard count together.
+
+    When ``auto`` falls back to threads, collapse to one shard: K
+    GIL-serialized shards would multiply the build cost K times for no join
+    speedup.  An explicit ``thread`` mode keeps the requested shard count
+    (deterministic sharded execution is useful for tests and accounting).
+    """
+    resolved = resolve_mode(mode, shard_count, input_tuples)
+    if resolved == "thread" and mode == "auto":
+        shard_count = 1
+    return resolved, shard_count
+
+
+# --------------------------------------------------------------------------- #
+# Public entry points (one per engine)
+# --------------------------------------------------------------------------- #
+
+
+def run_freejoin_pipeline_sharded(
+    plan: FreeJoinPlan,
+    output_variables: Sequence[str],
+    atoms: Dict[str, Atom],
+    schemas: Dict[str, List[Tuple[str, ...]]],
+    *,
+    trie_strategy: TrieStrategy = TrieStrategy.COLT,
+    batch_size: int = 1,
+    dynamic_cover: bool = True,
+    output: str = "rows",
+    shard_count: int = 2,
+    mode: str = "auto",
+) -> ShardedRunResult:
+    """Run one Free Join (pipeline) plan sharded ``shard_count`` ways."""
+    if output not in _SHARD_OUTPUTS:
+        raise ExecutionError(
+            f"sharded execution supports outputs {_SHARD_OUTPUTS}, got {output!r}"
+        )
+    input_tuples = sum(atom.size for atom in atoms.values())
+    resolved, shard_count = _resolve_shards(mode, shard_count, input_tuples)
+    tasks = [
+        FreeJoinShardTask(
+            plan=plan,
+            output_variables=tuple(output_variables),
+            atoms=atoms,
+            schemas=schemas,
+            trie_strategy=trie_strategy,
+            batch_size=batch_size,
+            dynamic_cover=dynamic_cover,
+            output=output,
+            shard_index=index,
+            shard_count=shard_count,
+        )
+        for index in range(shard_count)
+    ]
+    outcomes = _run_tasks(tasks, _run_freejoin_shard, resolved)
+    return _merge_outcomes(output_variables, output, outcomes, resolved, True)
+
+
+def run_binary_pipeline_sharded(
+    pipeline_atoms: List[Atom],
+    output_variables: List[str],
+    *,
+    output: str = "rows",
+    shard_count: int = 2,
+    mode: str = "auto",
+) -> ShardedRunResult:
+    """Run one binary-join pipeline with its probe loop sharded."""
+    if output not in _SHARD_OUTPUTS:
+        raise ExecutionError(
+            f"sharded execution supports outputs {_SHARD_OUTPUTS}, got {output!r}"
+        )
+    input_tuples = sum(atom.size for atom in pipeline_atoms)
+    resolved, shard_count = _resolve_shards(mode, shard_count, input_tuples)
+    tasks = [
+        BinaryShardTask(
+            pipeline_atoms=pipeline_atoms,
+            output_variables=list(output_variables),
+            output=output,
+            shard_index=index,
+            shard_count=shard_count,
+        )
+        for index in range(shard_count)
+    ]
+    outcomes = _run_tasks(tasks, _run_binary_shard, resolved)
+    return _merge_outcomes(output_variables, output, outcomes, resolved, False)
+
+
+def run_generic_sharded(
+    atoms: List[Atom],
+    output_variables: Sequence[str],
+    order: Sequence[str],
+    *,
+    output: str = "rows",
+    shard_count: int = 2,
+    mode: str = "auto",
+) -> ShardedRunResult:
+    """Run one Generic Join with the first intersection sharded."""
+    if output not in _SHARD_OUTPUTS:
+        raise ExecutionError(
+            f"sharded execution supports outputs {_SHARD_OUTPUTS}, got {output!r}"
+        )
+    input_tuples = sum(atom.size for atom in atoms)
+    resolved, shard_count = _resolve_shards(mode, shard_count, input_tuples)
+    tasks = [
+        GenericShardTask(
+            atoms=list(atoms),
+            output_variables=tuple(output_variables),
+            order=list(order),
+            output=output,
+            shard_index=index,
+            shard_count=shard_count,
+        )
+        for index in range(shard_count)
+    ]
+    outcomes = _run_tasks(tasks, _run_generic_shard, resolved)
+    return _merge_outcomes(output_variables, output, outcomes, resolved, False)

@@ -1,0 +1,554 @@
+"""Inter-query parallelism: evaluate a workload of SQL queries concurrently.
+
+:func:`execute_workload` is the machinery behind
+:meth:`repro.engine.session.Database.execute_many`.  It follows the shape of
+experiment runners like PostBOUND's: each query runs in its own worker with a
+per-query timeout and error capture, and the workload returns a structured
+:class:`WorkloadOutcome` (per-query status, seconds, rows) that serializes to
+JSON for benchmark artifacts and CI gates.
+
+Backends:
+
+* ``process`` — one ``multiprocessing.Process`` per query (at most
+  ``max_workers`` alive at a time), results shipped back over a pipe.  This
+  is the only mode with *enforced* timeouts: an overdue worker is terminated
+  and the query is recorded as ``"timeout"``.
+* ``thread`` — a thread pool sharing the calling process.  The GIL
+  serializes CPU-bound query work, and a running query cannot be interrupted,
+  so timeouts are only *recorded*: a query whose measured time exceeds the
+  budget completes but is marked ``"timeout"``.
+
+``mode="auto"`` picks ``process`` when the platform can fork and more than
+one worker is requested, ``thread`` otherwise.  Either way each worker
+evaluates its query with a fresh :class:`Database` over the shared catalog,
+so results are identical to serial execution query by query.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.connection
+import os
+import re
+import signal
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import QueryError
+
+#: Query states reported by the workload runner.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class QueryExecution:
+    """The outcome of one query within a workload run."""
+
+    name: str
+    sql: str
+    engine: str
+    status: str
+    seconds: float = 0.0
+    row_count: int = 0
+    columns: Tuple[str, ...] = ()
+    rows: Optional[List[tuple]] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def as_dict(self, include_rows: bool = True) -> Dict[str, object]:
+        """JSON-serializable record of this execution."""
+        record: Dict[str, object] = {
+            "name": self.name,
+            "sql": self.sql,
+            "engine": self.engine,
+            "status": self.status,
+            "seconds": self.seconds,
+            "row_count": self.row_count,
+            "columns": list(self.columns),
+        }
+        if self.error:
+            record["error"] = self.error
+        if include_rows and self.rows is not None:
+            record["rows"] = [list(row) for row in self.rows]
+        return record
+
+
+@dataclass
+class WorkloadOutcome:
+    """The structured result of one :func:`execute_workload` run."""
+
+    executions: List[QueryExecution]
+    wall_seconds: float
+    max_workers: int
+    mode: str
+    timeout: Optional[float] = None
+
+    def query(self, name: str) -> QueryExecution:
+        """Look up one query's execution by name."""
+        for execution in self.executions:
+            if execution.name == name:
+                return execution
+        raise KeyError(f"no query named {name!r} in this workload outcome")
+
+    def by_status(self, status: str) -> List[QueryExecution]:
+        return [e for e in self.executions if e.status == status]
+
+    @property
+    def ok_count(self) -> int:
+        return len(self.by_status(STATUS_OK))
+
+    @property
+    def error_count(self) -> int:
+        return len(self.by_status(STATUS_ERROR))
+
+    @property
+    def timeout_count(self) -> int:
+        return len(self.by_status(STATUS_TIMEOUT))
+
+    def all_ok(self) -> bool:
+        return self.ok_count == len(self.executions)
+
+    def total_query_seconds(self) -> float:
+        """Sum of per-query times (compare against ``wall_seconds``)."""
+        return sum(e.seconds for e in self.executions)
+
+    def as_dict(self, include_rows: bool = False) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "max_workers": self.max_workers,
+            "timeout": self.timeout,
+            "wall_seconds": self.wall_seconds,
+            "query_count": len(self.executions),
+            "ok": self.ok_count,
+            "errors": self.error_count,
+            "timeouts": self.timeout_count,
+            "queries": [e.as_dict(include_rows=include_rows) for e in self.executions],
+        }
+
+    def to_json(self, include_rows: bool = False, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(include_rows=include_rows), indent=indent)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{len(self.executions)} queries in {self.wall_seconds:.2f} s wall "
+            f"({self.total_query_seconds():.2f} s of query time) via "
+            f"{self.max_workers} {self.mode} worker(s): "
+            f"{self.ok_count} ok, {self.error_count} errors, "
+            f"{self.timeout_count} timeouts"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Normalization and the single-query runner
+# --------------------------------------------------------------------------- #
+
+
+def normalize_queries(queries: Iterable) -> List[Tuple[str, str]]:
+    """Coerce a workload into ``(name, sql)`` pairs.
+
+    Accepts plain SQL strings (named ``q000``, ``q001``, ...), ``(name, sql)``
+    pairs, and objects with ``name``/``sql`` attributes (e.g.
+    :class:`repro.workloads.job.BenchmarkQuery`).
+    """
+    normalized: List[Tuple[str, str]] = []
+    for index, query in enumerate(queries):
+        if isinstance(query, str):
+            normalized.append((f"q{index:03d}", query))
+        elif isinstance(query, (tuple, list)) and len(query) == 2:
+            normalized.append((str(query[0]), str(query[1])))
+        elif hasattr(query, "name") and hasattr(query, "sql"):
+            normalized.append((str(query.name), str(query.sql)))
+        else:
+            raise QueryError(
+                f"cannot interpret workload entry {query!r}; pass SQL strings, "
+                f"(name, sql) pairs, or objects with .name/.sql"
+            )
+    names = [name for name, _ in normalized]
+    if len(set(names)) != len(names):
+        raise QueryError(f"workload query names must be unique, got {names}")
+    return normalized
+
+
+def _execute_single(
+    catalog,
+    name: str,
+    sql: str,
+    engine: Optional[str],
+    freejoin_options,
+    parallelism: int,
+    parallel_mode: str,
+    collect_rows: bool,
+    timeout: Optional[float],
+    statistics_cache=None,
+) -> Dict[str, object]:
+    """Run one query on a fresh Database; never raises.
+
+    Returns a plain-dict record (pickle-friendly for the process backend).
+    A fresh session per worker keeps the statistics cache and any engine
+    options strictly local, so concurrent queries cannot observe each other.
+    """
+    from repro.engine.session import Database
+
+    started = time.perf_counter()
+    try:
+        database = Database(
+            catalog,
+            freejoin_options=freejoin_options,
+            parallelism=parallelism,
+            parallel_mode=parallel_mode,
+        )
+        if statistics_cache is not None:
+            # Reuse the caller's per-table statistics: the cache is keyed by
+            # table identity, which survives fork (copy-on-write) and thread
+            # sharing, so pre-analyzed tables are never re-scanned per query.
+            database.statistics_cache = statistics_cache
+        outcome = database.execute(sql, engine=engine, name=name)
+        seconds = time.perf_counter() - started
+        if collect_rows:
+            rows = outcome.table.to_rows()
+            row_count = len(rows)
+        else:
+            rows = None
+            row_count = outcome.table.num_rows
+        status = STATUS_OK
+        if timeout is not None and seconds > timeout:
+            # Thread/inline backends cannot interrupt a running query; record
+            # the overrun so callers still see the budget violation.
+            status = STATUS_TIMEOUT
+        return {
+            "name": name,
+            "sql": sql,
+            "engine": engine or database.default_engine,
+            "status": status,
+            "seconds": seconds,
+            "row_count": row_count,
+            "columns": tuple(outcome.table.column_names),
+            "rows": rows,
+            "error": "",
+        }
+    except Exception as exc:  # noqa: BLE001 - the whole point is capture
+        return {
+            "name": name,
+            "sql": sql,
+            "engine": engine or "",
+            "status": STATUS_ERROR,
+            "seconds": time.perf_counter() - started,
+            "row_count": 0,
+            "columns": (),
+            "rows": None,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+def _query_worker(
+    connection,
+    catalog,
+    name: str,
+    sql: str,
+    engine: Optional[str],
+    freejoin_options,
+    parallelism: int,
+    parallel_mode: str,
+    collect_rows: bool,
+    statistics_cache=None,
+) -> None:
+    """Process entry point: run one query and ship the record back."""
+    try:
+        # Become a process-group leader so a timeout can kill this worker
+        # *and* any intra-query shard processes it forked, in one signal.
+        os.setpgid(0, 0)
+    except (AttributeError, OSError):  # pragma: no cover - platform-specific
+        pass
+    record = _execute_single(
+        catalog, name, sql, engine, freejoin_options, parallelism, parallel_mode,
+        collect_rows, timeout=None, statistics_cache=statistics_cache,
+    )
+    try:
+        connection.send(record)
+    finally:
+        connection.close()
+
+
+# --------------------------------------------------------------------------- #
+# Backends
+# --------------------------------------------------------------------------- #
+
+
+def resolve_workload_mode(mode: str, max_workers: int) -> str:
+    """Resolve ``auto`` into ``process`` or ``thread``."""
+    if mode in ("process", "thread"):
+        return mode
+    if mode != "auto":
+        raise QueryError(
+            f"unknown workload mode {mode!r}; choose 'auto', 'process' or 'thread'"
+        )
+    can_fork = "fork" in multiprocessing.get_all_start_methods()
+    if max_workers > 1 and can_fork:
+        return "process"
+    return "thread"
+
+
+@dataclass
+class _ActiveWorker:
+    process: multiprocessing.Process
+    name: str
+    sql: str
+    started: float
+    deadline: Optional[float]
+
+
+def _run_process_backend(
+    catalog,
+    queries: List[Tuple[str, str]],
+    max_workers: int,
+    timeout: Optional[float],
+    engine: Optional[str],
+    freejoin_options,
+    parallelism: int,
+    parallel_mode: str,
+    collect_rows: bool,
+    statistics_cache=None,
+) -> Dict[str, QueryExecution]:
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    pending = deque(queries)
+    active: Dict[object, _ActiveWorker] = {}
+    records: Dict[str, QueryExecution] = {}
+
+    def finalize(record: Dict[str, object]) -> None:
+        rows = record.pop("rows")
+        execution = QueryExecution(**record)
+        execution.rows = rows
+        if (
+            timeout is not None
+            and execution.status == STATUS_OK
+            and execution.seconds > timeout
+        ):
+            # A worker that finished over budget before the deadline sweep
+            # ran is still an overrun; mirror the thread backend so gates
+            # keyed on timeout_count behave the same on both backends.
+            execution.status = STATUS_TIMEOUT
+        records[execution.name] = execution
+
+    def terminate(process: multiprocessing.Process) -> None:
+        # Kill the worker's whole process group (it made itself leader), so
+        # intra-query shard children die with it; fall back to terminating
+        # just the worker if the group does not exist yet.
+        try:
+            os.killpg(process.pid, signal.SIGTERM)
+        except (AttributeError, OSError):
+            process.terminate()
+        process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            process.kill()
+            process.join()
+
+    try:
+        _drive_process_workers(
+            context, pending, active, records, max_workers, timeout, engine,
+            freejoin_options, parallelism, parallel_mode, collect_rows,
+            catalog, statistics_cache, finalize, terminate,
+        )
+    finally:
+        # An exception (including KeyboardInterrupt) must not orphan the
+        # non-daemonic workers: they sit in their own process groups (so the
+        # terminal's SIGINT never reaches them) and the interpreter would
+        # block at exit joining them.
+        for connection, worker in list(active.items()):
+            terminate(worker.process)
+            connection.close()
+    return records
+
+
+def _drive_process_workers(
+    context, pending, active, records, max_workers, timeout, engine,
+    freejoin_options, parallelism, parallel_mode, collect_rows,
+    catalog, statistics_cache, finalize, terminate,
+) -> None:
+    while pending or active:
+        while pending and len(active) < max_workers:
+            name, sql = pending.popleft()
+            receiver, sender = context.Pipe(duplex=False)
+            # Not daemonic: a query worker may itself fork intra-query shard
+            # processes (parallelism > 1), which daemonic processes cannot.
+            # The scheduler below always joins or terminates every worker.
+            process = context.Process(
+                target=_query_worker,
+                args=(
+                    sender, catalog, name, sql, engine, freejoin_options,
+                    parallelism, parallel_mode, collect_rows, statistics_cache,
+                ),
+            )
+            now = time.perf_counter()
+            process.start()
+            sender.close()
+            active[receiver] = _ActiveWorker(
+                process=process,
+                name=name,
+                sql=sql,
+                started=now,
+                deadline=(now + timeout) if timeout is not None else None,
+            )
+
+        wait_for: Optional[float] = None
+        now = time.perf_counter()
+        deadlines = [w.deadline for w in active.values() if w.deadline is not None]
+        if deadlines:
+            wait_for = max(0.0, min(deadlines) - now)
+        ready = multiprocessing.connection.wait(list(active), timeout=wait_for)
+
+        for connection in ready:
+            worker = active.pop(connection)
+            try:
+                record = connection.recv()
+            except (EOFError, OSError):
+                record = {
+                    "name": worker.name,
+                    "sql": worker.sql,
+                    "engine": engine or "",
+                    "status": STATUS_ERROR,
+                    "seconds": time.perf_counter() - worker.started,
+                    "row_count": 0,
+                    "columns": (),
+                    "rows": None,
+                    "error": "worker exited without reporting a result",
+                }
+            finalize(record)
+            connection.close()
+            worker.process.join()
+
+        now = time.perf_counter()
+        for connection, worker in list(active.items()):
+            if worker.deadline is not None and now >= worker.deadline:
+                terminate(worker.process)
+                connection.close()
+                del active[connection]
+                records[worker.name] = QueryExecution(
+                    name=worker.name,
+                    sql=worker.sql,
+                    engine=engine or "",
+                    status=STATUS_TIMEOUT,
+                    seconds=now - worker.started,
+                    error=f"terminated after exceeding {timeout} s",
+                )
+
+
+def _run_thread_backend(
+    catalog,
+    queries: List[Tuple[str, str]],
+    max_workers: int,
+    timeout: Optional[float],
+    engine: Optional[str],
+    freejoin_options,
+    parallelism: int,
+    parallel_mode: str,
+    collect_rows: bool,
+    statistics_cache=None,
+) -> Dict[str, QueryExecution]:
+    records: Dict[str, QueryExecution] = {}
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            name: pool.submit(
+                _execute_single, catalog, name, sql, engine, freejoin_options,
+                parallelism, parallel_mode, collect_rows, timeout,
+                statistics_cache,
+            )
+            for name, sql in queries
+        }
+        for name, future in futures.items():
+            record = future.result()
+            rows = record.pop("rows")
+            execution = QueryExecution(**record)
+            execution.rows = rows
+            records[name] = execution
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+
+
+def execute_workload(
+    catalog,
+    queries: Iterable,
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    engine: Optional[str] = None,
+    freejoin_options=None,
+    parallelism: int = 1,
+    parallel_mode: str = "auto",
+    mode: str = "auto",
+    collect_rows: bool = True,
+    statistics_cache=None,
+) -> WorkloadOutcome:
+    """Evaluate ``queries`` over ``catalog`` concurrently.
+
+    See the module docstring for backend/timeout semantics.  ``parallelism``
+    is forwarded to each worker's session, so intra-query sharding composes
+    with inter-query concurrency (workers times shards processes in total —
+    size accordingly).
+    """
+    normalized = normalize_queries(queries)
+    # Resolve the engine label up front so every record — including timeout
+    # and worker-crash records built by the scheduler, not the worker —
+    # names the engine that (would have) run.  ``None`` means the session
+    # default, which is the freejoin engine.
+    engine = engine or "freejoin"
+    if max_workers is None:
+        max_workers = min(8, multiprocessing.cpu_count() or 1, max(1, len(normalized)))
+    if max_workers < 1:
+        raise QueryError(f"max_workers must be at least 1, got {max_workers}")
+    if timeout is not None and timeout <= 0:
+        raise QueryError(f"timeout must be positive, got {timeout}")
+    resolved = resolve_workload_mode(mode, max_workers)
+
+    if resolved == "process" and statistics_cache is not None:
+        # Warm the cache before forking: the copy-on-write image then hands
+        # every worker pre-analyzed table statistics (the cache is keyed by
+        # table identity, which fork preserves), instead of each worker
+        # re-scanning every base table its query touches.  Only tables the
+        # workload's SQL actually names are analyzed — a catalog may hold
+        # large tables no query touches.
+        referenced = " ".join(sql for _, sql in normalized)
+        for table_name in catalog.table_names():
+            if re.search(rf"\b{re.escape(table_name)}\b", referenced):
+                statistics_cache.for_table(catalog.get(table_name))
+
+    started = time.perf_counter()
+    if not normalized:
+        return WorkloadOutcome(
+            executions=[], wall_seconds=0.0, max_workers=max_workers,
+            mode=resolved, timeout=timeout,
+        )
+    if resolved == "process":
+        records = _run_process_backend(
+            catalog, normalized, max_workers, timeout, engine, freejoin_options,
+            parallelism, parallel_mode, collect_rows, statistics_cache,
+        )
+    else:
+        records = _run_thread_backend(
+            catalog, normalized, max_workers, timeout, engine, freejoin_options,
+            parallelism, parallel_mode, collect_rows, statistics_cache,
+        )
+    wall_seconds = time.perf_counter() - started
+
+    executions = [records[name] for name, _ in normalized]
+    return WorkloadOutcome(
+        executions=executions,
+        wall_seconds=wall_seconds,
+        max_workers=max_workers,
+        mode=resolved,
+        timeout=timeout,
+    )

@@ -13,7 +13,7 @@ generators use::
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.errors import QueryError
 from repro.query.atoms import Atom

@@ -9,7 +9,7 @@ projections/aggregates happen after the join.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import QueryError
 from repro.query.atoms import Atom

@@ -9,7 +9,7 @@ two classes).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from repro.query.conjunctive import ConjunctiveQuery
 

@@ -31,7 +31,7 @@ job of :mod:`repro.query.planner`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 from repro.datatypes import Value
 from repro.errors import SQLSyntaxError

@@ -13,7 +13,6 @@ from typing import Optional, Sequence, Union
 
 from repro.datatypes import format_value, parse_value
 from repro.errors import SchemaError
-from repro.storage.column import Column
 from repro.storage.table import Table
 
 PathLike = Union[str, Path]

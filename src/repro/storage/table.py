@@ -9,7 +9,7 @@ and row offsets rather than materializing row objects.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.datatypes import Row, Value, rows_to_columns
 from repro.errors import SchemaError

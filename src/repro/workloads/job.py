@@ -21,8 +21,8 @@ analogue: several large satellites joined on the same join key.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table

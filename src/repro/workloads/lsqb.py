@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table

@@ -13,7 +13,12 @@ from repro.genericjoin.executor import GenericJoinEngine, GenericJoinOptions
 from repro.optimizer.join_order import optimize_query
 from repro.query.builder import QueryBuilder
 from repro.storage.table import Table
-from repro.workloads.synthetic import clover_instance, clover_query, triangle_instance, triangle_query
+from repro.workloads.synthetic import (
+    clover_instance,
+    clover_query,
+    triangle_instance,
+    triangle_query,
+)
 
 
 # --------------------------------------------------------------------------- #

@@ -16,7 +16,12 @@ from repro.optimizer.binary_plan import BinaryPlan, JoinNode, LeafNode
 from repro.query.atoms import Atom
 from repro.query.builder import QueryBuilder
 from repro.storage.table import Table
-from repro.workloads.synthetic import clover_instance, clover_query, triangle_instance, triangle_query
+from repro.workloads.synthetic import (
+    clover_instance,
+    clover_query,
+    triangle_instance,
+    triangle_query,
+)
 
 from tests.conftest import nested_loop_join
 

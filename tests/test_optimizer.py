@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import PlanError
 from repro.optimizer.binary_plan import BinaryPlan, JoinNode, LeafNode
 from repro.optimizer.cardinality import (
     AlwaysOneCardinalityEstimator,

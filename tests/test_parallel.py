@@ -1,0 +1,381 @@
+"""Parallel/serial parity for the parallel execution subsystem.
+
+The contract under test (see :mod:`repro.parallel`):
+
+* sharded execution returns the same bag of rows as the serial path for all
+  three engines, for ``rows`` and ``count`` sinks, with vectorization on and
+  off — and with static cover selection the row *order* is byte-identical;
+* merged :class:`ExecutorStats` partition the serial counters
+  (``sum(shard.outputs) == serial.outputs``);
+* ``Database.execute_many`` returns per-query results identical to serial
+  :meth:`Database.execute` calls, captures errors per query, and enforces
+  timeouts in process mode.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.colt import build_tries
+from repro.core.engine import FreeJoinEngine, FreeJoinOptions
+from repro.core.executor import ExecutorStats, FreeJoinExecutor
+from repro.engine.output import RowSink
+from repro.engine.session import Database
+from repro.errors import ExecutionError
+from repro.optimizer.join_order import optimize_query
+from repro.parallel.sharding import ShardView, entry_count, shard_bounds, shard_offsets
+from repro.parallel.workload import normalize_queries
+from repro.query.builder import QueryBuilder
+from repro.storage.table import Table
+from repro.workloads.synthetic import triangle_instance, triangle_query
+
+ENGINES = ("freejoin", "binary", "generic")
+
+
+# --------------------------------------------------------------------------- #
+# Fixtures
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def star_database():
+    """A small star-schema database with enough rows to make 4 shards real."""
+    fact = Table.from_columns("fact", {
+        "k": [i % 37 for i in range(600)],
+        "a": [i % 11 for i in range(600)],
+    })
+    dim_one = Table.from_columns("dim_one", {
+        "k": [i % 37 for i in range(200)],
+        "b": [i % 7 for i in range(200)],
+    })
+    dim_two = Table.from_columns("dim_two", {
+        "a": [i % 11 for i in range(150)],
+        "c": [i % 5 for i in range(150)],
+    })
+    database = Database()
+    for table in (fact, dim_one, dim_two):
+        database.register(table)
+    return database
+
+
+COUNT_SQL = (
+    "SELECT COUNT(*) FROM fact, dim_one, dim_two "
+    "WHERE fact.k = dim_one.k AND fact.a = dim_two.a"
+)
+ROWS_SQL = (
+    "SELECT fact.k, dim_one.b, dim_two.c FROM fact, dim_one, dim_two "
+    "WHERE fact.k = dim_one.k AND fact.a = dim_two.a"
+)
+
+
+def parallel_database(serial: Database, parallelism: int, **kwargs) -> Database:
+    clone = Database(
+        serial.catalog, parallelism=parallelism, parallel_mode="thread", **kwargs
+    )
+    return clone
+
+
+# --------------------------------------------------------------------------- #
+# Sharding primitives
+# --------------------------------------------------------------------------- #
+
+
+def test_shard_bounds_partition_the_range():
+    for total in (0, 1, 5, 17, 100):
+        for count in (1, 2, 3, 7):
+            slices = shard_offsets(total, count)
+            covered = [i for start, stop in slices for i in range(start, stop)]
+            assert covered == list(range(total))
+
+
+def test_shard_bounds_rejects_bad_indices():
+    with pytest.raises(ValueError):
+        shard_bounds(10, 3, 3)
+    with pytest.raises(ValueError):
+        shard_bounds(10, 0, 0)
+
+
+def test_shard_view_slices_iteration_and_delegates_probes(tiny_tables):
+    builder = QueryBuilder("pair")
+    builder.add_atom("r", tiny_tables["r"], ["x", "y"])
+    query = builder.build()
+    atom = query.atoms[0]
+    tries = build_tries({"r": atom}, {"r": [("x",), ("y",)]})
+    base = tries["r"]
+
+    total = entry_count(base)
+    seen = []
+    for index in range(3):
+        view = ShardView(base, index, 3)
+        assert view.key_count() == base.key_count()  # full count for cover choice
+        seen.extend(key for key, _child in view.iter_entries())
+    assert seen == [key for key, _child in base.iter_entries()]
+    # Probing a view behaves exactly like probing the base trie.
+    view = ShardView(base, 0, 3)
+    assert total > 0
+    for key, _child in base.iter_entries():
+        assert view.get(key) is base.get(key)
+
+
+# --------------------------------------------------------------------------- #
+# run_sharded: bag parity, order parity, stats invariants
+# --------------------------------------------------------------------------- #
+
+
+def freejoin_plan_and_atoms(query):
+    plan = optimize_query(query)
+    engine = FreeJoinEngine()
+    free_plan = engine._plan_for_pipeline(
+        plan.decompose()[0], {a.name: a for a in query.atoms}, FreeJoinOptions()
+    )
+    atoms = {a.name: a for a in query.atoms}
+    schemas = FreeJoinEngine._schemas(free_plan, atoms)
+    return free_plan, atoms, schemas
+
+
+@pytest.mark.parametrize("dynamic_cover", [False, True])
+@pytest.mark.parametrize("batch_size", [1, 4])
+def test_run_sharded_partitions_serial_execution(dynamic_cover, batch_size):
+    tables = triangle_instance(80, domain=15, skew=0.5, seed=11)
+    query = triangle_query(tables)
+    free_plan, atoms, schemas = freejoin_plan_and_atoms(query)
+
+    def run(shard=None, shard_count=1):
+        tries = build_tries(atoms, schemas)
+        sink = RowSink(query.output_variables)
+        executor = FreeJoinExecutor(
+            free_plan, query.output_variables, sink,
+            dynamic_cover=dynamic_cover, batch_size=batch_size,
+        )
+        if shard is None:
+            executor.run(tries)
+        else:
+            executor.run_sharded(tries, shard, shard_count)
+        return sink.result(), executor.stats
+
+    serial_result, serial_stats = run()
+    shard_count = 3
+    shard_rows, merged = [], ExecutorStats()
+    output_sum = 0
+    for index in range(shard_count):
+        result, stats = run(shard=index, shard_count=shard_count)
+        shard_rows.extend(result.rows)
+        merged.merge(stats)
+        output_sum += stats.outputs
+
+    # The shard outputs partition the serial output bag...
+    assert sorted(shard_rows, key=repr) == sorted(serial_result.rows, key=repr)
+    # ...and the merged stats reproduce the serial counters exactly: the
+    # shards split the root iteration, they do not repeat or drop work.
+    assert output_sum == serial_stats.outputs
+    assert merged.outputs == serial_stats.outputs
+    if not dynamic_cover:
+        # Static cover: enumeration order is deterministic, so concatenating
+        # shards in shard order is byte-identical to the serial output.
+        assert shard_rows == serial_result.rows
+        assert merged.iterations == serial_stats.iterations
+        assert merged.probes == serial_stats.probes
+        assert merged.failed_probes == serial_stats.failed_probes
+
+
+def test_run_sharded_single_shard_matches_run():
+    tables = triangle_instance(40, domain=10, skew=0.3, seed=5)
+    query = triangle_query(tables)
+    free_plan, atoms, schemas = freejoin_plan_and_atoms(query)
+    tries = build_tries(atoms, schemas)
+    sink = RowSink(query.output_variables)
+    executor = FreeJoinExecutor(free_plan, query.output_variables, sink)
+    executor.run_sharded(tries, 0, 1)
+    reference_sink = RowSink(query.output_variables)
+    reference = FreeJoinExecutor(free_plan, query.output_variables, reference_sink)
+    reference.run(build_tries(atoms, schemas))
+    assert sink.result().rows == reference_sink.result().rows
+
+
+def test_run_sharded_rejects_bad_shard_index():
+    tables = triangle_instance(20, domain=6, skew=0.3, seed=5)
+    query = triangle_query(tables)
+    free_plan, atoms, schemas = freejoin_plan_and_atoms(query)
+    executor = FreeJoinExecutor(
+        free_plan, query.output_variables, RowSink(query.output_variables)
+    )
+    with pytest.raises(ExecutionError):
+        executor.run_sharded(build_tries(atoms, schemas), 4, 3)
+
+
+# --------------------------------------------------------------------------- #
+# Engine-level parity: all engines x {count, rows} x vectorization on/off
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("sql", [COUNT_SQL, ROWS_SQL], ids=["count", "rows"])
+def test_parallel_database_matches_serial(star_database, engine, sql):
+    serial = star_database.execute(sql, engine=engine)
+    parallel = parallel_database(star_database, 4).execute(sql, engine=engine)
+    assert sorted(parallel.rows(), key=repr) == sorted(serial.rows(), key=repr)
+    assert parallel.join_result.count() == serial.join_result.count()
+    assert parallel.report.details.get("parallel"), "parallel path was not taken"
+
+
+@pytest.mark.parametrize("batch_size", [1, 16], ids=["tuple-at-a-time", "vectorized"])
+def test_parallel_freejoin_vectorization_parity(star_database, batch_size):
+    options = FreeJoinOptions(batch_size=batch_size)
+    serial = star_database.execute(ROWS_SQL, freejoin_options=options)
+    parallel = parallel_database(star_database, 4).execute(
+        ROWS_SQL, freejoin_options=options
+    )
+    assert sorted(parallel.rows(), key=repr) == sorted(serial.rows(), key=repr)
+
+
+def test_parallel_more_shards_than_entries(star_database):
+    # Shard counts far beyond the cover's entry count must leave empty shards
+    # empty rather than duplicating or dropping rows.
+    parallel = parallel_database(star_database, 64).execute(COUNT_SQL)
+    serial = star_database.execute(COUNT_SQL)
+    assert parallel.scalar() == serial.scalar()
+
+
+def test_factorized_output_falls_back_to_serial(star_database):
+    options = FreeJoinOptions(output="factorized")
+    serial = star_database.execute(ROWS_SQL, freejoin_options=options)
+    parallel = parallel_database(star_database, 4).execute(
+        ROWS_SQL, freejoin_options=options
+    )
+    assert sorted(parallel.rows(), key=repr) == sorted(serial.rows(), key=repr)
+    assert "parallel" not in parallel.report.details
+
+
+def test_parallel_process_mode_matches_serial(star_database):
+    """One end-to-end process-backend run (the expensive path, kept small)."""
+    database = Database(
+        star_database.catalog, parallelism=2, parallel_mode="process"
+    )
+    serial = star_database.execute(COUNT_SQL)
+    parallel = database.execute(COUNT_SQL)
+    assert parallel.scalar() == serial.scalar()
+    detail = parallel.report.details["parallel"][0]
+    assert detail["mode"] == "process"
+    assert len(detail["per_shard"]) == 2
+
+
+# --------------------------------------------------------------------------- #
+# execute_many
+# --------------------------------------------------------------------------- #
+
+
+def test_normalize_queries_accepts_all_shapes():
+    class Named:
+        name = "named"
+        sql = "SELECT 1"
+
+    normalized = normalize_queries(["SELECT 1", ("pair", "SELECT 2"), Named()])
+    assert normalized == [
+        ("q000", "SELECT 1"), ("pair", "SELECT 2"), ("named", "SELECT 1"),
+    ]
+    with pytest.raises(Exception):
+        normalize_queries([("dup", "a"), ("dup", "b")])
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("mode", ["thread", "process"])
+def test_execute_many_matches_serial(star_database, engine, mode):
+    queries = [("count", COUNT_SQL), ("rows", ROWS_SQL)]
+    outcome = star_database.execute_many(
+        queries, max_workers=2, engine=engine, mode=mode
+    )
+    assert outcome.all_ok()
+    assert outcome.mode == mode
+    for name, sql in queries:
+        serial = star_database.execute(sql, engine=engine)
+        execution = outcome.query(name)
+        assert execution.engine == engine
+        assert execution.rows == serial.rows()
+        assert execution.row_count == len(serial.rows())
+        assert execution.columns == tuple(serial.table.column_names)
+
+
+def test_execute_many_captures_errors_per_query(star_database):
+    outcome = star_database.execute_many(
+        [("good", COUNT_SQL), ("bad", "SELECT nothing FROM missing_table")],
+        max_workers=2,
+        mode="thread",
+    )
+    assert outcome.query("good").ok
+    bad = outcome.query("bad")
+    assert bad.status == "error"
+    assert bad.error
+    assert outcome.error_count == 1 and outcome.ok_count == 1
+
+
+def test_execute_many_timeout_terminates_process_workers():
+    # A deliberately explosive join: every row shares one key, so the count
+    # is 1500^2 = 2.25M outputs — seconds of CPython work, far past the
+    # 50 ms budget.  The worker must be terminated and reported as timeout.
+    big = Table.from_columns("big", {"k": [0] * 1500, "v": list(range(1500))})
+    other = Table.from_columns("other", {"k": [0] * 1500, "w": list(range(1500))})
+    database = Database()
+    database.register(big)
+    database.register(other)
+    outcome = database.execute_many(
+        [("boom", "SELECT COUNT(*) FROM big, other WHERE big.k = other.k"),
+         ("fine", "SELECT COUNT(*) FROM big WHERE big.v < 10")],
+        max_workers=2,
+        timeout=0.05,
+        mode="process",
+    )
+    boom = outcome.query("boom")
+    assert boom.status == "timeout"
+    assert boom.seconds >= 0.05
+    # Scheduler-built records (timeout/crash) must still name the engine.
+    assert boom.engine == "freejoin"
+    assert outcome.query("fine").ok
+    assert outcome.timeout_count == 1
+
+
+def test_execute_many_composes_with_intra_query_sharding(star_database):
+    # Regression: query workers must not be daemonic, or they cannot fork
+    # intra-query shard processes and every query errors with "daemonic
+    # processes are not allowed to have children".
+    database = Database(
+        star_database.catalog, parallelism=2, parallel_mode="process"
+    )
+    outcome = database.execute_many(
+        [("count", COUNT_SQL)], max_workers=2, mode="process"
+    )
+    assert outcome.all_ok(), [e.error for e in outcome.executions]
+    serial = star_database.execute(COUNT_SQL)
+    assert outcome.query("count").rows == serial.rows()
+
+
+def test_execute_many_collect_rows_false_skips_materialization(star_database):
+    outcome = star_database.execute_many(
+        [("rows", ROWS_SQL)], max_workers=1, collect_rows=False, mode="thread"
+    )
+    execution = outcome.query("rows")
+    assert execution.rows is None
+    assert execution.row_count == len(star_database.execute(ROWS_SQL).rows())
+
+
+def test_workload_outcome_serializes_to_json(star_database):
+    outcome = star_database.execute_many(
+        [("count", COUNT_SQL)], max_workers=1, mode="thread"
+    )
+    payload = json.loads(outcome.to_json(include_rows=True))
+    assert payload["query_count"] == 1
+    assert payload["ok"] == 1
+    record = payload["queries"][0]
+    assert record["name"] == "count"
+    assert record["status"] == "ok"
+    assert record["rows"] == [list(row) for row in outcome.query("count").rows]
+    # RunReport.as_dict is the other JSON surface used by benchmark reports.
+    report = star_database.execute(COUNT_SQL).report
+    assert json.dumps(report.as_dict())
+
+
+def test_execute_many_empty_workload(star_database):
+    outcome = star_database.execute_many([], max_workers=2)
+    assert outcome.executions == []
+    assert outcome.all_ok()

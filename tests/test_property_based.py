@@ -12,7 +12,6 @@ These tests generate small random relations and check that:
 
 from __future__ import annotations
 
-import itertools
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PlanError, QueryError, SchemaError
+from repro.errors import QueryError, SchemaError
 from repro.query.atoms import Atom, Subatom
 from repro.query.builder import QueryBuilder
 from repro.query.conjunctive import ConjunctiveQuery

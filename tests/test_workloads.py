@@ -141,3 +141,49 @@ class TestLsqbWorkload:
                          knows.column("person2_id").values))
         assert all(a != b for a, b in pairs)
         assert len(set(pairs)) == len(pairs)
+
+
+class TestGeneratorDeterminism:
+    """The JOB/LSQB generators must be pure functions of (scale, seed).
+
+    CI smoke benchmarks pin ``REPRO_SEED`` (see ``benchmarks/conftest.py``)
+    and compare numbers across runs; that is only meaningful if a fixed seed
+    reproduces the data bit for bit.
+    """
+
+    def test_job_generator_is_deterministic(self):
+        first = generate_job_workload(scale=0.05, seed=42)
+        second = generate_job_workload(scale=0.05, seed=42)
+        assert first.catalog.table_names() == second.catalog.table_names()
+        for name in first.catalog.table_names():
+            assert (
+                first.catalog.get(name).to_rows()
+                == second.catalog.get(name).to_rows()
+            ), name
+        assert [q.sql for q in first.queries] == [q.sql for q in second.queries]
+
+    def test_job_generator_seed_changes_data(self):
+        first = generate_job_workload(scale=0.05, seed=42)
+        second = generate_job_workload(scale=0.05, seed=43)
+        assert (
+            first.catalog.get("cast_info").to_rows()
+            != second.catalog.get("cast_info").to_rows()
+        )
+
+    def test_lsqb_generator_is_deterministic(self):
+        first = generate_lsqb_workload(scale_factor=0.1, seed=7)
+        second = generate_lsqb_workload(scale_factor=0.1, seed=7)
+        assert first.catalog.table_names() == second.catalog.table_names()
+        for name in first.catalog.table_names():
+            assert (
+                first.catalog.get(name).to_rows()
+                == second.catalog.get(name).to_rows()
+            ), name
+
+    def test_lsqb_generator_seed_changes_data(self):
+        first = generate_lsqb_workload(scale_factor=0.1, seed=7)
+        second = generate_lsqb_workload(scale_factor=0.1, seed=8)
+        assert (
+            first.catalog.get("knows").to_rows()
+            != second.catalog.get("knows").to_rows()
+        )
