@@ -1,15 +1,20 @@
-"""Parallel scaling: intra-query sharding and inter-query workload throughput.
+"""Parallel scaling: intra-query scheduling and inter-query throughput.
 
 This module gives every PR a scaling axis to benchmark (the paper's engine is
-multi-core; see ROADMAP).  Two series:
+multi-core; see ROADMAP).  Three series:
 
 * intra-query: one explosive JOB-like query (``q13``, the paper's Q13a
   analogue) at shard counts 1/2/4.  The benchmark pins
-  ``parallel_mode="thread"`` so the sharded code path (partition, per-shard
+  ``parallel_mode="thread"`` so the parallel code path (partition, per-task
   recursion, merge) is actually exercised at benchmark scale — ``auto``
   would collapse sub-threshold inputs to one shard — which means the series
-  measures *sharding overhead*; real wall-clock speedup additionally needs
+  measures *scheduling overhead*; real wall-clock speedup additionally needs
   process mode, inputs past the fork threshold, and multiple cores;
+* scheduler comparison: a Zipf(1.2)-skewed synthetic join at 4 workers,
+  work-stealing (``scheduler="steal"``) vs static range sharding
+  (``scheduler="range"``).  Steal mode shares one trie build across its
+  persistent thread pool where range mode rebuilds per worker, so its wall
+  time is gated at <= 0.75x of range mode's even on one core;
 * inter-query: the shared JOB query subset pushed through
   ``Database.execute_many`` with 1 and 4 workers.
 
@@ -17,15 +22,27 @@ Each benchmark asserts parallel/serial parity on the results it produces, so
 a scaling regression can never silently hide a correctness one.
 """
 
+import random
+import time
+
 import pytest
 
-from benchmarks.conftest import JOB_QUERIES, run_queries
+from benchmarks.conftest import BENCH_SMOKE, JOB_QUERIES, JOB_SEED, run_queries
+from repro.core.engine import FreeJoinOptions
 from repro.engine.session import Database
+from repro.storage.table import Table
+from repro.workloads.synthetic import zipf_sample
 
 #: Shard counts swept by the intra-query series.
 SHARD_COUNTS = (1, 2, 4)
 #: The Q13a analogue: several large satellites joined on one skewed key.
 INTRA_QUERY = "q13"
+#: The steal-vs-range acceptance gate: steal wall time / range wall time.
+STEAL_SPEEDUP_GATE = 0.75
+#: Zipf exponent of the skewed synthetic join's key column.
+ZIPF_SKEW = 1.2
+#: Rows per relation for the skewed synthetic join.
+ZIPF_ROWS = 8_000 if BENCH_SMOKE else 16_000
 
 
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
@@ -71,6 +88,80 @@ def test_intra_query_sharding_baselines(benchmark, job_workload, engine, shards)
         rounds=1, iterations=1,
     )
     assert sorted(outcome.rows(), key=repr) == sorted(expected, key=repr)
+
+
+@pytest.fixture(scope="module")
+def zipf_join_database():
+    """A 3-relation join whose iterated relation has Zipf(1.2) keys.
+
+    ``S``/``T`` keys are near-unique, so the output stays moderate while the
+    per-worker build cost (trie forcing over all three relations) dominates —
+    the regime the shared-memory/shared-build scheduler is built for.
+    """
+    rng = random.Random(JOB_SEED)
+    domain = ZIPF_ROWS + ZIPF_ROWS // 4
+    database = Database()
+    database.register(Table.from_columns("R", {
+        "k": [zipf_sample(rng, domain, ZIPF_SKEW) for _ in range(ZIPF_ROWS)],
+        "a": list(range(ZIPF_ROWS)),
+    }))
+    for name, payload in (("S", "b"), ("T", "c")):
+        database.register(Table.from_columns(name, {
+            "k": [rng.randrange(domain) for _ in range(ZIPF_ROWS)],
+            payload: list(range(ZIPF_ROWS)),
+        }))
+    return database
+
+
+ZIPF_SQL = "SELECT COUNT(*) FROM R, S, T WHERE R.k = S.k AND R.k = T.k"
+
+
+def test_zipf_steal_beats_range_at_four_workers(benchmark, zipf_join_database):
+    """The tentpole gate: steal-mode wall time <= 0.75x range-mode wall time.
+
+    Both schedulers run at 4 workers on the thread backend (the deterministic
+    configuration; process workers additionally need multiple cores to show
+    wall-clock wins).  Exact result parity vs serial is asserted here and, in
+    depth, by the skew battery (``tests/test_parallel_skew.py``).
+    """
+    database = zipf_join_database
+    expected = database.execute(ZIPF_SQL).scalar()  # also warms statistics
+
+    def run(scheduler):
+        options = FreeJoinOptions(
+            parallelism=4, parallel_mode="thread", scheduler=scheduler
+        )
+        outcome = database.execute(ZIPF_SQL, freejoin_options=options)
+        assert outcome.scalar() == expected
+        return outcome
+
+    def best_of(scheduler, rounds=2):
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            run(scheduler)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    range_seconds = best_of("range")
+    outcome = benchmark.pedantic(lambda: run("steal"), rounds=2, iterations=1)
+    steal_seconds = min(benchmark.stats.stats.data)
+
+    detail = outcome.report.details["parallel"][0]
+    assert detail["scheduler"] == "steal"
+    assert detail["shards"] == 4
+    ratio = steal_seconds / range_seconds
+    print(
+        f"\nzipf({ZIPF_SKEW}) x {ZIPF_ROWS} rows, 4 workers: "
+        f"range {range_seconds * 1000:.1f} ms, steal {steal_seconds * 1000:.1f} ms, "
+        f"ratio {ratio:.2f} (gate <= {STEAL_SPEEDUP_GATE}), "
+        f"tasks {detail['tasks']}, steals {detail['steals']}"
+    )
+    assert ratio <= STEAL_SPEEDUP_GATE, (
+        f"work stealing must beat range sharding by >= 25% on skewed input; "
+        f"got ratio {ratio:.2f} (steal {steal_seconds:.3f} s vs "
+        f"range {range_seconds:.3f} s)"
+    )
 
 
 @pytest.mark.parametrize("workers", (1, 4))

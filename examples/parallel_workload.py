@@ -45,22 +45,26 @@ def main() -> None:
     print(outcome.to_json())
     print()
 
-    # --- Layer 2: one explosive query, sharded across workers ------------ #
-    # parallel_mode="thread" forces real sharding at demo scale: "auto"
-    # collapses inputs below the fork threshold (~20k tuples) to one shard,
-    # since GIL-bound thread shards cannot speed the join up anyway.  The
-    # point here is the per-shard accounting, not wall-clock speedup.
+    # --- Layer 2: one explosive query, parallelized across workers -------- #
+    # parallel_mode="thread" keeps the demo deterministic at small scale;
+    # the default scheduler="steal" decomposes the join into fine-grained
+    # tasks served by a persistent work-stealing pool, and the per-worker
+    # accounting below (tasks, steals, outputs) is the point of the demo.
     serial = database.execute(workload.query("q13").sql, name="q13")
     sharded_db = Database(workload.catalog, parallelism=shards, parallel_mode="thread")
     sharded = sharded_db.execute(workload.query("q13").sql, name="q13")
     assert sorted(sharded.rows()) == sorted(serial.rows())
-    print(f"q13 serial:  {serial.report.summary()}")
-    print(f"q13 sharded: {sharded.report.summary()}")
+    print(f"q13 serial:   {serial.report.summary()}")
+    print(f"q13 parallel: {sharded.report.summary()}")
     for pipeline in sharded.report.details.get("parallel", []):
-        print(f"  mode={pipeline['mode']} shards={pipeline['shards']}")
-        for shard in pipeline["per_shard"]:
-            print(f"    shard {shard['shard']}: {shard['outputs']} outputs, "
-                  f"join {shard['join_seconds'] * 1000:.1f} ms")
+        print(f"  scheduler={pipeline['scheduler']} mode={pipeline['mode']} "
+              f"workers={pipeline['shards']} tasks={pipeline.get('tasks', '-')} "
+              f"steals={pipeline.get('steals', '-')}")
+        for worker in pipeline["per_shard"]:
+            busy = worker.get("busy_seconds", worker.get("join_seconds", 0.0))
+            print(f"    worker {worker['shard']}: {worker['outputs']} outputs, "
+                  f"{worker.get('tasks', 1)} task(s), "
+                  f"{worker.get('steals', 0)} stolen, busy {busy * 1000:.1f} ms")
 
 
 if __name__ == "__main__":

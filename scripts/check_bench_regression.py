@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Gate a benchmark run against a committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_smoke.json \
+        benchmarks/baseline_smoke.json [--tolerance 0.25] [--mode normalized]
+
+Compares the per-figure ``driver_seconds`` of a fresh ``BENCH_<label>.json``
+(produced by ``scripts/make_report.py``) against the committed baseline and
+exits non-zero when any figure regressed by more than ``--tolerance``
+(default 25%, the CI gate).
+
+Two comparison modes:
+
+* ``normalized`` (default): every figure's current/baseline ratio is divided
+  by the **median** ratio across all figures.  The median ratio estimates
+  the machine-speed difference between the two runs (a CI runner uniformly
+  2x slower than the baseline machine has a median ratio of ~2 and passes
+  cleanly), and — being a median — it barely moves when one figure genuinely
+  improves or regresses, so a large speedup of one figure does not make the
+  untouched figures look relatively slower (a zero-sum share comparison
+  would).  A figure fails when it is more than ``--tolerance`` slower than
+  the fleet's median drift.
+* ``absolute``: raw seconds are compared.  Only meaningful when baseline and
+  run come from identical hardware; useful for local before/after checks.
+
+Figures present in only one of the two files are reported but never fail the
+gate (adding a benchmark must not require regenerating history first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict
+
+
+def load_figures(path: str) -> Dict[str, float]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    figures = {
+        record["figure"]: float(record["driver_seconds"])
+        for record in payload.get("figures", [])
+    }
+    if not figures:
+        raise SystemExit(f"{path}: no figures with driver_seconds found")
+    return figures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh BENCH_<label>.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="maximum allowed relative regression per figure (default 0.25)",
+    )
+    parser.add_argument(
+        "--mode", choices=("normalized", "absolute"), default="normalized",
+        help="compare suite-relative shares (default) or raw seconds",
+    )
+    arguments = parser.parse_args()
+
+    current = load_figures(arguments.current)
+    baseline = load_figures(arguments.baseline)
+    shared = sorted(set(current) & set(baseline))
+    ratios = {
+        name: current[name] / baseline[name]
+        for name in shared
+        if baseline[name] > 0
+    }
+    if not ratios:
+        raise SystemExit("no comparable figures between the two files")
+    if arguments.mode == "normalized":
+        # The fleet's median drift estimates the machine-speed difference.
+        drift = statistics.median(ratios.values())
+        if drift <= 0:
+            raise SystemExit("median ratio is zero; nothing to compare")
+        print(f"median speed drift vs baseline: {drift:.3f}x")
+    else:
+        drift = 1.0
+
+    failures = []
+    for name in shared:
+        if name not in ratios:
+            print(f"~ {name}: zero baseline (skipped)")
+            continue
+        relative = ratios[name] / drift
+        change = relative - 1.0
+        marker = "OK"
+        if change > arguments.tolerance:
+            marker = "FAIL"
+            failures.append(name)
+        print(
+            f"{marker:4s} {name}: {baseline[name]:.4f} s -> {current[name]:.4f} s "
+            f"({change:+.1%} vs median drift, tolerance +{arguments.tolerance:.0%})"
+        )
+    for name in sorted(set(baseline) - set(current)):
+        print(f"~ {name}: missing from current run (skipped)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"~ {name}: new figure, no baseline (skipped)")
+
+    if failures:
+        print(
+            f"\nbenchmark gate FAILED: {len(failures)} figure(s) regressed "
+            f"more than {arguments.tolerance:.0%}: {', '.join(failures)}"
+        )
+        return 1
+    print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,16 +27,19 @@ from repro.storage.table import Table
 class BinaryJoinOptions:
     """Knobs of the binary join engine.
 
-    ``parallelism > 1`` shards each pipeline's probe loop: the left-most
-    relation's row offsets are split into that many contiguous ranges, each
-    processed by a worker with its own hash tables (see
-    :mod:`repro.parallel.intra`).  ``parallel_mode`` selects the backend
+    ``parallelism > 1`` parallelizes each pipeline's probe loop over the
+    left-most relation's row offsets.  ``scheduler`` picks how: ``"steal"``
+    (default) decomposes the offsets into fine-grained tasks for the
+    persistent work-stealing pool (:mod:`repro.parallel.scheduler`);
+    ``"range"`` is the static one-range-per-worker sharder
+    (:mod:`repro.parallel.intra`).  ``parallel_mode`` selects the backend
     (``"auto"``, ``"process"`` or ``"thread"``).
     """
 
     output: str = "rows"  # "rows" or "count"
     parallelism: Optional[int] = None  # None = inherit the session setting
     parallel_mode: str = "auto"
+    scheduler: Optional[str] = None  # None = "steal"
 
     def make_sink(self, variables: Sequence[str]) -> OutputSink:
         if self.output == "rows":
@@ -77,15 +80,28 @@ class BinaryJoinEngine:
             sink_mode = options.output if pipeline.is_final else "rows"
 
             if (options.parallelism or 1) > 1:
-                from repro.parallel.intra import run_binary_pipeline_sharded
+                from repro.core.engine import resolve_scheduler
 
-                shard_run = run_binary_pipeline_sharded(
-                    pipeline_atoms,
-                    output_variables,
-                    output=sink_mode,
-                    shard_count=options.parallelism,
-                    mode=options.parallel_mode,
-                )
+                if resolve_scheduler(options.scheduler) == "steal":
+                    from repro.parallel.scheduler import run_binary_pipeline_steal
+
+                    shard_run = run_binary_pipeline_steal(
+                        pipeline_atoms,
+                        output_variables,
+                        output=sink_mode,
+                        workers=options.parallelism,
+                        mode=options.parallel_mode,
+                    )
+                else:
+                    from repro.parallel.intra import run_binary_pipeline_sharded
+
+                    shard_run = run_binary_pipeline_sharded(
+                        pipeline_atoms,
+                        output_variables,
+                        output=sink_mode,
+                        shard_count=options.parallelism,
+                        mode=options.parallel_mode,
+                    )
                 build_seconds += shard_run.build_seconds
                 join_seconds += shard_run.join_seconds
                 parallel_details.append(shard_run.details())

@@ -106,11 +106,6 @@ class LazyTrie(GHT):
             ]
         return self._columns
 
-    def _iter_offsets(self) -> Iterator[int]:
-        if self._offsets is None:
-            return iter(range(self.atom.size))
-        return iter(self._offsets)
-
     # ------------------------------------------------------------------ #
     # GHT interface
     # ------------------------------------------------------------------ #
@@ -126,40 +121,53 @@ class LazyTrie(GHT):
         return self._map is not None
 
     def tuple_count(self) -> int:
-        if self._map is not None:
-            return sum(child.tuple_count() for child in self._map.values())
-        if self._offsets is None:
+        # Snapshot-then-check ordering: the parallel thread backend shares
+        # tries, and force() publishes ``_map`` *before* clearing
+        # ``_offsets``.  Reading offsets first means a reader either sees the
+        # pre-force offsets (still correct) or, if it sees the cleared
+        # ``None``, is guaranteed to find the map set.  Reading in the other
+        # order could misreport a child node as "all rows of the table".
+        offsets = self._offsets
+        mapping = self._map
+        if mapping is not None:
+            return sum(child.tuple_count() for child in mapping.values())
+        if offsets is None:
             return self.atom.size
-        return len(self._offsets)
+        return len(offsets)
 
     def key_count(self) -> int:
-        if self._map is not None:
-            return len(self._map)
+        offsets = self._offsets  # snapshot before the map check, see tuple_count
+        mapping = self._map
+        if mapping is not None:
+            return len(mapping)
         # Unforced vector: use the vector length as the estimate (Section 4.4).
-        if self._offsets is None:
+        if offsets is None:
             return self.atom.size
-        return len(self._offsets)
+        return len(offsets)
 
     def iter_entries(self) -> Iterator[Tuple[Row, Optional[GHT]]]:
-        if self._map is not None:
-            return iter(self._map.items())
+        offsets = self._offsets  # snapshot before the map check, see tuple_count
+        mapping = self._map
+        if mapping is not None:
+            return iter(mapping.items())
         if len(self.schema) == 1:
             # Last level: iterate the stored tuples directly from the columns,
             # without building any auxiliary structure.
-            return self._iter_vector()
+            return self._iter_vector(offsets)
         # Inner level still stored as a vector: force it first, then iterate.
         self.force()
         assert self._map is not None
         return iter(self._map.items())
 
-    def _iter_vector(self) -> Iterator[Tuple[Row, None]]:
+    def _iter_vector(self, offsets: Optional[List[int]]) -> Iterator[Tuple[Row, None]]:
         columns = self._level_columns()
+        iterator = iter(range(self.atom.size)) if offsets is None else iter(offsets)
         if len(columns) == 1:
             column = columns[0]
-            for offset in self._iter_offsets():
+            for offset in iterator:
                 yield column[offset], None
         else:
-            for offset in self._iter_offsets():
+            for offset in iterator:
                 yield tuple(column[offset] for column in columns), None
 
     def get(self, key: Row) -> Optional["LazyTrie"]:
@@ -172,16 +180,29 @@ class LazyTrie(GHT):
     # ------------------------------------------------------------------ #
 
     def force(self) -> None:
-        """Expand this node's vector of offsets into a hash map of children."""
+        """Expand this node's vector of offsets into a hash map of children.
+
+        Safe under concurrent callers sharing one trie (the parallel thread
+        backend): the offsets are snapshotted *before* the forced check, and
+        the build iterates only that snapshot.  Two racing forcers then each
+        build an equivalent map from the same offsets and the loser's
+        assignment harmlessly replaces the winner's; a forcer can never
+        observe the winner's cleared ``_offsets`` and rebuild the node from
+        the whole base table.  (``_map`` is published before ``_offsets`` is
+        cleared, which is what the snapshot-then-check readers above rely
+        on.)
+        """
+        offsets = self._offsets
         if self._map is not None:
             return
         columns = self._level_columns()
         child_schema = self.schema[1:] if len(self.schema) > 1 else ((),)
         mapping: Dict[Row, LazyTrie] = {}
         atom = self.atom
+        source = range(atom.size) if offsets is None else offsets
         if len(columns) == 1:
             column = columns[0]
-            for offset in self._iter_offsets():
+            for offset in source:
                 key = column[offset]
                 child = mapping.get(key)
                 if child is None:
@@ -189,7 +210,7 @@ class LazyTrie(GHT):
                     mapping[key] = child
                 child._offsets.append(offset)
         else:
-            for offset in self._iter_offsets():
+            for offset in source:
                 key = tuple(column[offset] for column in columns)
                 child = mapping.get(key)
                 if child is None:

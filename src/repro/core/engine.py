@@ -66,6 +66,14 @@ class FreeJoinOptions:
     parallel_mode:
         ``"auto"`` (processes for large inputs, threads for small ones),
         ``"process"``, or ``"thread"``.
+    scheduler:
+        How parallel work is dispatched: ``"steal"`` (the default) decomposes
+        the root cover into fine-grained tasks executed by a persistent
+        work-stealing pool over shared-memory columns
+        (:mod:`repro.parallel.scheduler`); ``"range"`` is the legacy static
+        sharder (one contiguous range per worker,
+        :mod:`repro.parallel.intra`).  ``None`` inherits the session's
+        setting.
     """
 
     trie_strategy: TrieStrategy = TrieStrategy.COLT
@@ -75,6 +83,7 @@ class FreeJoinOptions:
     output: str = "rows"
     parallelism: Optional[int] = None
     parallel_mode: str = "auto"
+    scheduler: Optional[str] = None
 
     def make_sink(self, variables: Sequence[str]) -> OutputSink:
         """Create the output sink matching the ``output`` mode."""
@@ -85,6 +94,57 @@ class FreeJoinOptions:
         if self.output == "factorized":
             return FactorizedSink(variables)
         raise PlanError(f"unknown output mode {self.output!r}")
+
+
+def resolve_scheduler(scheduler: Optional[str]) -> str:
+    """Resolve a scheduler knob (``None`` means the default, ``"steal"``)."""
+    resolved = scheduler or "steal"
+    if resolved not in ("steal", "range"):
+        raise PlanError(
+            f"unknown scheduler {resolved!r}; choose 'steal' or 'range'"
+        )
+    return resolved
+
+
+def _run_parallel_pipeline(
+    options: FreeJoinOptions,
+    plan: FreeJoinPlan,
+    output_variables,
+    pipeline_atoms,
+    schemas,
+    sink_mode: str,
+    shard_count: int,
+):
+    """Dispatch one pipeline to the configured parallel scheduler."""
+    if resolve_scheduler(options.scheduler) == "steal":
+        from repro.parallel.scheduler import run_freejoin_pipeline_steal
+
+        return run_freejoin_pipeline_steal(
+            plan,
+            output_variables,
+            pipeline_atoms,
+            schemas,
+            trie_strategy=options.trie_strategy,
+            batch_size=options.batch_size,
+            dynamic_cover=options.dynamic_cover,
+            output=sink_mode,
+            workers=shard_count,
+            mode=options.parallel_mode,
+        )
+    from repro.parallel.intra import run_freejoin_pipeline_sharded
+
+    return run_freejoin_pipeline_sharded(
+        plan,
+        output_variables,
+        pipeline_atoms,
+        schemas,
+        trie_strategy=options.trie_strategy,
+        batch_size=options.batch_size,
+        dynamic_cover=options.dynamic_cover,
+        output=sink_mode,
+        shard_count=shard_count,
+        mode=options.parallel_mode,
+    )
 
 
 class FreeJoinEngine:
@@ -133,19 +193,14 @@ class FreeJoinEngine:
             # Factorized output interleaves groups in ways shards cannot
             # reproduce; it always takes the serial path.
             if shard_count > 1 and sink_mode in ("rows", "count"):
-                from repro.parallel.intra import run_freejoin_pipeline_sharded
-
-                shard_run = run_freejoin_pipeline_sharded(
+                shard_run = _run_parallel_pipeline(
+                    options,
                     plan,
                     output_variables,
                     pipeline_atoms,
                     schemas,
-                    trie_strategy=options.trie_strategy,
-                    batch_size=options.batch_size,
-                    dynamic_cover=options.dynamic_cover,
-                    output=sink_mode,
-                    shard_count=shard_count,
-                    mode=options.parallel_mode,
+                    sink_mode,
+                    shard_count,
                 )
                 build_seconds += shard_run.build_seconds
                 join_seconds += shard_run.join_seconds
@@ -219,19 +274,14 @@ class FreeJoinEngine:
 
         shard_count = options.parallelism or 1
         if shard_count > 1 and options.output in ("rows", "count"):
-            from repro.parallel.intra import run_freejoin_pipeline_sharded
-
-            shard_run = run_freejoin_pipeline_sharded(
+            shard_run = _run_parallel_pipeline(
+                options,
                 plan,
                 query.output_variables,
                 atoms,
                 schemas,
-                trie_strategy=options.trie_strategy,
-                batch_size=options.batch_size,
-                dynamic_cover=options.dynamic_cover,
-                output=options.output,
-                shard_count=shard_count,
-                mode=options.parallel_mode,
+                options.output,
+                shard_count,
             )
             return RunReport(
                 engine=self.name,

@@ -165,6 +165,13 @@ class FreeJoinExecutor:
             self._nodes.append(info)
 
         self._factorizable_from = self._compute_factorizable_suffix()
+        # Set by run_task for sub-root tasks; consumed once, at depth 1.
+        self._sub_shard: Optional[Tuple[int, int]] = None
+        # depth -> cover position, set by run_task: sliced covers must not be
+        # re-chosen dynamically mid-task (COLT forcing changes key_count(),
+        # so a dynamic re-choice could iterate a *different* relation than
+        # the one the scheduler partitioned, dropping or repeating outputs).
+        self._pinned_covers: Dict[int, int] = {}
 
     @staticmethod
     def _build_cover_plan(info: "NodeInfo", cover_position: int) -> CoverPlan:
@@ -248,6 +255,107 @@ class FreeJoinExecutor:
         working[relation] = ShardView(working[relation], shard_index, shard_count)
         self._join(working, 0, {}, 1)
 
+    def run_task(
+        self,
+        tries: Dict[str, GHT],
+        start: int,
+        stop: int,
+        sub_shard: Optional[Tuple[int, int]] = None,
+        cover: Optional[str] = None,
+    ) -> None:
+        """Execute one scheduler task: root cover entries ``[start, stop)``.
+
+        This is the work-stealing scheduler's unit of execution.  ``sub_shard``
+        (``(index, count)``) additionally restricts the *second* plan node's
+        cover to one of ``count`` slices — used when the root cover is so
+        small that root ranges alone cannot feed every worker.  Sub-root tasks
+        must target a single root entry (``stop == start + 1``); tasks over a
+        single-node plan ignore ``sub_shard`` (only slice 0 runs, so the
+        output is produced exactly once).
+
+        ``cover`` names the root cover relation the task ranges were computed
+        over.  Every task of one query MUST slice the same cover: COLT
+        forcing shrinks ``key_count()`` estimates as tasks execute, so
+        re-running dynamic cover selection per task could silently switch the
+        iterated relation and drop (or repeat) outputs.  The scheduler pins
+        the choice once per query; when ``cover`` is omitted this method pins
+        its own choice for the duration of the task.
+
+        Like :meth:`run_sharded`, each concurrent task must run over trie
+        instances that are safe to share with its siblings: worker processes
+        build their own tries, worker threads may share one build (forcing the
+        same node twice is redundant but yields an equivalent map).
+        """
+        # Imported here, as in run_sharded: importing the parallel package at
+        # module top would be circular (parallel.intra imports this module).
+        from repro.parallel.sharding import RangeView
+
+        for relation in self.plan.relations():
+            if relation not in tries:
+                raise ExecutionError(f"no trie provided for relation {relation!r}")
+        working = dict(tries)
+        info = self._nodes[0]
+        if cover is None:
+            cover_position = self._choose_cover(info, working)
+        else:
+            cover_position = next(
+                (
+                    position
+                    for position in info.covers
+                    if info.cover_plans[position].relation == cover
+                ),
+                None,
+            )
+            if cover_position is None:
+                raise ExecutionError(
+                    f"pinned cover {cover!r} is not a cover candidate of the "
+                    f"root node {info.subatoms!r}"
+                )
+        if cover_position is None:
+            # Probe-only root: a single unit of work, owned by the first task.
+            if start <= 0 < stop and (sub_shard is None or sub_shard[0] == 0):
+                self._join(working, 0, {}, 1)
+            return
+        if sub_shard is not None and (sub_shard[1] <= 1 or len(self._nodes) < 2):
+            if sub_shard[0] != 0:
+                return
+            sub_shard = None
+        relation = info.cover_plans[cover_position].relation
+        working[relation] = RangeView(working[relation], start, stop)
+        self._sub_shard = sub_shard
+        self._pinned_covers[0] = cover_position
+        try:
+            self._join(working, 0, {}, 1)
+        finally:
+            self._sub_shard = None
+            self._pinned_covers.clear()
+
+    def _shard_second_level(
+        self, tries: Dict[str, Optional[GHT]], sub_index: int, sub_count: int
+    ) -> Optional[Dict[str, Optional[GHT]]]:
+        """Restrict the depth-1 node's cover to one sub-shard slice.
+
+        Returns ``None`` when this sub-task owns nothing at this depth (a
+        probe-only second node belongs entirely to slice 0).  The cover is
+        the node's *static* first candidate, pinned for the recursion: the
+        dynamic heuristic keys off ``key_count()``, which changes as earlier
+        sub-tasks force shared tries — two sub-tasks of one root entry
+        slicing different covers would drop and repeat outputs.
+        """
+        from repro.parallel.sharding import ShardView
+
+        info = self._nodes[1]
+        if not info.new_variables:
+            return tries if sub_index == 0 else None
+        if not info.covers:
+            raise PlanError(f"node {info.subatoms!r} has no cover")
+        cover_position = info.covers[0]
+        self._pinned_covers[1] = cover_position
+        relation = info.cover_plans[cover_position].relation
+        working = dict(tries)
+        working[relation] = ShardView(working[relation], sub_index, sub_count)
+        return working
+
     # ------------------------------------------------------------------ #
     # Recursive join (Figure 7)
     # ------------------------------------------------------------------ #
@@ -259,6 +367,13 @@ class FreeJoinExecutor:
         bindings: Dict[str, object],
         multiplicity: int,
     ) -> None:
+        if depth == 1 and self._sub_shard is not None:
+            sub_index, sub_count = self._sub_shard
+            self._sub_shard = None
+            sharded = self._shard_second_level(tries, sub_index, sub_count)
+            if sharded is None:
+                return
+            tries = sharded
         if depth == len(self._nodes):
             self._output(bindings, multiplicity)
             return
@@ -268,7 +383,9 @@ class FreeJoinExecutor:
             return
 
         info = self._nodes[depth]
-        cover_position = self._choose_cover(info, tries)
+        cover_position = self._pinned_covers.get(depth)
+        if cover_position is None:
+            cover_position = self._choose_cover(info, tries)
 
         if cover_position is None:
             # The node introduces no new variables: probe every subatom.

@@ -69,13 +69,18 @@ class Database:
         freejoin_options: Optional[FreeJoinOptions] = None,
         parallelism: int = 1,
         parallel_mode: str = "auto",
+        scheduler: str = "steal",
     ) -> None:
         """Create a session.
 
-        ``parallelism`` is the session-wide intra-query shard count: every
+        ``parallelism`` is the session-wide intra-query worker count: every
         engine splits each join across that many workers unless the
         per-query options ask for a different value.  ``parallel_mode``
-        selects the worker backend (``"auto"``, ``"process"``, ``"thread"``).
+        selects the worker backend (``"auto"``, ``"process"``, ``"thread"``)
+        and ``scheduler`` the dispatch strategy: ``"steal"`` (default) uses
+        the persistent work-stealing pool over shared-memory columns
+        (:mod:`repro.parallel.scheduler`), ``"range"`` the static
+        one-range-per-worker sharder (:mod:`repro.parallel.intra`).
         """
         if default_engine not in ENGINES:
             raise QueryError(f"unknown engine {default_engine!r}; choose from {ENGINES}")
@@ -86,12 +91,37 @@ class Database:
                 f"unknown parallel mode {parallel_mode!r}; "
                 f"choose 'auto', 'process' or 'thread'"
             )
+        if scheduler not in ("steal", "range"):
+            raise QueryError(
+                f"unknown scheduler {scheduler!r}; choose 'steal' or 'range'"
+            )
         self.catalog = catalog or Catalog()
         self.default_engine = default_engine
         self.freejoin_options = freejoin_options or FreeJoinOptions()
         self.parallelism = parallelism
         self.parallel_mode = parallel_mode
+        self.scheduler = scheduler
         self.statistics_cache = StatisticsCache()
+
+    def close(self) -> None:
+        """Release process-wide parallel resources.
+
+        The work-stealing pools and shared-memory exports are shared by every
+        session in the process (that is what makes them persistent), so this
+        tears down the *process*'s pools and segments — call it when the last
+        session is done, or rely on the interpreter's atexit hook.
+        """
+        from repro.parallel.scheduler import shutdown_pools
+        from repro.storage.shm import shutdown_exports
+
+        shutdown_pools()
+        shutdown_exports()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Catalog management
@@ -179,6 +209,7 @@ class Database:
             freejoin_options=freejoin_options or self.freejoin_options,
             parallelism=self.parallelism,
             parallel_mode=self.parallel_mode,
+            scheduler=self.scheduler,
             mode=mode,
             collect_rows=collect_rows,
             statistics_cache=self.statistics_cache,
@@ -204,6 +235,7 @@ class Database:
                 parallel_mode=options.parallel_mode
                 if options.parallel_mode != "auto"
                 else self.parallel_mode,
+                scheduler=options.scheduler or self.scheduler,
             )
             return FreeJoinEngine(options).run(logical.query, binary_plan)
         if engine_name == "binary":
@@ -211,6 +243,7 @@ class Database:
                 output=output_mode,
                 parallelism=self.parallelism,
                 parallel_mode=self.parallel_mode,
+                scheduler=self.scheduler,
             )
             return BinaryJoinEngine(options).run(logical.query, binary_plan)
         if engine_name == "generic":
@@ -218,6 +251,7 @@ class Database:
                 output=output_mode,
                 parallelism=self.parallelism,
                 parallel_mode=self.parallel_mode,
+                scheduler=self.scheduler,
             )
             return GenericJoinEngine(options).run(logical.query, binary_plan)
         raise QueryError(f"unknown engine {engine_name!r}")

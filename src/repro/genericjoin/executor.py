@@ -33,17 +33,20 @@ from repro.query.conjunctive import ConjunctiveQuery
 class GenericJoinOptions:
     """Knobs of the Generic Join engine.
 
-    ``parallelism > 1`` shards the first variable's intersection: the
-    iteration over the smallest trie level is split into contiguous ranges,
-    one worker per range (see :mod:`repro.parallel.intra`).
-    ``parallel_mode`` selects the backend (``"auto"``, ``"process"`` or
-    ``"thread"``).
+    ``parallelism > 1`` parallelizes the first variable's intersection (the
+    iteration over the smallest trie level).  ``scheduler`` picks how:
+    ``"steal"`` (default) decomposes it into fine-grained tasks for the
+    persistent work-stealing pool (:mod:`repro.parallel.scheduler`);
+    ``"range"`` is the static one-range-per-worker sharder
+    (:mod:`repro.parallel.intra`).  ``parallel_mode`` selects the backend
+    (``"auto"``, ``"process"`` or ``"thread"``).
     """
 
     output: str = "rows"  # "rows" or "count"
     variable_order: Optional[Sequence[str]] = None
     parallelism: Optional[int] = None  # None = inherit the session setting
     parallel_mode: str = "auto"
+    scheduler: Optional[str] = None  # None = "steal"
 
     def make_sink(self, variables: Sequence[str]) -> OutputSink:
         if self.output == "rows":
@@ -83,16 +86,30 @@ class GenericJoinEngine:
         self._check_order(query, order)
 
         if (options.parallelism or 1) > 1 and options.output in ("rows", "count"):
-            from repro.parallel.intra import run_generic_sharded
+            from repro.core.engine import resolve_scheduler
 
-            shard_run = run_generic_sharded(
-                list(query.atoms),
-                query.output_variables,
-                order,
-                output=options.output,
-                shard_count=options.parallelism,
-                mode=options.parallel_mode,
-            )
+            if resolve_scheduler(options.scheduler) == "steal":
+                from repro.parallel.scheduler import run_generic_steal
+
+                shard_run = run_generic_steal(
+                    list(query.atoms),
+                    query.output_variables,
+                    order,
+                    output=options.output,
+                    workers=options.parallelism,
+                    mode=options.parallel_mode,
+                )
+            else:
+                from repro.parallel.intra import run_generic_sharded
+
+                shard_run = run_generic_sharded(
+                    list(query.atoms),
+                    query.output_variables,
+                    order,
+                    output=options.output,
+                    shard_count=options.parallelism,
+                    mode=options.parallel_mode,
+                )
             return RunReport(
                 engine=self.name,
                 result=shard_run.result,
@@ -158,14 +175,19 @@ class GenericJoinEngine:
         tries: Dict[str, HashTrie],
         sink: OutputSink,
         shard: Optional[Tuple[int, int]] = None,
+        entry_range: Optional[Tuple[int, int]] = None,
     ) -> None:
         """Run the Generic Join recursion over pre-built tries.
 
         ``shard`` (shard_index, shard_count) restricts the *first* variable's
         intersection to a contiguous slice of the smallest level's entries;
-        the parallel subsystem runs one worker per slice and the union of the
+        the range sharder runs one worker per slice and the union of the
         slices reproduces the serial output (see
-        :mod:`repro.parallel.sharding`).
+        :mod:`repro.parallel.sharding`).  ``entry_range`` is the
+        task-granular variant used by the work-stealing scheduler: an
+        explicit half-open slice ``[start, stop)`` of the same iteration.
+        The smallest-level choice uses full level sizes, so every task (and
+        every worker's private trie build) slices the same iteration order.
         """
         # For every variable, the atoms that contain it (their trie level is
         # keyed on it when the recursion reaches that variable).
@@ -208,6 +230,9 @@ class GenericJoinEngine:
                 from repro.parallel.sharding import shard_bounds
 
                 start, stop = shard_bounds(len(entries), shard[0], shard[1])
+                entries = itertools.islice(iter(entries), start, stop)
+            elif position == 0 and entry_range is not None:
+                start, stop = entry_range
                 entries = itertools.islice(iter(entries), start, stop)
 
             for value, child in entries:

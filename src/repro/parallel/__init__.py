@@ -3,17 +3,22 @@
 Two layers, mirroring how a multi-core engine would serve the paper's
 workloads in production:
 
-* :mod:`repro.parallel.intra` — *intra-query* parallelism: one join is
-  sharded by partitioning the root node's cover trie into contiguous ranges,
-  each executed by a worker (processes for large inputs, threads for small
-  ones), with per-shard :class:`~repro.core.executor.ExecutorStats`, sink
-  outputs and phase timings merged back into a single result.
+* :mod:`repro.parallel.scheduler` — *intra-query* parallelism, default
+  (``scheduler="steal"``): the root cover is decomposed into fine-grained
+  tasks executed by a persistent work-stealing pool whose process workers
+  attach inputs through the shared-memory column plane
+  (:mod:`repro.storage.shm`); per-task/per-worker stats (steals, queue
+  depths, attach times) are merged into ``RunReport.details["parallel"]``.
+* :mod:`repro.parallel.intra` — the legacy static sharder
+  (``scheduler="range"``): one contiguous range of the root cover per
+  worker, per-shard stats merged back into a single result.
 * :mod:`repro.parallel.workload` — *inter-query* parallelism: a workload of
   SQL queries evaluated concurrently with per-query timeout and error
   capture, returning a JSON-serializable
   :class:`~repro.parallel.workload.WorkloadOutcome`.
 
-The engines reach the first layer through their ``parallelism`` option
+The engines reach the first two layers through their ``parallelism`` and
+``scheduler`` options
 (:class:`~repro.core.engine.FreeJoinOptions`,
 :class:`~repro.binaryjoin.executor.BinaryJoinOptions`,
 :class:`~repro.genericjoin.executor.GenericJoinOptions`); sessions reach the
@@ -28,7 +33,26 @@ from repro.parallel.intra import (
     run_freejoin_pipeline_sharded,
     run_generic_sharded,
 )
-from repro.parallel.sharding import ShardView, entry_count, shard_bounds, shard_offsets
+from repro.parallel.scheduler import (
+    TASKS_PER_WORKER,
+    ProcessStealPool,
+    StealTask,
+    ThreadStealPool,
+    active_pools,
+    decompose_entries,
+    get_pool,
+    run_binary_pipeline_steal,
+    run_freejoin_pipeline_steal,
+    run_generic_steal,
+    shutdown_pools,
+)
+from repro.parallel.sharding import (
+    RangeView,
+    ShardView,
+    entry_count,
+    shard_bounds,
+    shard_offsets,
+)
 from repro.parallel.workload import (
     STATUS_ERROR,
     STATUS_OK,
@@ -41,20 +65,32 @@ from repro.parallel.workload import (
 
 __all__ = [
     "PROCESS_INPUT_THRESHOLD",
+    "ProcessStealPool",
     "QueryExecution",
+    "RangeView",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_TIMEOUT",
     "ShardView",
     "ShardedRunResult",
+    "StealTask",
+    "TASKS_PER_WORKER",
+    "ThreadStealPool",
     "WorkloadOutcome",
+    "active_pools",
+    "decompose_entries",
     "entry_count",
     "execute_workload",
+    "get_pool",
     "normalize_queries",
     "resolve_mode",
     "run_binary_pipeline_sharded",
+    "run_binary_pipeline_steal",
     "run_freejoin_pipeline_sharded",
+    "run_freejoin_pipeline_steal",
     "run_generic_sharded",
+    "run_generic_steal",
     "shard_bounds",
     "shard_offsets",
+    "shutdown_pools",
 ]

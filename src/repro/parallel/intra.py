@@ -124,7 +124,13 @@ class ShardOutcome:
 
 @dataclass
 class ShardedRunResult:
-    """A merged parallel run: the combined result plus per-shard accounting."""
+    """A merged parallel run: the combined result plus per-shard accounting.
+
+    Produced both by the static range sharder in this module (one entry per
+    shard in ``shard_details``) and by the work-stealing scheduler
+    (:mod:`repro.parallel.scheduler`; one entry per *worker*, plus scheduler
+    counters — task/steal/queue stats — in ``extra``).
+    """
 
     result: JoinResult
     stats: Optional[ExecutorStats]
@@ -133,14 +139,19 @@ class ShardedRunResult:
     mode: str
     shard_count: int
     shard_details: List[Dict[str, object]] = field(default_factory=list)
+    scheduler: str = "range"
+    extra: Dict[str, object] = field(default_factory=dict)
 
     def details(self) -> Dict[str, object]:
         """Summary suitable for :attr:`RunReport.details` / JSON reports."""
-        return {
+        record: Dict[str, object] = {
             "mode": self.mode,
+            "scheduler": self.scheduler,
             "shards": self.shard_count,
             "per_shard": self.shard_details,
         }
+        record.update(self.extra)
+        return record
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,1258 @@
+"""Work-stealing task scheduler for intra-query parallelism.
+
+The static range sharder (:mod:`repro.parallel.intra`) splits the root
+cover into exactly one contiguous range per worker.  On the skewed inputs the
+paper's workloads are built from (Zipf keys, hub-and-spoke joins) those ranges
+are wildly uneven: one hot key can put almost all of the join under a single
+shard while the other workers idle.  This module replaces that with a
+task-queue scheduler:
+
+* the root cover is decomposed into *many* fine-grained tasks (contiguous
+  entry ranges; about :data:`TASKS_PER_WORKER` per worker), and when the root
+  cover is too small to feed every worker, tasks recurse one level below the
+  root (a single root entry times a slice of the second node's cover);
+* tasks are dealt to workers in contiguous blocks, and a worker that drains
+  its own block *steals* from its siblings, so a block of hot tasks ends up
+  spread across the pool instead of serializing on its owner;
+* workers are **persistent** — one pool per (backend, worker count) is kept
+  for the life of the process and reused across queries (and across the
+  queries of one :meth:`~repro.engine.session.Database.execute_many` run),
+  so repeated queries pay no pool spin-up;
+* process workers receive their inputs through the shared-memory column
+  plane (:mod:`repro.storage.shm`): a query ships only a plan and a handful
+  of segment handles, workers attach the columns zero-copy and build their
+  tries lazily, forcing only the parts their tasks actually touch.  Thread
+  workers go one better and share a single trie build.
+
+Per-task and per-worker accounting (steal counts, queue depths and waits,
+attach times) is merged into the run's ``RunReport.details["parallel"]``
+entry; see ``benchmarks/README.md`` for how to read it.
+
+Result parity: tasks partition the serial iteration, and outcomes are merged
+in task order, so the merged bag always equals the serial output; with static
+cover selection the row order is byte-identical as well.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.colt import TrieStrategy, build_tries
+from repro.core.executor import ExecutorStats, FreeJoinExecutor
+from repro.core.plan import FreeJoinPlan
+from repro.engine.output import JoinResult, RowSink
+from repro.errors import ExecutionError
+from repro.parallel.intra import (
+    ShardedRunResult,
+    _fork_context,
+    _make_sink,
+    resolve_mode,
+)
+from repro.parallel.sharding import entry_count, shard_offsets
+from repro.query.atoms import Atom
+from repro.storage.shm import AttachmentCache, ShmTableHandle, export_table
+
+#: Target number of tasks dealt per worker.  More tasks mean finer-grained
+#: stealing (better balance under skew) at the cost of per-task overhead.
+TASKS_PER_WORKER = 4
+
+_STEAL_OUTPUTS = ("rows", "count")
+
+
+def _steal_backend(mode: str, workers: int, input_tuples: int) -> str:
+    """Resolve the worker backend, degrading to threads when fork is absent.
+
+    The shm column plane relies on forked workers sharing the exporter's
+    ``resource_tracker``: a *spawned* worker runs its own tracker, which
+    would unlink the parent's still-live segments when the worker exits.
+    Rather than risk that, platforms without fork always get the thread
+    backend (which shares state directly and needs no shm at all).
+    """
+    backend = resolve_mode(mode, workers, input_tuples)
+    if backend == "process" and "fork" not in multiprocessing.get_all_start_methods():
+        return "thread"
+    return backend
+
+
+# --------------------------------------------------------------------------- #
+# Tasks and decomposition
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class StealTask:
+    """One unit of work: a slice of the root cover (optionally sub-sharded).
+
+    ``sub`` is ``(index, count)`` for sub-root tasks (the root slice is then a
+    single entry).  ``preferred`` is the worker the task was dealt to; a task
+    executed by any other worker counts as stolen.  ``enqueued`` is a
+    ``time.monotonic`` stamp set at dispatch, used for queue-wait accounting
+    (monotonic clocks are system-wide on Linux, so it crosses fork).
+    """
+
+    task_id: int
+    start: int
+    stop: int
+    sub: Optional[Tuple[int, int]] = None
+    preferred: int = 0
+    enqueued: float = 0.0
+
+
+def decompose_entries(
+    entry_total: int,
+    workers: int,
+    tasks_per_worker: Optional[int] = None,
+    allow_sub: bool = False,
+) -> List[StealTask]:
+    """Split ``entry_total`` cover entries into fine-grained tasks.
+
+    Returns an empty list for an empty cover (the scheduler short-circuits
+    without touching a pool).  With ``allow_sub`` and fewer entries than
+    workers, each entry is split into sub-root tasks instead, so even a
+    tiny root cover can feed the whole pool.
+    """
+    if workers <= 0:
+        raise ExecutionError(f"worker count must be positive, got {workers}")
+    per_worker = tasks_per_worker if tasks_per_worker else TASKS_PER_WORKER
+    if per_worker <= 0:
+        raise ExecutionError(f"tasks_per_worker must be positive, got {per_worker}")
+    target = workers * per_worker
+    if entry_total <= 0:
+        return []
+    if allow_sub and entry_total < workers:
+        sub_count = -(-target // entry_total)  # ceil
+        tasks: List[StealTask] = []
+        for entry in range(entry_total):
+            for sub_index in range(sub_count):
+                tasks.append(
+                    StealTask(
+                        task_id=len(tasks),
+                        start=entry,
+                        stop=entry + 1,
+                        sub=(sub_index, sub_count),
+                    )
+                )
+        return tasks
+    count = min(target, entry_total)
+    return [
+        StealTask(task_id=task_id, start=start, stop=stop)
+        for task_id, (start, stop) in enumerate(shard_offsets(entry_total, count))
+    ]
+
+
+def assign_preferred(tasks: List[StealTask], workers: int) -> None:
+    """Deal tasks to workers in contiguous blocks (task order = serial order).
+
+    Contiguous blocks keep each worker iterating in serial order; stealing
+    takes from the *tail* of a victim's block, so hot prefixes migrate.
+    """
+    total = len(tasks)
+    for task in tasks:
+        task.preferred = min(task.task_id * workers // total, workers - 1)
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side task contexts (shared by the thread and process backends)
+# --------------------------------------------------------------------------- #
+
+
+class _FreeJoinTaskContext:
+    """Per-worker Free Join state: one (lazy) trie set, reused across tasks."""
+
+    def __init__(
+        self,
+        plan: FreeJoinPlan,
+        output_variables: Tuple[str, ...],
+        tries,
+        *,
+        dynamic_cover: bool,
+        batch_size: int,
+        output: str,
+        cover: Optional[str] = None,
+        attach_seconds: float = 0.0,
+    ) -> None:
+        self.plan = plan
+        self.output_variables = output_variables
+        self.tries = tries
+        self.dynamic_cover = dynamic_cover
+        self.batch_size = batch_size
+        self.output = output
+        self.cover = cover
+        self.attach_seconds = attach_seconds
+
+    def run_task(self, task: StealTask) -> Dict[str, object]:
+        sink = _make_sink(self.output, self.output_variables)
+        executor = FreeJoinExecutor(
+            self.plan,
+            self.output_variables,
+            sink,
+            dynamic_cover=self.dynamic_cover,
+            batch_size=self.batch_size,
+            factorize=False,
+        )
+        executor.run_task(self.tries, task.start, task.stop, task.sub, self.cover)
+        result = sink.result()
+        outputs = result.count_only or 0 if self.output == "count" else len(result.rows)
+        return {
+            "task_id": task.task_id,
+            "rows": result.rows,
+            "multiplicities": result.multiplicities,
+            "count": result.count_only or 0,
+            "stats": executor.stats.as_dict(),
+            "outputs": outputs,
+        }
+
+
+class _BinaryTaskContext:
+    """Per-worker binary join state: hash tables built once per query."""
+
+    def __init__(
+        self,
+        pipeline_atoms: List[Atom],
+        output_variables: List[str],
+        output: str,
+        attach_seconds: float = 0.0,
+    ) -> None:
+        from repro.binaryjoin.executor import BinaryJoinEngine
+
+        self.pipeline_atoms = pipeline_atoms
+        self.output_variables = output_variables
+        self.output = output
+        self.attach_seconds = attach_seconds
+        self.hash_tables = BinaryJoinEngine._build_hash_tables(pipeline_atoms)
+
+    def run_task(self, task: StealTask) -> Dict[str, object]:
+        from repro.binaryjoin.executor import BinaryJoinEngine
+
+        sink = _make_sink(self.output, self.output_variables)
+        BinaryJoinEngine._run_pipeline(
+            self.pipeline_atoms,
+            self.hash_tables,
+            self.output_variables,
+            sink,
+            offset_range=(task.start, task.stop),
+        )
+        result = sink.result()
+        outputs = result.count_only or 0 if self.output == "count" else len(result.rows)
+        return {
+            "task_id": task.task_id,
+            "rows": result.rows,
+            "multiplicities": result.multiplicities,
+            "count": result.count_only or 0,
+            "stats": None,
+            "outputs": outputs,
+        }
+
+
+class _GenericTaskContext:
+    """Per-worker Generic Join state: eager hash tries built once per query."""
+
+    def __init__(
+        self,
+        atoms: List[Atom],
+        output_variables: Tuple[str, ...],
+        order: List[str],
+        output: str,
+        attach_seconds: float = 0.0,
+    ) -> None:
+        from repro.genericjoin.trie import build_hash_trie
+
+        self.atoms = atoms
+        self.output_variables = output_variables
+        self.order = order
+        self.output = output
+        self.attach_seconds = attach_seconds
+        self.tries = {atom.name: build_hash_trie(atom, order) for atom in atoms}
+
+    def run_task(self, task: StealTask) -> Dict[str, object]:
+        from repro.genericjoin.executor import GenericJoinEngine
+
+        sink = _make_sink(self.output, self.output_variables)
+        GenericJoinEngine._execute_atoms(
+            self.atoms,
+            self.output_variables,
+            self.order,
+            self.tries,
+            sink,
+            entry_range=(task.start, task.stop),
+        )
+        result = sink.result()
+        outputs = result.count_only or 0 if self.output == "count" else len(result.rows)
+        return {
+            "task_id": task.task_id,
+            "rows": result.rows,
+            "multiplicities": result.multiplicities,
+            "count": result.count_only or 0,
+            "stats": None,
+            "outputs": outputs,
+        }
+
+
+def _cover_entry_total(trie) -> int:
+    """Entries the root cover will iterate, without forcing the trie.
+
+    Forcing builds the full hash map plus one child node per key — wasted
+    work in a parent whose process workers rebuild their own tries.  A
+    last-level cover iterates its tuples; an already-forced level knows its
+    key count; otherwise the count is the distinct key count of the level's
+    columns (exactly what forcing would find, at a fraction of the cost).
+    """
+    if trie.levels_remaining() == 1:
+        return trie.tuple_count()
+    is_forced = getattr(trie, "is_forced", None)
+    if is_forced is not None and is_forced():
+        return trie.key_count()
+    atom = trie.atom
+    columns = [atom.table.column(atom.column_for(var)).values for var in trie.vars]
+    if len(columns) == 1:
+        return len(set(columns[0]))
+    return len(set(zip(*columns)))
+
+
+def _preforce_shared_tries(plan: FreeJoinPlan, tries) -> None:
+    """Force shared tries' first levels once, before thread workers start.
+
+    Thread workers share one trie build, but COLT forcing is lazy: if all
+    workers hit the same unforced level at the same instant they each build
+    an (equivalent) map concurrently, re-paying the build K times under the
+    GIL — exactly the duplicated cost sharing is meant to remove.  Forcing
+    the contended levels up front makes the build genuinely once-per-query.
+
+    A root level is contended unless the relation sits alone in its first
+    node *and* is single-level (then it is only ever iterated as a leaf
+    vector, which never forces).  Deeper levels are keyed by bindings that
+    differ across tasks, so their forcing rarely collides.
+    """
+    first_node: Dict[str, int] = {}
+    for index, node in enumerate(plan.nodes):
+        for subatom in node.subatoms:
+            first_node.setdefault(subatom.relation, index)
+    for relation, trie in tries.items():
+        if trie.levels_remaining() == 1 and len(plan.nodes[first_node[relation]]) == 1:
+            continue
+        force = getattr(trie, "force", None)
+        if force is not None:
+            force()
+
+
+def _attach_atoms(
+    specs: Sequence[Tuple[str, Tuple[str, ...], ShmTableHandle]],
+    cache: AttachmentCache,
+) -> Dict[str, Atom]:
+    return {
+        name: Atom(name, cache.attach(handle), variables)
+        for name, variables, handle in specs
+    }
+
+
+def _build_worker_context(setup: Dict[str, object], cache: AttachmentCache):
+    """Build a task context in a process worker from a pickled setup payload."""
+    kind = setup["kind"]
+    started = time.perf_counter()
+    atoms = _attach_atoms(setup["atoms"], cache)
+    attach_seconds = time.perf_counter() - started
+    if kind == "freejoin":
+        tries = build_tries(atoms, setup["schemas"], setup["trie_strategy"])
+        return _FreeJoinTaskContext(
+            setup["plan"],
+            setup["output_variables"],
+            tries,
+            dynamic_cover=setup["dynamic_cover"],
+            batch_size=setup["batch_size"],
+            output=setup["output"],
+            cover=setup["cover"],
+            attach_seconds=attach_seconds,
+        )
+    if kind == "binary":
+        ordered = [atoms[name] for name in setup["atom_order"]]
+        return _BinaryTaskContext(
+            ordered, setup["output_variables"], setup["output"], attach_seconds
+        )
+    if kind == "generic":
+        ordered = [atoms[name] for name in setup["atom_order"]]
+        return _GenericTaskContext(
+            ordered,
+            setup["output_variables"],
+            setup["order"],
+            setup["output"],
+            attach_seconds,
+        )
+    raise ExecutionError(f"unknown steal context kind {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Thread backend: per-worker deques with stealing
+# --------------------------------------------------------------------------- #
+
+
+class _ThreadJob:
+    """One query's worth of tasks, dealt into per-worker deques."""
+
+    def __init__(self, runner, tasks: List[StealTask], workers: int) -> None:
+        self.runner = runner
+        self.deques: List[deque] = [deque() for _ in range(workers)]
+        now = time.monotonic()
+        for task in tasks:
+            task.enqueued = now
+            self.deques[task.preferred].append(task)
+        self.lock = threading.Lock()
+        self.remaining = len(tasks)
+        self.backlog = len(tasks)
+        self.outcomes: List[Dict[str, object]] = []
+        self.errors: List[str] = []
+        self.worker_reports: List[Dict[str, object]] = [
+            _new_worker_report() for _ in range(workers)
+        ]
+        self.done = threading.Event()
+
+
+def _new_worker_report() -> Dict[str, object]:
+    return {
+        "tasks": 0,
+        "steals": 0,
+        "outputs": 0,
+        "busy_seconds": 0.0,
+        "attach_seconds": 0.0,
+        "setup_seconds": 0.0,
+    }
+
+
+class ThreadStealPool:
+    """A persistent pool of worker threads with per-worker steal deques.
+
+    Under CPython the GIL serializes the join work itself, so the thread
+    backend's value is determinism and *shared state*: all workers execute
+    over one trie/hash-table build (handed to them through the job's runner
+    closure), which is what makes steal mode cheaper than range mode's
+    per-worker rebuilds even on one core.
+    """
+
+    backend = "thread"
+
+    def __init__(self, workers: int) -> None:
+        if workers <= 0:
+            raise ExecutionError(f"worker count must be positive, got {workers}")
+        self.workers = workers
+        self.broken = False
+        self._cond = threading.Condition()
+        self._generation = 0
+        self._job: Optional[_ThreadJob] = None
+        self._stop = False
+        self._submit_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-steal-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, runner, tasks: List[StealTask]):
+        """Run ``tasks`` through the pool; returns (outcomes, worker_reports)."""
+        with self._submit_lock:
+            if self.broken:
+                raise ExecutionError("steal pool has been shut down")
+            job = _ThreadJob(runner, tasks, self.workers)
+            with self._cond:
+                self._job = job
+                self._generation += 1
+                self._cond.notify_all()
+            job.done.wait()
+            if job.errors:
+                raise ExecutionError("; ".join(job.errors))
+            reports = {
+                index: report for index, report in enumerate(job.worker_reports)
+            }
+            return job.outcomes, reports
+
+    def _worker_loop(self, worker_id: int) -> None:
+        seen = 0
+        while True:
+            with self._cond:
+                while self._generation == seen and not self._stop:
+                    self._cond.wait()
+                if self._stop:
+                    return
+                seen = self._generation
+                job = self._job
+            if job is not None:
+                self._drain(job, worker_id)
+
+    def _drain(self, job: _ThreadJob, worker_id: int) -> None:
+        own = job.deques[worker_id]
+        while True:
+            task: Optional[StealTask] = None
+            stolen = False
+            try:
+                task = own.popleft()
+            except IndexError:
+                pass
+            if task is None:
+                for victim in range(len(job.deques)):
+                    if victim == worker_id:
+                        continue
+                    try:
+                        # Steal from the tail: the victim keeps its serial
+                        # prefix, thieves take the work furthest from it.
+                        task = job.deques[victim].pop()
+                        stolen = True
+                        break
+                    except IndexError:
+                        continue
+            if task is None:
+                return
+            with job.lock:
+                job.backlog -= 1
+                depth = job.backlog
+            wait_seconds = max(0.0, time.monotonic() - task.enqueued)
+            started = time.perf_counter()
+            try:
+                outcome = job.runner(task)
+                seconds = time.perf_counter() - started
+                outcome.update(
+                    worker=worker_id,
+                    stolen=stolen,
+                    seconds=seconds,
+                    wait_seconds=wait_seconds,
+                    depth=depth,
+                )
+                with job.lock:
+                    job.outcomes.append(outcome)
+                    report = job.worker_reports[worker_id]
+                    report["tasks"] += 1
+                    report["steals"] += int(stolen)
+                    report["outputs"] += outcome["outputs"]
+                    report["busy_seconds"] += seconds
+            except Exception as exc:  # noqa: BLE001 - reported to the caller
+                with job.lock:
+                    job.errors.append(
+                        f"task {task.task_id}: {type(exc).__name__}: {exc}"
+                    )
+            finally:
+                with job.lock:
+                    job.remaining -= 1
+                    finished = job.remaining == 0
+                if finished:
+                    job.done.set()
+
+    def shutdown(self) -> None:
+        with self._cond:
+            self._stop = True
+            self.broken = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+
+# --------------------------------------------------------------------------- #
+# Process backend: persistent workers fed through a shared task queue
+# --------------------------------------------------------------------------- #
+
+
+class _PoolProtocolError(ExecutionError):
+    """The pool's worker protocol broke (dead worker, message out of order).
+
+    Unlike an ordinary task failure, the pool can no longer be trusted and
+    must be torn down; the registry builds a fresh one on next use.
+    """
+
+
+def _process_worker_main(worker_id, cmd_queue, task_queue, result_queue) -> None:
+    """Process worker: attach columns per query, then pull tasks until done.
+
+    Tasks sit in one shared queue tagged with a preferred owner; a worker
+    executing a task dealt to a sibling records a steal.  That gives the
+    dynamic balancing (and the accounting) of work stealing without
+    distributed deques, which buy nothing at this task granularity.
+    """
+    cache = AttachmentCache()
+    while True:
+        try:
+            message = cmd_queue.get()
+        except (EOFError, OSError):  # pragma: no cover - parent died
+            return
+        if message[0] == "stop":
+            cache.close_all()
+            return
+        _kind, query_id, setup = message
+        context = None
+        try:
+            started = time.perf_counter()
+            context = _build_worker_context(setup, cache)
+            result_queue.put(
+                (
+                    "ready",
+                    query_id,
+                    worker_id,
+                    {
+                        "setup_seconds": time.perf_counter() - started,
+                        "attach_seconds": context.attach_seconds,
+                    },
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            result_queue.put(
+                ("ready_error", query_id, worker_id, f"{type(exc).__name__}: {exc}")
+            )
+        report = _new_worker_report()
+        while True:
+            task_message = task_queue.get()
+            if task_message[0] == "end":
+                break
+            _tag, task_query_id, task = task_message
+            if task_query_id != query_id or context is None:
+                result_queue.put(
+                    ("task_error", task_query_id, task.task_id, "worker has no context")
+                )
+                continue
+            wait_seconds = max(0.0, time.monotonic() - task.enqueued)
+            started = time.perf_counter()
+            try:
+                outcome = context.run_task(task)
+            except Exception as exc:  # noqa: BLE001 - reported to the parent
+                result_queue.put(
+                    (
+                        "task_error",
+                        query_id,
+                        task.task_id,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            seconds = time.perf_counter() - started
+            stolen = task.preferred != worker_id
+            report["tasks"] += 1
+            report["steals"] += int(stolen)
+            report["outputs"] += outcome["outputs"]
+            report["busy_seconds"] += seconds
+            outcome.update(
+                worker=worker_id,
+                stolen=stolen,
+                seconds=seconds,
+                wait_seconds=wait_seconds,
+            )
+            result_queue.put(("result", query_id, outcome))
+        result_queue.put(("drained", query_id, worker_id, report))
+
+
+class ProcessStealPool:
+    """A persistent pool of worker processes sharing one task queue.
+
+    Inputs reach workers through the shared-memory column plane; only plans,
+    schemas and segment handles cross the command queues.  The pool survives
+    across queries — workers cache attachments, so a session hammering the
+    same tables attaches each segment exactly once per worker.
+
+    Any protocol failure (a dead worker, an unexpected message) marks the
+    pool broken and tears it down; the registry transparently builds a fresh
+    pool on next use.
+    """
+
+    backend = "process"
+
+    def __init__(self, workers: int) -> None:
+        if workers <= 0:
+            raise ExecutionError(f"worker count must be positive, got {workers}")
+        # Start the shared-memory resource tracker *before* forking: workers
+        # must inherit the parent's tracker, not lazily spawn private ones
+        # whose caches never see the parent's unlinks (each private tracker
+        # would then warn about "leaked" segments at worker exit).
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+        context = _fork_context()
+        self.workers = workers
+        self.broken = False
+        self._query_id = 0
+        self._submit_lock = threading.Lock()
+        self._cmd_queues = [context.SimpleQueue() for _ in range(workers)]
+        self._task_queue = context.SimpleQueue()
+        self._result_queue = context.Queue()
+        self._processes = [
+            context.Process(
+                target=_process_worker_main,
+                args=(
+                    index,
+                    self._cmd_queues[index],
+                    self._task_queue,
+                    self._result_queue,
+                ),
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for process in self._processes:
+            process.start()
+
+    def submit(self, setup: Dict[str, object], tasks: List[StealTask]):
+        """Run ``tasks`` with ``setup``; returns (outcomes, worker_reports).
+
+        Raises :class:`ExecutionError` when any task or setup failed.  Only
+        *protocol* failures (a dead worker, an out-of-sequence message) mark
+        the pool broken and tear it down; ordinary query errors complete the
+        drain protocol cleanly, so the workers — and their cached shm
+        attachments — stay warm for the next query.
+        """
+        with self._submit_lock:
+            if self.broken:
+                raise ExecutionError("steal pool has been shut down")
+            self._query_id += 1
+            try:
+                return self._run_query(self._query_id, setup, tasks)
+            except _PoolProtocolError:
+                self.broken = True
+                self.shutdown()
+                raise
+            except ExecutionError:
+                raise
+            except Exception:
+                self.broken = True
+                self.shutdown()
+                raise
+
+    def _run_query(self, query_id: int, setup, tasks: List[StealTask]):
+        for cmd_queue in self._cmd_queues:
+            cmd_queue.put(("query", query_id, setup))
+        ready: Dict[int, Optional[Dict[str, float]]] = {}
+        errors: List[str] = []
+        while len(ready) < self.workers:
+            message = self._receive()
+            if message[0] == "ready":
+                ready[message[2]] = message[3]
+            elif message[0] == "ready_error":
+                ready[message[2]] = None
+                errors.append(f"worker {message[2]} setup failed: {message[3]}")
+            else:
+                raise _PoolProtocolError(
+                    f"unexpected {message[0]!r} message during query setup"
+                )
+        expected = 0 if errors else len(tasks)
+        if not errors:
+            for task in tasks:
+                task.enqueued = time.monotonic()
+                self._task_queue.put(("task", query_id, task))
+        for _ in range(self.workers):
+            self._task_queue.put(("end", query_id))
+        outcomes: List[Dict[str, object]] = []
+        reports: Dict[int, Dict[str, object]] = {}
+        while len(reports) < self.workers or len(outcomes) < expected:
+            message = self._receive()
+            if message[0] == "result":
+                outcomes.append(message[2])
+            elif message[0] == "task_error":
+                errors.append(f"task {message[2]}: {message[3]}")
+                expected -= 1
+            elif message[0] == "drained":
+                reports[message[2]] = message[3]
+            else:
+                raise _PoolProtocolError(f"unexpected {message[0]!r} message")
+        if errors:
+            raise ExecutionError("; ".join(errors))
+        for worker_id, info in ready.items():
+            if info:
+                reports[worker_id].update(info)
+        return outcomes, reports
+
+    def _receive(self, poll_seconds: float = 0.2):
+        while True:
+            try:
+                return self._result_queue.get(timeout=poll_seconds)
+            except queue_module.Empty:
+                for process in self._processes:
+                    if not process.is_alive():
+                        raise _PoolProtocolError(
+                            f"steal worker pid={process.pid} died "
+                            f"(exitcode={process.exitcode}) mid-query"
+                        ) from None
+
+    def shutdown(self) -> None:
+        self.broken = True
+        for cmd_queue in self._cmd_queues:
+            try:
+                cmd_queue.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        for process in self._processes:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():  # pragma: no cover - stuck in kernel
+                process.kill()
+                process.join()
+        try:
+            self._result_queue.close()
+            self._result_queue.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# Pool registry (the persistence layer)
+# --------------------------------------------------------------------------- #
+
+
+_POOLS: Dict[Tuple[str, int], object] = {}
+_POOLS_PID = os.getpid()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_pool(backend: str, workers: int):
+    """Return the persistent pool for (backend, workers), creating on demand.
+
+    Pools are process-wide: every session (and every query of an
+    ``execute_many`` run) with the same shape reuses the same workers.  A
+    forked child starts from an empty registry — it must not signal its
+    parent's workers.
+    """
+    global _POOLS_PID
+    with _REGISTRY_LOCK:
+        if _POOLS_PID != os.getpid():
+            _POOLS.clear()
+            _POOLS_PID = os.getpid()
+        key = (backend, workers)
+        pool = _POOLS.get(key)
+        if pool is None or pool.broken:
+            if backend == "thread":
+                pool = ThreadStealPool(workers)
+            elif backend == "process":
+                pool = ProcessStealPool(workers)
+            else:
+                raise ExecutionError(f"unknown steal backend {backend!r}")
+            _POOLS[key] = pool
+        return pool
+
+
+def active_pools() -> Dict[Tuple[str, int], object]:
+    """Snapshot of the live pools (for tests and diagnostics)."""
+    with _REGISTRY_LOCK:
+        if _POOLS_PID != os.getpid():
+            return {}
+        return {key: pool for key, pool in _POOLS.items() if not pool.broken}
+
+
+def shutdown_pools() -> None:
+    """Shut every persistent pool down (threads joined, processes reaped)."""
+    global _POOLS_PID
+    with _REGISTRY_LOCK:
+        if _POOLS_PID != os.getpid():
+            _POOLS.clear()
+            _POOLS_PID = os.getpid()
+            return
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_pools)
+
+
+# --------------------------------------------------------------------------- #
+# Driving one query through the scheduler
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _StealRun:
+    """Everything the entry points hand to the shared driver."""
+
+    tasks: List[StealTask]
+    workers: int
+    backend: str
+    context_factory: Callable[[], object]
+    setup_factory: Callable[[], Dict[str, object]]
+    output_variables: Tuple[str, ...]
+    output: str
+    merge_stats: bool
+    build_seconds: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def _short_circuit(
+    variables: Sequence[str],
+    output: str,
+    workers: int,
+    merge_stats: bool,
+    build_seconds: float,
+) -> ShardedRunResult:
+    """An empty/zero-key cover: no worker is spawned, stats still populated."""
+    if output == "count":
+        result = JoinResult(
+            variables=tuple(variables), rows=[], multiplicities=[], count_only=0
+        )
+    else:
+        result = JoinResult(variables=tuple(variables), rows=[], multiplicities=[])
+    return ShardedRunResult(
+        result=result,
+        stats=ExecutorStats() if merge_stats else None,
+        build_seconds=build_seconds,
+        join_seconds=0.0,
+        mode="inline",
+        shard_count=workers,
+        shard_details=[],
+        scheduler="steal",
+        extra={
+            "tasks": 0,
+            "steals": 0,
+            "workers": 0,
+            "queue": {"submitted": 0},
+            "attach_seconds": 0.0,
+            "short_circuit": True,
+        },
+    )
+
+
+def _drive(run: _StealRun) -> ShardedRunResult:
+    effective = min(run.workers, len(run.tasks))
+    assign_preferred(run.tasks, effective)
+    join_started = time.perf_counter()
+    if len(run.tasks) == 1:
+        # One task cannot balance anything: run it inline, skip the pool.
+        context = run.context_factory()
+        task = run.tasks[0]
+        outcome = context.run_task(task)
+        outcome.update(worker=0, stolen=False, wait_seconds=0.0)
+        outcome["seconds"] = time.perf_counter() - join_started
+        report = _new_worker_report()
+        report["tasks"] = 1
+        report["outputs"] = outcome["outputs"]
+        report["busy_seconds"] = outcome["seconds"]
+        outcomes, reports = [outcome], {0: report}
+        backend_label = "inline"
+    elif run.backend == "thread":
+        context = run.context_factory()
+        pool = get_pool("thread", effective)
+        outcomes, reports = pool.submit(context.run_task, run.tasks)
+        backend_label = "thread"
+    else:
+        pool = get_pool("process", effective)
+        outcomes, reports = pool.submit(run.setup_factory(), run.tasks)
+        backend_label = "process"
+    join_seconds = time.perf_counter() - join_started
+    return _merge(run, outcomes, reports, backend_label, join_seconds)
+
+
+def _merge(
+    run: _StealRun,
+    outcomes: List[Dict[str, object]],
+    reports: Dict[int, Dict[str, object]],
+    backend_label: str,
+    join_seconds: float,
+) -> ShardedRunResult:
+    """Merge task outcomes in task order (serial order parity; see module doc)."""
+    outcomes.sort(key=lambda outcome: outcome["task_id"])
+    rows: List[tuple] = []
+    multiplicities: List[int] = []
+    count = 0
+    stats = ExecutorStats() if run.merge_stats else None
+    for outcome in outcomes:
+        rows.extend(outcome["rows"])
+        multiplicities.extend(outcome["multiplicities"])
+        count += outcome["count"]
+        if stats is not None and outcome.get("stats"):
+            stats.merge(ExecutorStats.from_dict(outcome["stats"]))
+    if run.output == "count":
+        result = JoinResult(
+            variables=tuple(run.output_variables),
+            rows=[],
+            multiplicities=[],
+            count_only=count,
+        )
+    else:
+        result = JoinResult(
+            variables=tuple(run.output_variables),
+            rows=rows,
+            multiplicities=multiplicities,
+        )
+
+    per_shard = [
+        {"shard": worker_id, **report} for worker_id, report in sorted(reports.items())
+    ]
+    waits = [outcome.get("wait_seconds", 0.0) for outcome in outcomes]
+    queue_stats: Dict[str, object] = {
+        "submitted": len(run.tasks),
+        "wait_seconds_max": max(waits, default=0.0),
+        "wait_seconds_mean": (sum(waits) / len(waits)) if waits else 0.0,
+    }
+    # Depths are sampled at dequeue time; only the thread backend measures
+    # them (the process task queue has no cheap depth probe), so the keys are
+    # present only when they are real measurements.
+    depths = [outcome["depth"] for outcome in outcomes if "depth" in outcome]
+    if depths:
+        queue_stats["depth_max"] = max(depths)
+        queue_stats["depth_mean_at_dequeue"] = sum(depths) / len(depths)
+    setup_max = max(
+        (report.get("setup_seconds", 0.0) for report in reports.values()), default=0.0
+    )
+    attach_max = max(
+        (report.get("attach_seconds", 0.0) for report in reports.values()), default=0.0
+    )
+    extra = {
+        "tasks": len(run.tasks),
+        "steals": sum(report["steals"] for report in reports.values()),
+        "workers": len(reports),
+        "queue": queue_stats,
+        "attach_seconds": attach_max,
+        "short_circuit": False,
+    }
+    extra.update(run.extra)
+    return ShardedRunResult(
+        result=result,
+        stats=stats,
+        build_seconds=run.build_seconds + setup_max,
+        join_seconds=join_seconds,
+        mode=backend_label,
+        shard_count=run.workers,
+        shard_details=per_shard,
+        scheduler="steal",
+        extra=extra,
+    )
+
+
+def _atom_specs(atoms: Sequence[Atom]) -> List[Tuple[str, Tuple[str, ...], ShmTableHandle]]:
+    """Export every atom's table and return pickle-able (name, vars, handle)."""
+    return [(atom.name, atom.variables, export_table(atom.table)) for atom in atoms]
+
+
+# --------------------------------------------------------------------------- #
+# Public entry points (one per engine)
+# --------------------------------------------------------------------------- #
+
+
+def run_freejoin_pipeline_steal(
+    plan: FreeJoinPlan,
+    output_variables: Sequence[str],
+    atoms: Dict[str, Atom],
+    schemas: Dict[str, List[Tuple[str, ...]]],
+    *,
+    trie_strategy: TrieStrategy = TrieStrategy.COLT,
+    batch_size: int = 1,
+    dynamic_cover: bool = True,
+    output: str = "rows",
+    workers: int = 2,
+    mode: str = "auto",
+    tasks_per_worker: Optional[int] = None,
+) -> ShardedRunResult:
+    """Run one Free Join (pipeline) plan through the work-stealing scheduler."""
+    if output not in _STEAL_OUTPUTS:
+        raise ExecutionError(
+            f"steal scheduling supports outputs {_STEAL_OUTPUTS}, got {output!r}"
+        )
+    output_variables = tuple(output_variables)
+    input_tuples = sum(atom.size for atom in atoms.values())
+    backend = _steal_backend(mode, workers, input_tuples)
+
+    build_started = time.perf_counter()
+    tries = build_tries(atoms, schemas, trie_strategy)
+    # Choose the root cover ONCE, here, and pin it into every task: dynamic
+    # cover selection keys off key_count() estimates that shrink as forcing
+    # progresses, so letting each task re-choose could switch the iterated
+    # relation mid-query and corrupt the partition.  The choice below uses
+    # the unforced estimates (no forcing happens during it), matching what
+    # the first task would have seen.
+    prober = FreeJoinExecutor(
+        plan,
+        output_variables,
+        RowSink(output_variables),
+        dynamic_cover=dynamic_cover,
+        batch_size=1,
+        factorize=False,
+    )
+    root_info = prober._nodes[0]
+    cover_position = prober._choose_cover(root_info, dict(tries))
+    if cover_position is None:
+        cover_relation = None
+        entry_total = 1  # probe-only root: one unit of work
+        allow_sub = False
+    else:
+        cover_relation = root_info.cover_plans[cover_position].relation
+        if backend == "thread":
+            # Thread workers share these tries, so forcing the cover's root
+            # level here is work the query needs anyway.
+            entry_total = entry_count(tries[cover_relation])
+        else:
+            # Process workers rebuild from attached columns; a full force in
+            # the parent would be thrown away.  The entry count of the
+            # cover's first level is just its distinct key count.
+            entry_total = _cover_entry_total(tries[cover_relation])
+        allow_sub = len(plan.nodes) >= 2
+    build_seconds = time.perf_counter() - build_started
+
+    tasks = decompose_entries(entry_total, workers, tasks_per_worker, allow_sub)
+    if not tasks:
+        return _short_circuit(output_variables, output, workers, True, build_seconds)
+    if backend == "thread" and len(tasks) > 1:
+        build_started = time.perf_counter()
+        _preforce_shared_tries(plan, tries)
+        build_seconds += time.perf_counter() - build_started
+
+    def context_factory():
+        return _FreeJoinTaskContext(
+            plan,
+            output_variables,
+            tries,
+            dynamic_cover=dynamic_cover,
+            batch_size=batch_size,
+            output=output,
+            cover=cover_relation,
+        )
+
+    def setup_factory():
+        return {
+            "kind": "freejoin",
+            "plan": plan,
+            "output_variables": output_variables,
+            "schemas": schemas,
+            "trie_strategy": trie_strategy,
+            "batch_size": batch_size,
+            "dynamic_cover": dynamic_cover,
+            "output": output,
+            "cover": cover_relation,
+            "atoms": _atom_specs(list(atoms.values())),
+        }
+
+    return _drive(
+        _StealRun(
+            tasks=tasks,
+            workers=workers,
+            backend=backend,
+            context_factory=context_factory,
+            setup_factory=setup_factory,
+            output_variables=output_variables,
+            output=output,
+            merge_stats=True,
+            build_seconds=build_seconds,
+        )
+    )
+
+
+def run_binary_pipeline_steal(
+    pipeline_atoms: List[Atom],
+    output_variables: List[str],
+    *,
+    output: str = "rows",
+    workers: int = 2,
+    mode: str = "auto",
+    tasks_per_worker: Optional[int] = None,
+) -> ShardedRunResult:
+    """Run one binary-join pipeline with its probe loop task-decomposed."""
+    if output not in _STEAL_OUTPUTS:
+        raise ExecutionError(
+            f"steal scheduling supports outputs {_STEAL_OUTPUTS}, got {output!r}"
+        )
+    input_tuples = sum(atom.size for atom in pipeline_atoms)
+    backend = _steal_backend(mode, workers, input_tuples)
+    entry_total = pipeline_atoms[0].size
+    tasks = decompose_entries(entry_total, workers, tasks_per_worker, allow_sub=False)
+    if not tasks:
+        return _short_circuit(output_variables, output, workers, False, 0.0)
+
+    def context_factory():
+        return _BinaryTaskContext(
+            list(pipeline_atoms), list(output_variables), output
+        )
+
+    def setup_factory():
+        return {
+            "kind": "binary",
+            "atom_order": [atom.name for atom in pipeline_atoms],
+            "output_variables": list(output_variables),
+            "output": output,
+            "atoms": _atom_specs(pipeline_atoms),
+        }
+
+    return _drive(
+        _StealRun(
+            tasks=tasks,
+            workers=workers,
+            backend=backend,
+            context_factory=context_factory,
+            setup_factory=setup_factory,
+            output_variables=tuple(output_variables),
+            output=output,
+            merge_stats=False,
+            build_seconds=0.0,
+        )
+    )
+
+
+def run_generic_steal(
+    atoms: List[Atom],
+    output_variables: Sequence[str],
+    order: Sequence[str],
+    *,
+    output: str = "rows",
+    workers: int = 2,
+    mode: str = "auto",
+    tasks_per_worker: Optional[int] = None,
+) -> ShardedRunResult:
+    """Run one Generic Join with the first intersection task-decomposed."""
+    if output not in _STEAL_OUTPUTS:
+        raise ExecutionError(
+            f"steal scheduling supports outputs {_STEAL_OUTPUTS}, got {output!r}"
+        )
+    atoms = list(atoms)
+    order = list(order)
+    input_tuples = sum(atom.size for atom in atoms)
+    backend = _steal_backend(mode, workers, input_tuples)
+
+    # The first variable's intersection iterates the smallest participant
+    # level; its entry count is that atom's distinct count on the variable.
+    # Only the *count* matters here — each worker's own (identically built)
+    # tries define the iteration order the ranges slice.
+    entry_total = 1
+    if order:
+        participants = [atom for atom in atoms if atom.has_variable(order[0])]
+        if participants:
+            entry_total = min(
+                len(set(atom.table.column(atom.column_for(order[0])).values))
+                for atom in participants
+            )
+    tasks = decompose_entries(entry_total, workers, tasks_per_worker, allow_sub=False)
+    if not tasks:
+        return _short_circuit(output_variables, output, workers, False, 0.0)
+
+    def context_factory():
+        return _GenericTaskContext(
+            atoms, tuple(output_variables), order, output
+        )
+
+    def setup_factory():
+        return {
+            "kind": "generic",
+            "atom_order": [atom.name for atom in atoms],
+            "output_variables": tuple(output_variables),
+            "order": order,
+            "output": output,
+            "atoms": _atom_specs(atoms),
+        }
+
+    return _drive(
+        _StealRun(
+            tasks=tasks,
+            workers=workers,
+            backend=backend,
+            context_factory=context_factory,
+            setup_factory=setup_factory,
+            output_variables=tuple(output_variables),
+            output=output,
+            merge_stats=False,
+            build_seconds=0.0,
+        )
+    )

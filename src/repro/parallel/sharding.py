@@ -62,28 +62,23 @@ def entry_count(trie: GHT) -> int:
     return count
 
 
-class ShardView(GHT):
+class RangeView(GHT):
     """A read-only slice of one trie level, presented as a GHT.
 
     Only :meth:`iter_entries` (and the batched variant inherited from
     :class:`GHT`) is filtered; everything else delegates to the wrapped trie.
-    The slice is computed lazily on first iteration so that constructing the
-    view is free when the executor ends up never iterating it.
+    The slice is an explicit half-open entry range ``[start, stop)`` — the
+    work-stealing scheduler decomposes a cover into many such ranges and
+    hands each to whichever worker gets to it first.
     """
 
-    def __init__(self, base: GHT, shard_index: int, shard_count: int) -> None:
-        if shard_count <= 0:
-            raise ValueError(f"shard_count must be positive, got {shard_count}")
-        if not 0 <= shard_index < shard_count:
-            raise ValueError(
-                f"shard index {shard_index} out of range for {shard_count} shards"
-            )
+    def __init__(self, base: GHT, start: int, stop: int) -> None:
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid entry range [{start}, {stop})")
         self.base = base
-        self.shard_index = shard_index
-        self.shard_count = shard_count
         self.relation = base.relation
         self.vars = base.vars
-        self._bounds: Optional[Tuple[int, int]] = None
+        self._bounds: Optional[Tuple[int, int]] = (start, stop)
 
     # ------------------------------------------------------------------ #
     # Structure (delegated)
@@ -108,11 +103,8 @@ class ShardView(GHT):
     # ------------------------------------------------------------------ #
 
     def bounds(self) -> Tuple[int, int]:
-        """The entry slice this view exposes (computed on first use)."""
-        if self._bounds is None:
-            self._bounds = shard_bounds(
-                entry_count(self.base), self.shard_index, self.shard_count
-            )
+        """The entry slice this view exposes."""
+        assert self._bounds is not None
         return self._bounds
 
     def iter_entries(self) -> Iterator[Tuple[Row, Optional[GHT]]]:
@@ -125,6 +117,43 @@ class ShardView(GHT):
         # Probes are never sharded: a view used as a probe target must behave
         # exactly like the underlying trie.
         return self.base.get(key)
+
+    def __repr__(self) -> str:
+        start, stop = self.bounds()
+        return f"RangeView({self.base!r}, [{start}, {stop}))"
+
+
+class ShardView(RangeView):
+    """A :class:`RangeView` addressed by ``(shard_index, shard_count)``.
+
+    The slice is computed lazily on first iteration (from the wrapped trie's
+    entry count), so constructing the view is free when the executor ends up
+    never iterating it.  This is the unit the static range sharder uses; the
+    work-stealing scheduler uses it for sub-root tasks, whose entry counts
+    only the worker holding the sub-trie can know.
+    """
+
+    def __init__(self, base: GHT, shard_index: int, shard_count: int) -> None:
+        if shard_count <= 0:
+            raise ValueError(f"shard_count must be positive, got {shard_count}")
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard index {shard_index} out of range for {shard_count} shards"
+            )
+        self.base = base
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.relation = base.relation
+        self.vars = base.vars
+        self._bounds: Optional[Tuple[int, int]] = None
+
+    def bounds(self) -> Tuple[int, int]:
+        """The entry slice this view exposes (computed on first use)."""
+        if self._bounds is None:
+            self._bounds = shard_bounds(
+                entry_count(self.base), self.shard_index, self.shard_count
+            )
+        return self._bounds
 
     def __repr__(self) -> str:
         return (

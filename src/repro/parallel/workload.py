@@ -190,6 +190,7 @@ def _execute_single(
     collect_rows: bool,
     timeout: Optional[float],
     statistics_cache=None,
+    scheduler: str = "steal",
 ) -> Dict[str, object]:
     """Run one query on a fresh Database; never raises.
 
@@ -206,6 +207,7 @@ def _execute_single(
             freejoin_options=freejoin_options,
             parallelism=parallelism,
             parallel_mode=parallel_mode,
+            scheduler=scheduler,
         )
         if statistics_cache is not None:
             # Reuse the caller's per-table statistics: the cache is keyed by
@@ -261,22 +263,35 @@ def _query_worker(
     parallel_mode: str,
     collect_rows: bool,
     statistics_cache=None,
+    scheduler: str = "steal",
 ) -> None:
     """Process entry point: run one query and ship the record back."""
     try:
         # Become a process-group leader so a timeout can kill this worker
-        # *and* any intra-query shard processes it forked, in one signal.
+        # *and* any intra-query shard/pool processes it forked, in one signal.
         os.setpgid(0, 0)
     except (AttributeError, OSError):  # pragma: no cover - platform-specific
         pass
-    record = _execute_single(
-        catalog, name, sql, engine, freejoin_options, parallelism, parallel_mode,
-        collect_rows, timeout=None, statistics_cache=statistics_cache,
-    )
     try:
-        connection.send(record)
+        record = _execute_single(
+            catalog, name, sql, engine, freejoin_options, parallelism,
+            parallel_mode, collect_rows, timeout=None,
+            statistics_cache=statistics_cache, scheduler=scheduler,
+        )
+        try:
+            connection.send(record)
+        finally:
+            connection.close()
     finally:
-        connection.close()
+        # A query worker is itself a process: any steal pools it spun up and
+        # any shared-memory segments it exported (per-query intermediates)
+        # must not outlive it — multiprocessing children do not reliably run
+        # atexit hooks, so clean up explicitly.
+        from repro.parallel.scheduler import shutdown_pools
+        from repro.storage.shm import shutdown_exports
+
+        shutdown_pools()
+        shutdown_exports()
 
 
 # --------------------------------------------------------------------------- #
@@ -318,6 +333,7 @@ def _run_process_backend(
     parallel_mode: str,
     collect_rows: bool,
     statistics_cache=None,
+    scheduler: str = "steal",
 ) -> Dict[str, QueryExecution]:
     context = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
@@ -358,7 +374,7 @@ def _run_process_backend(
         _drive_process_workers(
             context, pending, active, records, max_workers, timeout, engine,
             freejoin_options, parallelism, parallel_mode, collect_rows,
-            catalog, statistics_cache, finalize, terminate,
+            catalog, statistics_cache, finalize, terminate, scheduler,
         )
     finally:
         # An exception (including KeyboardInterrupt) must not orphan the
@@ -374,7 +390,7 @@ def _run_process_backend(
 def _drive_process_workers(
     context, pending, active, records, max_workers, timeout, engine,
     freejoin_options, parallelism, parallel_mode, collect_rows,
-    catalog, statistics_cache, finalize, terminate,
+    catalog, statistics_cache, finalize, terminate, scheduler="steal",
 ) -> None:
     while pending or active:
         while pending and len(active) < max_workers:
@@ -388,6 +404,7 @@ def _drive_process_workers(
                 args=(
                     sender, catalog, name, sql, engine, freejoin_options,
                     parallelism, parallel_mode, collect_rows, statistics_cache,
+                    scheduler,
                 ),
             )
             now = time.perf_counter()
@@ -455,6 +472,7 @@ def _run_thread_backend(
     parallel_mode: str,
     collect_rows: bool,
     statistics_cache=None,
+    scheduler: str = "steal",
 ) -> Dict[str, QueryExecution]:
     records: Dict[str, QueryExecution] = {}
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -462,7 +480,7 @@ def _run_thread_backend(
             name: pool.submit(
                 _execute_single, catalog, name, sql, engine, freejoin_options,
                 parallelism, parallel_mode, collect_rows, timeout,
-                statistics_cache,
+                statistics_cache, scheduler,
             )
             for name, sql in queries
         }
@@ -489,6 +507,7 @@ def execute_workload(
     freejoin_options=None,
     parallelism: int = 1,
     parallel_mode: str = "auto",
+    scheduler: str = "steal",
     mode: str = "auto",
     collect_rows: bool = True,
     statistics_cache=None,
@@ -496,9 +515,10 @@ def execute_workload(
     """Evaluate ``queries`` over ``catalog`` concurrently.
 
     See the module docstring for backend/timeout semantics.  ``parallelism``
-    is forwarded to each worker's session, so intra-query sharding composes
-    with inter-query concurrency (workers times shards processes in total —
-    size accordingly).
+    (and the ``scheduler`` strategy) is forwarded to each worker's session,
+    so intra-query parallelism composes with inter-query concurrency
+    (workers times intra-query workers processes in total — size
+    accordingly).
     """
     normalized = normalize_queries(queries)
     # Resolve the engine label up front so every record — including timeout
@@ -525,6 +545,16 @@ def execute_workload(
         for table_name in catalog.table_names():
             if re.search(rf"\b{re.escape(table_name)}\b", referenced):
                 statistics_cache.for_table(catalog.get(table_name))
+        if parallelism > 1 and scheduler == "steal":
+            # Same pre-fork warming for the shared-memory column plane: the
+            # forked query workers inherit the export cache, so their steal
+            # pools attach the parent's segments instead of each worker
+            # re-exporting every base table its query touches.
+            from repro.storage.shm import export_table
+
+            for table_name in catalog.table_names():
+                if re.search(rf"\b{re.escape(table_name)}\b", referenced):
+                    export_table(catalog.get(table_name))
 
     started = time.perf_counter()
     if not normalized:
@@ -535,12 +565,12 @@ def execute_workload(
     if resolved == "process":
         records = _run_process_backend(
             catalog, normalized, max_workers, timeout, engine, freejoin_options,
-            parallelism, parallel_mode, collect_rows, statistics_cache,
+            parallelism, parallel_mode, collect_rows, statistics_cache, scheduler,
         )
     else:
         records = _run_thread_backend(
             catalog, normalized, max_workers, timeout, engine, freejoin_options,
-            parallelism, parallel_mode, collect_rows, statistics_cache,
+            parallelism, parallel_mode, collect_rows, statistics_cache, scheduler,
         )
     wall_seconds = time.perf_counter() - started
 

@@ -7,7 +7,9 @@ These tests generate small random relations and check that:
 * plan conversion + factoring always yields valid plans with unchanged
   semantics,
 * the GYO acyclicity test agrees with a brute-force join-tree search on small
-  hypergraphs.
+  hypergraphs,
+* parallel execution (both schedulers) of randomly generated acyclic and
+  cyclic conjunctive queries matches serial execution on every engine.
 """
 
 from __future__ import annotations
@@ -15,14 +17,19 @@ from __future__ import annotations
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.binaryjoin.executor import BinaryJoinEngine, BinaryJoinOptions
 from repro.core.colt import TrieStrategy, build_trie
 from repro.core.convert import binary_to_free_join
+from repro.core.engine import FreeJoinEngine, FreeJoinOptions
 from repro.core.factor import factor_plan
+from repro.genericjoin.executor import GenericJoinEngine, GenericJoinOptions
 from repro.optimizer.binary_plan import BinaryPlan
+from repro.optimizer.join_order import optimize_query
 from repro.query.atoms import Atom
 from repro.query.builder import QueryBuilder
 from repro.query.hypergraph import Hypergraph
 from repro.storage.table import Table
+from repro.workloads.synthetic import chain_workload, cycle_workload, star_workload
 
 from tests.conftest import assert_engines_agree, nested_loop_join
 
@@ -158,6 +165,56 @@ def test_conversion_and_factoring_preserve_semantics(r, s, t, order):
     reference = nested_loop_join(query)
     plan = BinaryPlan.left_deep(list(order))
     assert_engines_agree(query, binary_plan=plan, reference=reference)
+
+
+# --------------------------------------------------------------------------- #
+# Random acyclic/cyclic queries: parallel matches serial on every engine
+# --------------------------------------------------------------------------- #
+
+
+_SHAPES = {
+    # chain/star are acyclic; cycle is cyclic for length >= 3.
+    "chain": chain_workload,
+    "star": star_workload,
+    "cycle": cycle_workload,
+}
+
+
+@SETTINGS
+@given(
+    shape=st.sampled_from(sorted(_SHAPES)),
+    length=st.integers(min_value=2, max_value=4),
+    rows=st.integers(min_value=0, max_value=24),
+    skew=st.sampled_from([0.0, 1.2]),
+    seed=st.integers(min_value=0, max_value=9999),
+    scheduler=st.sampled_from(["steal", "range"]),
+)
+def test_random_queries_parallel_matches_serial(shape, length, rows, skew, seed,
+                                                scheduler):
+    """Fuzz the parallel subsystem with generated conjunctive queries.
+
+    Covers acyclic (chain, star) and cyclic (cycle, length >= 3) shapes,
+    empty relations (``rows == 0`` short-circuits through the scheduler) and
+    Zipf-skewed value distributions, under both schedulers.
+    """
+    workload = _SHAPES[shape](
+        length, rows_per_relation=rows, domain=5, skew=skew, seed=seed
+    )
+    query = workload.query
+    plan = optimize_query(query)
+    parallel = dict(parallelism=3, parallel_mode="thread", scheduler=scheduler)
+    runs = [
+        (FreeJoinEngine, FreeJoinOptions),
+        (BinaryJoinEngine, BinaryJoinOptions),
+        (GenericJoinEngine, GenericJoinOptions),
+    ]
+    for engine_cls, options_cls in runs:
+        serial = engine_cls(options_cls(parallelism=1)).run(query, plan)
+        sharded = engine_cls(options_cls(**parallel)).run(query, plan)
+        assert sharded.result.same_bag(serial.result), (
+            f"{engine_cls.name} parallel/{scheduler} output diverged on "
+            f"{shape}(length={length}, rows={rows}, skew={skew}, seed={seed})"
+        )
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,220 @@
+"""Failure-path coverage for ``execute_many`` and the persistent pools.
+
+The inter-query workload runner promises isolation: a query that runs over
+budget is terminated, a query whose worker *dies* (not merely raises) is
+reported as an error without poisoning its siblings, and when everything is
+torn down no worker processes or shared-memory segments are left behind.
+These tests pin each of those promises down, including the
+``resource_tracker`` bookkeeping of the shm column plane.
+"""
+
+from __future__ import annotations
+
+import gc
+import glob
+import os
+
+import pytest
+
+from repro.engine.session import Database
+from repro.parallel import scheduler
+from repro.storage import shm
+from repro.storage.table import Table
+
+COUNT_SQL = "SELECT COUNT(*) FROM fact, dim WHERE fact.k = dim.k"
+
+
+def _star_catalog() -> Database:
+    database = Database()
+    database.register(Table.from_columns("fact", {
+        "k": [i % 31 for i in range(500)], "v": list(range(500)),
+    }))
+    database.register(Table.from_columns("dim", {
+        "k": [i % 31 for i in range(120)], "w": list(range(120)),
+    }))
+    return database
+
+
+def _leaked_segments() -> list:
+    return sorted(
+        os.path.basename(path)
+        for path in glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}_*")
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Timeout enforcement
+# --------------------------------------------------------------------------- #
+
+
+def test_per_query_timeout_actually_fires():
+    big = Table.from_columns("big", {"k": [0] * 1200, "v": list(range(1200))})
+    other = Table.from_columns("other", {"k": [0] * 1200, "w": list(range(1200))})
+    database = Database()
+    database.register(big)
+    database.register(other)
+    outcome = database.execute_many(
+        [("boom", "SELECT COUNT(*) FROM big, other WHERE big.k = other.k"),
+         ("fine", "SELECT COUNT(*) FROM big WHERE big.v < 5")],
+        max_workers=2,
+        timeout=0.05,
+        mode="process",
+    )
+    boom = outcome.query("boom")
+    assert boom.status == "timeout"
+    assert boom.seconds >= 0.05
+    assert "0.05" in boom.error
+    assert outcome.query("fine").ok
+    assert outcome.timeout_count == 1
+
+
+# --------------------------------------------------------------------------- #
+# A crashing worker (process death, not a Python exception)
+# --------------------------------------------------------------------------- #
+
+
+class _CrashingTable(Table):
+    """A table that kills any *forked* process that reads its row count.
+
+    In the parent (the process that constructed it) it behaves like a normal
+    table, so registration and statistics warm-up work; in a query worker the
+    first ``num_rows`` access exits the process without a Python traceback —
+    modelling a hard worker crash (OOM kill, segfault in an extension).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._safe_pid = os.getpid()
+
+    @property
+    def num_rows(self) -> int:
+        if os.getpid() != self._safe_pid:
+            os._exit(17)
+        return Table.num_rows.fget(self)
+
+
+def test_crashing_worker_is_captured_without_poisoning_siblings():
+    database = _star_catalog()
+    database.register(_CrashingTable.from_columns("crashy", {"x": [1, 2, 3]}))
+    outcome = database.execute_many(
+        [("dead", "SELECT COUNT(*) FROM crashy WHERE crashy.x < 3"),
+         ("alive", COUNT_SQL)],
+        max_workers=2,
+        mode="process",
+    )
+    dead = outcome.query("dead")
+    assert dead.status == "error"
+    assert "without reporting a result" in dead.error
+    alive = outcome.query("alive")
+    assert alive.ok
+    assert alive.rows == database.execute(COUNT_SQL).rows()
+    assert outcome.error_count == 1 and outcome.ok_count == 1
+
+
+def test_crashing_table_is_inert_in_the_parent_process():
+    table = _CrashingTable.from_columns("crashy", {"x": [1, 2, 3]})
+    assert table.num_rows == 3  # same pid: behaves like a plain table
+
+
+# --------------------------------------------------------------------------- #
+# Clean shutdown: no leaked pools, no leaked shm segments
+# --------------------------------------------------------------------------- #
+
+
+def test_pool_shutdown_leaves_no_shm_segments(monkeypatch):
+    # Wrap the resource tracker so the test can assert its bookkeeping
+    # balances: every register of one of our segments must be matched by an
+    # unregister by the time the exports are shut down.
+    from multiprocessing import resource_tracker
+
+    registered, unregistered = [], []
+    real_register = resource_tracker.register
+    real_unregister = resource_tracker.unregister
+
+    def tracking_register(name, rtype):
+        if shm.SEGMENT_PREFIX in name and rtype == "shared_memory":
+            registered.append(name)
+        return real_register(name, rtype)
+
+    def tracking_unregister(name, rtype):
+        if shm.SEGMENT_PREFIX in name and rtype == "shared_memory":
+            unregistered.append(name)
+        return real_unregister(name, rtype)
+
+    monkeypatch.setattr(resource_tracker, "register", tracking_register)
+    monkeypatch.setattr(resource_tracker, "unregister", tracking_unregister)
+
+    baseline = _leaked_segments()
+    database = _star_catalog()
+    parallel = Database(database.catalog, parallelism=2, parallel_mode="process")
+    assert parallel.execute(COUNT_SQL).scalar() == database.execute(COUNT_SQL).scalar()
+
+    # The query exported its base tables and spun up a persistent pool.
+    assert shm.active_export_segments()
+    assert ("process", 2) in scheduler.active_pools()
+    pool = scheduler.active_pools()[("process", 2)]
+
+    parallel.close()
+    gc.collect()
+
+    assert scheduler.active_pools() == {}
+    for process in pool._processes:
+        assert not process.is_alive()
+    assert shm.active_export_segments() == []
+    # close() unlinks every export this process owns, so nothing new may
+    # remain (and pre-existing segments from other fixtures may be gone too).
+    assert set(_leaked_segments()) <= set(baseline)
+    assert registered, "the shm plane never touched the resource tracker"
+    assert sorted(set(registered)) == sorted(set(unregistered))
+
+
+def test_execute_many_with_intra_query_steal_cleans_up_after_itself():
+    baseline = _leaked_segments()
+    database = _star_catalog()
+    parallel = Database(database.catalog, parallelism=2, parallel_mode="process")
+    outcome = parallel.execute_many(
+        [("one", COUNT_SQL), ("two", COUNT_SQL)], max_workers=2, mode="process"
+    )
+    assert outcome.all_ok(), [e.error for e in outcome.executions]
+    expected = database.execute(COUNT_SQL).rows()
+    assert outcome.query("one").rows == expected
+    assert outcome.query("two").rows == expected
+    # The query workers (and the pools/segments they forked) are gone; only
+    # the parent's own exports remain until the session closes.
+    parallel.close()
+    gc.collect()
+    assert set(_leaked_segments()) <= set(baseline)
+
+
+def test_pool_registry_recovers_after_shutdown():
+    database = _star_catalog()
+    parallel = Database(database.catalog, parallelism=2, parallel_mode="thread")
+    expected = database.execute(COUNT_SQL).scalar()
+    assert parallel.execute(COUNT_SQL).scalar() == expected
+    first = scheduler.active_pools().get(("thread", 2))
+    assert first is not None
+    scheduler.shutdown_pools()
+    assert scheduler.active_pools() == {}
+    # The next query transparently builds a fresh pool.
+    assert parallel.execute(COUNT_SQL).scalar() == expected
+    second = scheduler.active_pools().get(("thread", 2))
+    assert second is not None and second is not first
+    scheduler.shutdown_pools()
+
+
+def test_broken_process_pool_is_replaced_on_next_use():
+    database = _star_catalog()
+    parallel = Database(database.catalog, parallelism=2, parallel_mode="process")
+    expected = database.execute(COUNT_SQL).scalar()
+    assert parallel.execute(COUNT_SQL).scalar() == expected
+    pool = scheduler.active_pools()[("process", 2)]
+    # Kill a worker behind the scheduler's back: the next submit must fail
+    # loudly, and the one after that must get a fresh pool.
+    pool._processes[0].terminate()
+    pool._processes[0].join()
+    with pytest.raises(Exception):
+        parallel.execute(COUNT_SQL)
+    assert parallel.execute(COUNT_SQL).scalar() == expected
+    replacement = scheduler.active_pools()[("process", 2)]
+    assert replacement is not pool
+    scheduler.shutdown_pools()
