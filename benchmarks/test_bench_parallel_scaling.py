@@ -22,6 +22,7 @@ Each benchmark asserts parallel/serial parity on the results it produces, so
 a scaling regression can never silently hide a correctness one.
 """
 
+import os
 import random
 import time
 
@@ -190,3 +191,91 @@ def test_workload_serial_reference(benchmark, job_workload, job_database):
         rounds=1, iterations=1,
     )
     assert total >= 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Multi-core wall-clock gate (CI's dedicated runner job)
+# --------------------------------------------------------------------------- #
+
+#: Opt-in: true wall-clock speedup needs real cores, which the tier-1 jobs
+#: do not guarantee.  CI's multi-core job sets this; see ci.yml.
+MULTICORE = os.environ.get("REPRO_BENCH_MULTICORE") == "1"
+#: Process-steal wall time at MULTICORE_WORKERS must be at most this
+#: fraction of the serial wall time — an absolute speedup, not a ratio
+#: between two parallel configurations.
+MULTICORE_WALL_GATE = 0.9
+MULTICORE_WORKERS = 4
+#: Rows per relation; sized past the fork threshold so ``process`` is the
+#: honest backend even under ``auto``.
+MULTICORE_ROWS = 12_000
+
+
+@pytest.mark.skipif(
+    not MULTICORE, reason="wall-clock gate only runs with REPRO_BENCH_MULTICORE=1"
+)
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="wall-clock speedup needs >= 2 cores"
+)
+def test_multicore_wall_clock_speedup(benchmark):
+    """Process-backend steal scheduling must beat serial wall-clock.
+
+    The steal-vs-range gate above compares two schedulers at equal worker
+    counts; this one pins the absolute claim — with real cores, 4 process
+    workers finish the skewed join faster than one serial executor — so a
+    regression in fork cost, shm attach, or task decomposition cannot hide
+    behind a still-favorable scheduler ratio.
+    """
+    rng = random.Random(JOB_SEED)
+    domain = MULTICORE_ROWS + MULTICORE_ROWS // 4
+    database = Database()
+    database.register(Table.from_columns("R", {
+        "k": [zipf_sample(rng, domain, ZIPF_SKEW) for _ in range(MULTICORE_ROWS)],
+        "a": list(range(MULTICORE_ROWS)),
+    }))
+    for name, payload in (("S", "b"), ("T", "c")):
+        database.register(Table.from_columns(name, {
+            "k": [rng.randrange(domain) for _ in range(MULTICORE_ROWS)],
+            payload: list(range(MULTICORE_ROWS)),
+        }))
+    expected = database.execute(ZIPF_SQL).scalar()  # also warms statistics
+
+    def serial_run():
+        assert database.execute(ZIPF_SQL).scalar() == expected
+
+    def parallel_run():
+        options = FreeJoinOptions(
+            parallelism=MULTICORE_WORKERS, parallel_mode="process",
+            scheduler="steal",
+        )
+        outcome = database.execute(ZIPF_SQL, freejoin_options=options)
+        assert outcome.scalar() == expected
+        return outcome
+
+    def best_of(fn, rounds=2):
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    serial_seconds = best_of(serial_run)
+    parallel_run()  # warm the pool (fork + first attach) outside the timing
+    outcome = benchmark.pedantic(parallel_run, rounds=2, iterations=1)
+    parallel_seconds = min(benchmark.stats.stats.data)
+
+    detail = outcome.report.details["parallel"][0]
+    assert detail["mode"] == "process"
+    ratio = parallel_seconds / serial_seconds
+    print(
+        f"\nmulti-core wall clock ({os.cpu_count()} cores, "
+        f"{MULTICORE_WORKERS} process workers, zipf({ZIPF_SKEW}) x "
+        f"{MULTICORE_ROWS} rows): serial {serial_seconds * 1000:.1f} ms, "
+        f"parallel {parallel_seconds * 1000:.1f} ms, ratio {ratio:.2f} "
+        f"(gate <= {MULTICORE_WALL_GATE})"
+    )
+    assert ratio <= MULTICORE_WALL_GATE, (
+        f"4 process workers must beat serial wall-clock on multiple cores; "
+        f"got {ratio:.2f} (parallel {parallel_seconds:.3f} s vs serial "
+        f"{serial_seconds:.3f} s)"
+    )

@@ -1,15 +1,27 @@
 #!/usr/bin/env python3
-"""Gate a benchmark run against a committed baseline.
+"""Gate a benchmark run against a committed baseline (and its history).
 
 Usage::
 
     python scripts/check_bench_regression.py BENCH_smoke.json \
-        benchmarks/baseline_smoke.json [--tolerance 0.25] [--mode normalized]
+        benchmarks/baseline_smoke.json [--tolerance 0.25] [--mode normalized] \
+        [--history benchmarks/history] [--trend-tolerance 0.25]
 
 Compares the per-figure ``driver_seconds`` of a fresh ``BENCH_<label>.json``
 (produced by ``scripts/make_report.py``) against the committed baseline and
 exits non-zero when any figure regressed by more than ``--tolerance``
 (default 25%, the CI gate).
+
+With ``--history DIR`` the gate additionally runs **median-trend
+detection** against the rolling run history (``benchmarks/history/*.json``,
+maintained by ``scripts/update_bench_history.py``): for every history run,
+each figure's ratio is normalized by that comparison's median drift (so the
+trend is machine-speed independent, like the baseline mode below), and a
+figure fails when the *median* of its normalized ratios across the whole
+history exceeds ``1 + --trend-tolerance``.  This catches sustained drift —
+a figure that got 8% slower in each of four consecutive PRs passes every
+last-vs-baseline check, yet sits ~36% above the history median, and the
+trend gate fails it.
 
 Two comparison modes:
 
@@ -32,10 +44,12 @@ gate (adding a benchmark must not require regenerating history first).
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import statistics
 import sys
-from typing import Dict
+from typing import Dict, List, Tuple
 
 
 def load_figures(path: str) -> Dict[str, float]:
@@ -50,6 +64,80 @@ def load_figures(path: str) -> Dict[str, float]:
     return figures
 
 
+def _history_sequence(path: str) -> Tuple[int, str]:
+    """Numeric sequence prefix of a history file name (oldest-first sort)."""
+    name = os.path.basename(path)
+    head = name.split("-", 1)[0]
+    return (int(head) if head.isdigit() else 0, name)
+
+
+def load_history(directory: str) -> List[Tuple[str, Dict[str, float]]]:
+    """Load every history run, oldest first (numeric sequence order).
+
+    Order only affects the printed report — the trend statistic is a median
+    over all runs — but numeric sorting keeps it chronological even after
+    the sequence counter outgrows its zero padding.
+    """
+    runs = []
+    for path in sorted(glob.glob(os.path.join(directory, "*.json")), key=_history_sequence):
+        try:
+            runs.append((os.path.basename(path), load_figures(path)))
+        except (OSError, ValueError, SystemExit) as exc:
+            print(f"~ history file {path} skipped: {exc}")
+    return runs
+
+
+def normalized_ratios(
+    current: Dict[str, float], reference: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-figure current/reference ratios divided by their median drift."""
+    shared = sorted(set(current) & set(reference))
+    ratios = {
+        name: current[name] / reference[name]
+        for name in shared
+        if reference[name] > 0
+    }
+    if not ratios:
+        return {}
+    drift = statistics.median(ratios.values())
+    if drift <= 0:
+        return {}
+    return {name: ratio / drift for name, ratio in ratios.items()}
+
+
+def check_trend(
+    current: Dict[str, float],
+    history: List[Tuple[str, Dict[str, float]]],
+    trend_tolerance: float,
+) -> List[str]:
+    """Median-trend detection: sustained drift across the run history.
+
+    Returns the figures whose median normalized ratio across every history
+    run exceeds ``1 + trend_tolerance``.  Using the median over runs keeps
+    one noisy history entry from failing (or masking) a trend.
+    """
+    per_figure: Dict[str, List[float]] = {}
+    for _name, reference in history:
+        for figure, ratio in normalized_ratios(current, reference).items():
+            per_figure.setdefault(figure, []).append(ratio)
+    failures = []
+    for figure in sorted(per_figure):
+        ratios = per_figure[figure]
+        median_ratio = statistics.median(ratios)
+        change = median_ratio - 1.0
+        marker = "OK"
+        if change > trend_tolerance:
+            marker = "FAIL"
+            failures.append(figure)
+        spread = f"{min(ratios):.3f}..{max(ratios):.3f}" if len(ratios) > 1 else "-"
+        print(
+            f"{marker:4s} trend {figure}: median {median_ratio:.3f}x vs "
+            f"{len(ratios)} history run(s) (range {spread}, "
+            f"tolerance +{trend_tolerance:.0%})"
+        )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_<label>.json")
@@ -61,6 +149,14 @@ def main() -> int:
     parser.add_argument(
         "--mode", choices=("normalized", "absolute"), default="normalized",
         help="compare suite-relative shares (default) or raw seconds",
+    )
+    parser.add_argument(
+        "--history", default=None, metavar="DIR",
+        help="rolling history directory; enables median-trend detection",
+    )
+    parser.add_argument(
+        "--trend-tolerance", type=float, default=0.25,
+        help="maximum allowed median drift vs the history (default 0.25)",
     )
     arguments = parser.parse_args()
 
@@ -103,11 +199,29 @@ def main() -> int:
     for name in sorted(set(current) - set(baseline)):
         print(f"~ {name}: new figure, no baseline (skipped)")
 
-    if failures:
-        print(
-            f"\nbenchmark gate FAILED: {len(failures)} figure(s) regressed "
-            f"more than {arguments.tolerance:.0%}: {', '.join(failures)}"
-        )
+    trend_failures: List[str] = []
+    if arguments.history:
+        history = load_history(arguments.history)
+        if history:
+            print(f"\ntrend check against {len(history)} history run(s):")
+            trend_failures = check_trend(
+                current, history, arguments.trend_tolerance
+            )
+        else:
+            print(f"\n~ no history runs under {arguments.history}; trend skipped")
+
+    if failures or trend_failures:
+        if failures:
+            print(
+                f"\nbenchmark gate FAILED: {len(failures)} figure(s) regressed "
+                f"more than {arguments.tolerance:.0%}: {', '.join(failures)}"
+            )
+        if trend_failures:
+            print(
+                f"\nbenchmark trend gate FAILED: {len(trend_failures)} figure(s) "
+                f"drifted more than {arguments.trend_tolerance:.0%} above the "
+                f"history median: {', '.join(trend_failures)}"
+            )
         return 1
     print("\nbenchmark gate passed")
     return 0

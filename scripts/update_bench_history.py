@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Append a benchmark run to the rolling history, pruning to the last N.
+
+Usage::
+
+    python scripts/update_bench_history.py BENCH_smoke.json \
+        [--history benchmarks/history] [--keep 10] [--out DIR]
+
+The history is a directory of ``NNN-<label>.json`` files (sequence-numbered
+so lexical order equals chronological order), each a full
+``scripts/make_report.py`` artifact.  ``scripts/check_bench_regression.py
+--history`` runs median-trend detection against it.
+
+Maintenance model: CI *reads* the committed history and *uploads* the
+updated directory as an artifact (runners cannot push); a developer
+regenerating benchmarks runs this script in place and commits the result,
+which both advances the trend window and retires the oldest run.  ``--out``
+writes the updated history to a different directory (what CI does to build
+its artifact) without touching the committed one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import sys
+
+SEQUENCE_PATTERN = re.compile(r"^(\d+)-")
+
+
+def _sequence_of(name: str) -> int:
+    match = SEQUENCE_PATTERN.match(name)
+    return int(match.group(1)) if match else 0
+
+
+def history_files(directory: str) -> list:
+    """History entries oldest first.
+
+    Sorted by *numeric* sequence prefix (lexical order would put
+    ``1000-...`` before ``999-...`` and prune the newest run instead of the
+    oldest once the counter outgrows its zero padding).
+    """
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        (name for name in os.listdir(directory) if name.endswith(".json")),
+        key=lambda name: (_sequence_of(name), name),
+    )
+
+
+def next_sequence(names: list) -> int:
+    return max((_sequence_of(name) for name in names), default=0) + 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh BENCH_<label>.json to append")
+    parser.add_argument(
+        "--history", default="benchmarks/history",
+        help="committed history directory (default benchmarks/history)",
+    )
+    parser.add_argument(
+        "--keep", type=int, default=10,
+        help="number of runs to retain, oldest pruned first (default 10)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write the updated history here instead of in place",
+    )
+    arguments = parser.parse_args()
+    if arguments.keep < 1:
+        raise SystemExit(f"--keep must be at least 1, got {arguments.keep}")
+
+    with open(arguments.current) as handle:
+        payload = json.load(handle)
+    if not payload.get("figures"):
+        raise SystemExit(f"{arguments.current}: no figures; not a report artifact")
+    label = payload.get("label", "run")
+
+    target = arguments.out or arguments.history
+    existing = history_files(arguments.history)
+    if arguments.out:
+        os.makedirs(target, exist_ok=True)
+        for name in existing:
+            shutil.copy2(
+                os.path.join(arguments.history, name), os.path.join(target, name)
+            )
+    else:
+        os.makedirs(target, exist_ok=True)
+
+    sequence = next_sequence(existing)
+    entry = f"{sequence:03d}-{label}.json"
+    shutil.copy2(arguments.current, os.path.join(target, entry))
+    print(f"appended {entry} to {target}")
+
+    names = history_files(target)
+    while len(names) > arguments.keep:
+        victim = names.pop(0)
+        os.remove(os.path.join(target, victim))
+        print(f"pruned {victim} (keeping last {arguments.keep})")
+    print(f"history now holds {len(names)} run(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,10 @@ and Suciu.  The package provides:
   (:mod:`repro.genericjoin`) and Free Join (:mod:`repro.core`),
 * workload generators reproducing the paper's benchmarks
   (:mod:`repro.workloads`) and an experiment harness regenerating every
-  figure of the evaluation (:mod:`repro.experiments`).
+  figure of the evaluation (:mod:`repro.experiments`),
+* a parallel execution subsystem (:mod:`repro.parallel`: work-stealing
+  pools over shared-memory columns, deadlines/cancellation, fingerprint-
+  keyed context caching) and an asyncio serving layer (:mod:`repro.serve`).
 
 Quickstart::
 
@@ -46,6 +49,9 @@ from repro.genericjoin import GenericJoinEngine
 from repro.engine import JoinResult
 from repro.engine.session import Database
 from repro.engine.aggregates import aggregate_result
+from repro.errors import DeadlineExceeded, QueryCancelled
+from repro.parallel.cancellation import DeadlineToken
+from repro.serve import AsyncDatabase
 
 __version__ = "1.0.0"
 
@@ -74,6 +80,10 @@ __all__ = [
     "BinaryJoinEngine",
     "GenericJoinEngine",
     "Database",
+    "AsyncDatabase",
+    "DeadlineToken",
+    "DeadlineExceeded",
+    "QueryCancelled",
     "JoinResult",
     "__version__",
 ]

@@ -40,6 +40,10 @@ class BinaryJoinOptions:
     parallelism: Optional[int] = None  # None = inherit the session setting
     parallel_mode: str = "auto"
     scheduler: Optional[str] = None  # None = "steal"
+    #: Optional :class:`repro.parallel.cancellation.DeadlineToken`; the probe
+    #: loop ticks it per left-relation row, so an expired or cancelled query
+    #: aborts mid-pipeline with ``DeadlineExceeded``/``QueryCancelled``.
+    deadline: Optional[object] = None
 
     def make_sink(self, variables: Sequence[str]) -> OutputSink:
         if self.output == "rows":
@@ -91,6 +95,7 @@ class BinaryJoinEngine:
                         output=sink_mode,
                         workers=options.parallelism,
                         mode=options.parallel_mode,
+                        interrupt=options.deadline,
                     )
                 else:
                     from repro.parallel.intra import run_binary_pipeline_sharded
@@ -108,7 +113,9 @@ class BinaryJoinEngine:
                 result = shard_run.result
             else:
                 started = time.perf_counter()
-                hash_tables = self._build_hash_tables(pipeline_atoms)
+                hash_tables = self._build_hash_tables(
+                    pipeline_atoms, interrupt=options.deadline
+                )
                 build_seconds += time.perf_counter() - started
 
                 if pipeline.is_final:
@@ -117,7 +124,13 @@ class BinaryJoinEngine:
                     sink = RowSink(output_variables)
 
                 started = time.perf_counter()
-                self._run_pipeline(pipeline_atoms, hash_tables, output_variables, sink)
+                self._run_pipeline(
+                    pipeline_atoms,
+                    hash_tables,
+                    output_variables,
+                    sink,
+                    interrupt=options.deadline,
+                )
                 join_seconds += time.perf_counter() - started
                 result = sink.result()
 
@@ -174,11 +187,19 @@ class BinaryJoinEngine:
     @staticmethod
     def _build_hash_tables(
         pipeline_atoms: List[Atom],
+        interrupt=None,
     ) -> List[Optional[JoinHashTable]]:
-        """Build one hash table per probed relation (none for the left-most)."""
+        """Build one hash table per probed relation (none for the left-most).
+
+        The deadline token is checked between relations: each build is an
+        uninterruptible O(rows) scan, so enforcement during the build phase
+        is per-relation granular (the probe loop then ticks per row).
+        """
         tables: List[Optional[JoinHashTable]] = [None]
         available = set(pipeline_atoms[0].variables)
         for atom in pipeline_atoms[1:]:
+            if interrupt is not None:
+                interrupt.check()
             key_variables = [v for v in atom.variables if v in available]
             tables.append(JoinHashTable(atom, key_variables))
             available.update(atom.variables)
@@ -191,6 +212,7 @@ class BinaryJoinEngine:
         output_variables: List[str],
         sink: OutputSink,
         offset_range: Optional[Tuple[int, int]] = None,
+        interrupt=None,
     ) -> None:
         """Run one pipeline's probe loop over the left relation's rows.
 
@@ -220,6 +242,8 @@ class BinaryJoinEngine:
 
         start, stop = offset_range if offset_range is not None else (0, left.size)
         for offset in range(start, stop):
+            if interrupt is not None:
+                interrupt.tick()
             for var, column in zip(left.variables, left_columns):
                 bindings[var] = column[offset]
             probe_level(1)

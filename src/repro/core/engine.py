@@ -74,6 +74,15 @@ class FreeJoinOptions:
         sharder (one contiguous range per worker,
         :mod:`repro.parallel.intra`).  ``None`` inherits the session's
         setting.
+    deadline:
+        Optional :class:`repro.parallel.cancellation.DeadlineToken`.  The
+        executor ticks it at every trie-expansion boundary and the steal
+        scheduler pushes it into its workers, so an expired or cancelled
+        query aborts mid-execution with ``DeadlineExceeded`` /
+        ``QueryCancelled``.  Normally set per query by
+        :meth:`repro.engine.session.Database.execute` (``timeout=``) or the
+        async serving layer, not in long-lived option objects.  The legacy
+        ``"range"`` scheduler does not enforce deadlines.
     """
 
     trie_strategy: TrieStrategy = TrieStrategy.COLT
@@ -84,6 +93,7 @@ class FreeJoinOptions:
     parallelism: Optional[int] = None
     parallel_mode: str = "auto"
     scheduler: Optional[str] = None
+    deadline: Optional[object] = None
 
     def make_sink(self, variables: Sequence[str]) -> OutputSink:
         """Create the output sink matching the ``output`` mode."""
@@ -130,6 +140,7 @@ def _run_parallel_pipeline(
             output=sink_mode,
             workers=shard_count,
             mode=options.parallel_mode,
+            interrupt=options.deadline,
         )
     from repro.parallel.intra import run_freejoin_pipeline_sharded
 
@@ -223,6 +234,7 @@ class FreeJoinEngine:
                     dynamic_cover=options.dynamic_cover,
                     batch_size=options.batch_size,
                     factorize=(pipeline.is_final and options.output == "factorized"),
+                    interrupt=options.deadline,
                 )
                 started = time.perf_counter()
                 executor.run(tries)
@@ -308,6 +320,7 @@ class FreeJoinEngine:
             dynamic_cover=options.dynamic_cover,
             batch_size=options.batch_size,
             factorize=(options.output == "factorized"),
+            interrupt=options.deadline,
         )
         started = time.perf_counter()
         executor.run(tries)

@@ -134,6 +134,7 @@ class FreeJoinExecutor:
         dynamic_cover: bool = True,
         batch_size: int = 1,
         factorize: bool = False,
+        interrupt=None,
     ) -> None:
         self.plan = plan
         self.output_variables = tuple(output_variables)
@@ -141,6 +142,10 @@ class FreeJoinExecutor:
         self.dynamic_cover = dynamic_cover
         self.batch_size = max(1, int(batch_size))
         self.factorize = factorize
+        # A repro.parallel.cancellation.DeadlineToken (or None).  ticked at
+        # every cover-entry expansion, so a deadline or cancellation aborts
+        # the join mid-flight instead of after it completes.
+        self.interrupt = interrupt
         self.stats = ExecutorStats()
 
         plan_variables = set(plan.all_variables())
@@ -420,10 +425,13 @@ class FreeJoinExecutor:
         probes = plan.probes
         bound_positions = plan.bound_positions
         stats = self.stats
+        interrupt = self.interrupt
         next_depth = depth + 1
 
         for key, child in cover_trie.iter_entries():
             stats.iterations += 1
+            if interrupt is not None:
+                interrupt.tick()
             if cover_single:
                 if bound_positions and key != bindings[cover_variable]:
                     continue

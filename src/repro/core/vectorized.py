@@ -54,8 +54,13 @@ def run_node_vectorized(
     def cover_value(key, position: int):
         return key if cover_single else key[position]
 
+    interrupt = executor.interrupt
     for batch in cover_trie.iter_entries_batched(executor.batch_size):
         stats.batches += 1
+        if interrupt is not None:
+            # One strided check per batch: deadline/cancellation abort lands
+            # on a batch boundary, mirroring the tuple-at-a-time path.
+            interrupt.tick()
 
         # Each survivor is [key, multiplicity, overrides] where overrides is
         # the list of (relation, new_trie) to apply before recursing.

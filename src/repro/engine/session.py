@@ -111,10 +111,11 @@ class Database:
         tears down the *process*'s pools and segments — call it when the last
         session is done, or rely on the interpreter's atexit hook.
         """
-        from repro.parallel.scheduler import shutdown_pools
+        from repro.parallel.scheduler import clear_context_caches, shutdown_pools
         from repro.storage.shm import shutdown_exports
 
         shutdown_pools()
+        clear_context_caches()
         shutdown_exports()
 
     def __enter__(self) -> "Database":
@@ -150,11 +151,28 @@ class Database:
         bad_estimates: bool = False,
         freejoin_options: Optional[FreeJoinOptions] = None,
         name: str = "",
+        timeout: Optional[float] = None,
+        deadline=None,
     ) -> QueryOutcome:
-        """Parse, plan, optimize and execute a SQL query."""
+        """Parse, plan, optimize and execute a SQL query.
+
+        ``timeout`` gives the query a budget in seconds, enforced
+        *cooperatively and mid-execution*: executors (and, on parallel
+        sessions, every steal-pool worker) check the deadline at
+        trie-expansion boundaries, so an over-budget query raises
+        :class:`~repro.errors.DeadlineExceeded` while the join is still
+        running instead of after it completes.  ``deadline`` accepts a
+        pre-built :class:`~repro.parallel.cancellation.DeadlineToken` (the
+        async serving layer passes one so it can also *cancel* the query);
+        when both are given the token wins.
+        """
         engine_name = engine or self.default_engine
         if engine_name not in ENGINES:
             raise QueryError(f"unknown engine {engine_name!r}; choose from {ENGINES}")
+        if deadline is None and timeout is not None:
+            from repro.parallel.cancellation import DeadlineToken
+
+            deadline = DeadlineToken.after(timeout)
 
         logical = Planner(self.catalog).plan_sql(sql, name=name)
         binary_plan = optimize_query(
@@ -162,7 +180,9 @@ class Database:
             bad_estimates=bad_estimates,
             statistics_cache=self.statistics_cache,
         )
-        report = self.run_join(logical, binary_plan, engine_name, freejoin_options)
+        report = self.run_join(
+            logical, binary_plan, engine_name, freejoin_options, deadline=deadline
+        )
         join_result = self._apply_residuals(report.result, logical)
         table = aggregate_result(join_result, logical)
         return QueryOutcome(
@@ -221,6 +241,7 @@ class Database:
         binary_plan: BinaryPlan,
         engine_name: str,
         freejoin_options: Optional[FreeJoinOptions] = None,
+        deadline=None,
     ) -> RunReport:
         """Run only the join (no residual filters, no aggregation)."""
         output_mode = self._output_mode(logical)
@@ -236,6 +257,7 @@ class Database:
                 if options.parallel_mode != "auto"
                 else self.parallel_mode,
                 scheduler=options.scheduler or self.scheduler,
+                deadline=deadline if deadline is not None else options.deadline,
             )
             return FreeJoinEngine(options).run(logical.query, binary_plan)
         if engine_name == "binary":
@@ -244,6 +266,7 @@ class Database:
                 parallelism=self.parallelism,
                 parallel_mode=self.parallel_mode,
                 scheduler=self.scheduler,
+                deadline=deadline,
             )
             return BinaryJoinEngine(options).run(logical.query, binary_plan)
         if engine_name == "generic":
@@ -252,6 +275,7 @@ class Database:
                 parallelism=self.parallelism,
                 parallel_mode=self.parallel_mode,
                 scheduler=self.scheduler,
+                deadline=deadline,
             )
             return GenericJoinEngine(options).run(logical.query, binary_plan)
         raise QueryError(f"unknown engine {engine_name!r}")

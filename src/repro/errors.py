@@ -51,5 +51,18 @@ class ExecutionError(ReproError):
     """Runtime failure while executing a plan."""
 
 
+class DeadlineExceeded(ExecutionError):
+    """A query ran past its deadline and was aborted mid-execution.
+
+    Raised cooperatively: executors and scheduler workers check the query's
+    deadline token at trie-expansion boundaries, so the abort happens while
+    the join is still running rather than after it completes.
+    """
+
+
+class QueryCancelled(ExecutionError):
+    """A query was cancelled (by a caller, or because a sibling failed)."""
+
+
 class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""

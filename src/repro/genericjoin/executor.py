@@ -47,6 +47,10 @@ class GenericJoinOptions:
     parallelism: Optional[int] = None  # None = inherit the session setting
     parallel_mode: str = "auto"
     scheduler: Optional[str] = None  # None = "steal"
+    #: Optional :class:`repro.parallel.cancellation.DeadlineToken`; the
+    #: intersection loop ticks it per candidate value, so an expired or
+    #: cancelled query aborts mid-recursion.
+    deadline: Optional[object] = None
 
     def make_sink(self, variables: Sequence[str]) -> OutputSink:
         if self.output == "rows":
@@ -98,6 +102,7 @@ class GenericJoinEngine:
                     output=options.output,
                     workers=options.parallelism,
                     mode=options.parallel_mode,
+                    interrupt=options.deadline,
                 )
             else:
                 from repro.parallel.intra import run_generic_sharded
@@ -125,14 +130,19 @@ class GenericJoinEngine:
             )
 
         started = time.perf_counter()
-        tries: Dict[str, HashTrie] = {
-            atom.name: build_hash_trie(atom, order) for atom in query.atoms
-        }
+        tries: Dict[str, HashTrie] = {}
+        for atom in query.atoms:
+            # Check between relations: each eager trie build is an
+            # uninterruptible O(rows) scan, so deadline enforcement in the
+            # build phase is per-relation granular.
+            if options.deadline is not None:
+                options.deadline.check()
+            tries[atom.name] = build_hash_trie(atom, order)
         build_seconds = time.perf_counter() - started
 
         sink = options.make_sink(query.output_variables)
         started = time.perf_counter()
-        self._execute(query, order, tries, sink)
+        self._execute(query, order, tries, sink, interrupt=options.deadline)
         join_seconds = time.perf_counter() - started
 
         return RunReport(
@@ -162,9 +172,11 @@ class GenericJoinEngine:
         order: Sequence[str],
         tries: Dict[str, HashTrie],
         sink: OutputSink,
+        interrupt=None,
     ) -> None:
         self._execute_atoms(
-            list(query.atoms), query.output_variables, order, tries, sink
+            list(query.atoms), query.output_variables, order, tries, sink,
+            interrupt=interrupt,
         )
 
     @staticmethod
@@ -176,6 +188,7 @@ class GenericJoinEngine:
         sink: OutputSink,
         shard: Optional[Tuple[int, int]] = None,
         entry_range: Optional[Tuple[int, int]] = None,
+        interrupt=None,
     ) -> None:
         """Run the Generic Join recursion over pre-built tries.
 
@@ -236,6 +249,8 @@ class GenericJoinEngine:
                 entries = itertools.islice(iter(entries), start, stop)
 
             for value, child in entries:
+                if interrupt is not None:
+                    interrupt.tick()
                 new_multiplicity = multiplicity
                 matched = True
                 for name in others:

@@ -99,7 +99,9 @@ class StatisticsCache:
 
     @staticmethod
     def _key(table: Table) -> tuple:
-        return tuple(id(column) for column in table.columns)
+        # Lengths guard against in-place mutation (Table.append_rows grows
+        # the column lists without replacing the column objects).
+        return tuple((id(column), len(column)) for column in table.columns)
 
     def for_table(self, table: Table) -> TableStatistics:
         """Statistics of a table, computed once per distinct column set."""

@@ -1,0 +1,167 @@
+"""Fingerprint-keyed cache of per-query execution contexts.
+
+The work-stealing scheduler (:mod:`repro.parallel.scheduler`) builds one
+*context* per (query, worker): tries for Free Join, hash tables for binary
+join, eager hash tries for Generic Join.  For a serving workload that
+repeats queries over unchanged tables, that build is pure waste — the tables
+did not change, so neither did the structures derived from them.
+
+:class:`ContextCache` memoizes contexts under a key derived from the table
+fingerprints (:meth:`repro.storage.table.Table.fingerprint`), the chosen
+cover, and every engine option that shapes the context.  Keys are computed in
+the exporting process and shipped to workers, so a worker never has to hash
+an attached table itself.  Because fingerprints cover table *content*, an
+in-place mutation (:meth:`~repro.storage.table.Table.append_rows`) changes
+the key: the stale entry is never hit again and ages out of the LRU.
+
+Entries are bounded by a byte budget (:func:`context_cache_budget`, env
+``REPRO_CONTEXT_CACHE_BYTES``), with sizes estimated from the input column
+payloads — an approximation, documented as such, that tracks the dominant
+term of a trie's footprint.  Contexts built over shared-memory attachments
+pin those attachments (:attr:`repro.storage.shm.Attachment.pins`) for as
+long as they are cached, so the attachment LRU cannot close a mapping that a
+cached trie still points into.
+
+Telemetry (hits/misses/evictions plus current entries/bytes) is reported per
+query and merged into ``RunReport.details["parallel"]`` by the scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Dict, Optional, Tuple
+
+#: Default LRU byte budget for cached contexts (per worker process).
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Rough multiplier from input column payload bytes to context footprint
+#: (tries/hash tables hold the key values plus per-node dict overhead).
+CONTEXT_BYTES_FACTOR = 2
+
+
+def context_cache_budget() -> int:
+    """The configured byte budget (``REPRO_CONTEXT_CACHE_BYTES``, >= 0).
+
+    Read from the environment on every call so tests (and long-lived servers
+    re-configured between workloads) can adjust it without rebuilding pools;
+    a non-positive value disables context caching entirely.
+    """
+    raw = os.environ.get("REPRO_CONTEXT_CACHE_BYTES")
+    if raw is None:
+        return DEFAULT_CACHE_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_CACHE_BYTES
+
+
+def context_cache_key(kind: str, atoms, *parts) -> str:
+    """Hash (engine kind, option parts, per-table fingerprints) into a key.
+
+    ``atoms`` maps relation name to :class:`~repro.query.atoms.Atom`; the
+    fingerprint of every atom's table enters the hash, so any content change
+    to any input table changes the key.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr((kind,) + parts).encode())
+    for name in sorted(atoms):
+        digest.update(name.encode())
+        digest.update(atoms[name].table.fingerprint().encode())
+    return digest.hexdigest()
+
+
+class ContextCache:
+    """An LRU of execution contexts bounded by an approximate byte budget."""
+
+    def __init__(self) -> None:
+        # key -> (context, nbytes); dict order is LRU order (front = oldest).
+        self._entries: Dict[str, Tuple[object, int]] = {}
+        self.bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._reported = {"hits": 0, "misses": 0, "evictions": 0}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Optional[str]):
+        """Look up a context; ``None`` key (caching disabled) never counts."""
+        if key is None:
+            return None
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries[key] = entry  # re-insert at the back (most recent)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: Optional[str], context, nbytes: int, budget: int) -> bool:
+        """Insert ``context`` under ``key``, evicting LRU entries over budget.
+
+        Returns ``False`` (and releases the context's pinned resources) when
+        caching is disabled or the entry alone exceeds the budget.
+        """
+        if key is None or budget <= 0 or nbytes > budget:
+            self._release(context)
+            return False
+        stale = self._entries.pop(key, None)
+        if stale is not None:
+            self.bytes_used -= stale[1]
+            self._release(stale[0])
+        self._entries[key] = (context, max(0, int(nbytes)))
+        self.bytes_used += max(0, int(nbytes))
+        while self.bytes_used > budget and len(self._entries) > 1:
+            self._evict_oldest()
+        return True
+
+    def _evict_oldest(self) -> None:
+        oldest = next(iter(self._entries))
+        context, nbytes = self._entries.pop(oldest)
+        self.bytes_used -= nbytes
+        self.evictions += 1
+        self._release(context)
+
+    @staticmethod
+    def _release(context) -> None:
+        """Drop the attachment pins a context holds (no-op for local ones)."""
+        for attachment in getattr(context, "attachments", ()) or ():
+            attachment.pins = max(0, attachment.pins - 1)
+
+    def clear(self) -> None:
+        for context, _nbytes in self._entries.values():
+            self._release(context)
+        self._entries.clear()
+        self.bytes_used = 0
+
+    def take_delta(self) -> Dict[str, int]:
+        """Counters since the previous call, plus current entry/byte levels.
+
+        Workers call this once per query so the parent can merge per-query
+        cache activity into the run's parallel telemetry.
+        """
+        delta = {
+            "hits": self.hits - self._reported["hits"],
+            "misses": self.misses - self._reported["misses"],
+            "evictions": self.evictions - self._reported["evictions"],
+            "entries": len(self._entries),
+            "bytes": self.bytes_used,
+        }
+        self._reported = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+        return delta
+
+    def snapshot(self) -> Dict[str, int]:
+        """Cumulative counters (for tests and diagnostics)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "bytes": self.bytes_used,
+        }

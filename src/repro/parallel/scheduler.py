@@ -24,9 +24,30 @@ task-queue scheduler:
   tries lazily, forcing only the parts their tasks actually touch.  Thread
   workers go one better and share a single trie build.
 
+Two serving-layer features are layered on top of the scheduler:
+
+* **deadlines and cancellation** — tasks carry an absolute monotonic
+  deadline and every executor ticks a :class:`DeadlineToken` at
+  trie-expansion boundaries, so an over-budget or cancelled query aborts
+  *mid-flight* (raising ``DeadlineExceeded``/``QueryCancelled``) and its
+  sibling tasks are cancelled promptly — thread workers share the token
+  directly, process workers probe a fork-inherited cancel cell the parent
+  bumps.  A deadline abort completes the drain protocol cleanly, so the
+  pool (and its caches) stays warm.
+* **fingerprint-keyed context caching** — the tries/hash tables built per
+  (query, worker) are cached under a key derived from the input tables'
+  content fingerprints, the pinned cover, and the engine options
+  (:mod:`repro.parallel.context_cache`), with an LRU byte budget
+  (``REPRO_CONTEXT_CACHE_BYTES``).  Repeated queries over unchanged tables
+  skip per-query trie rebuilds: process workers keep per-worker caches
+  (pinning their shm attachments), the thread/inline backends share a
+  parent-side cache, and the process parent memoizes cover/entry-count
+  metadata in a plan cache.
+
 Per-task and per-worker accounting (steal counts, queue depths and waits,
-attach times) is merged into the run's ``RunReport.details["parallel"]``
-entry; see ``benchmarks/README.md`` for how to read it.
+attach times, context-cache hits/misses/evictions) is merged into the run's
+``RunReport.details["parallel"]`` entry; see ``benchmarks/README.md`` for
+how to read it.
 
 Result parity: tasks partition the serial iteration, and outcomes are merged
 in task order, so the merged bag always equals the serial output; with static
@@ -49,7 +70,14 @@ from repro.core.colt import TrieStrategy, build_tries
 from repro.core.executor import ExecutorStats, FreeJoinExecutor
 from repro.core.plan import FreeJoinPlan
 from repro.engine.output import JoinResult, RowSink
-from repro.errors import ExecutionError
+from repro.errors import DeadlineExceeded, ExecutionError, QueryCancelled
+from repro.parallel.cancellation import DeadlineToken
+from repro.parallel.context_cache import (
+    CONTEXT_BYTES_FACTOR,
+    ContextCache,
+    context_cache_budget,
+    context_cache_key,
+)
 from repro.parallel.intra import (
     ShardedRunResult,
     _fork_context,
@@ -104,6 +132,10 @@ class StealTask:
     sub: Optional[Tuple[int, int]] = None
     preferred: int = 0
     enqueued: float = 0.0
+    #: Absolute ``time.monotonic`` deadline, or ``None``.  Carried on the
+    #: task (not the token) because monotonic timestamps cross fork while
+    #: token objects do not; workers rebuild a local token around it.
+    deadline: Optional[float] = None
 
 
 def decompose_entries(
@@ -165,7 +197,21 @@ def assign_preferred(tasks: List[StealTask], workers: int) -> None:
 
 
 class _FreeJoinTaskContext:
-    """Per-worker Free Join state: one (lazy) trie set, reused across tasks."""
+    """Per-worker Free Join state: one (lazy) trie set, reused across tasks.
+
+    Contexts are the unit the fingerprint-keyed cache stores; the extra
+    attributes (``attachments``, ``entry_total``, ``allow_sub``) let a cached
+    context be rehydrated without re-probing the cover or re-attaching
+    segments.
+    """
+
+    #: Shared-memory attachments this context's tries point into (process
+    #: workers only); pinned while the context sits in a cache.
+    attachments: Tuple = ()
+    #: Root-cover entry count / sub-split flag, remembered so a cache hit
+    #: skips the cover probe entirely.
+    entry_total: Optional[int] = None
+    allow_sub: bool = False
 
     def __init__(
         self,
@@ -188,7 +234,9 @@ class _FreeJoinTaskContext:
         self.cover = cover
         self.attach_seconds = attach_seconds
 
-    def run_task(self, task: StealTask) -> Dict[str, object]:
+    def run_task(
+        self, task: StealTask, interrupt: Optional[DeadlineToken] = None
+    ) -> Dict[str, object]:
         sink = _make_sink(self.output, self.output_variables)
         executor = FreeJoinExecutor(
             self.plan,
@@ -197,6 +245,7 @@ class _FreeJoinTaskContext:
             dynamic_cover=self.dynamic_cover,
             batch_size=self.batch_size,
             factorize=False,
+            interrupt=interrupt,
         )
         executor.run_task(self.tries, task.start, task.stop, task.sub, self.cover)
         result = sink.result()
@@ -214,6 +263,10 @@ class _FreeJoinTaskContext:
 class _BinaryTaskContext:
     """Per-worker binary join state: hash tables built once per query."""
 
+    attachments: Tuple = ()
+    entry_total: Optional[int] = None
+    allow_sub: bool = False
+
     def __init__(
         self,
         pipeline_atoms: List[Atom],
@@ -229,7 +282,9 @@ class _BinaryTaskContext:
         self.attach_seconds = attach_seconds
         self.hash_tables = BinaryJoinEngine._build_hash_tables(pipeline_atoms)
 
-    def run_task(self, task: StealTask) -> Dict[str, object]:
+    def run_task(
+        self, task: StealTask, interrupt: Optional[DeadlineToken] = None
+    ) -> Dict[str, object]:
         from repro.binaryjoin.executor import BinaryJoinEngine
 
         sink = _make_sink(self.output, self.output_variables)
@@ -239,6 +294,7 @@ class _BinaryTaskContext:
             self.output_variables,
             sink,
             offset_range=(task.start, task.stop),
+            interrupt=interrupt,
         )
         result = sink.result()
         outputs = result.count_only or 0 if self.output == "count" else len(result.rows)
@@ -254,6 +310,10 @@ class _BinaryTaskContext:
 
 class _GenericTaskContext:
     """Per-worker Generic Join state: eager hash tries built once per query."""
+
+    attachments: Tuple = ()
+    entry_total: Optional[int] = None
+    allow_sub: bool = False
 
     def __init__(
         self,
@@ -272,7 +332,9 @@ class _GenericTaskContext:
         self.attach_seconds = attach_seconds
         self.tries = {atom.name: build_hash_trie(atom, order) for atom in atoms}
 
-    def run_task(self, task: StealTask) -> Dict[str, object]:
+    def run_task(
+        self, task: StealTask, interrupt: Optional[DeadlineToken] = None
+    ) -> Dict[str, object]:
         from repro.genericjoin.executor import GenericJoinEngine
 
         sink = _make_sink(self.output, self.output_variables)
@@ -283,6 +345,7 @@ class _GenericTaskContext:
             self.tries,
             sink,
             entry_range=(task.start, task.stop),
+            interrupt=interrupt,
         )
         result = sink.result()
         outputs = result.count_only or 0 if self.output == "count" else len(result.rows)
@@ -346,22 +409,30 @@ def _preforce_shared_tries(plan: FreeJoinPlan, tries) -> None:
 def _attach_atoms(
     specs: Sequence[Tuple[str, Tuple[str, ...], ShmTableHandle]],
     cache: AttachmentCache,
-) -> Dict[str, Atom]:
-    return {
-        name: Atom(name, cache.attach(handle), variables)
-        for name, variables, handle in specs
-    }
+):
+    atoms: Dict[str, Atom] = {}
+    attachments = []
+    for name, variables, handle in specs:
+        attachment = cache.attach_entry(handle)
+        attachments.append(attachment)
+        atoms[name] = Atom(name, attachment.table, variables)
+    return atoms, attachments
 
 
 def _build_worker_context(setup: Dict[str, object], cache: AttachmentCache):
-    """Build a task context in a process worker from a pickled setup payload."""
+    """Build a task context in a process worker from a pickled setup payload.
+
+    The returned context records (and pins) the attachments its structures
+    point into, so the context cache can exempt them from the attachment LRU
+    for as long as the context stays cached, and release them on eviction.
+    """
     kind = setup["kind"]
     started = time.perf_counter()
-    atoms = _attach_atoms(setup["atoms"], cache)
+    atoms, attachments = _attach_atoms(setup["atoms"], cache)
     attach_seconds = time.perf_counter() - started
     if kind == "freejoin":
         tries = build_tries(atoms, setup["schemas"], setup["trie_strategy"])
-        return _FreeJoinTaskContext(
+        context = _FreeJoinTaskContext(
             setup["plan"],
             setup["output_variables"],
             tries,
@@ -371,21 +442,64 @@ def _build_worker_context(setup: Dict[str, object], cache: AttachmentCache):
             cover=setup["cover"],
             attach_seconds=attach_seconds,
         )
-    if kind == "binary":
+    elif kind == "binary":
         ordered = [atoms[name] for name in setup["atom_order"]]
-        return _BinaryTaskContext(
+        context = _BinaryTaskContext(
             ordered, setup["output_variables"], setup["output"], attach_seconds
         )
-    if kind == "generic":
+    elif kind == "generic":
         ordered = [atoms[name] for name in setup["atom_order"]]
-        return _GenericTaskContext(
+        context = _GenericTaskContext(
             ordered,
             setup["output_variables"],
             setup["order"],
             setup["output"],
             attach_seconds,
         )
-    raise ExecutionError(f"unknown steal context kind {kind!r}")
+    else:
+        raise ExecutionError(f"unknown steal context kind {kind!r}")
+    for attachment in attachments:
+        attachment.pins += 1
+    context.attachments = tuple(attachments)
+    return context
+
+
+def _classify_failure(
+    errors: List[str], interrupt: Optional[DeadlineToken]
+) -> ExecutionError:
+    """Turn task/setup error strings into the most specific exception type.
+
+    Worker-side aborts cross process boundaries as strings prefixed with the
+    exception type name.  Ordering matters: a *genuine* task failure (one
+    that is neither a deadline abort nor derived cancellation noise) must
+    surface as a plain :class:`ExecutionError` even when the query's
+    deadline happens to lapse while the drain completes — otherwise a real
+    bug under a generous timeout would be recorded as a timeout.  An
+    explicit caller cancel wins over everything; deadline classification
+    otherwise requires deadline evidence from a worker, or an expired token
+    with nothing but skip noise in the error list.
+    """
+    message = "; ".join(errors)
+    deadline_hit = any("DeadlineExceeded" in error for error in errors)
+    cancel_hit = any("QueryCancelled" in error for error in errors)
+    genuine = any(
+        "DeadlineExceeded" not in error and "QueryCancelled" not in error
+        for error in errors
+    )
+    if interrupt is not None and interrupt.cancelled:
+        return QueryCancelled(message or "query was cancelled")
+    if deadline_hit:
+        return DeadlineExceeded(message or "query exceeded its deadline")
+    if genuine:
+        return ExecutionError(message)
+    if interrupt is not None and interrupt.expired():
+        # Only derived skip noise remains and the token is past due: the
+        # parent-side watcher cancelled the tasks before any worker's own
+        # check fired.
+        return DeadlineExceeded(message or "query exceeded its deadline")
+    if cancel_hit:
+        return QueryCancelled(message)
+    return ExecutionError(message)
 
 
 # --------------------------------------------------------------------------- #
@@ -396,8 +510,15 @@ def _build_worker_context(setup: Dict[str, object], cache: AttachmentCache):
 class _ThreadJob:
     """One query's worth of tasks, dealt into per-worker deques."""
 
-    def __init__(self, runner, tasks: List[StealTask], workers: int) -> None:
+    def __init__(
+        self,
+        runner,
+        tasks: List[StealTask],
+        workers: int,
+        interrupt: Optional[DeadlineToken] = None,
+    ) -> None:
         self.runner = runner
+        self.interrupt = interrupt
         self.deques: List[deque] = [deque() for _ in range(workers)]
         now = time.monotonic()
         for task in tasks:
@@ -459,19 +580,30 @@ class ThreadStealPool:
         for thread in self._threads:
             thread.start()
 
-    def submit(self, runner, tasks: List[StealTask]):
-        """Run ``tasks`` through the pool; returns (outcomes, worker_reports)."""
+    def submit(
+        self,
+        runner,
+        tasks: List[StealTask],
+        interrupt: Optional[DeadlineToken] = None,
+    ):
+        """Run ``tasks`` through the pool; returns (outcomes, worker_reports).
+
+        ``interrupt`` is shared by every worker thread: a deadline expiry or
+        a :meth:`~repro.parallel.cancellation.DeadlineToken.cancel` aborts
+        in-flight tasks at their next executor tick and skips queued ones,
+        and the submit raises ``DeadlineExceeded``/``QueryCancelled``.
+        """
         with self._submit_lock:
             if self.broken:
                 raise ExecutionError("steal pool has been shut down")
-            job = _ThreadJob(runner, tasks, self.workers)
+            job = _ThreadJob(runner, tasks, self.workers, interrupt)
             with self._cond:
                 self._job = job
                 self._generation += 1
                 self._cond.notify_all()
             job.done.wait()
             if job.errors:
-                raise ExecutionError("; ".join(job.errors))
+                raise _classify_failure(job.errors, interrupt)
             reports = {
                 index: report for index, report in enumerate(job.worker_reports)
             }
@@ -516,10 +648,23 @@ class ThreadStealPool:
             with job.lock:
                 job.backlog -= 1
                 depth = job.backlog
+            if job.interrupt is not None and (
+                job.interrupt.cancelled or job.interrupt.expired()
+            ):
+                # Sibling cancellation: a cancelled/over-deadline query must
+                # not start queued tasks; record the skip and move on so the
+                # job's accounting still completes.
+                with job.lock:
+                    job.errors.append(f"task {task.task_id}: QueryCancelled: skipped")
+                    job.remaining -= 1
+                    finished = job.remaining == 0
+                if finished:
+                    job.done.set()
+                continue
             wait_seconds = max(0.0, time.monotonic() - task.enqueued)
             started = time.perf_counter()
             try:
-                outcome = job.runner(task)
+                outcome = job.runner(task, job.interrupt)
                 seconds = time.perf_counter() - started
                 outcome.update(
                     worker=worker_id,
@@ -569,28 +714,53 @@ class _PoolProtocolError(ExecutionError):
     """
 
 
-def _process_worker_main(worker_id, cmd_queue, task_queue, result_queue) -> None:
+def _process_worker_main(
+    worker_id, cmd_queue, task_queue, result_queue, cancel_cell
+) -> None:
     """Process worker: attach columns per query, then pull tasks until done.
 
     Tasks sit in one shared queue tagged with a preferred owner; a worker
     executing a task dealt to a sibling records a steal.  That gives the
     dynamic balancing (and the accounting) of work stealing without
     distributed deques, which buy nothing at this task granularity.
+
+    ``cancel_cell`` is a fork-inherited shared integer holding the highest
+    *cancelled* query id: the parent bumps it when a query's deadline passes
+    or its caller cancels, and every task's deadline token probes it, so
+    sibling tasks abort mid-flight instead of running to completion.
+
+    Contexts (tries/hash tables over the attached columns) are cached per
+    worker under the fingerprint-derived key the parent ships in the setup
+    payload; repeated queries over unchanged tables skip both the attach and
+    the build.
     """
     cache = AttachmentCache()
+    contexts = ContextCache()
     while True:
         try:
             message = cmd_queue.get()
         except (EOFError, OSError):  # pragma: no cover - parent died
             return
         if message[0] == "stop":
+            contexts.clear()
             cache.close_all()
             return
         _kind, query_id, setup = message
+        context_key = setup.get("context_key")
+        cache_budget = setup.get("cache_budget", 0)
+        deadline_at = setup.get("deadline")
         context = None
         try:
             started = time.perf_counter()
-            context = _build_worker_context(setup, cache)
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                raise DeadlineExceeded("query deadline passed before worker setup")
+            context = contexts.get(context_key)
+            cache_hit = context is not None
+            if context is None:
+                context = _build_worker_context(setup, cache)
+                contexts.put(
+                    context_key, context, setup.get("context_bytes", 0), cache_budget
+                )
             result_queue.put(
                 (
                     "ready",
@@ -598,7 +768,8 @@ def _process_worker_main(worker_id, cmd_queue, task_queue, result_queue) -> None
                     worker_id,
                     {
                         "setup_seconds": time.perf_counter() - started,
-                        "attach_seconds": context.attach_seconds,
+                        "attach_seconds": 0.0 if cache_hit else context.attach_seconds,
+                        "context_cache": contexts.take_delta(),
                     },
                 )
             )
@@ -607,6 +778,10 @@ def _process_worker_main(worker_id, cmd_queue, task_queue, result_queue) -> None
                 ("ready_error", query_id, worker_id, f"{type(exc).__name__}: {exc}")
             )
         report = _new_worker_report()
+
+        def cancelled() -> bool:
+            return cancel_cell.value >= query_id
+
         while True:
             task_message = task_queue.get()
             if task_message[0] == "end":
@@ -617,10 +792,21 @@ def _process_worker_main(worker_id, cmd_queue, task_queue, result_queue) -> None
                     ("task_error", task_query_id, task.task_id, "worker has no context")
                 )
                 continue
+            if cancelled():
+                result_queue.put(
+                    (
+                        "task_error",
+                        query_id,
+                        task.task_id,
+                        "QueryCancelled: skipped",
+                    )
+                )
+                continue
             wait_seconds = max(0.0, time.monotonic() - task.enqueued)
             started = time.perf_counter()
             try:
-                outcome = context.run_task(task)
+                token = DeadlineToken(at=task.deadline, cancel_probe=cancelled)
+                outcome = context.run_task(task, token)
             except Exception as exc:  # noqa: BLE001 - reported to the parent
                 result_queue.put(
                     (
@@ -683,6 +869,10 @@ class ProcessStealPool:
         self._cmd_queues = [context.SimpleQueue() for _ in range(workers)]
         self._task_queue = context.SimpleQueue()
         self._result_queue = context.Queue()
+        # Highest cancelled query id, fork-inherited: the parent bumps it to
+        # cancel a query's remaining tasks; workers probe it per task tick.
+        # lock=False: single-word reads/writes, one writer (the parent).
+        self._cancel_cell = context.Value("l", 0, lock=False)
         self._processes = [
             context.Process(
                 target=_process_worker_main,
@@ -691,6 +881,7 @@ class ProcessStealPool:
                     self._cmd_queues[index],
                     self._task_queue,
                     self._result_queue,
+                    self._cancel_cell,
                 ),
                 daemon=True,
             )
@@ -699,21 +890,31 @@ class ProcessStealPool:
         for process in self._processes:
             process.start()
 
-    def submit(self, setup: Dict[str, object], tasks: List[StealTask]):
+    def submit(
+        self,
+        setup: Dict[str, object],
+        tasks: List[StealTask],
+        interrupt: Optional[DeadlineToken] = None,
+    ):
         """Run ``tasks`` with ``setup``; returns (outcomes, worker_reports).
 
         Raises :class:`ExecutionError` when any task or setup failed.  Only
         *protocol* failures (a dead worker, an out-of-sequence message) mark
-        the pool broken and tear it down; ordinary query errors complete the
-        drain protocol cleanly, so the workers — and their cached shm
-        attachments — stay warm for the next query.
+        the pool broken and tear it down; ordinary query errors — including
+        deadline aborts and cancellations — complete the drain protocol
+        cleanly, so the workers, their cached shm attachments and their
+        context caches stay warm for the next query.
+
+        ``interrupt`` is watched while the parent drains results: expiry or
+        cancellation bumps the pool's cancel cell, which every in-flight
+        task's deadline token probes, so sibling tasks abort mid-flight.
         """
         with self._submit_lock:
             if self.broken:
                 raise ExecutionError("steal pool has been shut down")
             self._query_id += 1
             try:
-                return self._run_query(self._query_id, setup, tasks)
+                return self._run_query(self._query_id, setup, tasks, interrupt)
             except _PoolProtocolError:
                 self.broken = True
                 self.shutdown()
@@ -725,13 +926,32 @@ class ProcessStealPool:
                 self.shutdown()
                 raise
 
-    def _run_query(self, query_id: int, setup, tasks: List[StealTask]):
+    def _run_query(
+        self,
+        query_id: int,
+        setup,
+        tasks: List[StealTask],
+        interrupt: Optional[DeadlineToken] = None,
+    ):
+        signalled = False
+
+        def watch_interrupt() -> None:
+            # Translate caller-side token state into the fork-shared cancel
+            # cell exactly once; workers then abort at their next tick.
+            nonlocal signalled
+            if signalled or interrupt is None:
+                return
+            if interrupt.cancelled or interrupt.expired():
+                self._cancel_cell.value = query_id
+                signalled = True
+
         for cmd_queue in self._cmd_queues:
             cmd_queue.put(("query", query_id, setup))
         ready: Dict[int, Optional[Dict[str, float]]] = {}
         errors: List[str] = []
+        deadline_errors = False
         while len(ready) < self.workers:
-            message = self._receive()
+            message = self._receive(hook=watch_interrupt)
             if message[0] == "ready":
                 ready[message[2]] = message[3]
             elif message[0] == "ready_error":
@@ -751,28 +971,39 @@ class ProcessStealPool:
         outcomes: List[Dict[str, object]] = []
         reports: Dict[int, Dict[str, object]] = {}
         while len(reports) < self.workers or len(outcomes) < expected:
-            message = self._receive()
+            watch_interrupt()
+            message = self._receive(hook=watch_interrupt)
             if message[0] == "result":
                 outcomes.append(message[2])
             elif message[0] == "task_error":
                 errors.append(f"task {message[2]}: {message[3]}")
                 expected -= 1
+                if not deadline_errors and (
+                    "DeadlineExceeded" in message[3] or "QueryCancelled" in message[3]
+                ):
+                    # The first deadline/cancel abort cancels its siblings;
+                    # they drain as cheap "skipped" task errors.
+                    deadline_errors = True
+                    self._cancel_cell.value = query_id
+                    signalled = True
             elif message[0] == "drained":
                 reports[message[2]] = message[3]
             else:
                 raise _PoolProtocolError(f"unexpected {message[0]!r} message")
         if errors:
-            raise ExecutionError("; ".join(errors))
+            raise _classify_failure(errors, interrupt)
         for worker_id, info in ready.items():
             if info:
                 reports[worker_id].update(info)
         return outcomes, reports
 
-    def _receive(self, poll_seconds: float = 0.2):
+    def _receive(self, poll_seconds: float = 0.05, hook=None):
         while True:
             try:
                 return self._result_queue.get(timeout=poll_seconds)
             except queue_module.Empty:
+                if hook is not None:
+                    hook()
                 for process in self._processes:
                     if not process.is_alive():
                         raise _PoolProtocolError(
@@ -810,6 +1041,79 @@ class ProcessStealPool:
 _POOLS: Dict[Tuple[str, int], object] = {}
 _POOLS_PID = os.getpid()
 _REGISTRY_LOCK = threading.Lock()
+
+#: Parent-side context cache used by the thread and inline backends (their
+#: contexts live in this process), plus a tiny plan-metadata cache that lets
+#: the process backend skip the per-query cover probe/distinct count.  Both
+#: are keyed by the same fingerprint-derived keys as the worker caches.
+_LOCAL_CONTEXTS = ContextCache()
+_LOCAL_LOCK = threading.Lock()
+_PLAN_CACHE: Dict[str, Tuple[Optional[str], int, bool]] = {}
+_PLAN_CACHE_CAPACITY = 256
+_CACHES_PID = os.getpid()
+
+
+def _check_cache_pid() -> None:
+    """Reset the parent-side caches in a forked child (mirrors ``_POOLS``)."""
+    global _CACHES_PID
+    if _CACHES_PID != os.getpid():
+        _LOCAL_CONTEXTS.clear()
+        _PLAN_CACHE.clear()
+        _CACHES_PID = os.getpid()
+
+
+def _local_context_get(key: Optional[str]):
+    with _LOCAL_LOCK:
+        _check_cache_pid()
+        return _LOCAL_CONTEXTS.get(key)
+
+
+def _local_context_put(key: Optional[str], context, nbytes: int, budget: int) -> int:
+    """Cache a parent-side context; returns evictions triggered by the put."""
+    with _LOCAL_LOCK:
+        _check_cache_pid()
+        before = _LOCAL_CONTEXTS.evictions
+        _LOCAL_CONTEXTS.put(key, context, nbytes, budget)
+        return _LOCAL_CONTEXTS.evictions - before
+
+
+def _local_context_stats() -> Dict[str, int]:
+    with _LOCAL_LOCK:
+        return _LOCAL_CONTEXTS.snapshot()
+
+
+def _plan_cache_get(key: Optional[str]):
+    if key is None:
+        return None
+    with _LOCAL_LOCK:
+        _check_cache_pid()
+        return _PLAN_CACHE.get(key)
+
+
+def _plan_cache_put(key: Optional[str], value) -> None:
+    if key is None:
+        return
+    with _LOCAL_LOCK:
+        _check_cache_pid()
+        while len(_PLAN_CACHE) >= _PLAN_CACHE_CAPACITY:
+            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        _PLAN_CACHE[key] = value
+
+
+def clear_context_caches() -> None:
+    """Drop the parent-side context/plan caches (frees their tries).
+
+    Worker-side caches live (and die) with their pools: a
+    :func:`shutdown_pools` replaces the workers, and with them their caches.
+    """
+    with _LOCAL_LOCK:
+        _LOCAL_CONTEXTS.clear()
+        _PLAN_CACHE.clear()
+
+
+def local_context_cache_stats() -> Dict[str, int]:
+    """Cumulative parent-side cache counters (for tests and diagnostics)."""
+    return _local_context_stats()
 
 
 def get_pool(backend: str, workers: int):
@@ -881,6 +1185,7 @@ class _StealRun:
     output: str
     merge_stats: bool
     build_seconds: float = 0.0
+    interrupt: Optional[DeadlineToken] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
 
@@ -926,7 +1231,7 @@ def _drive(run: _StealRun) -> ShardedRunResult:
         # One task cannot balance anything: run it inline, skip the pool.
         context = run.context_factory()
         task = run.tasks[0]
-        outcome = context.run_task(task)
+        outcome = context.run_task(task, run.interrupt)
         outcome.update(worker=0, stolen=False, wait_seconds=0.0)
         outcome["seconds"] = time.perf_counter() - join_started
         report = _new_worker_report()
@@ -938,11 +1243,13 @@ def _drive(run: _StealRun) -> ShardedRunResult:
     elif run.backend == "thread":
         context = run.context_factory()
         pool = get_pool("thread", effective)
-        outcomes, reports = pool.submit(context.run_task, run.tasks)
+        outcomes, reports = pool.submit(context.run_task, run.tasks, run.interrupt)
         backend_label = "thread"
     else:
         pool = get_pool("process", effective)
-        outcomes, reports = pool.submit(run.setup_factory(), run.tasks)
+        outcomes, reports = pool.submit(
+            run.setup_factory(), run.tasks, run.interrupt
+        )
         backend_label = "process"
     join_seconds = time.perf_counter() - join_started
     return _merge(run, outcomes, reports, backend_label, join_seconds)
@@ -1011,6 +1318,21 @@ def _merge(
         "attach_seconds": attach_max,
         "short_circuit": False,
     }
+    cache_deltas = [
+        report.pop("context_cache")
+        for report in reports.values()
+        if isinstance(report.get("context_cache"), dict)
+    ]
+    if cache_deltas:
+        # One delta per worker for this query: sum the activity counters,
+        # report the occupancy of the fullest worker cache.
+        extra["context_cache"] = {
+            "hits": sum(delta.get("hits", 0) for delta in cache_deltas),
+            "misses": sum(delta.get("misses", 0) for delta in cache_deltas),
+            "evictions": sum(delta.get("evictions", 0) for delta in cache_deltas),
+            "entries": max(delta.get("entries", 0) for delta in cache_deltas),
+            "bytes": max(delta.get("bytes", 0) for delta in cache_deltas),
+        }
     extra.update(run.extra)
     return ShardedRunResult(
         result=result,
@@ -1028,6 +1350,17 @@ def _merge(
 def _atom_specs(atoms: Sequence[Atom]) -> List[Tuple[str, Tuple[str, ...], ShmTableHandle]]:
     """Export every atom's table and return pickle-able (name, vars, handle)."""
     return [(atom.name, atom.variables, export_table(atom.table)) for atom in atoms]
+
+
+def _context_bytes_estimate(atoms: Sequence[Atom]) -> int:
+    """Approximate footprint of a context built over ``atoms``' tables.
+
+    Tries/hash tables hold the key values plus per-node overhead; the input
+    column payload times :data:`~repro.parallel.context_cache.CONTEXT_BYTES_FACTOR`
+    is a serviceable proxy for cache budgeting (it is an estimate, not
+    accounting — see :mod:`repro.parallel.context_cache`).
+    """
+    return CONTEXT_BYTES_FACTOR * sum(atom.table.approx_bytes() for atom in atoms)
 
 
 # --------------------------------------------------------------------------- #
@@ -1048,8 +1381,16 @@ def run_freejoin_pipeline_steal(
     workers: int = 2,
     mode: str = "auto",
     tasks_per_worker: Optional[int] = None,
+    interrupt: Optional[DeadlineToken] = None,
 ) -> ShardedRunResult:
-    """Run one Free Join (pipeline) plan through the work-stealing scheduler."""
+    """Run one Free Join (pipeline) plan through the work-stealing scheduler.
+
+    Repeated queries over unchanged tables hit the fingerprint-keyed context
+    cache: the thread/inline backends reuse a parent-side context (tries
+    already built and pre-forced), the process backend skips the parent's
+    cover probe via the plan cache while each worker reuses its own cached
+    context, skipping attach and trie build entirely.
+    """
     if output not in _STEAL_OUTPUTS:
         raise ExecutionError(
             f"steal scheduling supports outputs {_STEAL_OUTPUTS}, got {output!r}"
@@ -1057,61 +1398,116 @@ def run_freejoin_pipeline_steal(
     output_variables = tuple(output_variables)
     input_tuples = sum(atom.size for atom in atoms.values())
     backend = _steal_backend(mode, workers, input_tuples)
+    budget = context_cache_budget()
+    cache_key = None
+    if budget > 0:
+        cache_key = context_cache_key(
+            "freejoin",
+            atoms,
+            repr(plan),
+            output_variables,
+            tuple(sorted((name, tuple(levels)) for name, levels in schemas.items())),
+            str(trie_strategy),
+            batch_size,
+            dynamic_cover,
+            output,
+        )
+    cache_telemetry = {"hits": 0, "misses": 0, "evictions": 0}
 
     build_started = time.perf_counter()
-    tries = build_tries(atoms, schemas, trie_strategy)
-    # Choose the root cover ONCE, here, and pin it into every task: dynamic
-    # cover selection keys off key_count() estimates that shrink as forcing
-    # progresses, so letting each task re-choose could switch the iterated
-    # relation mid-query and corrupt the partition.  The choice below uses
-    # the unforced estimates (no forcing happens during it), matching what
-    # the first task would have seen.
-    prober = FreeJoinExecutor(
-        plan,
-        output_variables,
-        RowSink(output_variables),
-        dynamic_cover=dynamic_cover,
-        batch_size=1,
-        factorize=False,
-    )
-    root_info = prober._nodes[0]
-    cover_position = prober._choose_cover(root_info, dict(tries))
-    if cover_position is None:
-        cover_relation = None
-        entry_total = 1  # probe-only root: one unit of work
-        allow_sub = False
+    context = _local_context_get(cache_key) if backend != "process" else None
+    plan_info = _plan_cache_get(cache_key) if backend == "process" else None
+    if context is not None:
+        # Warm parent-side context: tries are built, forced, and the cover
+        # choice is pinned; nothing to probe.
+        tries = context.tries
+        cover_relation = context.cover
+        entry_total = context.entry_total
+        allow_sub = context.allow_sub
+        cache_telemetry["hits"] = 1
+    elif plan_info is not None:
+        tries = None
+        cover_relation, entry_total, allow_sub = plan_info
     else:
-        cover_relation = root_info.cover_plans[cover_position].relation
-        if backend == "thread":
-            # Thread workers share these tries, so forcing the cover's root
-            # level here is work the query needs anyway.
-            entry_total = entry_count(tries[cover_relation])
+        if cache_key is not None and backend != "process":
+            cache_telemetry["misses"] = 1
+        tries = build_tries(atoms, schemas, trie_strategy)
+        # Choose the root cover ONCE, here, and pin it into every task:
+        # dynamic cover selection keys off key_count() estimates that shrink
+        # as forcing progresses, so letting each task re-choose could switch
+        # the iterated relation mid-query and corrupt the partition.  The
+        # choice below uses the unforced estimates (no forcing happens
+        # during it), matching what the first task would have seen.
+        prober = FreeJoinExecutor(
+            plan,
+            output_variables,
+            RowSink(output_variables),
+            dynamic_cover=dynamic_cover,
+            batch_size=1,
+            factorize=False,
+        )
+        root_info = prober._nodes[0]
+        cover_position = prober._choose_cover(root_info, dict(tries))
+        if cover_position is None:
+            cover_relation = None
+            entry_total = 1  # probe-only root: one unit of work
+            allow_sub = False
         else:
-            # Process workers rebuild from attached columns; a full force in
-            # the parent would be thrown away.  The entry count of the
-            # cover's first level is just its distinct key count.
-            entry_total = _cover_entry_total(tries[cover_relation])
-        allow_sub = len(plan.nodes) >= 2
+            cover_relation = root_info.cover_plans[cover_position].relation
+            if backend == "thread":
+                # Thread workers share these tries, so forcing the cover's
+                # root level here is work the query needs anyway.
+                entry_total = entry_count(tries[cover_relation])
+            else:
+                # Process workers rebuild from attached columns; a full
+                # force in the parent would be thrown away.  The entry count
+                # of the cover's first level is just its distinct key count.
+                entry_total = _cover_entry_total(tries[cover_relation])
+            allow_sub = len(plan.nodes) >= 2
+        if backend == "process":
+            _plan_cache_put(cache_key, (cover_relation, entry_total, allow_sub))
     build_seconds = time.perf_counter() - build_started
 
     tasks = decompose_entries(entry_total, workers, tasks_per_worker, allow_sub)
     if not tasks:
         return _short_circuit(output_variables, output, workers, True, build_seconds)
-    if backend == "thread" and len(tasks) > 1:
+    if interrupt is not None and interrupt.at is not None:
+        for task in tasks:
+            task.deadline = interrupt.at
+    if backend == "thread" and len(tasks) > 1 and context is None and tries is not None:
         build_started = time.perf_counter()
         _preforce_shared_tries(plan, tries)
         build_seconds += time.perf_counter() - build_started
 
+    cached_context = context
+
     def context_factory():
-        return _FreeJoinTaskContext(
+        nonlocal cached_context
+        if cached_context is not None:
+            return cached_context
+        # Inline fallback of the process backend after a plan-cache hit:
+        # tries were never built in this parent, build them now.
+        local_tries = tries if tries is not None else build_tries(
+            atoms, schemas, trie_strategy
+        )
+        cached_context = _FreeJoinTaskContext(
             plan,
             output_variables,
-            tries,
+            local_tries,
             dynamic_cover=dynamic_cover,
             batch_size=batch_size,
             output=output,
             cover=cover_relation,
         )
+        cached_context.entry_total = entry_total
+        cached_context.allow_sub = allow_sub
+        cache_telemetry["evictions"] += _local_context_put(
+            cache_key,
+            cached_context,
+            _context_bytes_estimate(list(atoms.values())),
+            budget,
+        )
+        return cached_context
 
     def setup_factory():
         return {
@@ -1125,9 +1521,19 @@ def run_freejoin_pipeline_steal(
             "output": output,
             "cover": cover_relation,
             "atoms": _atom_specs(list(atoms.values())),
+            "context_key": cache_key,
+            "context_bytes": _context_bytes_estimate(list(atoms.values())),
+            "cache_budget": budget,
+            "deadline": interrupt.at if interrupt is not None else None,
         }
 
-    return _drive(
+    extra: Dict[str, object] = {}
+    if cache_key is not None and (backend != "process" or len(tasks) == 1):
+        # Parent-side telemetry: thread/inline backends always, and the
+        # process backend's single-task inline fallback (which runs its
+        # context parent-side, so worker deltas never arrive).
+        extra["context_cache"] = cache_telemetry
+    result = _drive(
         _StealRun(
             tasks=tasks,
             workers=workers,
@@ -1138,8 +1544,11 @@ def run_freejoin_pipeline_steal(
             output=output,
             merge_stats=True,
             build_seconds=build_seconds,
+            interrupt=interrupt,
+            extra=extra,
         )
     )
+    return result
 
 
 def run_binary_pipeline_steal(
@@ -1150,6 +1559,7 @@ def run_binary_pipeline_steal(
     workers: int = 2,
     mode: str = "auto",
     tasks_per_worker: Optional[int] = None,
+    interrupt: Optional[DeadlineToken] = None,
 ) -> ShardedRunResult:
     """Run one binary-join pipeline with its probe loop task-decomposed."""
     if output not in _STEAL_OUTPUTS:
@@ -1158,15 +1568,41 @@ def run_binary_pipeline_steal(
         )
     input_tuples = sum(atom.size for atom in pipeline_atoms)
     backend = _steal_backend(mode, workers, input_tuples)
+    budget = context_cache_budget()
+    atoms_by_name = {atom.name: atom for atom in pipeline_atoms}
+    cache_key = None
+    if budget > 0:
+        cache_key = context_cache_key(
+            "binary",
+            atoms_by_name,
+            tuple(atom.name for atom in pipeline_atoms),
+            tuple(tuple(atom.variables) for atom in pipeline_atoms),
+            tuple(output_variables),
+            output,
+        )
     entry_total = pipeline_atoms[0].size
     tasks = decompose_entries(entry_total, workers, tasks_per_worker, allow_sub=False)
     if not tasks:
         return _short_circuit(output_variables, output, workers, False, 0.0)
+    if interrupt is not None and interrupt.at is not None:
+        for task in tasks:
+            task.deadline = interrupt.at
+    cache_telemetry = {"hits": 0, "misses": 0, "evictions": 0}
 
     def context_factory():
-        return _BinaryTaskContext(
+        context = _local_context_get(cache_key)
+        if context is not None:
+            cache_telemetry["hits"] = 1
+            return context
+        if cache_key is not None:
+            cache_telemetry["misses"] = 1
+        context = _BinaryTaskContext(
             list(pipeline_atoms), list(output_variables), output
         )
+        cache_telemetry["evictions"] += _local_context_put(
+            cache_key, context, _context_bytes_estimate(pipeline_atoms), budget
+        )
+        return context
 
     def setup_factory():
         return {
@@ -1175,8 +1611,18 @@ def run_binary_pipeline_steal(
             "output_variables": list(output_variables),
             "output": output,
             "atoms": _atom_specs(pipeline_atoms),
+            "context_key": cache_key,
+            "context_bytes": _context_bytes_estimate(pipeline_atoms),
+            "cache_budget": budget,
+            "deadline": interrupt.at if interrupt is not None else None,
         }
 
+    extra: Dict[str, object] = {}
+    if cache_key is not None and (backend != "process" or len(tasks) == 1):
+        # Parent-side telemetry: thread/inline backends always, and the
+        # process backend's single-task inline fallback (which runs its
+        # context parent-side, so worker deltas never arrive).
+        extra["context_cache"] = cache_telemetry
     return _drive(
         _StealRun(
             tasks=tasks,
@@ -1188,6 +1634,8 @@ def run_binary_pipeline_steal(
             output=output,
             merge_stats=False,
             build_seconds=0.0,
+            interrupt=interrupt,
+            extra=extra,
         )
     )
 
@@ -1201,6 +1649,7 @@ def run_generic_steal(
     workers: int = 2,
     mode: str = "auto",
     tasks_per_worker: Optional[int] = None,
+    interrupt: Optional[DeadlineToken] = None,
 ) -> ShardedRunResult:
     """Run one Generic Join with the first intersection task-decomposed."""
     if output not in _STEAL_OUTPUTS:
@@ -1211,27 +1660,60 @@ def run_generic_steal(
     order = list(order)
     input_tuples = sum(atom.size for atom in atoms)
     backend = _steal_backend(mode, workers, input_tuples)
+    budget = context_cache_budget()
+    atoms_by_name = {atom.name: atom for atom in atoms}
+    cache_key = None
+    if budget > 0:
+        cache_key = context_cache_key(
+            "generic",
+            atoms_by_name,
+            tuple(atom.name for atom in atoms),
+            tuple(tuple(atom.variables) for atom in atoms),
+            tuple(output_variables),
+            tuple(order),
+            output,
+        )
 
     # The first variable's intersection iterates the smallest participant
     # level; its entry count is that atom's distinct count on the variable.
     # Only the *count* matters here — each worker's own (identically built)
-    # tries define the iteration order the ranges slice.
-    entry_total = 1
-    if order:
-        participants = [atom for atom in atoms if atom.has_variable(order[0])]
-        if participants:
-            entry_total = min(
-                len(set(atom.table.column(atom.column_for(order[0])).values))
-                for atom in participants
-            )
+    # tries define the iteration order the ranges slice.  The plan cache
+    # remembers it so repeated queries skip the distinct-count scan.
+    plan_info = _plan_cache_get(cache_key)
+    if plan_info is not None:
+        _cover, entry_total, _allow_sub = plan_info
+    else:
+        entry_total = 1
+        if order:
+            participants = [atom for atom in atoms if atom.has_variable(order[0])]
+            if participants:
+                entry_total = min(
+                    len(set(atom.table.column(atom.column_for(order[0])).values))
+                    for atom in participants
+                )
+        _plan_cache_put(cache_key, (None, entry_total, False))
     tasks = decompose_entries(entry_total, workers, tasks_per_worker, allow_sub=False)
     if not tasks:
         return _short_circuit(output_variables, output, workers, False, 0.0)
+    if interrupt is not None and interrupt.at is not None:
+        for task in tasks:
+            task.deadline = interrupt.at
+    cache_telemetry = {"hits": 0, "misses": 0, "evictions": 0}
 
     def context_factory():
-        return _GenericTaskContext(
+        context = _local_context_get(cache_key)
+        if context is not None:
+            cache_telemetry["hits"] = 1
+            return context
+        if cache_key is not None:
+            cache_telemetry["misses"] = 1
+        context = _GenericTaskContext(
             atoms, tuple(output_variables), order, output
         )
+        cache_telemetry["evictions"] += _local_context_put(
+            cache_key, context, _context_bytes_estimate(atoms), budget
+        )
+        return context
 
     def setup_factory():
         return {
@@ -1241,8 +1723,18 @@ def run_generic_steal(
             "order": order,
             "output": output,
             "atoms": _atom_specs(atoms),
+            "context_key": cache_key,
+            "context_bytes": _context_bytes_estimate(atoms),
+            "cache_budget": budget,
+            "deadline": interrupt.at if interrupt is not None else None,
         }
 
+    extra: Dict[str, object] = {}
+    if cache_key is not None and (backend != "process" or len(tasks) == 1):
+        # Parent-side telemetry: thread/inline backends always, and the
+        # process backend's single-task inline fallback (which runs its
+        # context parent-side, so worker deltas never arrive).
+        extra["context_cache"] = cache_telemetry
     return _drive(
         _StealRun(
             tasks=tasks,
@@ -1254,5 +1746,7 @@ def run_generic_steal(
             output=output,
             merge_stats=False,
             build_seconds=0.0,
+            interrupt=interrupt,
+            extra=extra,
         )
     )

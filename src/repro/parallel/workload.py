@@ -10,13 +10,19 @@ JSON for benchmark artifacts and CI gates.
 Backends:
 
 * ``process`` — one ``multiprocessing.Process`` per query (at most
-  ``max_workers`` alive at a time), results shipped back over a pipe.  This
-  is the only mode with *enforced* timeouts: an overdue worker is terminated
-  and the query is recorded as ``"timeout"``.
+  ``max_workers`` alive at a time), results shipped back over a pipe.  An
+  overdue query first aborts cooperatively inside the worker (same deadline
+  token as the thread backend, which keeps the worker's pools and exports
+  intact for a clean shutdown); a worker stuck past a short grace period is
+  terminated with its whole process group.
 * ``thread`` — a thread pool sharing the calling process.  The GIL
-  serializes CPU-bound query work, and a running query cannot be interrupted,
-  so timeouts are only *recorded*: a query whose measured time exceeds the
-  budget completes but is marked ``"timeout"``.
+  serializes CPU-bound query work, but timeouts are still *enforced*,
+  cooperatively: each query carries a deadline token that executors (and the
+  intra-query steal pools) check at trie-expansion boundaries, so an
+  over-budget query aborts mid-execution with
+  :class:`~repro.errors.DeadlineExceeded`, frees its worker promptly, and is
+  recorded as ``"timeout"`` — it no longer finishes in the background before
+  the error surfaces.
 
 ``mode="auto"`` picks ``process`` when the platform can fork and more than
 one worker is requested, ``thread`` otherwise.  Either way each worker
@@ -197,8 +203,15 @@ def _execute_single(
     Returns a plain-dict record (pickle-friendly for the process backend).
     A fresh session per worker keeps the statistics cache and any engine
     options strictly local, so concurrent queries cannot observe each other.
+
+    ``timeout`` is enforced cooperatively: the query runs under a deadline
+    token and aborts mid-execution with ``DeadlineExceeded`` when the budget
+    runs out, which is recorded as a ``"timeout"`` execution.  This holds on
+    every backend — a thread worker is freed promptly instead of letting the
+    losing query finish in the background.
     """
     from repro.engine.session import Database
+    from repro.errors import DeadlineExceeded, QueryCancelled
 
     started = time.perf_counter()
     try:
@@ -214,7 +227,7 @@ def _execute_single(
             # table identity, which survives fork (copy-on-write) and thread
             # sharing, so pre-analyzed tables are never re-scanned per query.
             database.statistics_cache = statistics_cache
-        outcome = database.execute(sql, engine=engine, name=name)
+        outcome = database.execute(sql, engine=engine, name=name, timeout=timeout)
         seconds = time.perf_counter() - started
         if collect_rows:
             rows = outcome.table.to_rows()
@@ -224,8 +237,8 @@ def _execute_single(
             row_count = outcome.table.num_rows
         status = STATUS_OK
         if timeout is not None and seconds > timeout:
-            # Thread/inline backends cannot interrupt a running query; record
-            # the overrun so callers still see the budget violation.
+            # The deadline check is strided, so a query can still finish a
+            # hair over budget; record the overrun either way.
             status = STATUS_TIMEOUT
         return {
             "name": name,
@@ -237,6 +250,18 @@ def _execute_single(
             "columns": tuple(outcome.table.column_names),
             "rows": rows,
             "error": "",
+        }
+    except (DeadlineExceeded, QueryCancelled) as exc:
+        return {
+            "name": name,
+            "sql": sql,
+            "engine": engine or "",
+            "status": STATUS_TIMEOUT,
+            "seconds": time.perf_counter() - started,
+            "row_count": 0,
+            "columns": (),
+            "rows": None,
+            "error": f"aborted after exceeding {timeout} s: {exc}",
         }
     except Exception as exc:  # noqa: BLE001 - the whole point is capture
         return {
@@ -264,18 +289,21 @@ def _query_worker(
     collect_rows: bool,
     statistics_cache=None,
     scheduler: str = "steal",
+    timeout: Optional[float] = None,
 ) -> None:
     """Process entry point: run one query and ship the record back."""
     try:
-        # Become a process-group leader so a timeout can kill this worker
-        # *and* any intra-query shard/pool processes it forked, in one signal.
+        # Become a process-group leader so a hard timeout can kill this
+        # worker *and* any intra-query shard/pool processes it forked, in one
+        # signal.  (The common path is gentler: the cooperative deadline
+        # below aborts the query inside the worker first.)
         os.setpgid(0, 0)
     except (AttributeError, OSError):  # pragma: no cover - platform-specific
         pass
     try:
         record = _execute_single(
             catalog, name, sql, engine, freejoin_options, parallelism,
-            parallel_mode, collect_rows, timeout=None,
+            parallel_mode, collect_rows, timeout=timeout,
             statistics_cache=statistics_cache, scheduler=scheduler,
         )
         try:
@@ -404,18 +432,25 @@ def _drive_process_workers(
                 args=(
                     sender, catalog, name, sql, engine, freejoin_options,
                     parallelism, parallel_mode, collect_rows, statistics_cache,
-                    scheduler,
+                    scheduler, timeout,
                 ),
             )
             now = time.perf_counter()
             process.start()
             sender.close()
+            # The worker aborts itself cooperatively at `timeout`; the hard
+            # kill below is the backstop for a worker stuck in code that
+            # never ticks its deadline token, so it fires after a short
+            # grace period on top of the budget.
+            grace = None
+            if timeout is not None:
+                grace = timeout + min(1.0, 0.5 * timeout + 0.1)
             active[receiver] = _ActiveWorker(
                 process=process,
                 name=name,
                 sql=sql,
                 started=now,
-                deadline=(now + timeout) if timeout is not None else None,
+                deadline=(now + grace) if grace is not None else None,
             )
 
         wait_for: Optional[float] = None

@@ -1,0 +1,28 @@
+"""Async serving layer: deadlines, cancellation, bounded concurrency.
+
+Public surface::
+
+    from repro.serve import AsyncDatabase, DeadlineToken
+
+    async with AsyncDatabase(parallelism=4) as db:
+        outcome = await db.execute("SELECT COUNT(*) FROM r, s WHERE ...",
+                                   timeout=0.5)
+        async for batch in db.execute_stream("SELECT * FROM ..."):
+            ...
+        results = await db.gather_many(queries, max_concurrency=4)
+
+See :mod:`repro.serve.async_db` for the semantics and
+:mod:`repro.parallel.cancellation` for how deadlines reach the executors.
+"""
+
+from repro.errors import DeadlineExceeded, QueryCancelled
+from repro.parallel.cancellation import DeadlineToken
+from repro.serve.async_db import DEFAULT_CONCURRENCY, AsyncDatabase
+
+__all__ = [
+    "AsyncDatabase",
+    "DeadlineToken",
+    "DeadlineExceeded",
+    "QueryCancelled",
+    "DEFAULT_CONCURRENCY",
+]

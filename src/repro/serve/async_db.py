@@ -1,0 +1,242 @@
+"""An asyncio facade over :class:`~repro.engine.session.Database`.
+
+:class:`AsyncDatabase` turns the synchronous session into a serving layer:
+queries run on a bounded thread pool (each on a fresh ``Database`` over the
+shared catalog and statistics cache, mirroring ``execute_many``'s isolation
+model), the event loop stays free, and every query carries a
+:class:`~repro.parallel.cancellation.DeadlineToken` that makes the two
+serving guarantees real:
+
+* **deadlines** — ``await db.execute(sql, timeout=0.1)`` aborts the join
+  *mid-execution* once the budget is spent, raising
+  :class:`~repro.errors.DeadlineExceeded`; on parallel sessions the token is
+  pushed into the steal pools so in-flight tasks die with it.
+* **cancellation** — cancelling the awaiting asyncio task flips the token,
+  and the worker thread (plus any steal-pool tasks it fanned out) unwinds at
+  its next trie-expansion check instead of running to completion.  The
+  thread-pool slot frees promptly, so a cancelled request cannot clog the
+  server.
+
+Throughput on CPython is still bounded by the GIL for thread-backed
+execution; sessions configured with ``parallelism > 1`` (process steal
+pools) push the join work out of the serving process, which is the intended
+production shape.  Repeated queries additionally hit the fingerprint-keyed
+context caches (:mod:`repro.parallel.context_cache`), so a warm serving
+process skips per-query trie rebuilds entirely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import AsyncIterator, Iterable, List, Optional, Union
+
+from repro.engine.session import Database, QueryOutcome
+from repro.errors import QueryError
+from repro.parallel.cancellation import DeadlineToken
+from repro.parallel.workload import normalize_queries
+
+#: Default size of the serving thread pool.
+DEFAULT_CONCURRENCY = 8
+
+
+class AsyncDatabase:
+    """Async serving wrapper: ``await``-able queries with deadlines.
+
+    Parameters
+    ----------
+    database:
+        The session to serve.  When omitted, a fresh :class:`Database` is
+        created from ``db_options`` (which are forwarded verbatim, e.g.
+        ``parallelism=4, parallel_mode="process"``).
+    max_concurrency:
+        Size of the worker thread pool — the hard cap on queries executing
+        simultaneously.  ``gather_many`` can bound itself further per call.
+    """
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        *,
+        max_concurrency: int = DEFAULT_CONCURRENCY,
+        **db_options,
+    ) -> None:
+        if max_concurrency < 1:
+            raise QueryError(
+                f"max_concurrency must be at least 1, got {max_concurrency}"
+            )
+        if database is not None and db_options:
+            raise QueryError(
+                "pass either an existing database or session options, not both"
+            )
+        self.database = database or Database(**db_options)
+        self.max_concurrency = max_concurrency
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrency, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def close(self, close_database: bool = False) -> None:
+        """Stop accepting queries and release the serving thread pool.
+
+        ``close_database=True`` additionally tears down the process-wide
+        parallel resources (steal pools, shm exports, context caches) via
+        :meth:`Database.close` — only do that when this is the last session.
+        """
+        self._closed = True
+        # Waiting would block the event loop; threads drain in the
+        # background, and cancelled queries unwind at their next token check.
+        self._executor.shutdown(wait=False)
+        if close_database:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.database.close
+            )
+
+    async def __aenter__(self) -> "AsyncDatabase":
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    async def execute(
+        self,
+        sql: str,
+        *,
+        engine: Optional[str] = None,
+        name: str = "",
+        timeout: Optional[float] = None,
+        freejoin_options=None,
+    ) -> QueryOutcome:
+        """Execute one query off-loop; deadline-enforced, cancellation-safe.
+
+        Raises :class:`~repro.errors.DeadlineExceeded` when ``timeout``
+        expires mid-query.  If the awaiting task is cancelled, the query's
+        deadline token is cancelled too, so the worker thread aborts promptly
+        (the ``CancelledError`` still propagates to the caller).
+        """
+        if self._closed:
+            raise QueryError("AsyncDatabase is closed")
+        token = DeadlineToken.after(timeout)
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor,
+            lambda: self._execute_blocking(
+                sql, engine, name, token, freejoin_options
+            ),
+        )
+        try:
+            return await future
+        except asyncio.CancelledError:
+            # Ordering matters: flip the token *before* re-raising, so by the
+            # time the caller observes the cancellation the worker thread is
+            # already unwinding.
+            token.cancel()
+            raise
+
+    def _execute_blocking(
+        self, sql, engine, name, token, freejoin_options
+    ) -> QueryOutcome:
+        # A fresh session per query over the shared catalog + statistics
+        # cache (the execute_many isolation model): per-query state like
+        # engine options never leaks across concurrent requests, while the
+        # process-wide pools, shm exports and context caches are still
+        # shared, which is where the warm-path speedups live.
+        session = Database(
+            self.database.catalog,
+            default_engine=self.database.default_engine,
+            freejoin_options=freejoin_options or self.database.freejoin_options,
+            parallelism=self.database.parallelism,
+            parallel_mode=self.database.parallel_mode,
+            scheduler=self.database.scheduler,
+        )
+        session.statistics_cache = self.database.statistics_cache
+        return session.execute(sql, engine=engine, name=name, deadline=token)
+
+    async def execute_stream(
+        self,
+        sql: str,
+        *,
+        batch_rows: int = 1024,
+        engine: Optional[str] = None,
+        name: str = "",
+        timeout: Optional[float] = None,
+        freejoin_options=None,
+    ) -> AsyncIterator[List[tuple]]:
+        """Stream a query's result rows in batches of ``batch_rows``.
+
+        The join itself is materialized (the engines produce complete
+        results), so this is a *delivery* stream: batches are yielded with
+        event-loop yields in between, letting a slow consumer interleave
+        with other requests instead of receiving one giant list.  The
+        ``timeout`` budget covers the execution, not the streaming.
+        """
+        if batch_rows < 1:
+            raise QueryError(f"batch_rows must be at least 1, got {batch_rows}")
+        outcome = await self.execute(
+            sql,
+            engine=engine,
+            name=name,
+            timeout=timeout,
+            freejoin_options=freejoin_options,
+        )
+        rows = outcome.rows()
+        for start in range(0, len(rows), batch_rows):
+            yield rows[start : start + batch_rows]
+            # Hand the loop back between batches so other requests progress.
+            await asyncio.sleep(0)
+
+    async def gather_many(
+        self,
+        queries: Iterable,
+        *,
+        max_concurrency: Optional[int] = None,
+        timeout: Optional[float] = None,
+        engine: Optional[str] = None,
+        return_exceptions: bool = False,
+    ) -> List[Union[QueryOutcome, BaseException]]:
+        """Run a workload concurrently with bounded concurrency.
+
+        ``queries`` accepts the same shapes as
+        :meth:`Database.execute_many` (SQL strings, ``(name, sql)`` pairs,
+        objects with ``name``/``sql``).  ``timeout`` applies per query.
+
+        With ``return_exceptions=False`` (default) the first failure —
+        including a per-query ``DeadlineExceeded`` — cancels every sibling
+        (in-flight siblings abort mid-execution via their tokens) and
+        re-raises; with ``True`` each slot holds its outcome or exception,
+        aligned with the input order.
+        """
+        normalized = normalize_queries(queries)
+        limit = max_concurrency or self.max_concurrency
+        if limit < 1:
+            raise QueryError(f"max_concurrency must be at least 1, got {limit}")
+        semaphore = asyncio.Semaphore(limit)
+
+        async def run_one(name: str, sql: str):
+            async with semaphore:
+                return await self.execute(
+                    sql, name=name, timeout=timeout, engine=engine
+                )
+
+        tasks = [
+            asyncio.create_task(run_one(name, sql), name=f"repro-serve-{name}")
+            for name, sql in normalized
+        ]
+        try:
+            return await asyncio.gather(*tasks, return_exceptions=return_exceptions)
+        except BaseException:
+            # One query failed (or the caller was cancelled): tear the
+            # siblings down before surfacing the error, so no stray query
+            # keeps burning worker threads in the background.
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise

@@ -28,7 +28,7 @@ class Column:
         values when omitted.
     """
 
-    __slots__ = ("name", "values", "dtype")
+    __slots__ = ("name", "values", "dtype", "_digest")
 
     def __init__(
         self,
@@ -43,6 +43,11 @@ class Column:
             values if isinstance(values, list) else list(values or [])
         )
         self.dtype = dtype if dtype is not None else infer_column_type(self.values)
+        # Memoized content digest (see repro.storage.table): the planner
+        # wraps catalog tables in fresh per-query Table objects *sharing*
+        # these column vectors, so the digest must live on the column for
+        # fingerprinting to stay O(1) per repeated query.
+        self._digest: Optional[bytes] = None
 
     def __len__(self) -> int:
         return len(self.values)

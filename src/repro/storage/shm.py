@@ -182,21 +182,30 @@ class _Exporter:
     def __init__(self) -> None:
         self.pid = os.getpid()
         self._lock = threading.Lock()
-        # id(table) -> (weakref, handle); the weakref doubles as the liveness
-        # check against id reuse.
-        self._handles: Dict[int, Tuple[weakref.ref, ShmTableHandle]] = {}
+        # id(table) -> (weakref, version, handle); the weakref doubles as the
+        # liveness check against id reuse, the version invalidates exports of
+        # tables mutated in place (Table.append_rows).
+        self._handles: Dict[int, Tuple[weakref.ref, int, ShmTableHandle]] = {}
         self._segments: Dict[str, shared_memory.SharedMemory] = {}
 
     def export(self, table: Table) -> ShmTableHandle:
         key = id(table)
+        stale_segment: Optional[str] = None
         with self._lock:
             entry = self._handles.get(key)
             if entry is not None and entry[0]() is table:
-                return entry[1]
+                if entry[1] == table.version:
+                    return entry[2]
+                # The table mutated since it was exported: the segment holds
+                # stale data and must be replaced (workers attach by segment
+                # name, so the new export gets a fresh name).
+                stale_segment = entry[2].segment
             handle, segment = _export(table)
             self._segments[handle.segment] = segment
             ref = weakref.ref(table)
-            self._handles[key] = (ref, handle)
+            self._handles[key] = (ref, table.version, handle)
+        if stale_segment is not None:
+            self._release(None, stale_segment)
         weakref.finalize(table, self._release, key, handle.segment)
         return handle
 
@@ -237,7 +246,7 @@ _EXPORTER: Optional[_Exporter] = None
 _EXPORTER_LOCK = threading.Lock()
 #: Handles inherited from a parent process across fork: segment names the
 #: current process may attach but does not own.
-_INHERITED: Dict[int, Tuple[weakref.ref, ShmTableHandle]] = {}
+_INHERITED: Dict[int, Tuple[weakref.ref, int, ShmTableHandle]] = {}
 
 
 def _exporter() -> _Exporter:
@@ -261,8 +270,8 @@ def export_table(table: Table) -> ShmTableHandle:
     """
     exporter = _exporter()
     entry = _INHERITED.get(id(table))
-    if entry is not None and entry[0]() is table:
-        return entry[1]
+    if entry is not None and entry[0]() is table and entry[1] == table.version:
+        return entry[2]
     return exporter.export(table)
 
 
@@ -309,6 +318,10 @@ class Attachment:
         # strip the shared registration and lose crash cleanup.
         self.handle = handle
         self._views: List[memoryview] = []
+        #: Pin count held by worker-side context caches: a cached trie holds
+        #: direct references to this attachment's memoryviews, so the
+        #: attachment LRU must not close it while any context still uses it.
+        self.pins = 0
         self.table = self._build_table()
 
     def _build_table(self) -> Table:
@@ -360,6 +373,15 @@ class AttachmentCache:
         self._attachments: Dict[str, Attachment] = {}
 
     def attach(self, handle: ShmTableHandle) -> Table:
+        return self.attach_entry(handle).table
+
+    def attach_entry(self, handle: ShmTableHandle) -> Attachment:
+        """Attach (or re-use) a segment and return the attachment itself.
+
+        Callers that hold on to the attached table beyond one query (the
+        context cache) should bump :attr:`Attachment.pins` to exempt the
+        attachment from LRU eviction, and drop the pin when done.
+        """
         attachment = self._attachments.pop(handle.segment, None)
         if attachment is None:
             attachment = Attachment(handle)
@@ -367,16 +389,22 @@ class AttachmentCache:
         # makes the front the least recently used entry.
         self._attachments[handle.segment] = attachment
         self._evict()
-        return attachment.table
+        return attachment
 
     def _evict(self) -> None:
-        while len(self._attachments) > self.capacity:
-            name = next(iter(self._attachments))
-            attachment = self._attachments.pop(name)
+        if len(self._attachments) <= self.capacity:
+            return
+        for name in list(self._attachments):
+            if len(self._attachments) <= self.capacity:
+                return
+            attachment = self._attachments[name]
+            if attachment.pins > 0:
+                # Pinned by a cached context: skip, try the next candidate.
+                continue
+            del self._attachments[name]
             if not attachment.close():
                 # Still referenced (cached table in use): keep it around.
                 self._attachments[name] = attachment
-                return
 
     def close_all(self) -> None:
         for attachment in list(self._attachments.values()):

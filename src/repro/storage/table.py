@@ -9,11 +9,57 @@ and row offsets rather than materializing row objects.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+from array import array
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
-from repro.datatypes import Row, Value, rows_to_columns
+from repro.datatypes import FLOAT, INT, Row, Value, rows_to_columns
 from repro.errors import SchemaError
 from repro.storage.column import Column
+
+
+def _column_payload(column: Column) -> bytes:
+    """A canonical byte encoding of a column's values for fingerprinting.
+
+    The encoding must be *representation independent*: a plain list-backed
+    column and the shared-memory ``memoryview`` a worker attaches over the
+    same data (see :mod:`repro.storage.shm`) must digest identically, so a
+    context-cache key computed in the exporting process matches what a worker
+    would compute over its attachment.  Packed INT/FLOAT columns therefore
+    use the same native layouts as the shm plane; everything else falls back
+    to a deterministic pickle of the value list.
+    """
+    values = column.values
+    if isinstance(values, memoryview):
+        return bytes(values)
+    if column.dtype == INT and all(type(v) is int for v in values):
+        try:
+            return array("q", values).tobytes()
+        except OverflowError:
+            pass
+    if column.dtype == FLOAT and all(type(v) is float for v in values):
+        return array("d", values).tobytes()
+    return pickle.dumps(list(values), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _column_digest(column: Column) -> bytes:
+    """The column's content digest, memoized **on the column object**.
+
+    The planner wraps catalog tables in fresh per-query ``Table`` objects
+    that share the underlying columns, so a per-table memo would be thrown
+    away every query; caching the 16-byte digest per column keeps repeated
+    fingerprinting O(columns) instead of O(data).  In-place mutation
+    (:meth:`Table.append_rows`) clears the memo.
+    """
+    cached = getattr(column, "_digest", None)
+    if cached is None:
+        cached = hashlib.blake2b(_column_payload(column), digest_size=16).digest()
+        try:
+            column._digest = cached
+        except AttributeError:  # exotic column without the slot: skip memo
+            pass
+    return cached
 
 
 class Table:
@@ -43,6 +89,10 @@ class Table:
         self.name = name
         self.columns: List[Column] = list(columns)
         self._by_name: Dict[str, Column] = {c.name: c for c in self.columns}
+        #: Bumped by in-place mutation (:meth:`append_rows`); caches keyed by
+        #: table identity (shm exports, statistics) use it for invalidation.
+        self.version = 0
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -189,6 +239,71 @@ class Table:
     def head(self, limit: int, name: Optional[str] = None) -> "Table":
         """Return the first ``limit`` rows."""
         return self.take(range(min(limit, self.num_rows)), name=name)
+
+    # ------------------------------------------------------------------ #
+    # Identity and mutation
+    # ------------------------------------------------------------------ #
+
+    def fingerprint(self) -> str:
+        """A content hash stable across processes and storage representations.
+
+        Covers the table name, schema (column names and dtypes), row count,
+        and every cell value.  A table rebuilt in a worker from a
+        shared-memory attachment fingerprints identically to its source, so
+        the parallel subsystem keys worker-side context caches on it.  Cached
+        per instance; in-place mutation (:meth:`append_rows`) invalidates it.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            schema = tuple((c.name, c.dtype) for c in self.columns)
+            digest.update(repr((self.name, schema, self.num_rows)).encode())
+            for column in self.columns:
+                digest.update(_column_digest(column))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def approx_bytes(self) -> int:
+        """A cheap estimate of the table's in-memory payload size.
+
+        Used for cache byte budgets, not accounting: packed columns count
+        their buffer size, everything else is approximated at 8 bytes per
+        cell plus Python object overhead.
+        """
+        total = 0
+        for column in self.columns:
+            values = column.values
+            if isinstance(values, memoryview):
+                total += values.nbytes
+            else:
+                total += 8 * len(values) + 48
+        return total
+
+    def append_rows(self, rows: Sequence[Row]) -> None:
+        """Append rows in place (bag semantics), bumping :attr:`version`.
+
+        This is the one mutating operation tables support; every cache keyed
+        by table identity (shared-memory exports, statistics, worker context
+        caches) observes the version bump or the changed fingerprint and
+        re-derives its state.  Tables backed by shared-memory views (worker
+        attachments) are read-only and reject mutation.
+        """
+        for column in self.columns:
+            if not isinstance(column.values, list):
+                raise SchemaError(
+                    f"table {self.name!r} is backed by shared storage and "
+                    f"cannot be mutated in place"
+                )
+        for row in rows:
+            if len(row) != self.arity:
+                raise SchemaError(
+                    f"cannot append row of arity {len(row)} to table "
+                    f"{self.name!r} of arity {self.arity}"
+                )
+        for index, column in enumerate(self.columns):
+            column.values.extend(row[index] for row in rows)
+            column._digest = None
+        self.version += 1
+        self._fingerprint = None
 
     def concat(self, other: "Table", name: Optional[str] = None) -> "Table":
         """Append another table with an identical schema (bag union)."""

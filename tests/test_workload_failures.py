@@ -13,6 +13,7 @@ from __future__ import annotations
 import gc
 import glob
 import os
+import time
 
 import pytest
 
@@ -45,6 +46,77 @@ def _leaked_segments() -> list:
 # --------------------------------------------------------------------------- #
 # Timeout enforcement
 # --------------------------------------------------------------------------- #
+
+
+def _slow_pair_catalog(rows: int = 1500) -> Database:
+    database = Database()
+    database.register(Table.from_columns("big", {
+        "k": [0] * rows, "v": list(range(rows)),
+    }))
+    database.register(Table.from_columns("other", {
+        "k": [0] * rows, "w": list(range(rows)),
+    }))
+    return database
+
+
+def test_thread_mode_timeout_aborts_mid_flight_and_frees_workers():
+    """Regression: a thread-mode timeout used to let the losing query finish
+    in the background before the error surfaced.  It must now abort
+    cooperatively: the workload returns promptly, the worker slot is free
+    for the next workload, and no shm segments leak."""
+    baseline = _leaked_segments()
+    database = _slow_pair_catalog()
+    slow_sql = "SELECT COUNT(*) FROM big, other WHERE big.k = other.k"
+
+    full_started = time.perf_counter()
+    full = database.execute(slow_sql).scalar()
+    full_seconds = time.perf_counter() - full_started
+    assert full_seconds > 0.5
+
+    started = time.perf_counter()
+    outcome = database.execute_many(
+        [("boom", slow_sql)], max_workers=1, timeout=0.05, mode="thread"
+    )
+    wall = time.perf_counter() - started
+    boom = outcome.query("boom")
+    assert boom.status == "timeout"
+    assert "0.05" in boom.error
+    assert wall < full_seconds / 2, (
+        f"timeout surfaced only after {wall:.2f}s (full query: {full_seconds:.2f}s) "
+        f"- the losing query ran to completion in the background"
+    )
+
+    # The worker thread is free immediately: a follow-up workload on the
+    # same single-worker pool completes fast and correctly.
+    follow_up = database.execute_many(
+        [("fine", "SELECT COUNT(*) FROM big WHERE big.v < 5")],
+        max_workers=1, mode="thread",
+    )
+    assert follow_up.query("fine").ok
+    assert follow_up.query("fine").rows == [[5]] or follow_up.query("fine").rows == [(5,)]
+    assert set(_leaked_segments()) <= set(baseline)
+    assert full == database.execute(slow_sql).scalar()  # catalog untouched
+
+
+def test_process_mode_timeout_cancels_intra_query_steal_tasks():
+    """An over-budget query with intra-query parallelism must cancel its
+    steal-pool tasks (cooperatively inside the worker, or via the group
+    kill) and leak neither processes nor shm segments."""
+    baseline = _leaked_segments()
+    database = _slow_pair_catalog()
+    slow_sql = "SELECT COUNT(*) FROM big, other WHERE big.k = other.k"
+    parallel = Database(database.catalog, parallelism=2, parallel_mode="process")
+
+    started = time.perf_counter()
+    outcome = parallel.execute_many(
+        [("boom", slow_sql)], max_workers=1, timeout=0.1, mode="process"
+    )
+    wall = time.perf_counter() - started
+    assert outcome.query("boom").status == "timeout"
+    assert wall < 3.0
+    parallel.close()
+    gc.collect()
+    assert set(_leaked_segments()) <= set(baseline)
 
 
 def test_per_query_timeout_actually_fires():
