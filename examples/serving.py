@@ -11,7 +11,9 @@ workload:
 2. a deliberately tiny deadline aborts an explosive query *mid-execution*
    (``DeadlineExceeded``), after which the same session keeps serving;
 3. an asyncio cancellation frees its worker slot promptly;
-4. ``execute_stream`` delivers a large result in batches.
+4. ``execute_stream`` streams a large result batch by batch *while the join
+   is still running* (sink-to-queue execution with a bounded queue, so a
+   slow consumer backpressures the producer instead of buffering it all).
 
 Run with::
 
@@ -85,13 +87,22 @@ async def serve(scale: float, concurrency: int) -> None:
             print("cancelled the explosive query; its worker aborts at the "
                   "next deadline-token check")
 
-        # --- 4. Streaming delivery ---------------------------------------- #
+        # --- 4. Streaming execution --------------------------------------- #
         total = 0
         batches = 0
+        started = time.perf_counter()
+        first_batch_at = None
         async for batch in adb.execute_stream(queries[0][1], batch_rows=256):
+            if first_batch_at is None:
+                first_batch_at = time.perf_counter() - started
             total += len(batch)
             batches += 1
-        print(f"streamed {total} rows in {batches} batches of <= 256")
+        wall = time.perf_counter() - started
+        print(
+            f"streamed {total} rows in {batches} batches of <= 256 "
+            f"(first batch after {first_batch_at * 1000:.1f} ms of a "
+            f"{wall * 1000:.1f} ms stream)"
+        )
 
 
 def main() -> None:

@@ -46,7 +46,7 @@ from repro.core import (
 )
 from repro.binaryjoin import BinaryJoinEngine
 from repro.genericjoin import GenericJoinEngine
-from repro.engine import JoinResult
+from repro.engine import JoinResult, StreamingResult, StreamingSink
 from repro.engine.session import Database
 from repro.engine.aggregates import aggregate_result
 from repro.errors import DeadlineExceeded, QueryCancelled
@@ -85,5 +85,7 @@ __all__ = [
     "DeadlineExceeded",
     "QueryCancelled",
     "JoinResult",
+    "StreamingResult",
+    "StreamingSink",
     "__version__",
 ]

@@ -66,8 +66,14 @@ class BinaryJoinEngine:
         query: ConjunctiveQuery,
         binary_plan: BinaryPlan,
         options: Optional[BinaryJoinOptions] = None,
+        sink: Optional[OutputSink] = None,
     ) -> RunReport:
-        """Execute ``query`` following ``binary_plan``."""
+        """Execute ``query`` following ``binary_plan``.
+
+        ``sink`` overrides the final pipeline's sink; an incremental sink
+        (:class:`~repro.engine.streaming.StreamingSink`) receives rows while
+        the probe loop is still running (steal workers forward per task).
+        """
         options = options or self.options
         pipelines = binary_plan.decompose()
         atoms: Dict[str, Atom] = {atom.name: atom for atom in query.atoms}
@@ -82,6 +88,9 @@ class BinaryJoinEngine:
             pipeline_atoms = self._resolve(pipeline, atoms)
             output_variables = self._output_variables(pipeline, pipeline_atoms, query)
             sink_mode = options.output if pipeline.is_final else "rows"
+            final_sink = sink if pipeline.is_final else None
+            if final_sink is not None:
+                sink_mode = "rows"
 
             if (options.parallelism or 1) > 1:
                 from repro.core.engine import resolve_scheduler
@@ -96,6 +105,7 @@ class BinaryJoinEngine:
                         workers=options.parallelism,
                         mode=options.parallel_mode,
                         interrupt=options.deadline,
+                        stream=final_sink,
                     )
                 else:
                     from repro.parallel.intra import run_binary_pipeline_sharded
@@ -106,7 +116,13 @@ class BinaryJoinEngine:
                         output=sink_mode,
                         shard_count=options.parallelism,
                         mode=options.parallel_mode,
+                        interrupt=options.deadline,
                     )
+                    if final_sink is not None:
+                        final_sink.emit_rows(
+                            shard_run.result.rows, shard_run.result.multiplicities
+                        )
+                        shard_run.result = final_sink.result()
                 build_seconds += shard_run.build_seconds
                 join_seconds += shard_run.join_seconds
                 parallel_details.append(shard_run.details())
@@ -118,21 +134,23 @@ class BinaryJoinEngine:
                 )
                 build_seconds += time.perf_counter() - started
 
-                if pipeline.is_final:
-                    sink = options.make_sink(output_variables)
+                if final_sink is not None:
+                    pipeline_sink = final_sink
+                elif pipeline.is_final:
+                    pipeline_sink = options.make_sink(output_variables)
                 else:
-                    sink = RowSink(output_variables)
+                    pipeline_sink = RowSink(output_variables)
 
                 started = time.perf_counter()
                 self._run_pipeline(
                     pipeline_atoms,
                     hash_tables,
                     output_variables,
-                    sink,
+                    pipeline_sink,
                     interrupt=options.deadline,
                 )
                 join_seconds += time.perf_counter() - started
-                result = sink.result()
+                result = pipeline_sink.result()
 
             if pipeline.is_final:
                 final_result = result

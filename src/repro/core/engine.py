@@ -81,8 +81,10 @@ class FreeJoinOptions:
         query aborts mid-execution with ``DeadlineExceeded`` /
         ``QueryCancelled``.  Normally set per query by
         :meth:`repro.engine.session.Database.execute` (``timeout=``) or the
-        async serving layer, not in long-lived option objects.  The legacy
-        ``"range"`` scheduler does not enforce deadlines.
+        async serving layer, not in long-lived option objects.  Both
+        schedulers enforce it: steal pools push the token into their
+        workers; range shards share it (threads) or rebuild it from the
+        task's monotonic deadline timestamp (processes).
     """
 
     trie_strategy: TrieStrategy = TrieStrategy.COLT
@@ -124,8 +126,17 @@ def _run_parallel_pipeline(
     schemas,
     sink_mode: str,
     shard_count: int,
+    stream=None,
 ):
-    """Dispatch one pipeline to the configured parallel scheduler."""
+    """Dispatch one pipeline to the configured parallel scheduler.
+
+    ``stream`` is an optional :class:`~repro.engine.streaming.StreamingSink`
+    for the final pipeline: the steal scheduler forwards each task's rows to
+    it as workers finish, so the consumer sees the first batch while the
+    join is still running.  The legacy range sharder has no incremental
+    return path, so its shards are forwarded only after the merge (delivery
+    still streams; execution does not overlap it).
+    """
     if resolve_scheduler(options.scheduler) == "steal":
         from repro.parallel.scheduler import run_freejoin_pipeline_steal
 
@@ -141,10 +152,11 @@ def _run_parallel_pipeline(
             workers=shard_count,
             mode=options.parallel_mode,
             interrupt=options.deadline,
+            stream=stream,
         )
     from repro.parallel.intra import run_freejoin_pipeline_sharded
 
-    return run_freejoin_pipeline_sharded(
+    shard_run = run_freejoin_pipeline_sharded(
         plan,
         output_variables,
         pipeline_atoms,
@@ -155,7 +167,12 @@ def _run_parallel_pipeline(
         output=sink_mode,
         shard_count=shard_count,
         mode=options.parallel_mode,
+        interrupt=options.deadline,
     )
+    if stream is not None:
+        stream.emit_rows(shard_run.result.rows, shard_run.result.multiplicities)
+        shard_run.result = stream.result()
+    return shard_run
 
 
 class FreeJoinEngine:
@@ -175,8 +192,17 @@ class FreeJoinEngine:
         query: ConjunctiveQuery,
         binary_plan: BinaryPlan,
         options: Optional[FreeJoinOptions] = None,
+        sink: Optional[OutputSink] = None,
     ) -> RunReport:
-        """Execute ``query`` following ``binary_plan`` and return a report."""
+        """Execute ``query`` following ``binary_plan`` and return a report.
+
+        ``sink`` overrides the final pipeline's output sink.  Passing an
+        incremental sink (:class:`~repro.engine.streaming.StreamingSink`)
+        turns the run into a streaming execution: rows reach the sink as the
+        recursion produces them (and, on parallel runs, as steal workers
+        complete tasks) instead of materializing first.  The report's
+        ``result`` is then the sink's placeholder, not the rows.
+        """
         options = options or self.options
         pipelines = binary_plan.decompose()
         atoms: Dict[str, Atom] = {atom.name: atom for atom in query.atoms}
@@ -202,7 +228,12 @@ class FreeJoinEngine:
             sink_mode = options.output if pipeline.is_final else "rows"
             shard_count = options.parallelism or 1
             # Factorized output interleaves groups in ways shards cannot
-            # reproduce; it always takes the serial path.
+            # reproduce; it always takes the serial path.  A caller-provided
+            # final sink forces row mode for the parallel dispatch (workers
+            # ship plain rows that the parent forwards incrementally).
+            final_sink = sink if pipeline.is_final else None
+            if final_sink is not None:
+                sink_mode = "rows"
             if shard_count > 1 and sink_mode in ("rows", "count"):
                 shard_run = _run_parallel_pipeline(
                     options,
@@ -212,6 +243,7 @@ class FreeJoinEngine:
                     schemas,
                     sink_mode,
                     shard_count,
+                    stream=final_sink,
                 )
                 build_seconds += shard_run.build_seconds
                 join_seconds += shard_run.join_seconds
@@ -222,15 +254,17 @@ class FreeJoinEngine:
                 tries = build_tries(pipeline_atoms, schemas, options.trie_strategy)
                 build_seconds += time.perf_counter() - started
 
-                if pipeline.is_final:
-                    sink = options.make_sink(output_variables)
+                if final_sink is not None:
+                    pipeline_sink = final_sink
+                elif pipeline.is_final:
+                    pipeline_sink = options.make_sink(output_variables)
                 else:
-                    sink = RowSink(output_variables)
+                    pipeline_sink = RowSink(output_variables)
 
                 executor = FreeJoinExecutor(
                     plan,
                     output_variables,
-                    sink,
+                    pipeline_sink,
                     dynamic_cover=options.dynamic_cover,
                     batch_size=options.batch_size,
                     factorize=(pipeline.is_final and options.output == "factorized"),
@@ -239,7 +273,7 @@ class FreeJoinEngine:
                 started = time.perf_counter()
                 executor.run(tries)
                 join_seconds += time.perf_counter() - started
-                result = sink.result()
+                result = pipeline_sink.result()
 
             if pipeline.is_final:
                 final_result = result

@@ -15,6 +15,7 @@ from repro.engine.output import (
     RowSink,
 )
 from repro.engine.report import RunReport
+from repro.engine.streaming import StreamingResult, StreamingSink
 
 __all__ = [
     "CountSink",
@@ -23,4 +24,6 @@ __all__ = [
     "OutputSink",
     "RowSink",
     "RunReport",
+    "StreamingResult",
+    "StreamingSink",
 ]

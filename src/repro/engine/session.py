@@ -193,6 +193,141 @@ class Database:
             join_result=join_result,
         )
 
+    def execute_iter(
+        self,
+        sql: str,
+        *,
+        batch_rows: int = 1024,
+        max_batches: int = 8,
+        engine: Optional[str] = None,
+        name: str = "",
+        timeout: Optional[float] = None,
+        deadline=None,
+        freejoin_options: Optional[FreeJoinOptions] = None,
+        executor=None,
+    ):
+        """Execute a query and stream its result rows in batches.
+
+        ``executor`` optionally runs the producer on a caller-owned
+        ``concurrent.futures`` executor instead of a dedicated thread (the
+        async serving layer passes its bounded pool so streamed queries
+        count against ``max_concurrency``).
+
+        Returns a :class:`~repro.engine.streaming.StreamingResult` iterating
+        ``batch_rows``-sized lists of result rows.  For non-aggregate queries
+        the join runs on a producer thread and pushes batches into a bounded
+        queue (``max_batches`` deep) as it produces them, so the first batch
+        arrives while the join is still running and a slow consumer
+        backpressures the producer instead of buffering the whole result.
+        On parallel sessions the steal scheduler forwards each task's rows
+        as workers complete them.  Aggregate/GROUP BY queries need the full
+        join before their first output row exists, so they materialize first
+        and stream only the (small) aggregated table.
+
+        ``timeout`` covers the *whole* stream — execution and delivery: a
+        consumer that stalls past the budget gets ``DeadlineExceeded`` and
+        the producer (plus any pool tasks) aborts instead of pinning its
+        worker slot.  Closing the iterator early (or ``break`` +
+        ``close()``/``with``) cancels the query cooperatively; pools drain
+        cleanly and stay warm.  Residual predicates and projection are
+        applied per batch; streamed rows are exactly the rows
+        :meth:`execute` would return (as a bag — parallel completion order
+        may differ).
+        """
+        from repro.engine.streaming import StreamingResult, StreamingSink
+        from repro.parallel.cancellation import DeadlineToken
+
+        engine_name = engine or self.default_engine
+        if engine_name not in ENGINES:
+            raise QueryError(f"unknown engine {engine_name!r}; choose from {ENGINES}")
+        token = deadline
+        if token is None:
+            # Always arm a token (without a deadline when no timeout): early
+            # close cancels the producer through it.
+            token = DeadlineToken.after(timeout) if timeout is not None else DeadlineToken()
+
+        logical = Planner(self.catalog).plan_sql(sql, name=name)
+
+        if logical.has_aggregates() or logical.group_by:
+            # No output row exists before the aggregation sees every join
+            # row; stream only the delivery of the final table.
+            sink = StreamingSink(
+                logical.output_labels(),
+                batch_rows=batch_rows,
+                max_batches=max_batches,
+                interrupt=token,
+            )
+
+            def run_aggregate():
+                outcome = self.execute(
+                    sql,
+                    engine=engine_name,
+                    freejoin_options=freejoin_options,
+                    name=name,
+                    deadline=token,
+                )
+                sink.emit_rows(outcome.table.to_rows())
+                return outcome.report
+
+            return StreamingResult(sink, token, run_aggregate, executor=executor)
+
+        binary_plan = optimize_query(
+            logical.query, statistics_cache=self.statistics_cache
+        )
+        variables = logical.query.output_variables
+        sink = StreamingSink(
+            variables,
+            batch_rows=batch_rows,
+            max_batches=max_batches,
+            interrupt=token,
+        )
+        transform = self._batch_transform(logical, variables)
+
+        def run_streaming():
+            return self.run_join(
+                logical,
+                binary_plan,
+                engine_name,
+                freejoin_options,
+                deadline=token,
+                sink=sink,
+            )
+
+        return StreamingResult(
+            sink, token, run_streaming, transform=transform, executor=executor
+        )
+
+    @staticmethod
+    def _batch_transform(logical: LogicalQuery, variables):
+        """Per-batch residual filtering + projection for streamed rows."""
+        predicates = logical.residual_predicates
+        if logical.select_star:
+            positions = None
+        else:
+            positions = [
+                variables.index(item.variable) for item in logical.select_items
+            ]
+            if positions == list(range(len(variables))):
+                positions = None
+        if not predicates and positions is None:
+            return None
+
+        def transform(batch):
+            if predicates:
+                batch = [
+                    row
+                    for row in batch
+                    if all(
+                        bool(p.evaluate(variable_environment(variables, row)))
+                        for p in predicates
+                    )
+                ]
+            if positions is not None:
+                batch = [tuple(row[p] for p in positions) for row in batch]
+            return batch
+
+        return transform
+
     def execute_many(
         self,
         queries: Iterable,
@@ -242,9 +377,16 @@ class Database:
         engine_name: str,
         freejoin_options: Optional[FreeJoinOptions] = None,
         deadline=None,
+        sink=None,
     ) -> RunReport:
-        """Run only the join (no residual filters, no aggregation)."""
-        output_mode = self._output_mode(logical)
+        """Run only the join (no residual filters, no aggregation).
+
+        ``sink`` overrides the final pipeline's output sink on every engine;
+        :meth:`execute_iter` passes a
+        :class:`~repro.engine.streaming.StreamingSink` here to stream rows
+        out while the join is still running.
+        """
+        output_mode = "rows" if sink is not None else self._output_mode(logical)
         if engine_name == "freejoin":
             options = freejoin_options or self.freejoin_options
             # replace() keeps every other field as the caller set it — a
@@ -259,7 +401,7 @@ class Database:
                 scheduler=options.scheduler or self.scheduler,
                 deadline=deadline if deadline is not None else options.deadline,
             )
-            return FreeJoinEngine(options).run(logical.query, binary_plan)
+            return FreeJoinEngine(options).run(logical.query, binary_plan, sink=sink)
         if engine_name == "binary":
             options = BinaryJoinOptions(
                 output=output_mode,
@@ -268,7 +410,7 @@ class Database:
                 scheduler=self.scheduler,
                 deadline=deadline,
             )
-            return BinaryJoinEngine(options).run(logical.query, binary_plan)
+            return BinaryJoinEngine(options).run(logical.query, binary_plan, sink=sink)
         if engine_name == "generic":
             options = GenericJoinOptions(
                 output=output_mode,
@@ -277,7 +419,7 @@ class Database:
                 scheduler=self.scheduler,
                 deadline=deadline,
             )
-            return GenericJoinEngine(options).run(logical.query, binary_plan)
+            return GenericJoinEngine(options).run(logical.query, binary_plan, sink=sink)
         raise QueryError(f"unknown engine {engine_name!r}")
 
     def _effective_parallelism(self, requested: Optional[int]) -> int:

@@ -1,0 +1,347 @@
+"""Streaming execution: sink-to-queue delivery of join results.
+
+The materializing sinks in :mod:`repro.engine.output` collect the whole
+result before the first row reaches a consumer, so a serving layer pays
+worst-case memory and time-to-first-byte on every large output.  This module
+provides the streaming counterpart:
+
+* :class:`StreamingSink` is an :class:`~repro.engine.output.OutputSink` that
+  slices reported rows into fixed-size batches and pushes them into a
+  **bounded** queue as the join recursion produces them.  A full queue blocks
+  the producer (backpressure): a slow consumer throttles the join instead of
+  letting it race ahead and buffer the entire result.  Factorized groups go
+  through the default :meth:`~repro.engine.output.OutputSink.on_group`
+  expansion, so group products are enumerated row by row and split across
+  batch boundaries exactly like plain rows.
+* :class:`StreamingResult` runs the join on a producer thread and iterates
+  the batches on the consumer side.  One
+  :class:`~repro.parallel.cancellation.DeadlineToken` covers *both* phases:
+  a deadline expires the join **and** the delivery (a stalled consumer can
+  no longer pin a worker slot forever), and closing the iterator early
+  cancels the token so the producer — including any steal-pool tasks it
+  fanned out — unwinds cooperatively and the pools drain clean and warm.
+
+Blocking queue operations never wait uninterruptibly: both sides poll in
+:data:`POLL_SECONDS` slices and consult the token in between, so
+cancellation and deadline expiry propagate within one slice.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.datatypes import Row
+from repro.engine.output import JoinResult, OutputSink
+from repro.errors import ExecutionError, QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
+    # repro.parallel imports the executors, which import this package's
+    # output module; tokens are therefore referenced by (string) annotation
+    # only and always passed in by the caller.
+    from repro.parallel.cancellation import DeadlineToken
+
+#: Default rows per delivered batch.
+DEFAULT_BATCH_ROWS = 1024
+
+#: Default bound of the delivery queue, in batches.  The producer runs at
+#: most ``max_batches * batch_rows`` rows ahead of the consumer (plus one
+#: partially filled buffer).
+DEFAULT_MAX_BATCHES = 8
+
+#: Queue poll slice; the upper bound on how stale a cancellation/deadline
+#: check can be while either side blocks on the queue.
+POLL_SECONDS = 0.05
+
+#: End-of-stream marker (the producer's last queue item).
+_DONE = object()
+
+
+class StreamingSink(OutputSink):
+    """A sink that ships row batches through a bounded queue.
+
+    Thread-safety: the engines report rows from whatever thread (or, via the
+    steal scheduler's parent-side forwarding, whichever worker) runs them, so
+    the internal buffer is lock-protected; the queue itself is thread-safe.
+
+    ``interrupt`` is the query's deadline token.  Every blocking put checks
+    it, so a cancelled or over-budget query aborts instead of waiting on a
+    consumer that will never drain the queue.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        *,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        max_batches: int = DEFAULT_MAX_BATCHES,
+        interrupt: Optional[DeadlineToken] = None,
+    ) -> None:
+        super().__init__(variables)
+        if batch_rows < 1:
+            raise QueryError(f"batch_rows must be at least 1, got {batch_rows}")
+        if max_batches < 1:
+            raise QueryError(f"max_batches must be at least 1, got {max_batches}")
+        self.batch_rows = batch_rows
+        self.interrupt = interrupt
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_batches)
+        self._buffer: List[Row] = []
+        self._lock = threading.Lock()
+        self._finished = threading.Event()
+        self._error: Optional[BaseException] = None
+        #: Monotonic timestamp of the first completed put, for telemetry.
+        self.first_batch_at: Optional[float] = None
+        self.batches_put = 0
+        self.rows_put = 0
+        self.put_wait_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        if multiplicity <= 0:
+            return
+        with self._lock:
+            buffer = self._buffer
+            for _ in range(multiplicity):
+                buffer.append(row)
+                if len(buffer) >= self.batch_rows:
+                    self._put(buffer[: self.batch_rows])
+                    del buffer[: self.batch_rows]
+
+    def emit_rows(
+        self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
+    ) -> None:
+        """Report many rows at once (the scheduler's per-task forwarding)."""
+        with self._lock:
+            buffer = self._buffer
+            if multiplicities is None:
+                buffer.extend(rows)
+            else:
+                for row, multiplicity in zip(rows, multiplicities):
+                    buffer.extend([row] * multiplicity)
+            while len(buffer) >= self.batch_rows:
+                self._put(buffer[: self.batch_rows])
+                del buffer[: self.batch_rows]
+
+    def _put(self, item) -> None:
+        """Blocking put with backpressure, interruptible via the token."""
+        started = time.monotonic()
+        while True:
+            if self.interrupt is not None:
+                self.interrupt.check()
+            try:
+                self._queue.put(item, timeout=POLL_SECONDS)
+                break
+            except queue.Full:
+                continue
+        self.put_wait_seconds += time.monotonic() - started
+        if item is not _DONE:
+            if self.first_batch_at is None:
+                self.first_batch_at = time.monotonic()
+            self.batches_put += 1
+            self.rows_put += len(item)
+
+    def finish(self) -> None:
+        """Flush the partial batch and mark the stream complete."""
+        with self._lock:
+            if self._buffer:
+                self._put(list(self._buffer))
+                self._buffer.clear()
+            self._put(_DONE)
+            self._finished.set()
+
+    def fail(self, error: BaseException) -> None:
+        """Record a producer failure; the consumer re-raises it."""
+        self._error = error
+        self._finished.set()
+        # Best effort: wake a blocked consumer without risking a block on a
+        # full queue (the consumer also watches the finished event).
+        try:
+            self._queue.put_nowait(_DONE)
+        except queue.Full:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+
+    def next_batch(self, interrupt: Optional[DeadlineToken] = None) -> Optional[List[Row]]:
+        """Dequeue the next batch, or ``None`` at end of stream.
+
+        Raises the producer's recorded error once the queue is drained, and
+        :class:`~repro.errors.DeadlineExceeded` /
+        :class:`~repro.errors.QueryCancelled` when ``interrupt`` (defaulting
+        to the sink's own token) trips while waiting — the delivery phase
+        shares the query's budget.
+        """
+        token = interrupt if interrupt is not None else self.interrupt
+        while True:
+            try:
+                item = self._queue.get(timeout=POLL_SECONDS)
+            except queue.Empty:
+                if self._finished.is_set() and self._queue.empty():
+                    item = _DONE
+                else:
+                    if token is not None:
+                        token.check()
+                    continue
+            if item is _DONE:
+                if self._error is not None:
+                    raise self._error
+                return None
+            return item
+
+    def drain(self) -> None:
+        """Discard queued batches so a blocked producer can finish."""
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                return
+
+    # ------------------------------------------------------------------ #
+    # Sink interface / telemetry
+    # ------------------------------------------------------------------ #
+
+    def result(self) -> JoinResult:
+        """A count-only placeholder: streamed rows are gone once delivered."""
+        return JoinResult(
+            variables=self.variables,
+            rows=[],
+            multiplicities=[],
+            count_only=self.rows_put + len(self._buffer),
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Telemetry merged into ``RunReport.details["parallel"]``."""
+        return {
+            "batches": self.batches_put,
+            "rows": self.rows_put,
+            "batch_rows": self.batch_rows,
+            "max_batches": self._queue.maxsize,
+            "put_wait_seconds": self.put_wait_seconds,
+        }
+
+
+class StreamingResult:
+    """Iterator over the batches of one streaming query.
+
+    The producer (``run``, typically a closure over
+    :meth:`Database.run_join`) executes on its own thread — or on a caller
+    supplied executor slot, which is how :class:`repro.serve.AsyncDatabase`
+    keeps streamed queries inside its concurrency bound — while the consumer
+    iterates batches as they arrive.  ``transform`` post-processes each raw
+    batch (residual predicates, projection); batches it empties entirely are
+    skipped, not delivered.
+
+    Closing the iterator before exhaustion cancels the query's token: the
+    producer and any steal-pool tasks abort cooperatively, the pools drain
+    and stay warm, and :meth:`close` waits briefly for the producer to
+    acknowledge so no daemon thread lingers behind a test or request.
+    """
+
+    def __init__(
+        self,
+        sink: StreamingSink,
+        token: DeadlineToken,
+        run: Callable[[], object],
+        *,
+        transform: Optional[Callable[[List[Row]], List[Row]]] = None,
+        executor=None,
+    ) -> None:
+        self.sink = sink
+        self.token = token
+        self.transform = transform
+        #: The producer's RunReport (or QueryOutcome), set on completion.
+        self.report: Optional[object] = None
+        self._exhausted = False
+        self._producer_done = threading.Event()
+        self._future = None
+
+        def produce() -> None:
+            try:
+                self.report = run()
+                # finish() flushes the tail with backpressure, so it can
+                # itself raise (deadline lapse, close() cancelling the
+                # token): keep it inside the try so the error is recorded
+                # for the consumer instead of escaping the thread.
+                sink.finish()
+            except BaseException as exc:  # noqa: BLE001 - re-raised consumer-side
+                sink.fail(exc)
+            finally:
+                self._producer_done.set()
+
+        if executor is not None:
+            self._future = executor.submit(produce)
+        else:
+            thread = threading.Thread(
+                target=produce, name="repro-stream-producer", daemon=True
+            )
+            thread.start()
+
+    @property
+    def finished(self) -> bool:
+        """Whether the producer has completed (successfully or not)."""
+        return self._producer_done.is_set()
+
+    def next_batch(self) -> Optional[List[Row]]:
+        """The next non-empty delivered batch, or ``None`` at end of stream."""
+        if self._exhausted:
+            return None
+        while True:
+            batch = self.sink.next_batch(self.token)
+            if batch is None:
+                self._exhausted = True
+                return None
+            if self.transform is not None:
+                batch = self.transform(batch)
+            if batch:
+                return batch
+
+    def __iter__(self) -> Iterator[List[Row]]:
+        return self
+
+    def __next__(self) -> List[Row]:
+        batch = self.next_batch()
+        if batch is None:
+            raise StopIteration
+        return batch
+
+    def close(self, wait_seconds: float = 5.0) -> None:
+        """Cancel (if still running) and release the producer.
+
+        Safe to call repeatedly and after normal exhaustion (then a no-op
+        besides joining the already finished producer).
+        """
+        if not self._producer_done.is_set():
+            self.token.cancel()
+        if self._future is not None and self._future.cancel():
+            # The producer was still queued behind a saturated executor and
+            # never started: nothing to unwind or drain — a client that
+            # disconnects while waiting for a slot must not look like a
+            # stuck producer.
+            self._producer_done.set()
+            self._exhausted = True
+            return
+        # Keep draining while the producer unwinds: it may be blocked on a
+        # put and needs queue space to observe the cancellation promptly.
+        deadline = time.monotonic() + wait_seconds
+        while not self._producer_done.wait(timeout=POLL_SECONDS):
+            self.sink.drain()
+            if time.monotonic() >= deadline:  # pragma: no cover - stuck producer
+                raise ExecutionError(
+                    "streaming producer did not stop within "
+                    f"{wait_seconds:.1f}s of cancellation"
+                )
+        self.sink.drain()
+        self._exhausted = True
+
+    def __enter__(self) -> "StreamingResult":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

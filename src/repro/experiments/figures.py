@@ -416,6 +416,85 @@ def run_ablation_cover(
 
 
 # --------------------------------------------------------------------------- #
+# Streaming execution: time-to-first-batch vs full materialization
+# --------------------------------------------------------------------------- #
+
+
+def run_streaming(
+    scale: float = 0.3,
+    repeats: int = 1,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Time-to-first-batch of the streaming pipeline on a large-output join.
+
+    The synthetic workload is the shared fan-out equi-join
+    (:func:`repro.workloads.synthetic.fanout_tables`) whose output is ~50x
+    its input: exactly the shape where materialize-then-return pays
+    worst-case time-to-first-byte.  Two series are measured: the full
+    materialized execution (``Database.execute`` + row access) and the wall
+    time until ``Database.execute_iter`` delivers its first batch.  The CI
+    gate (``benchmarks/test_bench_streaming.py``) requires first-batch
+    <= 0.5x the materialized wall clock over the same workload builder;
+    this driver feeds the numbers into ``BENCH_<label>.json`` so the
+    benchmark-history trend gate tracks them PR over PR.
+    """
+    import time as time_module
+
+    from repro.workloads.synthetic import FANOUT_SQL, fanout_tables
+
+    rows = max(1000, int(25_000 * scale))
+    database = Database()
+    database.register_all(fanout_tables(rows, seed=seed).values())
+    sql = FANOUT_SQL
+
+    measurements: List[Measurement] = []
+    summary: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        started = time_module.perf_counter()
+        outcome = database.execute(sql, name="fanout")
+        output_rows = len(outcome.rows())
+        full_seconds = time_module.perf_counter() - started
+
+        started = time_module.perf_counter()
+        stream = database.execute_iter(sql, name="fanout", batch_rows=1024)
+        first = stream.next_batch()
+        first_seconds = time_module.perf_counter() - started
+        streamed = len(first or [])
+        for batch in stream:
+            streamed += len(batch)
+        if streamed != output_rows:
+            raise RuntimeError(
+                f"streamed {streamed} rows but materialized {output_rows}"
+            )
+
+        measurements.append(Measurement(
+            workload="stream-fanout", query="fanout", engine="freejoin",
+            variant="materialized", seconds=full_seconds,
+            build_seconds=0.0, join_seconds=full_seconds,
+            output_rows=output_rows, scale=scale,
+        ))
+        measurements.append(Measurement(
+            workload="stream-fanout", query="fanout", engine="freejoin",
+            variant="first-batch", seconds=first_seconds,
+            build_seconds=0.0, join_seconds=first_seconds,
+            output_rows=streamed, scale=scale,
+        ))
+        summary = {
+            "output_rows": output_rows,
+            "materialized_seconds": full_seconds,
+            "first_batch_seconds": first_seconds,
+            "first_batch_ratio": (
+                first_seconds / full_seconds if full_seconds > 0 else 0.0
+            ),
+        }
+    return {
+        "figure": "streaming",
+        "measurements": measurements,
+        "summary": summary,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Headline numbers (Section 1 / Section 5.2)
 # --------------------------------------------------------------------------- #
 
@@ -456,6 +535,7 @@ FIGURES = {
     "ablation-factoring": run_ablation_factoring,
     "ablation-cover": run_ablation_cover,
     "headline": run_headline,
+    "streaming": run_streaming,
 }
 
 

@@ -73,12 +73,18 @@ class GenericJoinEngine:
         query: ConjunctiveQuery,
         binary_plan: Optional[BinaryPlan] = None,
         options: Optional[GenericJoinOptions] = None,
+        sink: Optional[OutputSink] = None,
     ) -> RunReport:
         """Execute ``query`` with Generic Join.
 
         The variable order is taken from ``options.variable_order`` when
         given, otherwise derived from ``binary_plan`` (the same order Free
         Join would use), otherwise a join-variables-first default.
+
+        ``sink`` overrides the output sink; an incremental sink
+        (:class:`~repro.engine.streaming.StreamingSink`) receives rows while
+        the intersection recursion is still running (steal workers forward
+        per task).
         """
         options = options or self.options
         if options.variable_order is not None:
@@ -89,7 +95,8 @@ class GenericJoinEngine:
             order = default_variable_order(query)
         self._check_order(query, order)
 
-        if (options.parallelism or 1) > 1 and options.output in ("rows", "count"):
+        output_mode = "rows" if sink is not None else options.output
+        if (options.parallelism or 1) > 1 and output_mode in ("rows", "count"):
             from repro.core.engine import resolve_scheduler
 
             if resolve_scheduler(options.scheduler) == "steal":
@@ -99,10 +106,11 @@ class GenericJoinEngine:
                     list(query.atoms),
                     query.output_variables,
                     order,
-                    output=options.output,
+                    output=output_mode,
                     workers=options.parallelism,
                     mode=options.parallel_mode,
                     interrupt=options.deadline,
+                    stream=sink,
                 )
             else:
                 from repro.parallel.intra import run_generic_sharded
@@ -111,10 +119,16 @@ class GenericJoinEngine:
                     list(query.atoms),
                     query.output_variables,
                     order,
-                    output=options.output,
+                    output=output_mode,
                     shard_count=options.parallelism,
                     mode=options.parallel_mode,
+                    interrupt=options.deadline,
                 )
+                if sink is not None:
+                    sink.emit_rows(
+                        shard_run.result.rows, shard_run.result.multiplicities
+                    )
+                    shard_run.result = sink.result()
             return RunReport(
                 engine=self.name,
                 result=shard_run.result,
@@ -140,7 +154,8 @@ class GenericJoinEngine:
             tries[atom.name] = build_hash_trie(atom, order)
         build_seconds = time.perf_counter() - started
 
-        sink = options.make_sink(query.output_variables)
+        if sink is None:
+            sink = options.make_sink(query.output_variables)
         started = time.perf_counter()
         self._execute(query, order, tries, sink, interrupt=options.deadline)
         join_seconds = time.perf_counter() - started

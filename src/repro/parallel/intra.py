@@ -27,6 +27,12 @@ build cost without speeding up the join.
 All three engines are supported: Free Join (optionally vectorized), binary
 hash join (sharding the left relation's row offsets of a pipeline) and
 Generic Join (sharding the first variable's intersection).
+
+Deadlines are cooperative, like the steal scheduler's: the entry points take
+an ``interrupt`` token, thread shards share it directly (so explicit
+cancellation reaches them), and process shards rebuild a local token from
+the task's monotonic deadline timestamp — an over-budget query raises
+:class:`~repro.errors.DeadlineExceeded` mid-shard on either backend.
 """
 
 from __future__ import annotations
@@ -41,7 +47,8 @@ from repro.core.colt import TrieStrategy, build_tries
 from repro.core.executor import ExecutorStats, FreeJoinExecutor
 from repro.core.plan import FreeJoinPlan
 from repro.engine.output import CountSink, JoinResult, OutputSink, RowSink
-from repro.errors import ExecutionError
+from repro.errors import DeadlineExceeded, ExecutionError, QueryCancelled
+from repro.parallel.cancellation import DeadlineToken
 from repro.parallel.sharding import shard_bounds
 from repro.query.atoms import Atom
 
@@ -84,6 +91,10 @@ class FreeJoinShardTask:
     output: str
     shard_index: int
     shard_count: int
+    #: Absolute ``time.monotonic`` deadline, or ``None``.  Carried as a
+    #: timestamp (not a token) so it crosses the process boundary; workers
+    #: rebuild a local :class:`DeadlineToken` around it.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -95,6 +106,10 @@ class BinaryShardTask:
     output: str
     shard_index: int
     shard_count: int
+    #: Absolute ``time.monotonic`` deadline, or ``None``.  Carried as a
+    #: timestamp (not a token) so it crosses the process boundary; workers
+    #: rebuild a local :class:`DeadlineToken` around it.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -107,6 +122,10 @@ class GenericShardTask:
     output: str
     shard_index: int
     shard_count: int
+    #: Absolute ``time.monotonic`` deadline, or ``None``.  Carried as a
+    #: timestamp (not a token) so it crosses the process boundary; workers
+    #: rebuild a local :class:`DeadlineToken` around it.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -159,10 +178,29 @@ class ShardedRunResult:
 # --------------------------------------------------------------------------- #
 
 
-def _run_freejoin_shard(task: FreeJoinShardTask) -> ShardOutcome:
+def _shard_interrupt(task, interrupt: Optional[DeadlineToken]) -> Optional[DeadlineToken]:
+    """The deadline token a shard worker should tick.
+
+    Thread workers share the caller's token directly (so an explicit cancel
+    reaches them); process workers rebuild one from the task's monotonic
+    deadline timestamp, which crosses fork/pickle where the token does not.
+    """
+    if interrupt is not None:
+        return interrupt
+    if task.deadline is not None:
+        return DeadlineToken(at=task.deadline)
+    return None
+
+
+def _run_freejoin_shard(
+    task: FreeJoinShardTask, interrupt: Optional[DeadlineToken] = None
+) -> ShardOutcome:
+    interrupt = _shard_interrupt(task, interrupt)
     started = time.perf_counter()
     tries = build_tries(task.atoms, task.schemas, task.trie_strategy)
     build_seconds = time.perf_counter() - started
+    if interrupt is not None:
+        interrupt.check()
 
     sink = _make_sink(task.output, task.output_variables)
     executor = FreeJoinExecutor(
@@ -172,6 +210,7 @@ def _run_freejoin_shard(task: FreeJoinShardTask) -> ShardOutcome:
         dynamic_cover=task.dynamic_cover,
         batch_size=task.batch_size,
         factorize=False,
+        interrupt=interrupt,
     )
     started = time.perf_counter()
     executor.run_sharded(tries, task.shard_index, task.shard_count)
@@ -189,13 +228,18 @@ def _run_freejoin_shard(task: FreeJoinShardTask) -> ShardOutcome:
     )
 
 
-def _run_binary_shard(task: BinaryShardTask) -> ShardOutcome:
+def _run_binary_shard(
+    task: BinaryShardTask, interrupt: Optional[DeadlineToken] = None
+) -> ShardOutcome:
     # Imported here (not at module top) to keep the dependency one-way at
     # import time: binaryjoin.executor lazily imports this module as well.
     from repro.binaryjoin.executor import BinaryJoinEngine
 
+    interrupt = _shard_interrupt(task, interrupt)
     started = time.perf_counter()
-    hash_tables = BinaryJoinEngine._build_hash_tables(task.pipeline_atoms)
+    hash_tables = BinaryJoinEngine._build_hash_tables(
+        task.pipeline_atoms, interrupt=interrupt
+    )
     build_seconds = time.perf_counter() - started
 
     sink = _make_sink(task.output, task.output_variables)
@@ -208,6 +252,7 @@ def _run_binary_shard(task: BinaryShardTask) -> ShardOutcome:
         task.output_variables,
         sink,
         offset_range=offset_range,
+        interrupt=interrupt,
     )
     join_seconds = time.perf_counter() - started
 
@@ -222,14 +267,20 @@ def _run_binary_shard(task: BinaryShardTask) -> ShardOutcome:
     )
 
 
-def _run_generic_shard(task: GenericShardTask) -> ShardOutcome:
+def _run_generic_shard(
+    task: GenericShardTask, interrupt: Optional[DeadlineToken] = None
+) -> ShardOutcome:
     from repro.genericjoin.executor import GenericJoinEngine
     from repro.genericjoin.trie import build_hash_trie
 
+    interrupt = _shard_interrupt(task, interrupt)
     started = time.perf_counter()
-    tries = {
-        atom.name: build_hash_trie(atom, task.order) for atom in task.atoms
-    }
+    tries = {}
+    for atom in task.atoms:
+        # Between-relation checks: each eager build is an O(rows) scan.
+        if interrupt is not None:
+            interrupt.check()
+        tries[atom.name] = build_hash_trie(atom, task.order)
     build_seconds = time.perf_counter() - started
 
     sink = _make_sink(task.output, task.output_variables)
@@ -241,6 +292,7 @@ def _run_generic_shard(task: GenericShardTask) -> ShardOutcome:
         tries,
         sink,
         shard=(task.shard_index, task.shard_count),
+        interrupt=interrupt,
     )
     join_seconds = time.perf_counter() - started
 
@@ -306,12 +358,40 @@ def _shard_entry(connection, worker, task) -> None:
         connection.close()
 
 
-def _run_tasks(tasks: Sequence, worker, mode: str) -> List[ShardOutcome]:
+def _classify_shard_errors(
+    errors: List[str], interrupt: Optional[DeadlineToken]
+) -> ExecutionError:
+    """Surface shard failures as the most specific exception type.
+
+    Worker-side aborts cross the process pipe as strings prefixed with the
+    exception type name; a deadline abort in any shard makes the whole run a
+    ``DeadlineExceeded`` (a caller-side cancel wins over everything).
+    """
+    message = "; ".join(errors)
+    if interrupt is not None and interrupt.cancelled:
+        return QueryCancelled(message or "query was cancelled")
+    if any("DeadlineExceeded" in error for error in errors):
+        return DeadlineExceeded(message or "query exceeded its deadline")
+    if any("QueryCancelled" in error for error in errors):
+        return QueryCancelled(message)
+    return ExecutionError(message)
+
+
+def _run_tasks(
+    tasks: Sequence,
+    worker,
+    mode: str,
+    interrupt: Optional[DeadlineToken] = None,
+) -> List[ShardOutcome]:
     if len(tasks) == 1:
-        return [worker(tasks[0])]
+        return [worker(tasks[0], interrupt)]
     if mode == "thread":
+        # Thread shards share the caller's token: expiry aborts every shard
+        # at its next tick and pool.map re-raises the first failure.
         with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
-            return list(pool.map(worker, tasks))
+            return list(
+                pool.map(lambda task: worker(task, interrupt), tasks)
+            )
     # Raw processes instead of a pool: under the fork start method the task
     # (plan + base tables) is inherited through the copy-on-write image, so
     # nothing is pickled on the way in — only shard outcomes cross a pipe.
@@ -328,11 +408,34 @@ def _run_tasks(tasks: Sequence, worker, mode: str) -> List[ShardOutcome]:
         workers.append((process, receiver, task))
     outcomes: List[ShardOutcome] = []
     errors: List[str] = []
+    aborted = False
     for process, receiver, task in workers:
-        try:
-            payload = receiver.recv()
-        except (EOFError, OSError):
-            payload = {"__error__": "shard worker exited without a result"}
+        payload = None
+        while payload is None:
+            # Poll instead of a blocking recv so a caller-side cancel (a
+            # cancel-only token has no deadline the children could watch)
+            # reaches the shards: fresh per-query processes are simply
+            # terminated — there is no warm pool to preserve here.
+            if not aborted and interrupt is not None and (
+                interrupt.cancelled or interrupt.expired()
+            ):
+                aborted = True
+            if aborted:
+                reason = (
+                    "QueryCancelled: cancelled by caller"
+                    if interrupt is not None and interrupt.cancelled
+                    else "DeadlineExceeded: deadline passed"
+                )
+                payload = {"__error__": reason}
+                process.terminate()
+                break
+            try:
+                if receiver.poll(0.05):
+                    payload = receiver.recv()
+                elif not process.is_alive() and not receiver.poll(0):
+                    payload = {"__error__": "shard worker exited without a result"}
+            except (EOFError, OSError):
+                payload = {"__error__": "shard worker exited without a result"}
         receiver.close()
         process.join()
         if isinstance(payload, dict) and "__error__" in payload:
@@ -340,7 +443,7 @@ def _run_tasks(tasks: Sequence, worker, mode: str) -> List[ShardOutcome]:
         else:
             outcomes.append(payload)
     if errors:
-        raise ExecutionError("; ".join(errors))
+        raise _classify_shard_errors(errors, interrupt)
     return outcomes
 
 
@@ -435,6 +538,7 @@ def run_freejoin_pipeline_sharded(
     output: str = "rows",
     shard_count: int = 2,
     mode: str = "auto",
+    interrupt: Optional[DeadlineToken] = None,
 ) -> ShardedRunResult:
     """Run one Free Join (pipeline) plan sharded ``shard_count`` ways."""
     if output not in _SHARD_OUTPUTS:
@@ -458,7 +562,11 @@ def run_freejoin_pipeline_sharded(
         )
         for index in range(shard_count)
     ]
-    outcomes = _run_tasks(tasks, _run_freejoin_shard, resolved)
+    if interrupt is not None:
+        interrupt.check()
+        for task in tasks:
+            task.deadline = interrupt.at
+    outcomes = _run_tasks(tasks, _run_freejoin_shard, resolved, interrupt)
     return _merge_outcomes(output_variables, output, outcomes, resolved, True)
 
 
@@ -469,6 +577,7 @@ def run_binary_pipeline_sharded(
     output: str = "rows",
     shard_count: int = 2,
     mode: str = "auto",
+    interrupt: Optional[DeadlineToken] = None,
 ) -> ShardedRunResult:
     """Run one binary-join pipeline with its probe loop sharded."""
     if output not in _SHARD_OUTPUTS:
@@ -487,7 +596,11 @@ def run_binary_pipeline_sharded(
         )
         for index in range(shard_count)
     ]
-    outcomes = _run_tasks(tasks, _run_binary_shard, resolved)
+    if interrupt is not None:
+        interrupt.check()
+        for task in tasks:
+            task.deadline = interrupt.at
+    outcomes = _run_tasks(tasks, _run_binary_shard, resolved, interrupt)
     return _merge_outcomes(output_variables, output, outcomes, resolved, False)
 
 
@@ -499,6 +612,7 @@ def run_generic_sharded(
     output: str = "rows",
     shard_count: int = 2,
     mode: str = "auto",
+    interrupt: Optional[DeadlineToken] = None,
 ) -> ShardedRunResult:
     """Run one Generic Join with the first intersection sharded."""
     if output not in _SHARD_OUTPUTS:
@@ -518,5 +632,9 @@ def run_generic_sharded(
         )
         for index in range(shard_count)
     ]
-    outcomes = _run_tasks(tasks, _run_generic_shard, resolved)
+    if interrupt is not None:
+        interrupt.check()
+        for task in tasks:
+            task.deadline = interrupt.at
+    outcomes = _run_tasks(tasks, _run_generic_shard, resolved, interrupt)
     return _merge_outcomes(output_variables, output, outcomes, resolved, False)

@@ -516,9 +516,11 @@ class _ThreadJob:
         tasks: List[StealTask],
         workers: int,
         interrupt: Optional[DeadlineToken] = None,
+        stream=None,
     ) -> None:
         self.runner = runner
         self.interrupt = interrupt
+        self.stream = stream
         self.deques: List[deque] = [deque() for _ in range(workers)]
         now = time.monotonic()
         for task in tasks:
@@ -585,6 +587,7 @@ class ThreadStealPool:
         runner,
         tasks: List[StealTask],
         interrupt: Optional[DeadlineToken] = None,
+        stream=None,
     ):
         """Run ``tasks`` through the pool; returns (outcomes, worker_reports).
 
@@ -592,11 +595,19 @@ class ThreadStealPool:
         a :meth:`~repro.parallel.cancellation.DeadlineToken.cancel` aborts
         in-flight tasks at their next executor tick and skips queued ones,
         and the submit raises ``DeadlineExceeded``/``QueryCancelled``.
+
+        ``stream`` is an optional :class:`StreamingSink`: each task's rows
+        are forwarded to it (and stripped from the outcome) as the task
+        completes, so a streaming consumer receives batches while sibling
+        tasks are still running.  A forward that raises — the consumer broke
+        off (cancel) or the delivery deadline lapsed against a stalled
+        consumer — is recorded as that task's error and classified like any
+        other abort, so the pool drains cleanly and stays warm.
         """
         with self._submit_lock:
             if self.broken:
                 raise ExecutionError("steal pool has been shut down")
-            job = _ThreadJob(runner, tasks, self.workers, interrupt)
+            job = _ThreadJob(runner, tasks, self.workers, interrupt, stream)
             with self._cond:
                 self._job = job
                 self._generation += 1
@@ -665,6 +676,14 @@ class ThreadStealPool:
             started = time.perf_counter()
             try:
                 outcome = job.runner(task, job.interrupt)
+                if job.stream is not None:
+                    # Ship this task's rows to the streaming consumer now
+                    # (with backpressure), keeping only the telemetry.
+                    job.stream.emit_rows(
+                        outcome["rows"], outcome["multiplicities"]
+                    )
+                    outcome["rows"] = []
+                    outcome["multiplicities"] = []
                 seconds = time.perf_counter() - started
                 outcome.update(
                     worker=worker_id,
@@ -895,6 +914,7 @@ class ProcessStealPool:
         setup: Dict[str, object],
         tasks: List[StealTask],
         interrupt: Optional[DeadlineToken] = None,
+        stream=None,
     ):
         """Run ``tasks`` with ``setup``; returns (outcomes, worker_reports).
 
@@ -908,13 +928,23 @@ class ProcessStealPool:
         ``interrupt`` is watched while the parent drains results: expiry or
         cancellation bumps the pool's cancel cell, which every in-flight
         task's deadline token probes, so sibling tasks abort mid-flight.
+
+        ``stream`` is an optional :class:`StreamingSink`: the parent
+        forwards each arriving task result's rows to it (with backpressure)
+        and strips them from the kept outcome, so consumers see batches
+        while workers are still producing.  A failed forward (consumer break
+        or delivery deadline) cancels the remaining tasks via the cancel
+        cell and is classified with the other task errors — the drain
+        protocol still completes and the pool stays warm.
         """
         with self._submit_lock:
             if self.broken:
                 raise ExecutionError("steal pool has been shut down")
             self._query_id += 1
             try:
-                return self._run_query(self._query_id, setup, tasks, interrupt)
+                return self._run_query(
+                    self._query_id, setup, tasks, interrupt, stream
+                )
             except _PoolProtocolError:
                 self.broken = True
                 self.shutdown()
@@ -932,6 +962,7 @@ class ProcessStealPool:
         setup,
         tasks: List[StealTask],
         interrupt: Optional[DeadlineToken] = None,
+        stream=None,
     ):
         signalled = False
 
@@ -970,11 +1001,32 @@ class ProcessStealPool:
             self._task_queue.put(("end", query_id))
         outcomes: List[Dict[str, object]] = []
         reports: Dict[int, Dict[str, object]] = {}
+        stream_broken = False
         while len(reports) < self.workers or len(outcomes) < expected:
             watch_interrupt()
             message = self._receive(hook=watch_interrupt)
             if message[0] == "result":
-                outcomes.append(message[2])
+                outcome = message[2]
+                if stream is not None and not stream_broken:
+                    try:
+                        stream.emit_rows(
+                            outcome["rows"], outcome["multiplicities"]
+                        )
+                    except Exception as exc:  # noqa: BLE001 - classified below
+                        # The consumer went away (cancel) or delivery blew
+                        # the deadline: cancel the remaining tasks and keep
+                        # draining so the pool survives, but forward nothing
+                        # further.
+                        stream_broken = True
+                        errors.append(
+                            f"task {outcome['task_id']} delivery: "
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        self._cancel_cell.value = query_id
+                        signalled = True
+                    outcome["rows"] = []
+                    outcome["multiplicities"] = []
+                outcomes.append(outcome)
             elif message[0] == "task_error":
                 errors.append(f"task {message[2]}: {message[3]}")
                 expected -= 1
@@ -1054,11 +1106,24 @@ _CACHES_PID = os.getpid()
 
 
 def _check_cache_pid() -> None:
-    """Reset the parent-side caches in a forked child (mirrors ``_POOLS``)."""
+    """Adopt the fork-inherited parent caches in a child process.
+
+    Unlike the pool registry (which MUST reset — a child cannot talk to its
+    parent's workers), the parent-side context/plan caches are plain Python
+    structures that fork copies copy-on-write, and they are exactly the warm
+    state an ``execute_many`` process worker wants: a query worker whose SQL
+    repeats a query the parent already ran gets a context-cache hit instead
+    of a cold trie rebuild.  Inheritance is safe because entries here never
+    hold shm attachment pins (only pool-worker caches do; those live and die
+    with their pools) and any COLT forcing the child performs mutates its
+    private copy-on-write pages.  Hit/miss counters restart per child so a
+    worker's telemetry reports its own activity, not the parent's history.
+    """
     global _CACHES_PID
     if _CACHES_PID != os.getpid():
-        _LOCAL_CONTEXTS.clear()
-        _PLAN_CACHE.clear()
+        _LOCAL_CONTEXTS.hits = 0
+        _LOCAL_CONTEXTS.misses = 0
+        _LOCAL_CONTEXTS.evictions = 0
         _CACHES_PID = os.getpid()
 
 
@@ -1186,6 +1251,9 @@ class _StealRun:
     merge_stats: bool
     build_seconds: float = 0.0
     interrupt: Optional[DeadlineToken] = None
+    #: Optional StreamingSink; task rows are forwarded to it as tasks
+    #: complete instead of being merged into the returned result.
+    stream: Optional[object] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
 
@@ -1232,6 +1300,10 @@ def _drive(run: _StealRun) -> ShardedRunResult:
         context = run.context_factory()
         task = run.tasks[0]
         outcome = context.run_task(task, run.interrupt)
+        if run.stream is not None:
+            run.stream.emit_rows(outcome["rows"], outcome["multiplicities"])
+            outcome["rows"] = []
+            outcome["multiplicities"] = []
         outcome.update(worker=0, stolen=False, wait_seconds=0.0)
         outcome["seconds"] = time.perf_counter() - join_started
         report = _new_worker_report()
@@ -1243,12 +1315,14 @@ def _drive(run: _StealRun) -> ShardedRunResult:
     elif run.backend == "thread":
         context = run.context_factory()
         pool = get_pool("thread", effective)
-        outcomes, reports = pool.submit(context.run_task, run.tasks, run.interrupt)
+        outcomes, reports = pool.submit(
+            context.run_task, run.tasks, run.interrupt, run.stream
+        )
         backend_label = "thread"
     else:
         pool = get_pool("process", effective)
         outcomes, reports = pool.submit(
-            run.setup_factory(), run.tasks, run.interrupt
+            run.setup_factory(), run.tasks, run.interrupt, run.stream
         )
         backend_label = "process"
     join_seconds = time.perf_counter() - join_started
@@ -1274,7 +1348,11 @@ def _merge(
         count += outcome["count"]
         if stats is not None and outcome.get("stats"):
             stats.merge(ExecutorStats.from_dict(outcome["stats"]))
-    if run.output == "count":
+    if run.stream is not None:
+        # Rows were forwarded to the streaming sink as tasks completed; the
+        # merged result is the sink's count-only placeholder.
+        result = run.stream.result()
+    elif run.output == "count":
         result = JoinResult(
             variables=tuple(run.output_variables),
             rows=[],
@@ -1318,6 +1396,8 @@ def _merge(
         "attach_seconds": attach_max,
         "short_circuit": False,
     }
+    if run.stream is not None:
+        extra["stream"] = run.stream.stats()
     cache_deltas = [
         report.pop("context_cache")
         for report in reports.values()
@@ -1382,6 +1462,7 @@ def run_freejoin_pipeline_steal(
     mode: str = "auto",
     tasks_per_worker: Optional[int] = None,
     interrupt: Optional[DeadlineToken] = None,
+    stream=None,
 ) -> ShardedRunResult:
     """Run one Free Join (pipeline) plan through the work-stealing scheduler.
 
@@ -1545,6 +1626,7 @@ def run_freejoin_pipeline_steal(
             merge_stats=True,
             build_seconds=build_seconds,
             interrupt=interrupt,
+            stream=stream,
             extra=extra,
         )
     )
@@ -1560,6 +1642,7 @@ def run_binary_pipeline_steal(
     mode: str = "auto",
     tasks_per_worker: Optional[int] = None,
     interrupt: Optional[DeadlineToken] = None,
+    stream=None,
 ) -> ShardedRunResult:
     """Run one binary-join pipeline with its probe loop task-decomposed."""
     if output not in _STEAL_OUTPUTS:
@@ -1635,6 +1718,7 @@ def run_binary_pipeline_steal(
             merge_stats=False,
             build_seconds=0.0,
             interrupt=interrupt,
+            stream=stream,
             extra=extra,
         )
     )
@@ -1650,6 +1734,7 @@ def run_generic_steal(
     mode: str = "auto",
     tasks_per_worker: Optional[int] = None,
     interrupt: Optional[DeadlineToken] = None,
+    stream=None,
 ) -> ShardedRunResult:
     """Run one Generic Join with the first intersection task-decomposed."""
     if output not in _STEAL_OUTPUTS:
@@ -1747,6 +1832,7 @@ def run_generic_steal(
             merge_stats=False,
             build_seconds=0.0,
             interrupt=interrupt,
+            stream=stream,
             extra=extra,
         )
     )

@@ -65,6 +65,12 @@ class QueryExecution:
     columns: Tuple[str, ...] = ()
     rows: Optional[List[tuple]] = None
     error: str = ""
+    #: The run's ``RunReport.details["parallel"]`` summary (one record per
+    #: parallel pipeline; JSON-ready), or ``None`` for serial executions.
+    #: Carries scheduler/steal/queue counters and — on steal runs — the
+    #: ``context_cache`` hit/miss telemetry, so workload drivers can assert
+    #: warm-cache behavior without re-running queries.
+    parallel: Optional[List[Dict[str, object]]] = None
 
     @property
     def ok(self) -> bool:
@@ -83,6 +89,8 @@ class QueryExecution:
         }
         if self.error:
             record["error"] = self.error
+        if self.parallel is not None:
+            record["parallel"] = self.parallel
         if include_rows and self.rows is not None:
             record["rows"] = [list(row) for row in self.rows]
         return record
@@ -250,6 +258,10 @@ def _execute_single(
             "columns": tuple(outcome.table.column_names),
             "rows": rows,
             "error": "",
+            # The parallel telemetry (scheduler counters, context-cache
+            # hits) is already plain data; ship it with the record so the
+            # caller can see cache warmth per worker.
+            "parallel": outcome.report.details.get("parallel"),
         }
     except (DeadlineExceeded, QueryCancelled) as exc:
         return {
@@ -262,6 +274,7 @@ def _execute_single(
             "columns": (),
             "rows": None,
             "error": f"aborted after exceeding {timeout} s: {exc}",
+            "parallel": None,
         }
     except Exception as exc:  # noqa: BLE001 - the whole point is capture
         return {
@@ -274,6 +287,7 @@ def _execute_single(
             "columns": (),
             "rows": None,
             "error": f"{type(exc).__name__}: {exc}",
+            "parallel": None,
         }
 
 
@@ -475,6 +489,7 @@ def _drive_process_workers(
                     "columns": (),
                     "rows": None,
                     "error": "worker exited without reporting a result",
+                    "parallel": None,
                 }
             finalize(record)
             connection.close()

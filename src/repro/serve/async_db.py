@@ -141,9 +141,7 @@ class AsyncDatabase:
             token.cancel()
             raise
 
-    def _execute_blocking(
-        self, sql, engine, name, token, freejoin_options
-    ) -> QueryOutcome:
+    def _make_session(self, freejoin_options) -> Database:
         # A fresh session per query over the shared catalog + statistics
         # cache (the execute_many isolation model): per-query state like
         # engine options never leaks across concurrent requests, while the
@@ -158,6 +156,12 @@ class AsyncDatabase:
             scheduler=self.database.scheduler,
         )
         session.statistics_cache = self.database.statistics_cache
+        return session
+
+    def _execute_blocking(
+        self, sql, engine, name, token, freejoin_options
+    ) -> QueryOutcome:
+        session = self._make_session(freejoin_options)
         return session.execute(sql, engine=engine, name=name, deadline=token)
 
     async def execute_stream(
@@ -165,6 +169,7 @@ class AsyncDatabase:
         sql: str,
         *,
         batch_rows: int = 1024,
+        max_batches: int = 8,
         engine: Optional[str] = None,
         name: str = "",
         timeout: Optional[float] = None,
@@ -172,26 +177,61 @@ class AsyncDatabase:
     ) -> AsyncIterator[List[tuple]]:
         """Stream a query's result rows in batches of ``batch_rows``.
 
-        The join itself is materialized (the engines produce complete
-        results), so this is a *delivery* stream: batches are yielded with
-        event-loop yields in between, letting a slow consumer interleave
-        with other requests instead of receiving one giant list.  The
-        ``timeout`` budget covers the execution, not the streaming.
+        A true execution stream: the join runs on one serving-pool slot
+        (counted against ``max_concurrency`` like any other query) and
+        pushes batches into a bounded queue — ``max_batches`` deep — as it
+        produces them, so the first batch is yielded *while the join is
+        still running* and a slow consumer backpressures the producer
+        instead of buffering the whole result.
+
+        ``timeout`` covers execution **and** delivery: a consumer that
+        stalls past the budget gets :class:`~repro.errors.DeadlineExceeded`
+        and the producer aborts, freeing its slot instead of staying pinned
+        behind a dead client.  Breaking out of the ``async for`` (or
+        cancelling the consuming task) cancels the query cooperatively; the
+        producer and any steal-pool tasks it fanned out unwind promptly and
+        the pools stay warm.
         """
+        if self._closed:
+            raise QueryError("AsyncDatabase is closed")
         if batch_rows < 1:
             raise QueryError(f"batch_rows must be at least 1, got {batch_rows}")
-        outcome = await self.execute(
-            sql,
-            engine=engine,
-            name=name,
-            timeout=timeout,
-            freejoin_options=freejoin_options,
-        )
-        rows = outcome.rows()
-        for start in range(0, len(rows), batch_rows):
-            yield rows[start : start + batch_rows]
-            # Hand the loop back between batches so other requests progress.
-            await asyncio.sleep(0)
+        token = DeadlineToken.after(timeout)
+        loop = asyncio.get_running_loop()
+        session = self._make_session(freejoin_options)
+
+        def open_stream():
+            # The producer occupies one serving slot (self._executor), so
+            # streamed queries count against max_concurrency like awaited
+            # ones.  Batch fetches below use the default executor instead —
+            # taking a second serving slot per get would deadlock a
+            # max_concurrency=1 server against its own producer.
+            return session.execute_iter(
+                sql,
+                batch_rows=batch_rows,
+                max_batches=max_batches,
+                engine=engine,
+                name=name,
+                deadline=token,
+                executor=self._executor,
+            )
+
+        # Planning (and a cold statistics scan) happens inside execute_iter,
+        # so open off-loop too.
+        stream = await loop.run_in_executor(None, open_stream)
+        try:
+            while True:
+                batch = await loop.run_in_executor(None, stream.next_batch)
+                if batch is None:
+                    break
+                yield batch
+        except asyncio.CancelledError:
+            # Flip the token before surfacing the cancel so the producer
+            # (and its pool tasks) is already unwinding.
+            token.cancel()
+            raise
+        finally:
+            await loop.run_in_executor(None, stream.close)
 
     async def gather_many(
         self,

@@ -10,8 +10,10 @@ substitution rationale.
 """
 
 from repro.workloads.synthetic import (
+    FANOUT_SQL,
     clover_instance,
     clover_query,
+    fanout_tables,
     triangle_instance,
     chain_workload,
     star_workload,
@@ -21,8 +23,10 @@ from repro.workloads.job import JobWorkload, generate_job_workload
 from repro.workloads.lsqb import LsqbWorkload, generate_lsqb_workload
 
 __all__ = [
+    "FANOUT_SQL",
     "clover_instance",
     "clover_query",
+    "fanout_tables",
     "triangle_instance",
     "chain_workload",
     "star_workload",

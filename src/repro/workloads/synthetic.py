@@ -145,6 +145,35 @@ class SyntheticWorkload:
     tables: Dict[str, Table]
 
 
+#: The fan-out join over :func:`fanout_tables` (output ~ ``rows**2 / keys``).
+FANOUT_SQL = "SELECT fan_r.a, fan_s.b FROM fan_r, fan_s WHERE fan_r.k = fan_s.k"
+
+
+def fanout_tables(
+    rows: int, keys: int = 20, seed: int = 42
+) -> Dict[str, Table]:
+    """Two relations whose equi-join fans out to ``~rows**2 / keys`` rows.
+
+    The large-output workload shared by the streaming benchmark gate
+    (``benchmarks/test_bench_streaming.py``) and the ``streaming`` figure
+    driver — one definition, so the CI gate and the benchmark-history trend
+    track the same join.  Deterministic for a fixed seed.
+    """
+    if rows < 1 or keys < 1:
+        raise WorkloadError("fanout rows and keys must be positive")
+    rng = random.Random(seed)
+    return {
+        "fan_r": Table.from_columns("fan_r", {
+            "k": [rng.randrange(keys) for _ in range(rows)],
+            "a": list(range(rows)),
+        }),
+        "fan_s": Table.from_columns("fan_s", {
+            "k": [rng.randrange(keys) for _ in range(rows)],
+            "b": list(range(rows)),
+        }),
+    }
+
+
 def chain_workload(
     length: int, rows_per_relation: int = 200, domain: int = 50,
     skew: float = 0.0, seed: int = 0,

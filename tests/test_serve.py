@@ -140,6 +140,37 @@ def test_deadline_aborts_mid_execution_without_leaks(slow_catalog, configure):
     assert set(_leaked_segments()) <= set(baseline)
 
 
+@pytest.mark.parametrize("parallel_mode", ["thread", "process"])
+def test_range_scheduler_enforces_deadlines(slow_catalog, parallel_mode):
+    """Regression: ``scheduler="range"`` used to ignore deadlines entirely.
+
+    The legacy static sharder now threads the token (thread shards share it,
+    process shards rebuild it from the task's monotonic timestamp), so an
+    over-budget query raises ``DeadlineExceeded`` mid-flight on both
+    backends — matching the steal path's behavior.
+    """
+    database = Database(
+        slow_catalog.catalog,
+        parallelism=2,
+        parallel_mode=parallel_mode,
+        scheduler="range",
+    )
+    full_started = time.perf_counter()
+    expected = database.execute(SLOW_SQL).scalar()
+    full_seconds = time.perf_counter() - full_started
+
+    started = time.perf_counter()
+    with pytest.raises(DeadlineExceeded):
+        database.execute(SLOW_SQL, timeout=0.05)
+    aborted_after = time.perf_counter() - started
+    assert aborted_after < full_seconds / 2, (
+        f"range-scheduler deadline abort took {aborted_after:.2f}s vs "
+        f"{full_seconds:.2f}s full run"
+    )
+    # The session keeps working after the abort.
+    assert database.execute(SLOW_SQL).scalar() == expected
+
+
 def test_deadline_stops_scheduler_sibling_tasks(slow_catalog):
     """After an abort the pool is drained — no task keeps running behind it."""
     database = Database(slow_catalog.catalog, parallelism=2, parallel_mode="thread")

@@ -1,0 +1,455 @@
+"""Tests for the streaming execution pipeline (sink-to-queue).
+
+The acceptance bar from the streaming tentpole:
+
+* ``execute_iter`` / ``execute_stream`` yield their **first batch before the
+  join completes** on a large-output query;
+* the delivery queue is **bounded**: a slow consumer backpressures the
+  producer instead of letting it buffer the whole result;
+* breaking off the consumer **cancels cooperatively**: the producer and its
+  steal-pool tasks unwind, pools stay warm, no shm segments or threads leak;
+* streamed rows equal materialized rows as a bag, on every engine and
+  scheduler backend (including a hypothesis fuzz over random instances);
+* the query ``timeout`` covers batch *delivery*, not just the join — a
+  stalled consumer gets ``DeadlineExceeded`` and frees the worker slot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import os
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.session import Database
+from repro.engine.streaming import StreamingSink
+from repro.errors import DeadlineExceeded, QueryError
+from repro.parallel import scheduler
+from repro.parallel.cancellation import DeadlineToken
+from repro.serve import AsyncDatabase
+from repro.storage import shm
+from repro.storage.table import Table
+
+#: ~200k output rows: large enough that the join visibly outlives its first
+#: batch, small enough for CI.
+FANOUT_ROWS = 2000
+FANOUT_KEYS = 20
+FANOUT_SQL = "SELECT r.a, s.b FROM r, s WHERE r.k = s.k"
+
+
+def _fanout_catalog() -> Database:
+    database = Database()
+    database.register(Table.from_columns("r", {
+        "k": [i % FANOUT_KEYS for i in range(FANOUT_ROWS)],
+        "a": list(range(FANOUT_ROWS)),
+    }))
+    database.register(Table.from_columns("s", {
+        "k": [i % FANOUT_KEYS for i in range(FANOUT_ROWS)],
+        "b": list(range(FANOUT_ROWS)),
+    }))
+    database.register(Table.from_columns("small", {
+        "k": list(range(64)), "v": list(range(64)),
+    }))
+    return database
+
+
+@pytest.fixture(scope="module")
+def fanout_db() -> Database:
+    return _fanout_catalog()
+
+
+@pytest.fixture(scope="module")
+def fanout_expected(fanout_db):
+    return sorted(fanout_db.execute(FANOUT_SQL).rows())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_parallel_state():
+    scheduler.clear_context_caches()
+    yield
+    scheduler.clear_context_caches()
+    scheduler.shutdown_pools()
+    shm.shutdown_exports()
+
+
+def _leaked_segments() -> list:
+    return sorted(
+        os.path.basename(path)
+        for path in glob.glob(f"/dev/shm/{shm.SEGMENT_PREFIX}_*")
+    )
+
+
+# --------------------------------------------------------------------------- #
+# StreamingSink unit behavior
+# --------------------------------------------------------------------------- #
+
+
+def test_streaming_sink_batches_and_finish():
+    sink = StreamingSink(("x",), batch_rows=3, max_batches=4)
+    for i in range(7):
+        sink.on_row((i,), 1)
+    sink.on_row((99,), 2)  # multiplicities expand into repeated rows
+    sink.finish()
+    batches = []
+    while True:
+        batch = sink.next_batch()
+        if batch is None:
+            break
+        batches.append(batch)
+    assert [len(b) for b in batches] == [3, 3, 3]
+    assert [row for b in batches for row in b] == [
+        (0,), (1,), (2,), (3,), (4,), (5,), (6,), (99,), (99,),
+    ]
+    assert sink.stats()["rows"] == 9
+
+
+def test_streaming_sink_factorized_groups_expand_across_batches():
+    """on_group products split at batch boundaries like plain rows."""
+    sink = StreamingSink(("x", "y"), batch_rows=4, max_batches=8)
+    sink.on_group(
+        prefix=(),
+        prefix_variables=(),
+        factors=[(("x",), [(1,), (2,), (3,)]), (("y",), [(7,), (8,)])],
+        multiplicity=1,
+    )
+    sink.finish()
+    rows = []
+    while True:
+        batch = sink.next_batch()
+        if batch is None:
+            break
+        assert len(batch) <= 4
+        rows.extend(batch)
+    assert sorted(rows) == sorted((x, y) for x in (1, 2, 3) for y in (7, 8))
+
+
+def test_streaming_sink_backpressure_blocks_producer():
+    """A full bounded queue stalls the producer until the consumer drains."""
+    sink = StreamingSink(("x",), batch_rows=1, max_batches=2)
+    produced = []
+
+    def produce():
+        for i in range(6):
+            sink.on_row((i,), 1)
+            produced.append(i)
+        sink.finish()
+
+    thread = threading.Thread(target=produce, daemon=True)
+    thread.start()
+    time.sleep(0.3)
+    # Queue bound 2 plus the in-flight put: the producer cannot run ahead.
+    assert len(produced) <= 3
+    drained = []
+    while True:
+        batch = sink.next_batch()
+        if batch is None:
+            break
+        drained.extend(batch)
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert drained == [(i,) for i in range(6)]
+    assert sink.put_wait_seconds > 0.1  # the stall is measured
+
+
+def test_streaming_sink_put_aborts_on_cancel():
+    token = DeadlineToken()
+    sink = StreamingSink(("x",), batch_rows=1, max_batches=1, interrupt=token)
+    sink.on_row((0,), 1)  # fills the queue
+    errors = []
+
+    def produce():
+        try:
+            sink.on_row((1,), 1)  # blocks: queue full, nobody consuming
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    thread = threading.Thread(target=produce, daemon=True)
+    thread.start()
+    time.sleep(0.15)
+    assert thread.is_alive(), "producer must be blocked on the full queue"
+    token.cancel()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert errors and type(errors[0]).__name__ == "QueryCancelled"
+
+
+def test_streaming_sink_rejects_bad_configuration():
+    with pytest.raises(QueryError):
+        StreamingSink(("x",), batch_rows=0)
+    with pytest.raises(QueryError):
+        StreamingSink(("x",), max_batches=0)
+
+
+# --------------------------------------------------------------------------- #
+# First batch before completion (the acceptance criterion)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("configure", [
+    {},  # serial executor
+    {"parallelism": 2, "parallel_mode": "thread"},
+    {"parallelism": 2, "parallel_mode": "process"},
+])
+def test_first_batch_arrives_before_join_completes(
+    fanout_db, fanout_expected, configure
+):
+    database = Database(fanout_db.catalog, **configure)
+    stream = database.execute_iter(FANOUT_SQL, batch_rows=256, max_batches=4)
+    rows = []
+    first_batch_finished = None
+    for batch in stream:
+        if first_batch_finished is None:
+            # The producer cannot be done: the bounded queue holds at most
+            # max_batches * batch_rows of the ~200k-row output.
+            first_batch_finished = stream.finished
+        rows.extend(batch)
+    assert first_batch_finished is False, (
+        "first batch must be delivered while the join is still running"
+    )
+    assert sorted(rows) == fanout_expected
+    assert stream.report is not None  # producer completed and reported
+
+
+@pytest.mark.parametrize("engine", ["freejoin", "binary", "generic"])
+def test_streamed_rows_match_materialized_per_engine(
+    fanout_db, fanout_expected, engine
+):
+    rows = []
+    for batch in fanout_db.execute_iter(FANOUT_SQL, engine=engine, batch_rows=997):
+        rows.extend(batch)
+    assert sorted(rows) == fanout_expected
+
+
+def test_streaming_applies_residuals_and_projection(fanout_db):
+    sql = (
+        "SELECT small.v FROM r, small "
+        "WHERE r.k = small.k AND r.a < small.v"
+    )
+    expected = sorted(fanout_db.execute(sql).rows())
+    rows = []
+    for batch in fanout_db.execute_iter(sql, batch_rows=64):
+        rows.extend(batch)
+    assert sorted(rows) == expected
+
+
+def test_streaming_aggregate_falls_back_to_materialized(fanout_db):
+    sql = "SELECT COUNT(*) FROM r, s WHERE r.k = s.k"
+    expected = fanout_db.execute(sql).scalar()
+    batches = list(fanout_db.execute_iter(sql))
+    assert batches == [[(expected,)]]
+
+
+def test_streaming_factorized_output_expands_correctly(fanout_db, fanout_expected):
+    from repro.core.engine import FreeJoinOptions
+
+    rows = []
+    stream = fanout_db.execute_iter(
+        FANOUT_SQL,
+        batch_rows=512,
+        freejoin_options=FreeJoinOptions(output="factorized", parallelism=1),
+    )
+    for batch in stream:
+        rows.extend(batch)
+    assert sorted(rows) == fanout_expected
+
+
+# --------------------------------------------------------------------------- #
+# Backpressure and cancellation through the engines
+# --------------------------------------------------------------------------- #
+
+
+def test_slow_consumer_backpressures_the_join(fanout_db):
+    stream = fanout_db.execute_iter(FANOUT_SQL, batch_rows=100, max_batches=2)
+    iterator = iter(stream)
+    next(iterator)
+    time.sleep(0.3)
+    # Bounded queue: at most (max_batches + 1 in-flight + 1 buffered) batches
+    # plus the one consumed can have been produced while we slept.
+    assert stream.sink.rows_put <= 100 * 5, (
+        f"producer ran {stream.sink.rows_put} rows ahead of a stalled consumer"
+    )
+    assert not stream.finished
+    stream.close()
+
+
+@pytest.mark.parametrize("configure", [
+    {"parallelism": 2, "parallel_mode": "thread"},
+    {"parallelism": 2, "parallel_mode": "process"},
+])
+def test_consumer_break_cancels_and_pools_stay_warm(
+    fanout_db, fanout_expected, configure
+):
+    baseline = _leaked_segments()
+    database = Database(fanout_db.catalog, **configure)
+    with database.execute_iter(FANOUT_SQL, batch_rows=100, max_batches=2) as stream:
+        next(iter(stream))
+    assert stream.finished, "close() must wait for the producer to unwind"
+    # The pools survived the cancellation and immediately serve new queries.
+    rows = sorted(database.execute(FANOUT_SQL).rows())
+    assert rows == fanout_expected
+    for pool in scheduler.active_pools().values():
+        assert not pool.broken
+    database.close()
+    assert set(_leaked_segments()) <= set(baseline)
+
+
+def test_close_cancels_queued_producer_without_error():
+    """A stream whose producer never got an executor slot closes cleanly."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.engine.streaming import StreamingResult
+
+    blocker = threading.Event()
+    executor = ThreadPoolExecutor(max_workers=1)
+    executor.submit(blocker.wait)  # saturate the only slot
+    try:
+        sink = StreamingSink(("x",), batch_rows=1, max_batches=1)
+        token = DeadlineToken()
+        stream = StreamingResult(
+            sink, token, lambda: None, executor=executor
+        )
+        started = time.perf_counter()
+        stream.close()  # producer still queued: must not look stuck
+        assert time.perf_counter() - started < 1.0
+        assert stream.finished
+    finally:
+        blocker.set()
+        executor.shutdown(wait=True)
+
+
+def test_range_process_stream_close_terminates_shards(fanout_db):
+    """A cancel-only token reaches range-scheduler process shards.
+
+    Range process shards watch only deadline timestamps, so the parent's
+    drain loop must notice the cancelled token, terminate the per-query
+    shard processes, and let close() return instead of waiting for the full
+    join.
+    """
+    database = Database(
+        fanout_db.catalog,
+        parallelism=2,
+        parallel_mode="process",
+        scheduler="range",
+    )
+    stream = database.execute_iter(FANOUT_SQL, batch_rows=100, max_batches=2)
+    time.sleep(0.2)  # let the shards fork and start joining
+    started = time.perf_counter()
+    stream.close()
+    assert time.perf_counter() - started < 4.0
+    assert stream.finished
+    # The session still serves after the terminated shards.
+    assert database.execute("SELECT COUNT(*) FROM small WHERE small.v < 10").scalar() == 10
+
+
+def test_stalled_consumer_hits_delivery_deadline(fanout_db):
+    stream = fanout_db.execute_iter(
+        FANOUT_SQL, batch_rows=100, max_batches=2, timeout=0.4
+    )
+    iterator = iter(stream)
+    next(iterator)
+    time.sleep(0.7)  # stall past the budget while the producer is blocked
+    with pytest.raises(DeadlineExceeded):
+        for _ in iterator:
+            pass
+    stream.close()
+    assert stream.finished
+
+
+# --------------------------------------------------------------------------- #
+# Async execute_stream (the serving surface)
+# --------------------------------------------------------------------------- #
+
+
+def test_async_execute_stream_first_batch_before_completion(
+    fanout_db, fanout_expected
+):
+    async def main():
+        async with AsyncDatabase(fanout_db, max_concurrency=1) as adb:
+            rows = []
+            first_seen = asyncio.Event()
+            async for batch in adb.execute_stream(FANOUT_SQL, batch_rows=256):
+                if not first_seen.is_set():
+                    first_seen.set()
+                    # With ~200k output rows and a 256-row batch size the
+                    # producer must still be running here; asserting via
+                    # row count keeps the check event-loop friendly.
+                    assert len(batch) == 256
+                rows.extend(batch)
+            return rows
+
+    rows = asyncio.run(main())
+    assert sorted(rows) == fanout_expected
+
+
+def test_async_execute_stream_timeout_covers_delivery(fanout_db):
+    async def main():
+        async with AsyncDatabase(fanout_db, max_concurrency=1) as adb:
+            agen = adb.execute_stream(
+                FANOUT_SQL, batch_rows=100, max_batches=2, timeout=0.4
+            )
+            try:
+                await agen.__anext__()
+                await asyncio.sleep(0.7)  # stall the consumer past the budget
+                with pytest.raises(DeadlineExceeded):
+                    while True:
+                        await agen.__anext__()
+            finally:
+                await agen.aclose()
+            # The slot freed: the next (fast) query is served promptly.
+            outcome = await adb.execute(
+                "SELECT COUNT(*) FROM small WHERE small.v < 10"
+            )
+            return outcome.scalar()
+
+    assert asyncio.run(main()) == 10
+
+
+def test_async_execute_stream_break_frees_the_slot(fanout_db):
+    async def main():
+        async with AsyncDatabase(fanout_db, max_concurrency=1) as adb:
+            async for _batch in adb.execute_stream(FANOUT_SQL, batch_rows=100):
+                break
+            started = time.perf_counter()
+            outcome = await adb.execute(
+                "SELECT COUNT(*) FROM small WHERE small.v < 10"
+            )
+            return outcome.scalar(), time.perf_counter() - started
+
+    scalar, waited = asyncio.run(main())
+    assert scalar == 10
+    assert waited < 2.0, f"broken stream pinned its slot for {waited:.2f}s"
+
+
+# --------------------------------------------------------------------------- #
+# Streamed-vs-materialized parity fuzz
+# --------------------------------------------------------------------------- #
+
+values = st.integers(min_value=0, max_value=4)
+
+
+def rows_strategy(arity: int, max_rows: int = 8):
+    return st.lists(st.tuples(*([values] * arity)), min_size=0, max_size=max_rows)
+
+
+@settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(r=rows_strategy(2), s=rows_strategy(2), t=rows_strategy(2))
+def test_streamed_matches_materialized_on_random_instances(r, s, t):
+    database = Database()
+    database.register(Table.from_rows("fr", ["x", "y"], r))
+    database.register(Table.from_rows("fs", ["y", "z"], s))
+    database.register(Table.from_rows("ft", ["z", "w"], t))
+    sql = (
+        "SELECT fr.x, fs.z, ft.w FROM fr, fs, ft "
+        "WHERE fr.y = fs.y AND fs.z = ft.z"
+    )
+    expected = sorted(database.execute(sql).rows())
+    streamed = []
+    for batch in database.execute_iter(sql, batch_rows=3, max_batches=2):
+        streamed.extend(batch)
+    assert sorted(streamed) == expected
