@@ -46,9 +46,15 @@ from repro.core import (
 )
 from repro.binaryjoin import BinaryJoinEngine
 from repro.genericjoin import GenericJoinEngine
-from repro.engine import JoinResult, StreamingResult, StreamingSink
+from repro.engine import (
+    JoinResult,
+    StreamingAggregateSink,
+    StreamingResult,
+    StreamingSink,
+    collapse_grouped_batches,
+)
 from repro.engine.session import Database
-from repro.engine.aggregates import aggregate_result
+from repro.engine.aggregates import AggregateSpec, aggregate_result, aggregate_spec
 from repro.errors import DeadlineExceeded, QueryCancelled
 from repro.parallel.cancellation import DeadlineToken
 from repro.serve import AsyncDatabase
@@ -85,7 +91,12 @@ __all__ = [
     "DeadlineExceeded",
     "QueryCancelled",
     "JoinResult",
+    "StreamingAggregateSink",
     "StreamingResult",
     "StreamingSink",
+    "collapse_grouped_batches",
+    "AggregateSpec",
+    "aggregate_result",
+    "aggregate_spec",
     "__version__",
 ]

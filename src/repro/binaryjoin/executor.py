@@ -31,8 +31,9 @@ class BinaryJoinOptions:
     left-most relation's row offsets.  ``scheduler`` picks how: ``"steal"``
     (default) decomposes the offsets into fine-grained tasks for the
     persistent work-stealing pool (:mod:`repro.parallel.scheduler`);
-    ``"range"`` is the static one-range-per-worker sharder
-    (:mod:`repro.parallel.intra`).  ``parallel_mode`` selects the backend
+    ``"range"`` — the static one-range-per-worker sharder
+    (:mod:`repro.parallel.intra`) — is deprecated and emits a
+    ``DeprecationWarning``.  ``parallel_mode`` selects the backend
     (``"auto"``, ``"process"`` or ``"thread"``).
     """
 
@@ -73,6 +74,10 @@ class BinaryJoinEngine:
         ``sink`` overrides the final pipeline's sink; an incremental sink
         (:class:`~repro.engine.streaming.StreamingSink`) receives rows while
         the probe loop is still running (steal workers forward per task).
+        An aggregate sink
+        (:class:`~repro.engine.streaming.StreamingAggregateSink`) makes
+        steal workers fold their task's probe output into grouped partials
+        and ship those instead of rows.
         """
         options = options or self.options
         pipelines = binary_plan.decompose()

@@ -70,10 +70,11 @@ class FreeJoinOptions:
         How parallel work is dispatched: ``"steal"`` (the default) decomposes
         the root cover into fine-grained tasks executed by a persistent
         work-stealing pool over shared-memory columns
-        (:mod:`repro.parallel.scheduler`); ``"range"`` is the legacy static
+        (:mod:`repro.parallel.scheduler`).  ``"range"`` — the legacy static
         sharder (one contiguous range per worker,
-        :mod:`repro.parallel.intra`).  ``None`` inherits the session's
-        setting.
+        :mod:`repro.parallel.intra`) — is **deprecated** and emits a
+        ``DeprecationWarning`` when selected.  ``None`` inherits the
+        session's setting.
     deadline:
         Optional :class:`repro.parallel.cancellation.DeadlineToken`.  The
         executor ticks it at every trie-expansion boundary and the steal
@@ -109,11 +110,24 @@ class FreeJoinOptions:
 
 
 def resolve_scheduler(scheduler: Optional[str]) -> str:
-    """Resolve a scheduler knob (``None`` means the default, ``"steal"``)."""
+    """Resolve a scheduler knob (``None`` means the default, ``"steal"``).
+
+    ``"range"`` (the static one-range-per-worker sharder) is deprecated and
+    scheduled for removal; resolving it emits a :class:`DeprecationWarning`.
+    """
     resolved = scheduler or "steal"
     if resolved not in ("steal", "range"):
         raise PlanError(
             f"unknown scheduler {resolved!r}; choose 'steal' or 'range'"
+        )
+    if resolved == "range":
+        import warnings
+
+        warnings.warn(
+            "the 'range' scheduler is deprecated and will be removed in a "
+            "future release; use the default 'steal' scheduler",
+            DeprecationWarning,
+            stacklevel=3,
         )
     return resolved
 
@@ -133,9 +147,14 @@ def _run_parallel_pipeline(
     ``stream`` is an optional :class:`~repro.engine.streaming.StreamingSink`
     for the final pipeline: the steal scheduler forwards each task's rows to
     it as workers finish, so the consumer sees the first batch while the
-    join is still running.  The legacy range sharder has no incremental
-    return path, so its shards are forwarded only after the merge (delivery
-    still streams; execution does not overlap it).
+    join is still running.  When the sink is a
+    :class:`~repro.engine.streaming.StreamingAggregateSink`, steal tasks
+    fold their rows into per-group partials worker-side and the parent
+    merges them — grouped aggregates stream group deltas without the row
+    bag ever crossing the worker boundary.  The legacy (deprecated) range
+    sharder has no incremental return path, so its shards are forwarded
+    only after the merge (delivery still streams; execution does not
+    overlap it).
     """
     if resolve_scheduler(options.scheduler) == "steal":
         from repro.parallel.scheduler import run_freejoin_pipeline_steal
@@ -200,8 +219,12 @@ class FreeJoinEngine:
         incremental sink (:class:`~repro.engine.streaming.StreamingSink`)
         turns the run into a streaming execution: rows reach the sink as the
         recursion produces them (and, on parallel runs, as steal workers
-        complete tasks) instead of materializing first.  The report's
-        ``result`` is then the sink's placeholder, not the rows.
+        complete tasks) instead of materializing first.  An aggregate sink
+        (:class:`~repro.engine.streaming.StreamingAggregateSink`) folds the
+        final pipeline's output into grouped partials — serially row by row,
+        on parallel runs task by task worker-side — so factorized groups and
+        join rows are aggregated without materializing the output.  The
+        report's ``result`` is then the sink's placeholder, not the rows.
         """
         options = options or self.options
         pipelines = binary_plan.decompose()

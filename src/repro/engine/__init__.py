@@ -15,7 +15,12 @@ from repro.engine.output import (
     RowSink,
 )
 from repro.engine.report import RunReport
-from repro.engine.streaming import StreamingResult, StreamingSink
+from repro.engine.streaming import (
+    StreamingAggregateSink,
+    StreamingResult,
+    StreamingSink,
+    collapse_grouped_batches,
+)
 
 __all__ = [
     "CountSink",
@@ -24,6 +29,8 @@ __all__ = [
     "OutputSink",
     "RowSink",
     "RunReport",
+    "StreamingAggregateSink",
     "StreamingResult",
     "StreamingSink",
+    "collapse_grouped_batches",
 ]

@@ -1,25 +1,49 @@
-"""Post-join aggregation and projection.
+"""Post-join aggregation and projection — serial pass and partial plane.
 
 The paper's benchmark queries (JOB, LSQB) are full joins followed by a simple
 aggregate — typically ``MIN`` over a few columns or ``COUNT(*)`` — and an
 optional group-by (Section 5.1).  Aggregation is performed after the join, on
 the join result, matching the paper's setup where selection/aggregation time
 is excluded from the measured join time.
+
+Beyond the serial post-pass (:func:`aggregate_result`), this module provides
+the **partial-aggregate plane** the streaming/parallel paths are built on:
+
+* :class:`_AggregateState` is *mergeable*: :meth:`~_AggregateState.combine`
+  folds two running states into one (``AVG`` is carried as sum + count, so
+  merging never loses precision), and :meth:`~_AggregateState.as_tuple` /
+  :meth:`~_AggregateState.merge_tuple` serialize it as a plain tuple that
+  crosses process boundaries.
+* :class:`AggregateSpec` is the pickle-able description of one query's
+  aggregation (SELECT items, group-by variables, join-row layout).
+* :class:`GroupedAggregateState` holds per-group-key partials: fold join
+  rows in, combine other partials, finalize output rows in the same
+  deterministic group-key order as the serial pass.
+* :class:`PartialAggregateSink` is the worker-side
+  :class:`~repro.engine.output.OutputSink` the steal scheduler installs so a
+  task folds its emitted rows into a partial instead of materializing them;
+  :func:`fold_group` folds factorized groups without expanding their
+  Cartesian products into rows.
+
+The serial pass and the partial plane share one fold implementation, so
+streamed/parallel grouped aggregates are equal to the serial results by
+construction.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datatypes import Row, Value
-from repro.engine.output import JoinResult
+from repro.engine.output import JoinResult, OutputSink
 from repro.errors import ExecutionError, QueryError
 from repro.query.planner import LogicalQuery
 from repro.storage.table import Table
 
 
 class _AggregateState:
-    """Running state of one aggregate function."""
+    """Running (and mergeable) state of one aggregate function."""
 
     __slots__ = ("function", "count", "total", "minimum", "maximum")
 
@@ -48,6 +72,26 @@ class _AggregateState:
     def update_count_star(self, multiplicity: int) -> None:
         self.count += multiplicity
 
+    def combine(self, other: "_AggregateState") -> None:
+        """Merge another partial into this one (commutative, associative)."""
+        self.merge_tuple(
+            (other.count, other.total, other.minimum, other.maximum)
+        )
+
+    def as_tuple(self) -> Tuple[int, float, Value, Value]:
+        """Serialize as a plain tuple (crosses process boundaries)."""
+        return (self.count, self.total, self.minimum, self.maximum)
+
+    def merge_tuple(self, packed: Tuple[int, float, Value, Value]) -> None:
+        """Merge a serialized partial (the inverse of :meth:`as_tuple`)."""
+        count, total, minimum, maximum = packed
+        self.count += count
+        self.total += total
+        if minimum is not None and (self.minimum is None or minimum < self.minimum):
+            self.minimum = minimum
+        if maximum is not None and (self.maximum is None or maximum > self.maximum):
+            self.maximum = maximum
+
     def finalize(self) -> Value:
         if self.function == "COUNT":
             return self.count
@@ -60,6 +104,363 @@ class _AggregateState:
         if self.function == "AVG":
             return self.total / self.count if self.count else None
         raise QueryError(f"unsupported aggregate function {self.function!r}")
+
+
+# --------------------------------------------------------------------------- #
+# The partial-aggregate plane
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """A pickle-able description of one query's aggregation.
+
+    ``items`` mirrors the SELECT list as ``(function, variable, label)``
+    tuples (``function`` is ``None`` for plain group-by columns,
+    ``variable`` is ``None`` for ``COUNT(*)``); ``group_by`` names the
+    grouping variables and ``variables`` the join-row layout rows are folded
+    from.  The spec crosses process boundaries with the task setup, so steal
+    workers can fold rows into partials without seeing the logical query.
+    """
+
+    items: Tuple[Tuple[Optional[str], Optional[str], str], ...]
+    group_by: Tuple[str, ...]
+    variables: Tuple[str, ...]
+
+    def labels(self) -> List[str]:
+        """Output column labels, in SELECT order."""
+        return [label for _function, _variable, label in self.items]
+
+    def key_positions(self) -> List[int]:
+        """Positions of the group-by columns within the *output* rows.
+
+        Returned in **GROUP BY order** (not SELECT order), so a key tuple
+        built from them equals the fold's internal group key — which is what
+        makes :func:`repro.engine.streaming.collapse_grouped_batches` sort
+        its collapsed rows in exactly the final snapshot's (and the serial
+        table's) deterministic group-key order.  Raises
+        :class:`~repro.errors.QueryError` when a group-by variable is not in
+        the SELECT list; such queries cannot stream deltas (the session
+        routes them through the materialize fallback).
+        """
+        item_position: Dict[str, int] = {}
+        for index, (function, variable, _label) in enumerate(self.items):
+            if function is None and variable not in item_position:
+                item_position[variable] = index
+        missing = [var for var in self.group_by if var not in item_position]
+        if missing:
+            raise QueryError(
+                f"group-by variables {missing} are not in the SELECT list; "
+                f"delivered rows carry no usable group key"
+            )
+        return [item_position[var] for var in self.group_by]
+
+    def make_state(self) -> "GroupedAggregateState":
+        return GroupedAggregateState(self)
+
+
+def aggregate_spec(
+    logical: LogicalQuery, variables: Sequence[str]
+) -> AggregateSpec:
+    """Build (and validate) the :class:`AggregateSpec` of a logical query.
+
+    ``variables`` is the join-result row layout.  Raises
+    :class:`~repro.errors.ExecutionError` when the SELECT list references
+    variables absent from the join result and
+    :class:`~repro.errors.QueryError` for SELECT lists the aggregation
+    semantics reject (non-aggregate items without a matching GROUP BY).
+    """
+    items = logical.select_items
+    group_variables = tuple(logical.group_by)
+    variables = tuple(variables)
+
+    missing = [
+        item.variable
+        for item in items
+        if item.variable is not None and item.variable not in variables
+    ]
+    missing += [var for var in group_variables if var not in variables]
+    if missing:
+        raise ExecutionError(
+            f"aggregation references variables {missing} absent from the join result"
+        )
+    for item in items:
+        if item.is_aggregate():
+            continue
+        if not group_variables:
+            raise QueryError(
+                "non-aggregate SELECT items require a GROUP BY over the same variables"
+            )
+        if item.variable not in group_variables:
+            raise QueryError(
+                f"non-aggregate SELECT item {item.label!r} is not in the GROUP BY list"
+            )
+    return AggregateSpec(
+        items=tuple((item.function, item.variable, item.label) for item in items),
+        group_by=group_variables,
+        variables=variables,
+    )
+
+
+class GroupedAggregateState:
+    """Mergeable per-group-key partial aggregates for one query.
+
+    This is the shared fold implementation: the serial post-pass folds the
+    materialized join result through it, steal-pool workers fold their task's
+    emitted rows into one and ship its :meth:`payload`, and the parent (or
+    the streaming aggregate sink) merges those payloads back in.  ``combine``
+    on every aggregate function is commutative and associative, so partials
+    merge in any completion order; ``AVG`` is carried as sum + count.
+    """
+
+    __slots__ = ("spec", "groups", "_group_positions", "_fold_items", "_key_slots")
+
+    def __init__(self, spec: AggregateSpec) -> None:
+        self.spec = spec
+        self._group_positions = tuple(
+            spec.variables.index(var) for var in spec.group_by
+        )
+        fold_items = []
+        key_slots = []
+        for function, variable, _label in spec.items:
+            if function is None:
+                # Plain group-by column: value comes from the group key.
+                fold_items.append(None)
+                key_slots.append(spec.group_by.index(variable))
+            elif variable is None:
+                fold_items.append((function, None))
+                key_slots.append(None)
+            else:
+                fold_items.append((function, spec.variables.index(variable)))
+                key_slots.append(None)
+        self._fold_items = tuple(fold_items)
+        self._key_slots = tuple(key_slots)
+        #: Group key -> one :class:`_AggregateState` per SELECT item.
+        self.groups: Dict[Row, List[_AggregateState]] = {}
+
+    def _new_states(self) -> List[_AggregateState]:
+        return [
+            _AggregateState(function or "")
+            for function, _variable, _label in self.spec.items
+        ]
+
+    def group_states(self, key: Row) -> List[_AggregateState]:
+        """The (created-on-demand) aggregate states of one group."""
+        states = self.groups.get(key)
+        if states is None:
+            states = self._new_states()
+            self.groups[key] = states
+        return states
+
+    # ------------------------------------------------------------------ #
+    # Folding and merging
+    # ------------------------------------------------------------------ #
+
+    def fold_row(self, row: Row, multiplicity: int = 1) -> Row:
+        """Fold one join row; returns the group key it landed in."""
+        key = tuple(row[p] for p in self._group_positions)
+        states = self.group_states(key)
+        for fold_item, state in zip(self._fold_items, states):
+            if fold_item is None:
+                continue
+            _function, position = fold_item
+            if position is None:
+                state.update_count_star(multiplicity)
+            else:
+                state.update(row[position], multiplicity)
+        return key
+
+    def fold_rows(
+        self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
+    ) -> List[Row]:
+        """Fold many rows; returns the touched group keys (with repeats)."""
+        if multiplicities is None:
+            return [self.fold_row(row) for row in rows]
+        return [
+            self.fold_row(row, multiplicity)
+            for row, multiplicity in zip(rows, multiplicities)
+        ]
+
+    def payload(self) -> List[Tuple[Row, Tuple[Tuple, ...]]]:
+        """Serialize every group as plain tuples (pickles across processes)."""
+        return [
+            (key, tuple(state.as_tuple() for state in states))
+            for key, states in self.groups.items()
+        ]
+
+    def merge_payload(
+        self, payload: Sequence[Tuple[Row, Sequence[Tuple]]]
+    ) -> List[Row]:
+        """Merge a serialized partial in; returns the touched group keys."""
+        touched = []
+        for key, packed_states in payload:
+            states = self.group_states(key)
+            for state, packed in zip(states, packed_states):
+                state.merge_tuple(packed)
+            touched.append(key)
+        return touched
+
+    def combine(self, other: "GroupedAggregateState") -> None:
+        """Merge another in-process partial into this one."""
+        for key, other_states in other.groups.items():
+            states = self.group_states(key)
+            for state, other_state in zip(states, other_states):
+                state.combine(other_state)
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+
+    def finalize_key(self, key: Row) -> Row:
+        """The output row of one group, in SELECT order."""
+        states = self.groups[key]
+        values: List[Value] = []
+        for fold_item, key_slot, state in zip(
+            self._fold_items, self._key_slots, states
+        ):
+            if fold_item is None:
+                values.append(key[key_slot])
+            else:
+                values.append(state.finalize())
+        return tuple(values)
+
+    def finalize_rows(self) -> List[Row]:
+        """All output rows, in the serial pass's deterministic key order.
+
+        Matches :func:`aggregate_result` exactly, including the one row of
+        empty aggregates a grouping-free aggregate produces on empty input.
+        """
+        if not self.groups and not self.spec.group_by:
+            empty = self._new_states()
+            return [tuple(state.finalize() for state in empty)]
+        return [self.finalize_key(key) for key in sorted(self.groups, key=repr)]
+
+
+def fold_group(
+    state: GroupedAggregateState,
+    prefix: Row,
+    prefix_variables: Sequence[str],
+    factors: Sequence[Tuple[Tuple[str, ...], List[Row]]],
+    multiplicity: int = 1,
+) -> Optional[List[Row]]:
+    """Fold a factorized group into ``state`` without expanding it.
+
+    Works whenever every group-by variable is bound by the prefix (the group
+    key is then shared by the whole Cartesian product): ``COUNT``/``SUM``/
+    ``AVG`` weight each value by the product of the *other* factors' sizes,
+    ``MIN``/``MAX`` scan each factor's values once — the product of factor
+    sizes is never enumerated.  Returns the touched group keys, or ``None``
+    when the caller must fall back to row expansion (a group key living
+    inside a factor, or an aggregate variable the group does not bind).
+    """
+    prefix_index = {var: i for i, var in enumerate(prefix_variables)}
+    if any(var not in prefix_index for var in state.spec.group_by):
+        return None
+    factor_index: Dict[str, Tuple[int, int]] = {}
+    for position, (factor_vars, _rows) in enumerate(factors):
+        for offset, var in enumerate(factor_vars):
+            factor_index[var] = (position, offset)
+    for function, variable, _label in state.spec.items:
+        if function is None or variable is None:
+            continue
+        if variable not in prefix_index and variable not in factor_index:
+            return None
+
+    sizes = [len(rows) for _vars, rows in factors]
+    total = multiplicity
+    for size in sizes:
+        total *= size
+    if total == 0:
+        return []
+    key = tuple(prefix[prefix_index[var]] for var in state.spec.group_by)
+    states = state.group_states(key)
+    for (function, variable, _label), item_state in zip(state.spec.items, states):
+        if function is None:
+            continue
+        if variable is None:
+            item_state.update_count_star(total)
+            continue
+        if variable in prefix_index:
+            item_state.update(prefix[prefix_index[variable]], total)
+            continue
+        position, offset = factor_index[variable]
+        weight = multiplicity
+        for other, size in enumerate(sizes):
+            if other != position:
+                weight *= size
+        for factor_row in factors[position][1]:
+            item_state.update(factor_row[offset], weight)
+    return [key]
+
+
+class _RowExpander(OutputSink):
+    """Expand factorized groups into rows aimed at a fold callback."""
+
+    def __init__(self, variables: Sequence[str], fold) -> None:
+        super().__init__(variables)
+        self._fold = fold
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        self._fold(row, multiplicity)
+
+
+class PartialAggregateSink(OutputSink):
+    """A sink that folds reported join rows into grouped partial aggregates.
+
+    The steal scheduler installs one per task when the query streams through
+    an aggregate sink: the task ships its (tiny) serialized partial to the
+    parent instead of its raw rows, which is what makes parallel grouped
+    aggregation cheap — the row bag never crosses the worker boundary.
+    Factorized groups are folded via :func:`fold_group` (no expansion)
+    whenever the group key lives in the prefix.
+    """
+
+    def __init__(self, spec: AggregateSpec) -> None:
+        super().__init__(spec.variables)
+        self.spec = spec
+        self.state = GroupedAggregateState(spec)
+        #: Number of row/group reports folded (telemetry, not a row count).
+        self.folded = 0
+        self._expander = _RowExpander(spec.variables, self._fold_row)
+
+    def _fold_row(self, row: Row, multiplicity: int) -> None:
+        self.state.fold_row(row, multiplicity)
+        self.folded += 1
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        if multiplicity <= 0:
+            return
+        self._fold_row(row, multiplicity)
+
+    def on_group(self, prefix, prefix_variables, factors, multiplicity: int = 1) -> None:
+        if multiplicity <= 0:
+            return
+        touched = fold_group(self.state, prefix, prefix_variables, factors, multiplicity)
+        if touched is None:
+            # Group key (or an aggregate input) lives inside a factor: the
+            # expander enumerates rows and re-raises the sink's own missing-
+            # variable diagnostics.
+            self._expander.on_group(prefix, prefix_variables, factors, multiplicity)
+            return
+        self.folded += 1
+
+    def payload(self) -> List[Tuple[Row, Tuple[Tuple, ...]]]:
+        """The serialized partial this sink accumulated."""
+        return self.state.payload()
+
+    def result(self) -> JoinResult:
+        """A count-only placeholder: rows were folded, not materialized."""
+        return JoinResult(
+            variables=self.variables,
+            rows=[],
+            multiplicities=[],
+            count_only=self.folded,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The serial post-pass
+# --------------------------------------------------------------------------- #
 
 
 def aggregate_result(result: JoinResult, logical: LogicalQuery) -> Table:
@@ -83,26 +484,11 @@ def _project(result: JoinResult, variables: Sequence[str], labels: Sequence[str]
 
 def _aggregate(result: JoinResult, logical: LogicalQuery) -> Table:
     items = logical.select_items
-    group_variables = list(logical.group_by)
-    variable_positions = {var: i for i, var in enumerate(result.variables)}
-
-    missing = [
-        item.variable
-        for item in items
-        if item.variable is not None and item.variable not in variable_positions
-    ]
-    missing += [var for var in group_variables if var not in variable_positions]
-    if missing:
-        raise ExecutionError(
-            f"aggregation references variables {missing} absent from the join result"
-        )
-
-    group_positions = [variable_positions[var] for var in group_variables]
 
     # Fast path: COUNT(*) only, no grouping — use the result's count directly
     # so count-only sinks do not need materialized rows.
     only_count_star = (
-        not group_variables
+        not logical.group_by
         and all(item.function == "COUNT" and item.variable is None for item in items)
     )
     if only_count_star:
@@ -111,50 +497,20 @@ def _aggregate(result: JoinResult, logical: LogicalQuery) -> Table:
             "result", [item.label for item in items], [tuple(total for _ in items)]
         )
 
-    groups: Dict[Row, Tuple[List[_AggregateState], Row]] = {}
-    non_aggregate_items = [item for item in items if not item.is_aggregate()]
-    if non_aggregate_items and not group_variables:
-        raise QueryError(
-            "non-aggregate SELECT items require a GROUP BY over the same variables"
-        )
+    spec = aggregate_spec(logical, result.variables)
 
     if result.count_only is not None and not result.rows and result.groups is None:
         raise ExecutionError(
             "cannot compute value aggregates from a count-only join result"
         )
 
+    # The serial pass folds through the same GroupedAggregateState the
+    # streaming/parallel planes use, so their results agree by construction.
+    state = GroupedAggregateState(spec)
     for row, multiplicity in _iter_with_multiplicity(result):
-        key = tuple(row[p] for p in group_positions)
-        entry = groups.get(key)
-        if entry is None:
-            entry = ([_AggregateState(item.function or "") for item in items], key)
-            groups[key] = entry
-        states, _ = entry
-        for item, state in zip(items, states):
-            if not item.is_aggregate():
-                continue
-            if item.variable is None:
-                state.update_count_star(multiplicity)
-            else:
-                state.update(row[variable_positions[item.variable]], multiplicity)
+        state.fold_row(row, multiplicity)
 
-    labels = [item.label for item in items]
-    output_rows: List[Row] = []
-    for key, (states, _) in sorted(groups.items(), key=lambda kv: repr(kv[0])):
-        values: List[Value] = []
-        for item, state in zip(items, states):
-            if item.is_aggregate():
-                values.append(state.finalize())
-            else:
-                values.append(key[group_variables.index(item.variable)])
-        output_rows.append(tuple(values))
-
-    if not groups and not group_variables:
-        # Aggregates over an empty input produce one row of empty aggregates.
-        empty_states = [_AggregateState(item.function or "") for item in items]
-        output_rows.append(tuple(state.finalize() for state in empty_states))
-
-    return Table.from_rows("result", labels, output_rows)
+    return Table.from_rows("result", spec.labels(), state.finalize_rows())
 
 
 def _iter_with_multiplicity(result: JoinResult):

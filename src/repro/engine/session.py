@@ -13,6 +13,7 @@ entry point example applications use::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional
 
@@ -79,8 +80,10 @@ class Database:
         selects the worker backend (``"auto"``, ``"process"``, ``"thread"``)
         and ``scheduler`` the dispatch strategy: ``"steal"`` (default) uses
         the persistent work-stealing pool over shared-memory columns
-        (:mod:`repro.parallel.scheduler`), ``"range"`` the static
-        one-range-per-worker sharder (:mod:`repro.parallel.intra`).
+        (:mod:`repro.parallel.scheduler`).  ``"range"`` — the static
+        one-range-per-worker sharder (:mod:`repro.parallel.intra`) — is
+        **deprecated** and scheduled for removal; selecting it emits a
+        :class:`DeprecationWarning`.
         """
         if default_engine not in ENGINES:
             raise QueryError(f"unknown engine {default_engine!r}; choose from {ENGINES}")
@@ -94,6 +97,13 @@ class Database:
         if scheduler not in ("steal", "range"):
             raise QueryError(
                 f"unknown scheduler {scheduler!r}; choose 'steal' or 'range'"
+            )
+        if scheduler == "range":
+            warnings.warn(
+                "the 'range' scheduler is deprecated and will be removed in a "
+                "future release; use the default 'steal' scheduler",
+                DeprecationWarning,
+                stacklevel=2,
             )
         self.catalog = catalog or Catalog()
         self.default_engine = default_engine
@@ -220,9 +230,23 @@ class Database:
         arrives while the join is still running and a slow consumer
         backpressures the producer instead of buffering the whole result.
         On parallel sessions the steal scheduler forwards each task's rows
-        as workers complete them.  Aggregate/GROUP BY queries need the full
-        join before their first output row exists, so they materialize first
-        and stream only the (small) aggregated table.
+        as workers complete them.
+
+        **Aggregate/GROUP BY queries stream too**, through the
+        partial-aggregate plane: the join folds rows into per-group-key
+        partials (worker-side on parallel sessions, so raw join rows never
+        cross the worker boundary) and the stream delivers **group deltas**
+        mid-join.  Each delivered row holds a group's *current* aggregate
+        values in SELECT order; a row supersedes earlier rows with the same
+        group key (last-write-wins — see
+        :func:`repro.engine.streaming.collapse_grouped_batches`), and the
+        stream ends with one full snapshot in deterministic group-key order,
+        identical to :meth:`execute`'s aggregate table.  Aggregate queries
+        with residual predicates (cross-table non-equality filters) keep the
+        legacy materialize-then-stream path, as do group-bys without
+        aggregates (which :meth:`execute` treats as plain projections) and
+        queries whose GROUP BY key is not in the SELECT list (delta rows
+        would be indistinguishable without it).
 
         ``timeout`` covers the *whole* stream — execution and delivery: a
         consumer that stalls past the budget gets ``DeadlineExceeded`` and
@@ -230,11 +254,15 @@ class Database:
         worker slot.  Closing the iterator early (or ``break`` +
         ``close()``/``with``) cancels the query cooperatively; pools drain
         cleanly and stay warm.  Residual predicates and projection are
-        applied per batch; streamed rows are exactly the rows
-        :meth:`execute` would return (as a bag — parallel completion order
-        may differ).
+        applied per batch; for non-aggregate queries streamed rows are
+        exactly the rows :meth:`execute` would return (as a bag — parallel
+        completion order may differ).
         """
-        from repro.engine.streaming import StreamingResult, StreamingSink
+        from repro.engine.streaming import (
+            StreamingAggregateSink,
+            StreamingResult,
+            StreamingSink,
+        )
         from repro.parallel.cancellation import DeadlineToken
 
         engine_name = engine or self.default_engine
@@ -248,9 +276,56 @@ class Database:
 
         logical = Planner(self.catalog).plan_sql(sql, name=name)
 
+        # Delta streaming requires every group key to be *readable from the
+        # delivered rows* (last-write-wins is keyed on the selected group
+        # columns), so a GROUP BY variable missing from the SELECT list
+        # routes through the materialize fallback like residual predicates.
+        selected_plain = {
+            item.variable
+            for item in logical.select_items
+            if not item.is_aggregate()
+        }
+        group_keys_selected = all(
+            var in selected_plain for var in logical.group_by
+        )
+
+        if (
+            logical.has_aggregates()
+            and not logical.residual_predicates
+            and group_keys_selected
+        ):
+            # The partial-aggregate plane: fold join rows into per-group
+            # partials at the final pipeline and stream merged group deltas
+            # while the join is still running.
+            from repro.engine.aggregates import aggregate_spec
+
+            spec = aggregate_spec(logical, tuple(logical.query.output_variables))
+            binary_plan = optimize_query(
+                logical.query, statistics_cache=self.statistics_cache
+            )
+            sink = StreamingAggregateSink(
+                spec,
+                batch_rows=batch_rows,
+                max_batches=max_batches,
+                interrupt=token,
+            )
+
+            def run_grouped():
+                return self.run_join(
+                    logical,
+                    binary_plan,
+                    engine_name,
+                    freejoin_options,
+                    deadline=token,
+                    sink=sink,
+                )
+
+            return StreamingResult(sink, token, run_grouped, executor=executor)
+
         if logical.has_aggregates() or logical.group_by:
-            # No output row exists before the aggregation sees every join
-            # row; stream only the delivery of the final table.
+            # Residual-filtered aggregates (filters run on materialized join
+            # rows in execute()) and aggregate-free group-bys keep the
+            # materialize-then-stream fallback: only delivery streams.
             sink = StreamingSink(
                 logical.output_labels(),
                 batch_rows=batch_rows,

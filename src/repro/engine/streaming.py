@@ -13,6 +13,15 @@ provides the streaming counterpart:
   through the default :meth:`~repro.engine.output.OutputSink.on_group`
   expansion, so group products are enumerated row by row and split across
   batch boundaries exactly like plain rows.
+* :class:`StreamingAggregateSink` is the **aggregate mode** of the sink:
+  instead of shipping raw join rows it folds them (and merged worker
+  partials — see :mod:`repro.engine.aggregates`) into per-group-key partial
+  aggregates and pushes **group deltas** through the same bounded queue, so
+  ``GROUP BY`` queries stream progressive results *mid-join*.  Batches are
+  ordered by group key; each delivered row supersedes any earlier row with
+  the same group key (last-write-wins — :func:`collapse_grouped_batches`),
+  and the stream always ends with a full, final snapshot in deterministic
+  group-key order, identical to the serial ``execute()`` result.
 * :class:`StreamingResult` runs the join on a producer thread and iterates
   the batches on the consumer side.  One
   :class:`~repro.parallel.cancellation.DeadlineToken` covers *both* phases:
@@ -34,6 +43,12 @@ import time
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.datatypes import Row
+from repro.engine.aggregates import (
+    AggregateSpec,
+    GroupedAggregateState,
+    _RowExpander,
+    fold_group,
+)
 from repro.engine.output import JoinResult, OutputSink
 from repro.errors import ExecutionError, QueryError
 
@@ -225,6 +240,190 @@ class StreamingSink(OutputSink):
             "max_batches": self._queue.maxsize,
             "put_wait_seconds": self.put_wait_seconds,
         }
+
+
+class StreamingAggregateSink(StreamingSink):
+    """Aggregate mode: fold join rows into partials, stream group deltas.
+
+    The sink keeps one :class:`~repro.engine.aggregates.GroupedAggregateState`
+    and three producers feed it:
+
+    * serial engines report rows via :meth:`on_row` (and factorized groups
+      via :meth:`on_group`, folded without expansion whenever the group key
+      is bound by the prefix);
+    * the legacy range sharder forwards merged shard rows via
+      :meth:`emit_rows`;
+    * the steal scheduler ships each task's *serialized partial* to
+      :meth:`emit_partial`, which merges it and flushes the touched groups —
+      so a parallel ``GROUP BY`` streams a delta as every worker task
+      finishes, and raw join rows never cross the worker boundary.
+
+    Delivery contract: every batch holds finalized output rows (SELECT
+    order) sorted by group key; a row supersedes earlier rows with the same
+    key (last-write-wins, :func:`collapse_grouped_batches`); after the join
+    completes, :meth:`finish` delivers one full snapshot in deterministic
+    group-key order — byte-identical to the serial aggregate table — before
+    the end-of-stream marker.  Backpressure, deadline checks and
+    cancellation behave exactly like the row sink's: every blocking put
+    consults the query token.
+    """
+
+    def __init__(
+        self,
+        spec: AggregateSpec,
+        *,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        max_batches: int = DEFAULT_MAX_BATCHES,
+        interrupt: Optional[DeadlineToken] = None,
+        flush_rows: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            spec.labels(),
+            batch_rows=batch_rows,
+            max_batches=max_batches,
+            interrupt=interrupt,
+        )
+        if flush_rows is not None and flush_rows < 1:
+            raise QueryError(f"flush_rows must be at least 1, got {flush_rows}")
+        self.spec = spec
+        #: Serial fold granularity: a delta flush every this many folded
+        #: reports, so even a single-threaded join streams mid-execution.
+        self.flush_rows = flush_rows if flush_rows is not None else batch_rows
+        self._state = GroupedAggregateState(spec)
+        self._dirty: set = set()
+        self._since_flush = 0
+        self._expander = _RowExpander(spec.variables, self._fold_row_locked)
+        # Telemetry (reported under stats()["aggregate"]).
+        self.folded_rows = 0
+        self.partials_merged = 0
+        self.delta_batches = 0
+        self.snapshot_rows = 0
+
+    # ------------------------------------------------------------------ #
+    # Producer side: folding
+    # ------------------------------------------------------------------ #
+
+    def _fold_row_locked(self, row: Row, multiplicity: int) -> None:
+        """Fold one row; caller holds the sink lock."""
+        self._dirty.add(self._state.fold_row(row, multiplicity))
+        self.folded_rows += 1
+        self._since_flush += 1
+        if self._since_flush >= self.flush_rows:
+            self._flush_deltas_locked()
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        if multiplicity <= 0:
+            return
+        with self._lock:
+            self._fold_row_locked(row, multiplicity)
+
+    def emit_rows(
+        self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
+    ) -> None:
+        """Fold many rows at once (the range sharder's merged forwarding)."""
+        with self._lock:
+            if multiplicities is None:
+                for row in rows:
+                    self._fold_row_locked(row, 1)
+            else:
+                for row, multiplicity in zip(rows, multiplicities):
+                    if multiplicity > 0:
+                        self._fold_row_locked(row, multiplicity)
+
+    def on_group(
+        self, prefix, prefix_variables, factors, multiplicity: int = 1
+    ) -> None:
+        """Fold a factorized group, without expanding it when possible."""
+        if multiplicity <= 0:
+            return
+        with self._lock:
+            touched = fold_group(
+                self._state, prefix, prefix_variables, factors, multiplicity
+            )
+            if touched is not None:
+                self._dirty.update(touched)
+                self.folded_rows += 1
+                self._since_flush += 1
+                if self._since_flush >= self.flush_rows:
+                    self._flush_deltas_locked()
+                return
+            # Group key (or an aggregate input) lives inside a factor:
+            # enumerate the product row by row.
+            self._expander.on_group(prefix, prefix_variables, factors, multiplicity)
+
+    def emit_partial(self, payload) -> None:
+        """Merge one worker task's serialized partial and flush its deltas.
+
+        Called by the steal scheduler (parent side on the process backend,
+        worker threads on the thread backend) as each task completes; the
+        flush delivers the touched groups' *current* values, so consumers
+        see progressive aggregates while sibling tasks are still running.
+        """
+        with self._lock:
+            self.partials_merged += 1
+            if payload:
+                self._dirty.update(self._state.merge_payload(payload))
+                self._flush_deltas_locked()
+
+    def _flush_deltas_locked(self) -> None:
+        """Deliver the dirty groups' current rows, ordered by group key."""
+        self._since_flush = 0
+        if not self._dirty:
+            return
+        keys = sorted(self._dirty, key=repr)
+        self._dirty.clear()
+        rows = [self._state.finalize_key(key) for key in keys]
+        for start in range(0, len(rows), self.batch_rows):
+            self._put(rows[start : start + self.batch_rows])
+            self.delta_batches += 1
+
+    def finish(self) -> None:
+        """Deliver the final snapshot (all groups, key-ordered) and close."""
+        with self._lock:
+            self._dirty.clear()
+            rows = self._state.finalize_rows()
+            self.snapshot_rows = len(rows)
+            for start in range(0, len(rows), self.batch_rows):
+                self._put(rows[start : start + self.batch_rows])
+            self._put(_DONE)
+            self._finished.set()
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+
+    def aggregate_stats(self) -> Dict[str, object]:
+        return {
+            "groups": len(self._state.groups),
+            "folded_rows": self.folded_rows,
+            "partials_merged": self.partials_merged,
+            "delta_batches": self.delta_batches,
+            "snapshot_rows": self.snapshot_rows,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Base stream telemetry plus the partial-merge counters."""
+        merged = super().stats()
+        merged["aggregate"] = self.aggregate_stats()
+        return merged
+
+
+def collapse_grouped_batches(
+    batches: Sequence[List[Row]], key_positions: Sequence[int]
+) -> List[Row]:
+    """Last-write-wins fold of streamed grouped-aggregate delta batches.
+
+    ``key_positions`` are the group-by columns within the delivered rows
+    (:meth:`~repro.engine.aggregates.AggregateSpec.key_positions`; the empty
+    tuple for grouping-free aggregates).  Because every stream ends with a
+    full snapshot, the collapsed rows equal the serial aggregate table, in
+    the same deterministic group-key order.
+    """
+    final: Dict[Row, Row] = {}
+    for batch in batches:
+        for row in batch:
+            final[tuple(row[p] for p in key_positions)] = row
+    return [final[key] for key in sorted(final, key=repr)]
 
 
 class StreamingResult:

@@ -495,6 +495,87 @@ def run_streaming(
 
 
 # --------------------------------------------------------------------------- #
+# Streaming aggregation: first-group-batch latency vs materialized aggregate
+# --------------------------------------------------------------------------- #
+
+
+def run_aggregation(
+    scale: float = 0.3,
+    repeats: int = 1,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Grouped-aggregate streaming on the Zipf-skewed fan-out join.
+
+    Measures the partial-aggregate plane the paper-figure workloads (joins +
+    ``COUNT``/``MIN`` + group-by) run through: the full materialized
+    grouped-aggregate execution (``Database.execute``) against the wall time
+    until ``Database.execute_iter`` delivers its **first group-delta batch**
+    mid-join.  The stream is then drained and collapsed (last-write-wins per
+    group key) to assert exact parity with the materialized result.  The CI
+    gate (``benchmarks/test_bench_aggregation.py``) bounds the same ratio at
+    0.6; this driver feeds the numbers into ``BENCH_<label>.json`` so the
+    benchmark-history trend gate tracks them PR over PR.
+    """
+    import time as time_module
+
+    from repro.engine.streaming import collapse_grouped_batches
+    from repro.workloads.synthetic import FANOUT_GROUP_SQL, fanout_tables
+
+    rows = max(1000, int(25_000 * scale))
+    database = Database()
+    database.register_all(fanout_tables(rows, seed=seed, skew=1.2).values())
+    sql = FANOUT_GROUP_SQL
+
+    measurements: List[Measurement] = []
+    summary: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        started = time_module.perf_counter()
+        outcome = database.execute(sql, name="fanout-group")
+        expected = outcome.rows()
+        full_seconds = time_module.perf_counter() - started
+
+        started = time_module.perf_counter()
+        stream = database.execute_iter(sql, name="fanout-group", batch_rows=256)
+        batches = [stream.next_batch()]
+        first_seconds = time_module.perf_counter() - started
+        if not batches[0]:
+            raise RuntimeError("grouped stream must yield a non-empty first batch")
+        batches.extend(stream)
+        collapsed = collapse_grouped_batches(batches, [0])
+        if collapsed != expected:
+            raise RuntimeError(
+                f"collapsed stream produced {len(collapsed)} groups that do "
+                f"not match the materialized aggregate ({len(expected)})"
+            )
+
+        measurements.append(Measurement(
+            workload="aggregate-fanout", query="fanout-group", engine="freejoin",
+            variant="materialized", seconds=full_seconds,
+            build_seconds=0.0, join_seconds=full_seconds,
+            output_rows=len(expected), scale=scale,
+        ))
+        measurements.append(Measurement(
+            workload="aggregate-fanout", query="fanout-group", engine="freejoin",
+            variant="first-group-batch", seconds=first_seconds,
+            build_seconds=0.0, join_seconds=first_seconds,
+            output_rows=len(batches[0]), scale=scale,
+        ))
+        summary = {
+            "groups": len(expected),
+            "materialized_seconds": full_seconds,
+            "first_group_batch_seconds": first_seconds,
+            "first_group_batch_ratio": (
+                first_seconds / full_seconds if full_seconds > 0 else 0.0
+            ),
+        }
+    return {
+        "figure": "aggregation",
+        "measurements": measurements,
+        "summary": summary,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Headline numbers (Section 1 / Section 5.2)
 # --------------------------------------------------------------------------- #
 
@@ -536,6 +617,7 @@ FIGURES = {
     "ablation-cover": run_ablation_cover,
     "headline": run_headline,
     "streaming": run_streaming,
+    "aggregation": run_aggregation,
 }
 
 

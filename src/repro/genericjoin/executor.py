@@ -37,8 +37,9 @@ class GenericJoinOptions:
     iteration over the smallest trie level).  ``scheduler`` picks how:
     ``"steal"`` (default) decomposes it into fine-grained tasks for the
     persistent work-stealing pool (:mod:`repro.parallel.scheduler`);
-    ``"range"`` is the static one-range-per-worker sharder
-    (:mod:`repro.parallel.intra`).  ``parallel_mode`` selects the backend
+    ``"range"`` — the static one-range-per-worker sharder
+    (:mod:`repro.parallel.intra`) — is deprecated and emits a
+    ``DeprecationWarning``.  ``parallel_mode`` selects the backend
     (``"auto"``, ``"process"`` or ``"thread"``).
     """
 
@@ -84,7 +85,11 @@ class GenericJoinEngine:
         ``sink`` overrides the output sink; an incremental sink
         (:class:`~repro.engine.streaming.StreamingSink`) receives rows while
         the intersection recursion is still running (steal workers forward
-        per task).
+        per task).  An aggregate sink
+        (:class:`~repro.engine.streaming.StreamingAggregateSink`) makes
+        steal workers fold their task's output — multiplicity-weighted, so
+        bag semantics survive — into grouped partials shipped in place of
+        rows.
         """
         options = options or self.options
         if options.variable_order is not None:

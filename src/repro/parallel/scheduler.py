@@ -44,10 +44,20 @@ Two serving-layer features are layered on top of the scheduler:
   parent-side cache, and the process parent memoizes cover/entry-count
   metadata in a plan cache.
 
+A third serving-layer feature is the **partial-aggregate plane**: when a
+grouped-aggregate query streams through a
+:class:`~repro.engine.streaming.StreamingAggregateSink`, every task folds the
+rows it emits into a per-group-key partial
+(:class:`~repro.engine.aggregates.PartialAggregateSink`) and ships the
+serialized partial instead of raw rows; the parent merges partials as
+workers finish (``emit_partial``), so ``GROUP BY`` queries stream group
+deltas mid-join and the row bag never crosses the worker boundary.
+
 Per-task and per-worker accounting (steal counts, queue depths and waits,
-attach times, context-cache hits/misses/evictions) is merged into the run's
-``RunReport.details["parallel"]`` entry; see ``benchmarks/README.md`` for
-how to read it.
+attach times, context-cache hits/misses/evictions, and — for aggregate
+streams — partial-merge counters under ``stream.aggregate``) is merged into
+the run's ``RunReport.details["parallel"]`` entry; see
+``benchmarks/README.md`` for how to read it.
 
 Result parity: tasks partition the serial iteration, and outcomes are merged
 in task order, so the merged bag always equals the serial output; with static
@@ -69,6 +79,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.colt import TrieStrategy, build_tries
 from repro.core.executor import ExecutorStats, FreeJoinExecutor
 from repro.core.plan import FreeJoinPlan
+from repro.engine.aggregates import AggregateSpec, PartialAggregateSink
 from repro.engine.output import JoinResult, RowSink
 from repro.errors import DeadlineExceeded, ExecutionError, QueryCancelled
 from repro.parallel.cancellation import DeadlineToken
@@ -196,6 +207,45 @@ def assign_preferred(tasks: List[StealTask], workers: int) -> None:
 # --------------------------------------------------------------------------- #
 
 
+def _task_sink(output: str, output_variables, aggregate: Optional[AggregateSpec]):
+    """The sink one task reports into.
+
+    With an :class:`AggregateSpec` (a grouped-aggregate query streaming
+    through an aggregate sink) the task folds its rows into a
+    :class:`PartialAggregateSink` instead of materializing them — the
+    typed partial-result protocol between workers and parent.
+    """
+    if aggregate is not None:
+        return PartialAggregateSink(aggregate)
+    return _make_sink(output, output_variables)
+
+
+def _task_outcome(
+    task: StealTask, sink, output: str, stats: Optional[Dict[str, int]]
+) -> Dict[str, object]:
+    """Package one task's result: rows/count, or a serialized partial."""
+    if isinstance(sink, PartialAggregateSink):
+        return {
+            "task_id": task.task_id,
+            "rows": [],
+            "multiplicities": [],
+            "count": 0,
+            "partial": sink.payload(),
+            "stats": stats,
+            "outputs": sink.folded,
+        }
+    result = sink.result()
+    outputs = result.count_only or 0 if output == "count" else len(result.rows)
+    return {
+        "task_id": task.task_id,
+        "rows": result.rows,
+        "multiplicities": result.multiplicities,
+        "count": result.count_only or 0,
+        "stats": stats,
+        "outputs": outputs,
+    }
+
+
 class _FreeJoinTaskContext:
     """Per-worker Free Join state: one (lazy) trie set, reused across tasks.
 
@@ -235,9 +285,12 @@ class _FreeJoinTaskContext:
         self.attach_seconds = attach_seconds
 
     def run_task(
-        self, task: StealTask, interrupt: Optional[DeadlineToken] = None
+        self,
+        task: StealTask,
+        interrupt: Optional[DeadlineToken] = None,
+        aggregate: Optional[AggregateSpec] = None,
     ) -> Dict[str, object]:
-        sink = _make_sink(self.output, self.output_variables)
+        sink = _task_sink(self.output, self.output_variables, aggregate)
         executor = FreeJoinExecutor(
             self.plan,
             self.output_variables,
@@ -248,16 +301,7 @@ class _FreeJoinTaskContext:
             interrupt=interrupt,
         )
         executor.run_task(self.tries, task.start, task.stop, task.sub, self.cover)
-        result = sink.result()
-        outputs = result.count_only or 0 if self.output == "count" else len(result.rows)
-        return {
-            "task_id": task.task_id,
-            "rows": result.rows,
-            "multiplicities": result.multiplicities,
-            "count": result.count_only or 0,
-            "stats": executor.stats.as_dict(),
-            "outputs": outputs,
-        }
+        return _task_outcome(task, sink, self.output, executor.stats.as_dict())
 
 
 class _BinaryTaskContext:
@@ -283,11 +327,14 @@ class _BinaryTaskContext:
         self.hash_tables = BinaryJoinEngine._build_hash_tables(pipeline_atoms)
 
     def run_task(
-        self, task: StealTask, interrupt: Optional[DeadlineToken] = None
+        self,
+        task: StealTask,
+        interrupt: Optional[DeadlineToken] = None,
+        aggregate: Optional[AggregateSpec] = None,
     ) -> Dict[str, object]:
         from repro.binaryjoin.executor import BinaryJoinEngine
 
-        sink = _make_sink(self.output, self.output_variables)
+        sink = _task_sink(self.output, self.output_variables, aggregate)
         BinaryJoinEngine._run_pipeline(
             self.pipeline_atoms,
             self.hash_tables,
@@ -296,16 +343,7 @@ class _BinaryTaskContext:
             offset_range=(task.start, task.stop),
             interrupt=interrupt,
         )
-        result = sink.result()
-        outputs = result.count_only or 0 if self.output == "count" else len(result.rows)
-        return {
-            "task_id": task.task_id,
-            "rows": result.rows,
-            "multiplicities": result.multiplicities,
-            "count": result.count_only or 0,
-            "stats": None,
-            "outputs": outputs,
-        }
+        return _task_outcome(task, sink, self.output, None)
 
 
 class _GenericTaskContext:
@@ -333,11 +371,14 @@ class _GenericTaskContext:
         self.tries = {atom.name: build_hash_trie(atom, order) for atom in atoms}
 
     def run_task(
-        self, task: StealTask, interrupt: Optional[DeadlineToken] = None
+        self,
+        task: StealTask,
+        interrupt: Optional[DeadlineToken] = None,
+        aggregate: Optional[AggregateSpec] = None,
     ) -> Dict[str, object]:
         from repro.genericjoin.executor import GenericJoinEngine
 
-        sink = _make_sink(self.output, self.output_variables)
+        sink = _task_sink(self.output, self.output_variables, aggregate)
         GenericJoinEngine._execute_atoms(
             self.atoms,
             self.output_variables,
@@ -347,16 +388,7 @@ class _GenericTaskContext:
             entry_range=(task.start, task.stop),
             interrupt=interrupt,
         )
-        result = sink.result()
-        outputs = result.count_only or 0 if self.output == "count" else len(result.rows)
-        return {
-            "task_id": task.task_id,
-            "rows": result.rows,
-            "multiplicities": result.multiplicities,
-            "count": result.count_only or 0,
-            "stats": None,
-            "outputs": outputs,
-        }
+        return _task_outcome(task, sink, self.output, None)
 
 
 def _cover_entry_total(trie) -> int:
@@ -597,12 +629,14 @@ class ThreadStealPool:
         and the submit raises ``DeadlineExceeded``/``QueryCancelled``.
 
         ``stream`` is an optional :class:`StreamingSink`: each task's rows
-        are forwarded to it (and stripped from the outcome) as the task
-        completes, so a streaming consumer receives batches while sibling
-        tasks are still running.  A forward that raises — the consumer broke
-        off (cancel) or the delivery deadline lapsed against a stalled
-        consumer — is recorded as that task's error and classified like any
-        other abort, so the pool drains cleanly and stays warm.
+        (or, for grouped-aggregate streams, its folded partial via
+        ``emit_partial``) are forwarded to it (and stripped from the
+        outcome) as the task completes, so a streaming consumer receives
+        batches while sibling tasks are still running.  A forward that
+        raises — the consumer broke off (cancel) or the delivery deadline
+        lapsed against a stalled consumer — is recorded as that task's error
+        and classified like any other abort, so the pool drains cleanly and
+        stays warm.
         """
         with self._submit_lock:
             if self.broken:
@@ -677,11 +711,16 @@ class ThreadStealPool:
             try:
                 outcome = job.runner(task, job.interrupt)
                 if job.stream is not None:
-                    # Ship this task's rows to the streaming consumer now
+                    # Ship this task's rows — or, for grouped aggregates,
+                    # its folded partial — to the streaming consumer now
                     # (with backpressure), keeping only the telemetry.
-                    job.stream.emit_rows(
-                        outcome["rows"], outcome["multiplicities"]
-                    )
+                    partial = outcome.pop("partial", None)
+                    if partial is not None:
+                        job.stream.emit_partial(partial)
+                    else:
+                        job.stream.emit_rows(
+                            outcome["rows"], outcome["multiplicities"]
+                        )
                     outcome["rows"] = []
                     outcome["multiplicities"] = []
                 seconds = time.perf_counter() - started
@@ -768,6 +807,10 @@ def _process_worker_main(
         context_key = setup.get("context_key")
         cache_budget = setup.get("cache_budget", 0)
         deadline_at = setup.get("deadline")
+        # Per-query, never stored on the (cached) context: the same cached
+        # tries can serve a grouped-aggregate query and a row query back to
+        # back without cross-talk.
+        aggregate = setup.get("aggregate")
         context = None
         try:
             started = time.perf_counter()
@@ -825,7 +868,7 @@ def _process_worker_main(
             started = time.perf_counter()
             try:
                 token = DeadlineToken(at=task.deadline, cancel_probe=cancelled)
-                outcome = context.run_task(task, token)
+                outcome = context.run_task(task, token, aggregate)
             except Exception as exc:  # noqa: BLE001 - reported to the parent
                 result_queue.put(
                     (
@@ -930,7 +973,8 @@ class ProcessStealPool:
         task's deadline token probes, so sibling tasks abort mid-flight.
 
         ``stream`` is an optional :class:`StreamingSink`: the parent
-        forwards each arriving task result's rows to it (with backpressure)
+        forwards each arriving task result's rows — or merges its folded
+        partial, for grouped-aggregate streams — to it (with backpressure)
         and strips them from the kept outcome, so consumers see batches
         while workers are still producing.  A failed forward (consumer break
         or delivery deadline) cancels the remaining tasks via the cancel
@@ -1007,11 +1051,15 @@ class ProcessStealPool:
             message = self._receive(hook=watch_interrupt)
             if message[0] == "result":
                 outcome = message[2]
+                partial = outcome.pop("partial", None)
                 if stream is not None and not stream_broken:
                     try:
-                        stream.emit_rows(
-                            outcome["rows"], outcome["multiplicities"]
-                        )
+                        if partial is not None:
+                            stream.emit_partial(partial)
+                        else:
+                            stream.emit_rows(
+                                outcome["rows"], outcome["multiplicities"]
+                            )
                     except Exception as exc:  # noqa: BLE001 - classified below
                         # The consumer went away (cancel) or delivery blew
                         # the deadline: cancel the remaining tasks and keep
@@ -1294,14 +1342,21 @@ def _short_circuit(
 def _drive(run: _StealRun) -> ShardedRunResult:
     effective = min(run.workers, len(run.tasks))
     assign_preferred(run.tasks, effective)
+    # Aggregate streaming: tasks fold rows into partials worker-side and the
+    # parent merges them as workers finish (the spec rides on the sink).
+    aggregate = getattr(run.stream, "spec", None)
     join_started = time.perf_counter()
     if len(run.tasks) == 1:
         # One task cannot balance anything: run it inline, skip the pool.
         context = run.context_factory()
         task = run.tasks[0]
-        outcome = context.run_task(task, run.interrupt)
+        outcome = context.run_task(task, run.interrupt, aggregate)
         if run.stream is not None:
-            run.stream.emit_rows(outcome["rows"], outcome["multiplicities"])
+            partial = outcome.pop("partial", None)
+            if partial is not None:
+                run.stream.emit_partial(partial)
+            else:
+                run.stream.emit_rows(outcome["rows"], outcome["multiplicities"])
             outcome["rows"] = []
             outcome["multiplicities"] = []
         outcome.update(worker=0, stolen=False, wait_seconds=0.0)
@@ -1314,15 +1369,23 @@ def _drive(run: _StealRun) -> ShardedRunResult:
         backend_label = "inline"
     elif run.backend == "thread":
         context = run.context_factory()
+        if aggregate is None:
+            runner = context.run_task
+        else:
+            def runner(task, interrupt, _context=context, _spec=aggregate):
+                return _context.run_task(task, interrupt, _spec)
         pool = get_pool("thread", effective)
         outcomes, reports = pool.submit(
-            context.run_task, run.tasks, run.interrupt, run.stream
+            runner, run.tasks, run.interrupt, run.stream
         )
         backend_label = "thread"
     else:
+        setup = run.setup_factory()
+        if aggregate is not None:
+            setup["aggregate"] = aggregate
         pool = get_pool("process", effective)
         outcomes, reports = pool.submit(
-            run.setup_factory(), run.tasks, run.interrupt, run.stream
+            setup, run.tasks, run.interrupt, run.stream
         )
         backend_label = "process"
     join_seconds = time.perf_counter() - join_started

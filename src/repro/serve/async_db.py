@@ -184,6 +184,16 @@ class AsyncDatabase:
         still running* and a slow consumer backpressures the producer
         instead of buffering the whole result.
 
+        Grouped-aggregate queries stream **group deltas** through the same
+        queue (the partial-aggregate plane of
+        :meth:`~repro.engine.session.Database.execute_iter`): each yielded
+        row carries a group's current aggregate values, later rows supersede
+        earlier ones with the same group key (last-write-wins; collapse with
+        :func:`repro.engine.streaming.collapse_grouped_batches`), and the
+        stream ends with a full final snapshot in deterministic group-key
+        order — so a dashboard can render progressive aggregates mid-join
+        and still finish with the exact ``execute()`` result.
+
         ``timeout`` covers execution **and** delivery: a consumer that
         stalls past the budget gets :class:`~repro.errors.DeadlineExceeded`
         and the producer aborts, freeing its slot instead of staying pinned

@@ -148,27 +148,45 @@ class SyntheticWorkload:
 #: The fan-out join over :func:`fanout_tables` (output ~ ``rows**2 / keys``).
 FANOUT_SQL = "SELECT fan_r.a, fan_s.b FROM fan_r, fan_s WHERE fan_r.k = fan_s.k"
 
+#: The grouped-aggregate shape over the same join: one group per join key,
+#: a multiplicity-heavy COUNT and a value aggregate.  Shared by the
+#: aggregation benchmark gate (``benchmarks/test_bench_aggregation.py``) and
+#: the ``aggregation`` figure driver.
+FANOUT_GROUP_SQL = (
+    "SELECT fan_r.k AS k, COUNT(*) AS n, MIN(fan_s.b) AS lo "
+    "FROM fan_r, fan_s WHERE fan_r.k = fan_s.k GROUP BY fan_r.k"
+)
+
 
 def fanout_tables(
-    rows: int, keys: int = 20, seed: int = 42
+    rows: int, keys: int = 20, seed: int = 42, skew: float = 0.0
 ) -> Dict[str, Table]:
     """Two relations whose equi-join fans out to ``~rows**2 / keys`` rows.
 
-    The large-output workload shared by the streaming benchmark gate
-    (``benchmarks/test_bench_streaming.py``) and the ``streaming`` figure
-    driver — one definition, so the CI gate and the benchmark-history trend
-    track the same join.  Deterministic for a fixed seed.
+    The large-output workload shared by the streaming/aggregation benchmark
+    gates (``benchmarks/test_bench_streaming.py``,
+    ``benchmarks/test_bench_aggregation.py``) and the ``streaming`` /
+    ``aggregation`` figure drivers — one definition, so the CI gates and the
+    benchmark-history trend track the same join.  ``skew > 0`` draws the
+    join keys from :func:`zipf_sample` instead of uniformly, concentrating
+    the fan-out on a few hot keys (the shape the work-stealing scheduler is
+    built for); ``skew == 0`` keeps the original uniform draw, so existing
+    callers see byte-identical tables.  Deterministic for a fixed seed.
     """
     if rows < 1 or keys < 1:
         raise WorkloadError("fanout rows and keys must be positive")
     rng = random.Random(seed)
+
+    def draw() -> int:
+        return zipf_sample(rng, keys, skew) if skew > 0 else rng.randrange(keys)
+
     return {
         "fan_r": Table.from_columns("fan_r", {
-            "k": [rng.randrange(keys) for _ in range(rows)],
+            "k": [draw() for _ in range(rows)],
             "a": list(range(rows)),
         }),
         "fan_s": Table.from_columns("fan_s", {
-            "k": [rng.randrange(keys) for _ in range(rows)],
+            "k": [draw() for _ in range(rows)],
             "b": list(range(rows)),
         }),
     }

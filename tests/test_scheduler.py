@@ -499,5 +499,37 @@ def test_steal_task_is_plain_data():
     import pickle
 
     clone = pickle.loads(pickle.dumps(task))
-    assert (clone.task_id, clone.start, clone.stop, clone.sub, clone.preferred) == \
-        (3, 10, 20, (1, 4), 2)
+    assert (clone.task_id, clone.start, clone.stop, clone.sub, clone.preferred) == (
+        3,
+        10,
+        20,
+        (1, 4),
+        2,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The `range` scheduler is deprecated (ROADMAP retirement step)
+# --------------------------------------------------------------------------- #
+
+
+def test_range_scheduler_session_emits_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="'range' scheduler is deprecated"):
+        Database(scheduler="range")
+
+
+def test_range_scheduler_option_emits_deprecation_warning():
+    from repro.core.engine import resolve_scheduler
+
+    with pytest.warns(DeprecationWarning, match="'range' scheduler is deprecated"):
+        assert resolve_scheduler("range") == "range"
+
+
+def test_steal_scheduler_stays_warning_free(recwarn):
+    from repro.core.engine import resolve_scheduler
+
+    Database(scheduler="steal")
+    assert resolve_scheduler(None) == "steal"
+    assert resolve_scheduler("steal") == "steal"
+    deprecations = [w for w in recwarn.list if w.category is DeprecationWarning]
+    assert deprecations == []

@@ -236,8 +236,25 @@ def test_streaming_applies_residuals_and_projection(fanout_db):
     assert sorted(rows) == expected
 
 
-def test_streaming_aggregate_falls_back_to_materialized(fanout_db):
+def test_streaming_aggregate_streams_progressive_deltas(fanout_db):
+    """Aggregates stream mid-join now: progressive counts, exact final row."""
+    from repro.engine.streaming import collapse_grouped_batches
+
     sql = "SELECT COUNT(*) FROM r, s WHERE r.k = s.k"
+    expected = fanout_db.execute(sql).scalar()
+    batches = list(fanout_db.execute_iter(sql, batch_rows=1024))
+    # Progressive: more than just the final snapshot arrived, counts only grow.
+    assert len(batches) > 1
+    counts = [row[0] for batch in batches for row in batch]
+    assert counts == sorted(counts)
+    # Last-write-wins collapse (and the final snapshot itself) is exact.
+    assert collapse_grouped_batches(batches, ()) == [(expected,)]
+    assert batches[-1] == [(expected,)]
+
+
+def test_streaming_aggregate_with_residuals_falls_back_to_materialized(fanout_db):
+    """Residual-filtered aggregates keep the materialize-then-stream path."""
+    sql = "SELECT COUNT(*) FROM r, small WHERE r.k = small.k AND r.a < small.v"
     expected = fanout_db.execute(sql).scalar()
     batches = list(fanout_db.execute_iter(sql))
     assert batches == [[(expected,)]]
