@@ -10,11 +10,13 @@ multi-core; see ROADMAP).  Three series:
   would collapse sub-threshold inputs to one shard — which means the series
   measures *scheduling overhead*; real wall-clock speedup additionally needs
   process mode, inputs past the fork threshold, and multiple cores;
-* scheduler comparison: a Zipf(1.2)-skewed synthetic join at 4 workers,
-  work-stealing (``scheduler="steal"``) vs static range sharding
-  (``scheduler="range"``).  Steal mode shares one trie build across its
-  persistent thread pool where range mode rebuilds per worker, so its wall
-  time is gated at <= 0.75x of range mode's even on one core;
+* scheduler overhead: a Zipf(1.2)-skewed synthetic join at 4 thread workers
+  vs the serial executor.  Threads on one core cannot beat serial wall-clock
+  (the GIL serializes the join work), but the steal scheduler shares one trie
+  build across its persistent pool, so its *overhead* — partitioning, task
+  dispatch, merge — is gated at <= 1.5x the serial wall time.  (The retired
+  ``range`` scheduler rebuilt tries per worker and was gated relatively;
+  with it removed the gate is re-anchored on this steal-only baseline.);
 * inter-query: the shared JOB query subset pushed through
   ``Database.execute_many`` with 1 and 4 workers.
 
@@ -38,8 +40,8 @@ from repro.workloads.synthetic import zipf_sample
 SHARD_COUNTS = (1, 2, 4)
 #: The Q13a analogue: several large satellites joined on one skewed key.
 INTRA_QUERY = "q13"
-#: The steal-vs-range acceptance gate: steal wall time / range wall time.
-STEAL_SPEEDUP_GATE = 0.75
+#: The scheduler-overhead gate: steal@4-thread wall time / serial wall time.
+STEAL_OVERHEAD_GATE = 1.5
 #: Zipf exponent of the skewed synthetic join's key column.
 ZIPF_SKEW = 1.2
 #: Rows per relation for the skewed synthetic join.
@@ -117,51 +119,56 @@ def zipf_join_database():
 ZIPF_SQL = "SELECT COUNT(*) FROM R, S, T WHERE R.k = S.k AND R.k = T.k"
 
 
-def test_zipf_steal_beats_range_at_four_workers(benchmark, zipf_join_database):
-    """The tentpole gate: steal-mode wall time <= 0.75x range-mode wall time.
+def test_zipf_steal_overhead_bounded_at_four_workers(benchmark, zipf_join_database):
+    """Scheduler-overhead gate: steal@4-thread wall time <= 1.5x serial.
 
-    Both schedulers run at 4 workers on the thread backend (the deterministic
-    configuration; process workers additionally need multiple cores to show
-    wall-clock wins).  Exact result parity vs serial is asserted here and, in
-    depth, by the skew battery (``tests/test_parallel_skew.py``).
+    The thread backend at 4 workers is the deterministic configuration
+    (process workers additionally need multiple cores to show wall-clock
+    wins; that absolute claim is the multi-core gate below).  Under the GIL
+    the join work itself cannot speed up, so everything above 1.0x is
+    scheduling cost — partitioning, task dispatch, queue waits, merge — and
+    the gate pins it.  Exact result parity vs serial is asserted here and,
+    in depth, by the skew battery (``tests/test_parallel_skew.py``).
     """
     database = zipf_join_database
     expected = database.execute(ZIPF_SQL).scalar()  # also warms statistics
 
-    def run(scheduler):
-        options = FreeJoinOptions(
-            parallelism=4, parallel_mode="thread", scheduler=scheduler
-        )
+    def serial_run():
+        assert database.execute(ZIPF_SQL).scalar() == expected
+
+    def steal_run():
+        options = FreeJoinOptions(parallelism=4, parallel_mode="thread")
         outcome = database.execute(ZIPF_SQL, freejoin_options=options)
         assert outcome.scalar() == expected
         return outcome
 
-    def best_of(scheduler, rounds=2):
+    def best_of(fn, rounds=2):
         best = float("inf")
         for _ in range(rounds):
             started = time.perf_counter()
-            run(scheduler)
+            fn()
             best = min(best, time.perf_counter() - started)
         return best
 
-    range_seconds = best_of("range")
-    outcome = benchmark.pedantic(lambda: run("steal"), rounds=2, iterations=1)
+    serial_seconds = best_of(serial_run)
+    steal_run()  # warm the persistent pool outside the timing
+    outcome = benchmark.pedantic(steal_run, rounds=2, iterations=1)
     steal_seconds = min(benchmark.stats.stats.data)
 
     detail = outcome.report.details["parallel"][0]
     assert detail["scheduler"] == "steal"
     assert detail["shards"] == 4
-    ratio = steal_seconds / range_seconds
+    ratio = steal_seconds / serial_seconds
     print(
-        f"\nzipf({ZIPF_SKEW}) x {ZIPF_ROWS} rows, 4 workers: "
-        f"range {range_seconds * 1000:.1f} ms, steal {steal_seconds * 1000:.1f} ms, "
-        f"ratio {ratio:.2f} (gate <= {STEAL_SPEEDUP_GATE}), "
+        f"\nzipf({ZIPF_SKEW}) x {ZIPF_ROWS} rows, 4 thread workers: "
+        f"serial {serial_seconds * 1000:.1f} ms, steal {steal_seconds * 1000:.1f} ms, "
+        f"ratio {ratio:.2f} (gate <= {STEAL_OVERHEAD_GATE}), "
         f"tasks {detail['tasks']}, steals {detail['steals']}"
     )
-    assert ratio <= STEAL_SPEEDUP_GATE, (
-        f"work stealing must beat range sharding by >= 25% on skewed input; "
+    assert ratio <= STEAL_OVERHEAD_GATE, (
+        f"steal scheduling overhead must stay bounded on skewed input; "
         f"got ratio {ratio:.2f} (steal {steal_seconds:.3f} s vs "
-        f"range {range_seconds:.3f} s)"
+        f"serial {serial_seconds:.3f} s)"
     )
 
 
@@ -219,11 +226,11 @@ MULTICORE_ROWS = 12_000
 def test_multicore_wall_clock_speedup(benchmark):
     """Process-backend steal scheduling must beat serial wall-clock.
 
-    The steal-vs-range gate above compares two schedulers at equal worker
-    counts; this one pins the absolute claim — with real cores, 4 process
-    workers finish the skewed join faster than one serial executor — so a
+    The overhead gate above bounds the thread backend's scheduling cost;
+    this one pins the absolute claim — with real cores, 4 process workers
+    finish the skewed join faster than one serial executor — so a
     regression in fork cost, shm attach, or task decomposition cannot hide
-    behind a still-favorable scheduler ratio.
+    behind a still-bounded overhead ratio.
     """
     rng = random.Random(JOB_SEED)
     domain = MULTICORE_ROWS + MULTICORE_ROWS // 4

@@ -1,0 +1,73 @@
+"""Serving-mix benchmark: the admission-gated front door under burst.
+
+The acceptance gate from the router tentpole, on a multi-tenant burst of
+interleaved point lookups and analytic group-bys served through
+``engine="auto"`` routing plus an
+:class:`~repro.router.admission.AdmissionGate`:
+
+* **rejections, not timeouts** — the burst intentionally exceeds the gate's
+  limits; every over-capacity request must be shed *immediately* as a typed
+  ``AdmissionRejected`` (reject p95 gated at a small fraction of one
+  unloaded query), and **zero** requests may burn their deadline into a
+  ``DeadlineExceeded``.
+* **bounded p95 for admitted queries** — served p95 stays within
+  :data:`SERVED_P95_GATE` times the unloaded single-query median, because
+  the gate bounds queue depth instead of letting every request pile up.
+
+The same numbers run as the ``serving-mix`` figure of
+``scripts/make_report.py``, so they land in ``BENCH_<label>.json`` and the
+benchmark-history trend gate tracks them PR over PR.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SMOKE, JOB_SEED
+from repro.experiments.figures import run_serving_mix
+
+#: Served p95 vs the unloaded single-query median.  The gate admits at most
+#: 6 outstanding queries onto a 4-thread pool, so queueing is bounded by
+#: construction; 10x is loose enough for GIL-serialized smoke runners.
+SERVED_P95_GATE = 10.0
+#: Rejection latency vs the unloaded median: shedding must not cost a query.
+REJECT_FAST_GATE = 0.05
+#: Figure scale (the driver sizes the fan-out workload from it).
+MIX_SCALE = 0.05 if BENCH_SMOKE else 0.15
+
+
+def test_serving_mix_sheds_load_with_bounded_p95(benchmark):
+    """Burst through the gate: fast typed rejections, bounded served p95."""
+    result = benchmark.pedantic(
+        lambda: run_serving_mix(scale=MIX_SCALE, seed=JOB_SEED),
+        rounds=1, iterations=1,
+    )
+    summary = result["summary"]
+    unloaded = summary["unloaded_seconds"]
+    served_ratio = summary["served_p95_seconds"] / unloaded
+    reject_ratio = summary["reject_p95_seconds"] / unloaded
+    print(
+        f"\nserving mix: {summary['requests']} requests -> "
+        f"{summary['served']} served, {summary['rejected']} rejected, "
+        f"{summary['deadline_timeouts']} deadline timeouts; "
+        f"served p95 {summary['served_p95_seconds'] * 1000:.1f} ms "
+        f"({served_ratio:.2f}x unloaded, gate <= {SERVED_P95_GATE}), "
+        f"reject p95 {summary['reject_p95_seconds'] * 1000:.3f} ms "
+        f"({reject_ratio:.4f}x unloaded, gate <= {REJECT_FAST_GATE})"
+    )
+    assert summary["deadline_timeouts"] == 0, (
+        "over-capacity requests must be rejected by the gate, not queued "
+        "into deadline timeouts"
+    )
+    assert summary["rejected"] > 0, (
+        "the burst is sized past the gate's limits; something must be shed"
+    )
+    assert summary["served"] > 0
+    assert served_ratio <= SERVED_P95_GATE, (
+        f"admitted queries lost their latency bound under burst: p95 "
+        f"{served_ratio:.2f}x unloaded (gate <= {SERVED_P95_GATE})"
+    )
+    assert reject_ratio <= REJECT_FAST_GATE, (
+        f"rejections must be near-instant, got {reject_ratio:.4f}x an "
+        f"unloaded query (gate <= {REJECT_FAST_GATE})"
+    )
+    # Routing ran: every request that executed went through the router.
+    assert summary["router"]["routed"] >= summary["served"]

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Lightweight link and anchor checker for the repo's markdown docs.
+
+Usage::
+
+    python scripts/check_docs.py [FILE.md ...]
+
+With no arguments it checks the default doc set: ``README.md``, every
+``docs/*.md`` and ``benchmarks/README.md``.  For each markdown file it
+verifies that:
+
+* every **relative link** (``[text](path)``, ``[text](path#anchor)``)
+  resolves to an existing file or directory relative to the file, and
+* every **anchor** (``#section`` in a relative link, or ``(#section)``
+  within the same file) matches a heading in the target file, using
+  GitHub's heading-slug rules (lowercase, punctuation stripped, spaces
+  to hyphens, duplicate slugs suffixed ``-1``, ``-2``, ...).
+
+External links (``http://``, ``https://``, ``mailto:``) are *not*
+fetched — the checker is offline by design so it can gate markdown-only
+pushes in CI without network flakiness.  Links inside fenced code blocks
+and inline code spans are ignored.
+
+Exits non-zero listing every broken link, so CI fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_DOCS = ("README.md", "docs", "benchmarks/README.md")
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings keep text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(path: Path) -> List[str]:
+    """All heading anchors of a markdown file, with GitHub duplicate suffixes."""
+    seen: Dict[str, int] = {}
+    anchors: List[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.append(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def extract_links(path: Path) -> List[Tuple[int, str]]:
+    """(line_number, target) for every markdown link outside code blocks/spans."""
+    links: List[Tuple[int, str]] = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = CODE_SPAN_RE.sub("", line)
+        for match in LINK_RE.finditer(stripped):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def _display(path: Path) -> Path:
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:
+        return path
+
+
+def check_file(path: Path) -> List[str]:
+    """Return human-readable error strings for every broken link in *path*."""
+    errors: List[str] = []
+    rel = _display(path)
+    for lineno, target in extract_links(path):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        base, _, anchor = target.partition("#")
+        if base:
+            dest = (path.parent / base).resolve()
+            if not dest.exists():
+                errors.append(f"{rel}:{lineno}: broken link '{target}' (no such file)")
+                continue
+        else:
+            dest = path  # pure '#anchor' link into the same file
+        if anchor:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                continue  # anchors into non-markdown targets are not checkable
+            if anchor.lower() not in collect_anchors(dest):
+                errors.append(
+                    f"{rel}:{lineno}: broken anchor '{target}' "
+                    f"(no heading '#{anchor}' in {_display(dest)})"
+                )
+    return errors
+
+
+def default_docs() -> List[Path]:
+    docs: List[Path] = []
+    for entry in DEFAULT_DOCS:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            docs.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            docs.append(path)
+    return docs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path, help="markdown files (default: doc set)")
+    args = parser.parse_args()
+
+    files = [path.resolve() for path in args.files] if args.files else default_docs()
+    missing = [path for path in files if not path.exists()]
+    for path in missing:
+        print(f"error: no such file: {path}", file=sys.stderr)
+    if missing:
+        return 2
+
+    errors: List[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(str(_display(p)) for p in files)
+    if errors:
+        print(f"docs check FAILED: {len(errors)} broken link(s) across {checked}", file=sys.stderr)
+        return 1
+    print(f"docs check OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

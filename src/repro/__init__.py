@@ -14,7 +14,11 @@ and Suciu.  The package provides:
   figure of the evaluation (:mod:`repro.experiments`),
 * a parallel execution subsystem (:mod:`repro.parallel`: work-stealing
   pools over shared-memory columns, deadlines/cancellation, fingerprint-
-  keyed context caching) and an asyncio serving layer (:mod:`repro.serve`).
+  keyed context caching) and an asyncio serving layer (:mod:`repro.serve`),
+* a front-door query router with admission control (:mod:`repro.router`):
+  ``engine="auto"`` picks the engine and worker count per query from
+  statistics and observed runtimes, and an :class:`AdmissionGate` sheds
+  load with fast typed rejections instead of slow timeouts.
 
 Quickstart::
 
@@ -55,8 +59,15 @@ from repro.engine import (
 )
 from repro.engine.session import Database
 from repro.engine.aggregates import AggregateSpec, aggregate_result, aggregate_spec
-from repro.errors import DeadlineExceeded, QueryCancelled
+from repro.errors import AdmissionRejected, DeadlineExceeded, QueryCancelled
 from repro.parallel.cancellation import DeadlineToken
+from repro.router import (
+    AdmissionGate,
+    FeedbackStore,
+    QueryRouter,
+    RoutingDecision,
+    classify_sql,
+)
 from repro.serve import AsyncDatabase
 
 __version__ = "1.0.0"
@@ -87,6 +98,12 @@ __all__ = [
     "GenericJoinEngine",
     "Database",
     "AsyncDatabase",
+    "QueryRouter",
+    "RoutingDecision",
+    "FeedbackStore",
+    "AdmissionGate",
+    "AdmissionRejected",
+    "classify_sql",
     "DeadlineToken",
     "DeadlineExceeded",
     "QueryCancelled",

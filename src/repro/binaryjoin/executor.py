@@ -28,13 +28,11 @@ class BinaryJoinOptions:
     """Knobs of the binary join engine.
 
     ``parallelism > 1`` parallelizes each pipeline's probe loop over the
-    left-most relation's row offsets.  ``scheduler`` picks how: ``"steal"``
-    (default) decomposes the offsets into fine-grained tasks for the
-    persistent work-stealing pool (:mod:`repro.parallel.scheduler`);
-    ``"range"`` — the static one-range-per-worker sharder
-    (:mod:`repro.parallel.intra`) — is deprecated and emits a
-    ``DeprecationWarning``.  ``parallel_mode`` selects the backend
-    (``"auto"``, ``"process"`` or ``"thread"``).
+    left-most relation's row offsets: ``scheduler="steal"`` (the only
+    scheduler) decomposes the offsets into fine-grained tasks for the
+    persistent work-stealing pool (:mod:`repro.parallel.scheduler`).
+    ``parallel_mode`` selects the backend (``"auto"``, ``"process"`` or
+    ``"thread"``).
     """
 
     output: str = "rows"  # "rows" or "count"
@@ -99,35 +97,18 @@ class BinaryJoinEngine:
 
             if (options.parallelism or 1) > 1:
                 from repro.core.engine import resolve_scheduler
+                from repro.parallel.scheduler import run_binary_pipeline_steal
 
-                if resolve_scheduler(options.scheduler) == "steal":
-                    from repro.parallel.scheduler import run_binary_pipeline_steal
-
-                    shard_run = run_binary_pipeline_steal(
-                        pipeline_atoms,
-                        output_variables,
-                        output=sink_mode,
-                        workers=options.parallelism,
-                        mode=options.parallel_mode,
-                        interrupt=options.deadline,
-                        stream=final_sink,
-                    )
-                else:
-                    from repro.parallel.intra import run_binary_pipeline_sharded
-
-                    shard_run = run_binary_pipeline_sharded(
-                        pipeline_atoms,
-                        output_variables,
-                        output=sink_mode,
-                        shard_count=options.parallelism,
-                        mode=options.parallel_mode,
-                        interrupt=options.deadline,
-                    )
-                    if final_sink is not None:
-                        final_sink.emit_rows(
-                            shard_run.result.rows, shard_run.result.multiplicities
-                        )
-                        shard_run.result = final_sink.result()
+                resolve_scheduler(options.scheduler)
+                shard_run = run_binary_pipeline_steal(
+                    pipeline_atoms,
+                    output_variables,
+                    output=sink_mode,
+                    workers=options.parallelism,
+                    mode=options.parallel_mode,
+                    interrupt=options.deadline,
+                    stream=final_sink,
+                )
                 build_seconds += shard_run.build_seconds
                 join_seconds += shard_run.join_seconds
                 parallel_details.append(shard_run.details())

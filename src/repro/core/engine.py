@@ -57,9 +57,9 @@ class FreeJoinOptions:
     output:
         ``"rows"``, ``"count"``, or ``"factorized"`` (Figure 19).
     parallelism:
-        Number of intra-query shards.  With ``parallelism > 1`` every
+        Number of intra-query workers.  With ``parallelism > 1`` every
         pipeline's root cover iteration is partitioned across that many
-        workers (see :mod:`repro.parallel.intra`).  ``None`` (the default)
+        workers (see :mod:`repro.parallel.scheduler`).  ``None`` (the default)
         inherits the session's setting; an explicit 1 forces the serial
         path even on a parallel session.  Factorized output always runs
         serially.
@@ -67,25 +67,21 @@ class FreeJoinOptions:
         ``"auto"`` (processes for large inputs, threads for small ones),
         ``"process"``, or ``"thread"``.
     scheduler:
-        How parallel work is dispatched: ``"steal"`` (the default) decomposes
-        the root cover into fine-grained tasks executed by a persistent
-        work-stealing pool over shared-memory columns
-        (:mod:`repro.parallel.scheduler`).  ``"range"`` — the legacy static
-        sharder (one contiguous range per worker,
-        :mod:`repro.parallel.intra`) — is **deprecated** and emits a
-        ``DeprecationWarning`` when selected.  ``None`` inherits the
-        session's setting.
+        How parallel work is dispatched.  ``"steal"`` (the only scheduler)
+        decomposes the root cover into fine-grained tasks executed by a
+        persistent work-stealing pool over shared-memory columns
+        (:mod:`repro.parallel.scheduler`).  ``None`` inherits the session's
+        setting.  (The legacy static range sharder, ``"range"``, has been
+        removed.)
     deadline:
         Optional :class:`repro.parallel.cancellation.DeadlineToken`.  The
         executor ticks it at every trie-expansion boundary and the steal
-        scheduler pushes it into its workers, so an expired or cancelled
-        query aborts mid-execution with ``DeadlineExceeded`` /
-        ``QueryCancelled``.  Normally set per query by
-        :meth:`repro.engine.session.Database.execute` (``timeout=``) or the
-        async serving layer, not in long-lived option objects.  Both
-        schedulers enforce it: steal pools push the token into their
-        workers; range shards share it (threads) or rebuild it from the
-        task's monotonic deadline timestamp (processes).
+        scheduler pushes it into its workers (thread workers share the
+        token, process workers probe a fork-inherited cancel cell), so an
+        expired or cancelled query aborts mid-execution with
+        ``DeadlineExceeded`` / ``QueryCancelled``.  Normally set per query
+        by :meth:`repro.engine.session.Database.execute` (``timeout=``) or
+        the async serving layer, not in long-lived option objects.
     """
 
     trie_strategy: TrieStrategy = TrieStrategy.COLT
@@ -112,22 +108,14 @@ class FreeJoinOptions:
 def resolve_scheduler(scheduler: Optional[str]) -> str:
     """Resolve a scheduler knob (``None`` means the default, ``"steal"``).
 
-    ``"range"`` (the static one-range-per-worker sharder) is deprecated and
-    scheduled for removal; resolving it emits a :class:`DeprecationWarning`.
+    ``"steal"`` is the only scheduler; the deprecated static range sharder
+    (``"range"``) has been removed, and selecting it is an error.
     """
     resolved = scheduler or "steal"
-    if resolved not in ("steal", "range"):
+    if resolved != "steal":
         raise PlanError(
-            f"unknown scheduler {resolved!r}; choose 'steal' or 'range'"
-        )
-    if resolved == "range":
-        import warnings
-
-        warnings.warn(
-            "the 'range' scheduler is deprecated and will be removed in a "
-            "future release; use the default 'steal' scheduler",
-            DeprecationWarning,
-            stacklevel=3,
+            f"unknown scheduler {resolved!r}; the only scheduler is 'steal' "
+            f"(the legacy 'range' sharder was removed)"
         )
     return resolved
 
@@ -151,31 +139,12 @@ def _run_parallel_pipeline(
     :class:`~repro.engine.streaming.StreamingAggregateSink`, steal tasks
     fold their rows into per-group partials worker-side and the parent
     merges them — grouped aggregates stream group deltas without the row
-    bag ever crossing the worker boundary.  The legacy (deprecated) range
-    sharder has no incremental return path, so its shards are forwarded
-    only after the merge (delivery still streams; execution does not
-    overlap it).
+    bag ever crossing the worker boundary.
     """
-    if resolve_scheduler(options.scheduler) == "steal":
-        from repro.parallel.scheduler import run_freejoin_pipeline_steal
+    resolve_scheduler(options.scheduler)
+    from repro.parallel.scheduler import run_freejoin_pipeline_steal
 
-        return run_freejoin_pipeline_steal(
-            plan,
-            output_variables,
-            pipeline_atoms,
-            schemas,
-            trie_strategy=options.trie_strategy,
-            batch_size=options.batch_size,
-            dynamic_cover=options.dynamic_cover,
-            output=sink_mode,
-            workers=shard_count,
-            mode=options.parallel_mode,
-            interrupt=options.deadline,
-            stream=stream,
-        )
-    from repro.parallel.intra import run_freejoin_pipeline_sharded
-
-    shard_run = run_freejoin_pipeline_sharded(
+    return run_freejoin_pipeline_steal(
         plan,
         output_variables,
         pipeline_atoms,
@@ -184,14 +153,11 @@ def _run_parallel_pipeline(
         batch_size=options.batch_size,
         dynamic_cover=options.dynamic_cover,
         output=sink_mode,
-        shard_count=shard_count,
+        workers=shard_count,
         mode=options.parallel_mode,
         interrupt=options.deadline,
+        stream=stream,
     )
-    if stream is not None:
-        stream.emit_rows(shard_run.result.rows, shard_run.result.multiplicities)
-        shard_run.result = stream.result()
-    return shard_run
 
 
 class FreeJoinEngine:

@@ -292,7 +292,7 @@ class FreeJoinExecutor:
         same node twice is redundant but yields an equivalent map).
         """
         # Imported here, as in run_sharded: importing the parallel package at
-        # module top would be circular (parallel.intra imports this module).
+        # module top would be circular (parallel.scheduler imports this module).
         from repro.parallel.sharding import RangeView
 
         for relation in self.plan.relations():

@@ -61,4 +61,7 @@ class RunReport:
         parallel = self.details.get("parallel")
         if parallel is not None:
             record["parallel"] = parallel
+        router = self.details.get("router")
+        if router is not None:
+            record["router"] = router
         return record

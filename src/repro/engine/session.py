@@ -13,7 +13,7 @@ entry point example applications use::
 
 from __future__ import annotations
 
-import warnings
+import time
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional
 
@@ -33,6 +33,9 @@ from repro.storage.table import Table
 
 #: Engines selectable by name.
 ENGINES = ("freejoin", "binary", "generic")
+#: The routed pseudo-engine: the session's :class:`~repro.router.policy.QueryRouter`
+#: picks one of :data:`ENGINES` (and a worker count) per query.
+AUTO_ENGINE = "auto"
 
 
 @dataclass
@@ -71,6 +74,7 @@ class Database:
         parallelism: int = 1,
         parallel_mode: str = "auto",
         scheduler: str = "steal",
+        router=None,
     ) -> None:
         """Create a session.
 
@@ -78,15 +82,22 @@ class Database:
         engine splits each join across that many workers unless the
         per-query options ask for a different value.  ``parallel_mode``
         selects the worker backend (``"auto"``, ``"process"``, ``"thread"``)
-        and ``scheduler`` the dispatch strategy: ``"steal"`` (default) uses
-        the persistent work-stealing pool over shared-memory columns
-        (:mod:`repro.parallel.scheduler`).  ``"range"`` — the static
-        one-range-per-worker sharder (:mod:`repro.parallel.intra`) — is
-        **deprecated** and scheduled for removal; selecting it emits a
-        :class:`DeprecationWarning`.
+        and ``scheduler`` the dispatch strategy: ``"steal"`` (the only
+        scheduler) uses the persistent work-stealing pool over
+        shared-memory columns (:mod:`repro.parallel.scheduler`).  The
+        legacy static range sharder has been removed.
+
+        ``default_engine="auto"`` (or ``engine="auto"`` per query) routes
+        through the session's :class:`~repro.router.policy.QueryRouter`,
+        which picks engine and worker count per query from statistics and
+        observed runtimes; pass ``router`` to share one router (and its
+        feedback store) across sessions, the way the serving layer does.
         """
-        if default_engine not in ENGINES:
-            raise QueryError(f"unknown engine {default_engine!r}; choose from {ENGINES}")
+        if default_engine not in ENGINES and default_engine != AUTO_ENGINE:
+            raise QueryError(
+                f"unknown engine {default_engine!r}; choose from "
+                f"{ENGINES + (AUTO_ENGINE,)}"
+            )
         if parallelism < 1:
             raise QueryError(f"parallelism must be at least 1, got {parallelism}")
         if parallel_mode not in ("auto", "process", "thread"):
@@ -94,16 +105,10 @@ class Database:
                 f"unknown parallel mode {parallel_mode!r}; "
                 f"choose 'auto', 'process' or 'thread'"
             )
-        if scheduler not in ("steal", "range"):
+        if scheduler != "steal":
             raise QueryError(
-                f"unknown scheduler {scheduler!r}; choose 'steal' or 'range'"
-            )
-        if scheduler == "range":
-            warnings.warn(
-                "the 'range' scheduler is deprecated and will be removed in a "
-                "future release; use the default 'steal' scheduler",
-                DeprecationWarning,
-                stacklevel=2,
+                f"unknown scheduler {scheduler!r}; the only scheduler is 'steal' "
+                f"(the legacy 'range' sharder was removed)"
             )
         self.catalog = catalog or Catalog()
         self.default_engine = default_engine
@@ -112,6 +117,11 @@ class Database:
         self.parallel_mode = parallel_mode
         self.scheduler = scheduler
         self.statistics_cache = StatisticsCache()
+        if router is None:
+            from repro.router.policy import QueryRouter
+
+            router = QueryRouter()
+        self.router = router
 
     def close(self) -> None:
         """Release process-wide parallel resources.
@@ -175,10 +185,19 @@ class Database:
         pre-built :class:`~repro.parallel.cancellation.DeadlineToken` (the
         async serving layer passes one so it can also *cancel* the query);
         when both are given the token wins.
+
+        ``engine="auto"`` routes through the session's
+        :class:`~repro.router.policy.QueryRouter`: engine and worker count
+        are chosen per query (statistics cold, observed runtimes warm), the
+        decision lands under ``report.details["router"]``, and the
+        completed wall-clock is fed back to the router.
         """
         engine_name = engine or self.default_engine
-        if engine_name not in ENGINES:
-            raise QueryError(f"unknown engine {engine_name!r}; choose from {ENGINES}")
+        if engine_name not in ENGINES and engine_name != AUTO_ENGINE:
+            raise QueryError(
+                f"unknown engine {engine_name!r}; choose from "
+                f"{ENGINES + (AUTO_ENGINE,)}"
+            )
         if deadline is None and timeout is not None:
             from repro.parallel.cancellation import DeadlineToken
 
@@ -190,9 +209,19 @@ class Database:
             bad_estimates=bad_estimates,
             statistics_cache=self.statistics_cache,
         )
+        engine_name, decision = self._route_if_auto(engine_name, logical, binary_plan)
+        started = time.perf_counter()
         report = self.run_join(
-            logical, binary_plan, engine_name, freejoin_options, deadline=deadline
+            logical,
+            binary_plan,
+            engine_name,
+            freejoin_options,
+            deadline=deadline,
+            parallelism=decision.parallelism if decision is not None else None,
         )
+        if decision is not None:
+            self.router.observe(decision, time.perf_counter() - started)
+            report.details["router"] = decision.as_dict()
         join_result = self._apply_residuals(report.result, logical)
         table = aggregate_result(join_result, logical)
         return QueryOutcome(
@@ -266,8 +295,11 @@ class Database:
         from repro.parallel.cancellation import DeadlineToken
 
         engine_name = engine or self.default_engine
-        if engine_name not in ENGINES:
-            raise QueryError(f"unknown engine {engine_name!r}; choose from {ENGINES}")
+        if engine_name not in ENGINES and engine_name != AUTO_ENGINE:
+            raise QueryError(
+                f"unknown engine {engine_name!r}; choose from "
+                f"{ENGINES + (AUTO_ENGINE,)}"
+            )
         token = deadline
         if token is None:
             # Always arm a token (without a deadline when no timeout): early
@@ -309,16 +341,25 @@ class Database:
                 max_batches=max_batches,
                 interrupt=token,
             )
+            engine_name, decision = self._route_if_auto(
+                engine_name, logical, binary_plan
+            )
 
             def run_grouped():
-                return self.run_join(
+                started = time.perf_counter()
+                report = self.run_join(
                     logical,
                     binary_plan,
                     engine_name,
                     freejoin_options,
                     deadline=token,
                     sink=sink,
+                    parallelism=decision.parallelism if decision is not None else None,
                 )
+                if decision is not None:
+                    self.router.observe(decision, time.perf_counter() - started)
+                    report.details["router"] = decision.as_dict()
+                return report
 
             return StreamingResult(sink, token, run_grouped, executor=executor)
 
@@ -357,16 +398,23 @@ class Database:
             interrupt=token,
         )
         transform = self._batch_transform(logical, variables)
+        engine_name, decision = self._route_if_auto(engine_name, logical, binary_plan)
 
         def run_streaming():
-            return self.run_join(
+            started = time.perf_counter()
+            report = self.run_join(
                 logical,
                 binary_plan,
                 engine_name,
                 freejoin_options,
                 deadline=token,
                 sink=sink,
+                parallelism=decision.parallelism if decision is not None else None,
             )
+            if decision is not None:
+                self.router.observe(decision, time.perf_counter() - started)
+                report.details["router"] = decision.as_dict()
+            return report
 
         return StreamingResult(
             sink, token, run_streaming, transform=transform, executor=executor
@@ -428,8 +476,10 @@ class Database:
         """
         from repro.parallel.workload import execute_workload
 
-        if engine is not None and engine not in ENGINES:
-            raise QueryError(f"unknown engine {engine!r}; choose from {ENGINES}")
+        if engine is not None and engine not in ENGINES and engine != AUTO_ENGINE:
+            raise QueryError(
+                f"unknown engine {engine!r}; choose from {ENGINES + (AUTO_ENGINE,)}"
+            )
         return execute_workload(
             self.catalog,
             queries,
@@ -443,6 +493,7 @@ class Database:
             mode=mode,
             collect_rows=collect_rows,
             statistics_cache=self.statistics_cache,
+            router=self.router,
         )
 
     def run_join(
@@ -453,15 +504,21 @@ class Database:
         freejoin_options: Optional[FreeJoinOptions] = None,
         deadline=None,
         sink=None,
+        parallelism: Optional[int] = None,
     ) -> RunReport:
         """Run only the join (no residual filters, no aggregation).
 
         ``sink`` overrides the final pipeline's output sink on every engine;
         :meth:`execute_iter` passes a
         :class:`~repro.engine.streaming.StreamingSink` here to stream rows
-        out while the join is still running.
+        out while the join is still running.  ``parallelism`` overrides the
+        worker count for this run (the router passes its per-query choice);
+        per-query Free Join options still win over it.
         """
         output_mode = "rows" if sink is not None else self._output_mode(logical)
+        session_parallelism = (
+            parallelism if parallelism is not None else self.parallelism
+        )
         if engine_name == "freejoin":
             options = freejoin_options or self.freejoin_options
             # replace() keeps every other field as the caller set it — a
@@ -469,7 +526,9 @@ class Database:
             options = replace(
                 options,
                 output=output_mode if options.output == "rows" else options.output,
-                parallelism=self._effective_parallelism(options.parallelism),
+                parallelism=options.parallelism
+                if options.parallelism is not None
+                else session_parallelism,
                 parallel_mode=options.parallel_mode
                 if options.parallel_mode != "auto"
                 else self.parallel_mode,
@@ -480,7 +539,7 @@ class Database:
         if engine_name == "binary":
             options = BinaryJoinOptions(
                 output=output_mode,
-                parallelism=self.parallelism,
+                parallelism=session_parallelism,
                 parallel_mode=self.parallel_mode,
                 scheduler=self.scheduler,
                 deadline=deadline,
@@ -489,7 +548,7 @@ class Database:
         if engine_name == "generic":
             options = GenericJoinOptions(
                 output=output_mode,
-                parallelism=self.parallelism,
+                parallelism=session_parallelism,
                 parallel_mode=self.parallel_mode,
                 scheduler=self.scheduler,
                 deadline=deadline,
@@ -497,17 +556,26 @@ class Database:
             return GenericJoinEngine(options).run(logical.query, binary_plan, sink=sink)
         raise QueryError(f"unknown engine {engine_name!r}")
 
-    def _effective_parallelism(self, requested: Optional[int]) -> int:
-        """Per-query options win over the session default when set.
-
-        ``None`` means "inherit the session's parallelism"; an explicit 1
-        forces serial execution even on a parallel session.
-        """
-        return requested if requested is not None else self.parallelism
-
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
+
+    def _route_if_auto(self, engine_name: str, logical, binary_plan):
+        """Resolve the ``"auto"`` pseudo-engine into a concrete engine.
+
+        Returns ``(engine_name, decision)`` where ``decision`` is the
+        :class:`~repro.router.policy.RoutingDecision` for routed queries and
+        ``None`` when the caller named an engine explicitly.
+        """
+        if engine_name != AUTO_ENGINE:
+            return engine_name, None
+        decision = self.router.route(
+            logical,
+            binary_plan,
+            statistics_cache=self.statistics_cache,
+            max_workers=self.parallelism,
+        )
+        return decision.engine, decision
 
     @staticmethod
     def _output_mode(logical: LogicalQuery) -> str:

@@ -251,8 +251,7 @@ class StreamingAggregateSink(StreamingSink):
     * serial engines report rows via :meth:`on_row` (and factorized groups
       via :meth:`on_group`, folded without expansion whenever the group key
       is bound by the prefix);
-    * the legacy range sharder forwards merged shard rows via
-      :meth:`emit_rows`;
+    * batch producers forward pre-collected rows via :meth:`emit_rows`;
     * the steal scheduler ships each task's *serialized partial* to
       :meth:`emit_partial`, which merges it and flushes the touched groups —
       so a parallel ``GROUP BY`` streams a delta as every worker task
@@ -320,7 +319,7 @@ class StreamingAggregateSink(StreamingSink):
     def emit_rows(
         self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
     ) -> None:
-        """Fold many rows at once (the range sharder's merged forwarding)."""
+        """Fold many rows at once (batch forwarding of pre-collected rows)."""
         with self._lock:
             if multiplicities is None:
                 for row in rows:

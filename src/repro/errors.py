@@ -66,3 +66,28 @@ class QueryCancelled(ExecutionError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""
+
+
+class AdmissionRejected(ReproError):
+    """The admission gate refused a query before it started executing.
+
+    Load shedding, not failure: the serving layer is saturated (per-class
+    concurrency limit, bounded queue, or token-bucket rate), and rejecting
+    immediately keeps the latency of admitted queries bounded instead of
+    letting every request time out slowly.  Callers should treat this as
+    retryable.
+
+    Attributes
+    ----------
+    reason:
+        Which limit rejected the query: ``"rate"``, ``"class_limit"`` or
+        ``"queue_full"``.
+    query_class:
+        The admission class of the rejected query (``"point"`` or
+        ``"analytic"``).
+    """
+
+    def __init__(self, message: str, reason: str = "", query_class: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.query_class = query_class

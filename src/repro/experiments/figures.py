@@ -576,6 +576,149 @@ def run_aggregation(
 
 
 # --------------------------------------------------------------------------- #
+# Serving mix: routed engines + admission control under a multi-tenant burst
+# --------------------------------------------------------------------------- #
+
+
+def run_serving_mix(
+    scale: float = 0.3,
+    repeats: int = 1,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Multi-tenant burst through the routed, admission-gated front door.
+
+    A burst of interleaved point lookups and analytic group-bys hits an
+    :class:`~repro.serve.AsyncDatabase` configured with ``engine="auto"``
+    routing and an :class:`~repro.router.admission.AdmissionGate`.  The
+    burst intentionally exceeds the gate's limits, so the run shows the
+    serving layer's two promises at once: requests past capacity are shed
+    *fast* (typed :class:`~repro.errors.AdmissionRejected`, not slow
+    deadline timeouts) and admitted queries keep a bounded p95.  The CI
+    gate (``benchmarks/test_bench_serving_mix.py``) asserts exactly that:
+    zero deadline timeouts, at least one rejection, served p95 within a
+    fixed multiple of the unloaded median — and this driver feeds the same
+    numbers into ``BENCH_<label>.json`` for the history trend gate.
+    """
+    import asyncio
+    import statistics as statistics_module
+    import time as time_module
+
+    from repro.errors import AdmissionRejected, DeadlineExceeded
+    from repro.router.admission import ANALYTIC, POINT, AdmissionGate
+    from repro.serve import AsyncDatabase
+    from repro.workloads.synthetic import FANOUT_GROUP_SQL, fanout_tables
+
+    rows = max(500, int(12_000 * scale))
+    database = Database(default_engine="auto")
+    database.register_all(fanout_tables(rows, seed=seed, skew=1.2).values())
+    point_sql = "SELECT COUNT(*) FROM fan_r, fan_s WHERE fan_r.k = fan_s.k"
+    analytic_sql = FANOUT_GROUP_SQL
+
+    # One unloaded reference query per class: the burst's latency bound is
+    # expressed relative to this, so the figure is machine-speed independent.
+    unloaded = statistics_module.median(
+        _timed_seconds(database, analytic_sql) for _ in range(3)
+    )
+    budget = max(5.0, 50.0 * unloaded)
+
+    gate = AdmissionGate(point_limit=4, analytic_limit=2)
+    # 12 point + 6 analytic per wave, interleaved 2:1 — more than the gate
+    # admits at once, so every wave sheds load.
+    wave = []
+    for _ in range(6):
+        wave.append((point_sql, POINT))
+        wave.append((point_sql, POINT))
+        wave.append((analytic_sql, ANALYTIC))
+
+    async def serve_wave(server):
+        async def one(index, sql, query_class):
+            started = time_module.perf_counter()
+            try:
+                await server.execute(
+                    sql, name=f"mix-{index}", timeout=budget,
+                    query_class=query_class,
+                )
+                return (query_class, "served", time_module.perf_counter() - started)
+            except AdmissionRejected:
+                return (query_class, "rejected", time_module.perf_counter() - started)
+            except DeadlineExceeded:
+                return (query_class, "timeout", time_module.perf_counter() - started)
+
+        tasks = [
+            asyncio.create_task(one(index, sql, query_class))
+            for index, (sql, query_class) in enumerate(wave)
+        ]
+        return await asyncio.gather(*tasks)
+
+    async def serve_burst():
+        results = []
+        async with AsyncDatabase(
+            database, max_concurrency=4, admission=gate
+        ) as server:
+            for _ in range(max(1, repeats) * 2):
+                results.extend(await serve_wave(server))
+        return results
+
+    results = asyncio.run(serve_burst())
+    served = sorted(s for _, status, s in results if status == "served")
+    rejected = sorted(s for _, status, s in results if status == "rejected")
+    timeouts = [s for _, status, s in results if status == "timeout"]
+    if not served:
+        raise RuntimeError("serving mix admitted no queries at all")
+
+    def percentile(values, fraction):
+        return values[min(len(values) - 1, int(fraction * len(values)))]
+
+    measurements = [
+        Measurement(
+            workload="serving-mix", query="burst", engine="auto",
+            variant="served-p50", seconds=percentile(served, 0.50),
+            build_seconds=0.0, join_seconds=percentile(served, 0.50),
+            output_rows=len(served), scale=scale,
+        ),
+        Measurement(
+            workload="serving-mix", query="burst", engine="auto",
+            variant="served-p95", seconds=percentile(served, 0.95),
+            build_seconds=0.0, join_seconds=percentile(served, 0.95),
+            output_rows=len(served), scale=scale,
+        ),
+        Measurement(
+            workload="serving-mix", query="burst", engine="auto",
+            variant="reject-p95",
+            seconds=percentile(rejected, 0.95) if rejected else 0.0,
+            build_seconds=0.0,
+            join_seconds=percentile(rejected, 0.95) if rejected else 0.0,
+            output_rows=len(rejected), scale=scale,
+        ),
+    ]
+    summary = {
+        "requests": len(results),
+        "served": len(served),
+        "rejected": len(rejected),
+        "deadline_timeouts": len(timeouts),
+        "unloaded_seconds": unloaded,
+        "served_p50_seconds": percentile(served, 0.50),
+        "served_p95_seconds": percentile(served, 0.95),
+        "reject_p95_seconds": percentile(rejected, 0.95) if rejected else 0.0,
+        "admission": gate.snapshot(),
+        "router": database.router.telemetry(),
+    }
+    return {
+        "figure": "serving-mix",
+        "measurements": measurements,
+        "summary": summary,
+    }
+
+
+def _timed_seconds(database: Database, sql: str) -> float:
+    import time as time_module
+
+    started = time_module.perf_counter()
+    database.execute(sql)
+    return time_module.perf_counter() - started
+
+
+# --------------------------------------------------------------------------- #
 # Headline numbers (Section 1 / Section 5.2)
 # --------------------------------------------------------------------------- #
 
@@ -618,6 +761,7 @@ FIGURES = {
     "headline": run_headline,
     "streaming": run_streaming,
     "aggregation": run_aggregation,
+    "serving-mix": run_serving_mix,
 }
 
 

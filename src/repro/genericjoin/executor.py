@@ -34,13 +34,10 @@ class GenericJoinOptions:
     """Knobs of the Generic Join engine.
 
     ``parallelism > 1`` parallelizes the first variable's intersection (the
-    iteration over the smallest trie level).  ``scheduler`` picks how:
-    ``"steal"`` (default) decomposes it into fine-grained tasks for the
-    persistent work-stealing pool (:mod:`repro.parallel.scheduler`);
-    ``"range"`` — the static one-range-per-worker sharder
-    (:mod:`repro.parallel.intra`) — is deprecated and emits a
-    ``DeprecationWarning``.  ``parallel_mode`` selects the backend
-    (``"auto"``, ``"process"`` or ``"thread"``).
+    iteration over the smallest trie level): ``scheduler="steal"`` (the only
+    scheduler) decomposes it into fine-grained tasks for the persistent
+    work-stealing pool (:mod:`repro.parallel.scheduler`).  ``parallel_mode``
+    selects the backend (``"auto"``, ``"process"`` or ``"thread"``).
     """
 
     output: str = "rows"  # "rows" or "count"
@@ -103,37 +100,19 @@ class GenericJoinEngine:
         output_mode = "rows" if sink is not None else options.output
         if (options.parallelism or 1) > 1 and output_mode in ("rows", "count"):
             from repro.core.engine import resolve_scheduler
+            from repro.parallel.scheduler import run_generic_steal
 
-            if resolve_scheduler(options.scheduler) == "steal":
-                from repro.parallel.scheduler import run_generic_steal
-
-                shard_run = run_generic_steal(
-                    list(query.atoms),
-                    query.output_variables,
-                    order,
-                    output=output_mode,
-                    workers=options.parallelism,
-                    mode=options.parallel_mode,
-                    interrupt=options.deadline,
-                    stream=sink,
-                )
-            else:
-                from repro.parallel.intra import run_generic_sharded
-
-                shard_run = run_generic_sharded(
-                    list(query.atoms),
-                    query.output_variables,
-                    order,
-                    output=output_mode,
-                    shard_count=options.parallelism,
-                    mode=options.parallel_mode,
-                    interrupt=options.deadline,
-                )
-                if sink is not None:
-                    sink.emit_rows(
-                        shard_run.result.rows, shard_run.result.multiplicities
-                    )
-                    shard_run.result = sink.result()
+            resolve_scheduler(options.scheduler)
+            shard_run = run_generic_steal(
+                list(query.atoms),
+                query.output_variables,
+                order,
+                output=output_mode,
+                workers=options.parallelism,
+                mode=options.parallel_mode,
+                interrupt=options.deadline,
+                stream=sink,
+            )
             return RunReport(
                 engine=self.name,
                 result=shard_run.result,
@@ -214,8 +193,7 @@ class GenericJoinEngine:
 
         ``shard`` (shard_index, shard_count) restricts the *first* variable's
         intersection to a contiguous slice of the smallest level's entries;
-        the range sharder runs one worker per slice and the union of the
-        slices reproduces the serial output (see
+        the union of the slices reproduces the serial output (see
         :mod:`repro.parallel.sharding`).  ``entry_range`` is the
         task-granular variant used by the work-stealing scheduler: an
         explicit half-open slice ``[start, stop)`` of the same iteration.

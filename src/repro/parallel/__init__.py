@@ -3,38 +3,30 @@
 Two layers, mirroring how a multi-core engine would serve the paper's
 workloads in production:
 
-* :mod:`repro.parallel.scheduler` — *intra-query* parallelism, default
-  (``scheduler="steal"``): the root cover is decomposed into fine-grained
-  tasks executed by a persistent work-stealing pool whose process workers
-  attach inputs through the shared-memory column plane
-  (:mod:`repro.storage.shm`); per-task/per-worker stats (steals, queue
-  depths, attach times) are merged into ``RunReport.details["parallel"]``.
-* :mod:`repro.parallel.intra` — the legacy static sharder
-  (``scheduler="range"``): one contiguous range of the root cover per
-  worker, per-shard stats merged back into a single result.
+* :mod:`repro.parallel.scheduler` — *intra-query* parallelism: the root
+  cover is decomposed into fine-grained tasks executed by a persistent
+  work-stealing pool whose process workers attach inputs through the
+  shared-memory column plane (:mod:`repro.storage.shm`); per-task/per-worker
+  stats (steals, queue depths, attach times) are merged into
+  ``RunReport.details["parallel"]``.  (The legacy static range sharder,
+  ``scheduler="range"``, has been removed.)
 * :mod:`repro.parallel.workload` — *inter-query* parallelism: a workload of
   SQL queries evaluated concurrently with per-query timeout and error
   capture, returning a JSON-serializable
   :class:`~repro.parallel.workload.WorkloadOutcome`.
 
-The engines reach the first two layers through their ``parallelism`` and
-``scheduler`` options
+The engines reach the first layer through their ``parallelism`` option
 (:class:`~repro.core.engine.FreeJoinOptions`,
 :class:`~repro.binaryjoin.executor.BinaryJoinOptions`,
 :class:`~repro.genericjoin.executor.GenericJoinOptions`); sessions reach the
 second through :meth:`repro.engine.session.Database.execute_many`.
 """
 
-from repro.parallel.intra import (
+from repro.parallel.scheduler import (
     PROCESS_INPUT_THRESHOLD,
     ShardedRunResult,
-    resolve_mode,
-    run_binary_pipeline_sharded,
-    run_freejoin_pipeline_sharded,
-    run_generic_sharded,
-)
-from repro.parallel.scheduler import (
     TASKS_PER_WORKER,
+    resolve_mode,
     ProcessStealPool,
     StealTask,
     ThreadStealPool,
@@ -84,11 +76,8 @@ __all__ = [
     "get_pool",
     "normalize_queries",
     "resolve_mode",
-    "run_binary_pipeline_sharded",
     "run_binary_pipeline_steal",
-    "run_freejoin_pipeline_sharded",
     "run_freejoin_pipeline_steal",
-    "run_generic_sharded",
     "run_generic_steal",
     "shard_bounds",
     "shard_offsets",

@@ -114,7 +114,7 @@ class DeadlineToken:
                 )
 
     # Tokens travel inside engine options; options objects are pickled by the
-    # range sharder and the workload runner.  The probe (often a closure over
+    # process steal pool and the workload runner.  The probe (often a closure over
     # multiprocessing state) must not cross — a reconstructed token watches
     # only its timestamp.
     def __getstate__(self):

@@ -1,11 +1,11 @@
 """Work-stealing task scheduler for intra-query parallelism.
 
-The static range sharder (:mod:`repro.parallel.intra`) splits the root
-cover into exactly one contiguous range per worker.  On the skewed inputs the
-paper's workloads are built from (Zipf keys, hub-and-spoke joins) those ranges
-are wildly uneven: one hot key can put almost all of the join under a single
-shard while the other workers idle.  This module replaces that with a
-task-queue scheduler:
+A static range sharder (one contiguous range of the root cover per worker —
+the retired ``scheduler="range"`` path) leaves workers wildly unbalanced on
+the skewed inputs the paper's workloads are built from (Zipf keys,
+hub-and-spoke joins): one hot key can put almost all of the join under a
+single shard while the other workers idle.  This module is a task-queue
+scheduler instead:
 
 * the root cover is decomposed into *many* fine-grained tasks (contiguous
   entry ranges; about :data:`TASKS_PER_WORKER` per worker), and when the root
@@ -80,7 +80,7 @@ from repro.core.colt import TrieStrategy, build_tries
 from repro.core.executor import ExecutorStats, FreeJoinExecutor
 from repro.core.plan import FreeJoinPlan
 from repro.engine.aggregates import AggregateSpec, PartialAggregateSink
-from repro.engine.output import JoinResult, RowSink
+from repro.engine.output import CountSink, JoinResult, OutputSink, RowSink
 from repro.errors import DeadlineExceeded, ExecutionError, QueryCancelled
 from repro.parallel.cancellation import DeadlineToken
 from repro.parallel.context_cache import (
@@ -89,15 +89,88 @@ from repro.parallel.context_cache import (
     context_cache_budget,
     context_cache_key,
 )
-from repro.parallel.intra import (
-    ShardedRunResult,
-    _fork_context,
-    _make_sink,
-    resolve_mode,
-)
 from repro.parallel.sharding import entry_count, shard_offsets
 from repro.query.atoms import Atom
 from repro.storage.shm import AttachmentCache, ShmTableHandle, export_table
+
+#: Below this many total input tuples, ``mode="auto"`` uses threads: the
+#: fork/pickle/rebuild overhead of process workers would dominate the join.
+PROCESS_INPUT_THRESHOLD = 20_000
+
+
+def resolve_mode(mode: str, shard_count: int, input_tuples: int) -> str:
+    """Resolve ``auto`` into ``process`` or ``thread``.
+
+    Small inputs fall back to threads: forking workers, re-pickling the
+    tables and rebuilding tries per worker costs more than the join saves.
+    """
+    if mode in ("process", "thread"):
+        return mode
+    if mode != "auto":
+        raise ExecutionError(
+            f"unknown parallel mode {mode!r}; choose 'auto', 'process' or 'thread'"
+        )
+    if shard_count <= 1 or input_tuples < PROCESS_INPUT_THRESHOLD:
+        return "thread"
+    if (multiprocessing.cpu_count() or 1) <= 1:
+        # One core: processes only add fork/transfer overhead on top of the
+        # same serialized CPU time.
+        return "thread"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        # Without fork the tables would be pickled into every spawned worker
+        # plus an interpreter cold-start each — the exact overhead the
+        # threshold rationale assumes away.  Explicit mode="process" still
+        # allows it for users who know their workload amortizes the cost.
+        return "thread"
+    return "process"
+
+
+def _fork_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _make_sink(output: str, variables: Sequence[str]) -> OutputSink:
+    if output == "rows":
+        return RowSink(variables)
+    if output == "count":
+        return CountSink(variables)
+    raise ExecutionError(
+        f"parallel execution supports outputs ('rows', 'count'), got {output!r}"
+    )
+
+
+@dataclass
+class ShardedRunResult:
+    """A merged parallel run: the combined result plus per-worker accounting.
+
+    Produced by the work-stealing scheduler (one entry per *worker* in
+    ``shard_details``, plus scheduler counters — task/steal/queue stats — in
+    ``extra``).
+    """
+
+    result: JoinResult
+    stats: Optional[ExecutorStats]
+    build_seconds: float
+    join_seconds: float
+    mode: str
+    shard_count: int
+    shard_details: List[Dict[str, object]] = field(default_factory=list)
+    scheduler: str = "steal"
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def details(self) -> Dict[str, object]:
+        """Summary suitable for :attr:`RunReport.details` / JSON reports."""
+        record: Dict[str, object] = {
+            "mode": self.mode,
+            "scheduler": self.scheduler,
+            "shards": self.shard_count,
+            "per_shard": self.shard_details,
+        }
+        record.update(self.extra)
+        return record
 
 #: Target number of tasks dealt per worker.  More tasks mean finer-grained
 #: stealing (better balance under skew) at the cost of per-task overhead.

@@ -71,6 +71,10 @@ class QueryExecution:
     #: ``context_cache`` hit/miss telemetry, so workload drivers can assert
     #: warm-cache behavior without re-running queries.
     parallel: Optional[List[Dict[str, object]]] = None
+    #: The run's ``RunReport.details["router"]`` record (JSON-ready), or
+    #: ``None`` when the query named its engine explicitly instead of being
+    #: routed via ``engine="auto"``.
+    router: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -91,6 +95,8 @@ class QueryExecution:
             record["error"] = self.error
         if self.parallel is not None:
             record["parallel"] = self.parallel
+        if self.router is not None:
+            record["router"] = self.router
         if include_rows and self.rows is not None:
             record["rows"] = [list(row) for row in self.rows]
         return record
@@ -205,6 +211,7 @@ def _execute_single(
     timeout: Optional[float],
     statistics_cache=None,
     scheduler: str = "steal",
+    router=None,
 ) -> Dict[str, object]:
     """Run one query on a fresh Database; never raises.
 
@@ -229,6 +236,7 @@ def _execute_single(
             parallelism=parallelism,
             parallel_mode=parallel_mode,
             scheduler=scheduler,
+            router=router,
         )
         if statistics_cache is not None:
             # Reuse the caller's per-table statistics: the cache is keyed by
@@ -251,7 +259,9 @@ def _execute_single(
         return {
             "name": name,
             "sql": sql,
-            "engine": engine or database.default_engine,
+            # Routed ("auto") queries report the engine the router actually
+            # chose; explicit engines report themselves unchanged.
+            "engine": outcome.report.engine,
             "status": status,
             "seconds": seconds,
             "row_count": row_count,
@@ -262,6 +272,7 @@ def _execute_single(
             # hits) is already plain data; ship it with the record so the
             # caller can see cache warmth per worker.
             "parallel": outcome.report.details.get("parallel"),
+            "router": outcome.report.details.get("router"),
         }
     except (DeadlineExceeded, QueryCancelled) as exc:
         return {
@@ -304,6 +315,7 @@ def _query_worker(
     statistics_cache=None,
     scheduler: str = "steal",
     timeout: Optional[float] = None,
+    router=None,
 ) -> None:
     """Process entry point: run one query and ship the record back."""
     try:
@@ -319,6 +331,7 @@ def _query_worker(
             catalog, name, sql, engine, freejoin_options, parallelism,
             parallel_mode, collect_rows, timeout=timeout,
             statistics_cache=statistics_cache, scheduler=scheduler,
+            router=router,
         )
         try:
             connection.send(record)
@@ -376,6 +389,7 @@ def _run_process_backend(
     collect_rows: bool,
     statistics_cache=None,
     scheduler: str = "steal",
+    router=None,
 ) -> Dict[str, QueryExecution]:
     context = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
@@ -416,7 +430,7 @@ def _run_process_backend(
         _drive_process_workers(
             context, pending, active, records, max_workers, timeout, engine,
             freejoin_options, parallelism, parallel_mode, collect_rows,
-            catalog, statistics_cache, finalize, terminate, scheduler,
+            catalog, statistics_cache, finalize, terminate, scheduler, router,
         )
     finally:
         # An exception (including KeyboardInterrupt) must not orphan the
@@ -433,6 +447,7 @@ def _drive_process_workers(
     context, pending, active, records, max_workers, timeout, engine,
     freejoin_options, parallelism, parallel_mode, collect_rows,
     catalog, statistics_cache, finalize, terminate, scheduler="steal",
+    router=None,
 ) -> None:
     while pending or active:
         while pending and len(active) < max_workers:
@@ -446,7 +461,7 @@ def _drive_process_workers(
                 args=(
                     sender, catalog, name, sql, engine, freejoin_options,
                     parallelism, parallel_mode, collect_rows, statistics_cache,
-                    scheduler, timeout,
+                    scheduler, timeout, router,
                 ),
             )
             now = time.perf_counter()
@@ -523,6 +538,7 @@ def _run_thread_backend(
     collect_rows: bool,
     statistics_cache=None,
     scheduler: str = "steal",
+    router=None,
 ) -> Dict[str, QueryExecution]:
     records: Dict[str, QueryExecution] = {}
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -530,7 +546,7 @@ def _run_thread_backend(
             name: pool.submit(
                 _execute_single, catalog, name, sql, engine, freejoin_options,
                 parallelism, parallel_mode, collect_rows, timeout,
-                statistics_cache, scheduler,
+                statistics_cache, scheduler, router,
             )
             for name, sql in queries
         }
@@ -561,6 +577,7 @@ def execute_workload(
     mode: str = "auto",
     collect_rows: bool = True,
     statistics_cache=None,
+    router=None,
 ) -> WorkloadOutcome:
     """Evaluate ``queries`` over ``catalog`` concurrently.
 
@@ -569,6 +586,13 @@ def execute_workload(
     so intra-query parallelism composes with inter-query concurrency
     (workers times intra-query workers processes in total — size
     accordingly).
+
+    ``engine="auto"`` routes each query through ``router`` (a
+    :class:`~repro.router.policy.QueryRouter`; each worker session builds a
+    fresh one when ``None``); per-query routing decisions land on
+    :attr:`QueryExecution.router`.  On the thread backend the shared router
+    learns from every completion; process workers get a pickled copy, so
+    observations made there stay in the worker (the statistics-cache rule).
     """
     normalized = normalize_queries(queries)
     # Resolve the engine label up front so every record — including timeout
@@ -616,11 +640,13 @@ def execute_workload(
         records = _run_process_backend(
             catalog, normalized, max_workers, timeout, engine, freejoin_options,
             parallelism, parallel_mode, collect_rows, statistics_cache, scheduler,
+            router,
         )
     else:
         records = _run_thread_backend(
             catalog, normalized, max_workers, timeout, engine, freejoin_options,
             parallelism, parallel_mode, collect_rows, statistics_cache, scheduler,
+            router,
         )
     wall_seconds = time.perf_counter() - started
 

@@ -1,0 +1,45 @@
+"""Front-door query routing and admission control (the serving brain).
+
+Five PRs of machinery — three engines, a work-stealing scheduler, streaming
+sinks, an async serving layer — still left every caller hand-picking
+``engine=``/``parallelism=`` per query.  This package closes the loop the way
+learned routers like BRAD do: decide *per query* from what the system already
+knows, and keep deciding better as observations accumulate.
+
+* :mod:`repro.router.features` — the per-query feature vector: estimated
+  cardinalities (from :mod:`repro.optimizer.statistics`), the optimizer's
+  cost estimate, query shape (acyclic/cyclic via GYO reduction), output
+  selectivity, and table fingerprints (for cache-warmth detection).
+* :mod:`repro.router.feedback` — :class:`FeedbackStore`, an EWMA of observed
+  wall-clock per ``engine x shape-bucket``, persisted/restorable as JSON so
+  a restarted server keeps its learned preferences.
+* :mod:`repro.router.policy` — :class:`QueryRouter`: statistics-only
+  heuristics cold, feedback-driven argmin warm (with seeded epsilon-greedy
+  exploration so decisions stay deterministic under a fixed seed), plus
+  worker-count selection.  Opt in per session or per query with
+  ``engine="auto"``; every routed run reports its decision under
+  ``RunReport.details["router"]``.
+* :mod:`repro.router.admission` — :class:`AdmissionGate`: a token-bucket /
+  bounded-outstanding admission controller with per-class (point vs.
+  analytic) concurrency limits and queue-depth-aware worker sizing.  Under
+  burst it rejects fast with :class:`~repro.errors.AdmissionRejected`
+  instead of letting every query time out slowly, so tail latency stays
+  bounded; :class:`~repro.serve.async_db.AsyncDatabase` accepts a gate via
+  ``admission=``.
+"""
+
+from repro.router.admission import AdmissionGate, AdmissionTicket, classify_sql
+from repro.router.features import QueryFeatures, extract_features
+from repro.router.feedback import FeedbackStore
+from repro.router.policy import QueryRouter, RoutingDecision
+
+__all__ = [
+    "AdmissionGate",
+    "AdmissionTicket",
+    "FeedbackStore",
+    "QueryFeatures",
+    "QueryRouter",
+    "RoutingDecision",
+    "classify_sql",
+    "extract_features",
+]

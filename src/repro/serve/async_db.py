@@ -23,18 +23,32 @@ pools) push the join work out of the serving process, which is the intended
 production shape.  Repeated queries additionally hit the fingerprint-keyed
 context caches (:mod:`repro.parallel.context_cache`), so a warm serving
 process skips per-query trie rebuilds entirely.
+
+Two more serving-layer pieces compose with the pool:
+
+* **admission control** — pass ``admission=AdmissionGate(...)`` and every
+  query must clear the gate before it takes a pool slot: over-limit
+  requests fail *immediately* with
+  :class:`~repro.errors.AdmissionRejected` (load shedding) instead of
+  queueing toward a slow ``DeadlineExceeded``.  The gate also feeds
+  queue-depth-aware worker sizing: under concurrent load each admitted
+  query gets a proportionally smaller intra-query worker slice.
+* **routing** — per-query sessions share the wrapped database's
+  :class:`~repro.router.policy.QueryRouter`, so ``engine="auto"`` requests
+  served concurrently all train (and consult) one feedback store.
 """
 
 from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import AsyncIterator, Iterable, List, Optional, Union
+from typing import AsyncIterator, Dict, Iterable, List, Optional, Union
 
 from repro.engine.session import Database, QueryOutcome
 from repro.errors import QueryError
 from repro.parallel.cancellation import DeadlineToken
 from repro.parallel.workload import normalize_queries
+from repro.router.admission import AdmissionGate, AdmissionTicket, classify_sql
 
 #: Default size of the serving thread pool.
 DEFAULT_CONCURRENCY = 8
@@ -52,6 +66,14 @@ class AsyncDatabase:
     max_concurrency:
         Size of the worker thread pool — the hard cap on queries executing
         simultaneously.  ``gather_many`` can bound itself further per call.
+    admission:
+        Optional :class:`~repro.router.admission.AdmissionGate`.  When set,
+        every query (awaited or streamed) must be admitted before it takes
+        a pool slot; rejected queries raise
+        :class:`~repro.errors.AdmissionRejected` without executing, and
+        per-query intra-query parallelism shrinks with queue depth via
+        :meth:`AdmissionGate.suggest_workers`.  ``None`` (the default)
+        admits everything, preserving the pre-gate behavior.
     """
 
     def __init__(
@@ -59,6 +81,7 @@ class AsyncDatabase:
         database: Optional[Database] = None,
         *,
         max_concurrency: int = DEFAULT_CONCURRENCY,
+        admission: Optional[AdmissionGate] = None,
         **db_options,
     ) -> None:
         if max_concurrency < 1:
@@ -71,6 +94,7 @@ class AsyncDatabase:
             )
         self.database = database or Database(**db_options)
         self.max_concurrency = max_concurrency
+        self.admission = admission
         self._executor = ThreadPoolExecutor(
             max_workers=max_concurrency, thread_name_prefix="repro-serve"
         )
@@ -114,6 +138,7 @@ class AsyncDatabase:
         name: str = "",
         timeout: Optional[float] = None,
         freejoin_options=None,
+        query_class: Optional[str] = None,
     ) -> QueryOutcome:
         """Execute one query off-loop; deadline-enforced, cancellation-safe.
 
@@ -121,48 +146,94 @@ class AsyncDatabase:
         expires mid-query.  If the awaiting task is cancelled, the query's
         deadline token is cancelled too, so the worker thread aborts promptly
         (the ``CancelledError`` still propagates to the caller).
+
+        With an admission gate configured, raises
+        :class:`~repro.errors.AdmissionRejected` *before* taking a pool slot
+        when the server is saturated.  ``query_class`` overrides the default
+        SQL-shape classification (``"point"`` / ``"analytic"``).
         """
         if self._closed:
             raise QueryError("AsyncDatabase is closed")
-        token = DeadlineToken.after(timeout)
-        loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(
-            self._executor,
-            lambda: self._execute_blocking(
-                sql, engine, name, token, freejoin_options
-            ),
-        )
+        ticket = self._admit(sql, query_class)
         try:
-            return await future
-        except asyncio.CancelledError:
-            # Ordering matters: flip the token *before* re-raising, so by the
-            # time the caller observes the cancellation the worker thread is
-            # already unwinding.
-            token.cancel()
-            raise
+            token = DeadlineToken.after(timeout)
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(
+                self._executor,
+                lambda: self._execute_blocking(
+                    sql, engine, name, token, freejoin_options, ticket
+                ),
+            )
+            try:
+                return await future
+            except asyncio.CancelledError:
+                # Ordering matters: flip the token *before* re-raising, so by
+                # the time the caller observes the cancellation the worker
+                # thread is already unwinding.
+                token.cancel()
+                raise
+        finally:
+            self._release(ticket)
 
-    def _make_session(self, freejoin_options) -> Database:
+    def _admit(self, sql: str, query_class: Optional[str]) -> Optional[AdmissionTicket]:
+        """Clear the gate (or raise AdmissionRejected); no-op without one."""
+        if self.admission is None:
+            return None
+        return self.admission.admit(query_class or classify_sql(sql))
+
+    def _release(self, ticket: Optional[AdmissionTicket]) -> None:
+        if ticket is not None:
+            self.admission.release(ticket)
+
+    def admission_stats(self) -> Optional[Dict[str, object]]:
+        """The gate's telemetry snapshot, or ``None`` without a gate."""
+        return self.admission.snapshot() if self.admission is not None else None
+
+    def _make_session(
+        self, freejoin_options, parallelism: Optional[int] = None
+    ) -> Database:
         # A fresh session per query over the shared catalog + statistics
         # cache (the execute_many isolation model): per-query state like
         # engine options never leaks across concurrent requests, while the
         # process-wide pools, shm exports and context caches are still
-        # shared, which is where the warm-path speedups live.
+        # shared, which is where the warm-path speedups live.  The router is
+        # shared too, so concurrent "auto" queries train one feedback store.
         session = Database(
             self.database.catalog,
             default_engine=self.database.default_engine,
             freejoin_options=freejoin_options or self.database.freejoin_options,
-            parallelism=self.database.parallelism,
+            parallelism=parallelism
+            if parallelism is not None
+            else self.database.parallelism,
             parallel_mode=self.database.parallel_mode,
             scheduler=self.database.scheduler,
+            router=self.database.router,
         )
         session.statistics_cache = self.database.statistics_cache
         return session
 
+    def _admitted_workers(self, ticket: Optional[AdmissionTicket]) -> Optional[int]:
+        """Queue-depth-aware per-query worker count (None = session default)."""
+        if ticket is None:
+            return None
+        return self.admission.suggest_workers(self.database.parallelism)
+
     def _execute_blocking(
-        self, sql, engine, name, token, freejoin_options
+        self, sql, engine, name, token, freejoin_options, ticket=None
     ) -> QueryOutcome:
-        session = self._make_session(freejoin_options)
-        return session.execute(sql, engine=engine, name=name, deadline=token)
+        workers = self._admitted_workers(ticket)
+        session = self._make_session(freejoin_options, parallelism=workers)
+        outcome = session.execute(sql, engine=engine, name=name, deadline=token)
+        if ticket is not None:
+            # Routed queries already carry a "router" record; admitted
+            # explicit-engine queries get one holding just the gate's view.
+            detail = outcome.report.details.setdefault("router", {})
+            detail["admission"] = {
+                "query_class": ticket.query_class,
+                "depth_at_admit": ticket.depth_at_admit,
+                "workers": workers,
+            }
+        return outcome
 
     async def execute_stream(
         self,
@@ -174,6 +245,7 @@ class AsyncDatabase:
         name: str = "",
         timeout: Optional[float] = None,
         freejoin_options=None,
+        query_class: Optional[str] = None,
     ) -> AsyncIterator[List[tuple]]:
         """Stream a query's result rows in batches of ``batch_rows``.
 
@@ -206,42 +278,48 @@ class AsyncDatabase:
             raise QueryError("AsyncDatabase is closed")
         if batch_rows < 1:
             raise QueryError(f"batch_rows must be at least 1, got {batch_rows}")
-        token = DeadlineToken.after(timeout)
-        loop = asyncio.get_running_loop()
-        session = self._make_session(freejoin_options)
-
-        def open_stream():
-            # The producer occupies one serving slot (self._executor), so
-            # streamed queries count against max_concurrency like awaited
-            # ones.  Batch fetches below use the default executor instead —
-            # taking a second serving slot per get would deadlock a
-            # max_concurrency=1 server against its own producer.
-            return session.execute_iter(
-                sql,
-                batch_rows=batch_rows,
-                max_batches=max_batches,
-                engine=engine,
-                name=name,
-                deadline=token,
-                executor=self._executor,
+        ticket = self._admit(sql, query_class)
+        try:
+            token = DeadlineToken.after(timeout)
+            loop = asyncio.get_running_loop()
+            session = self._make_session(
+                freejoin_options, parallelism=self._admitted_workers(ticket)
             )
 
-        # Planning (and a cold statistics scan) happens inside execute_iter,
-        # so open off-loop too.
-        stream = await loop.run_in_executor(None, open_stream)
-        try:
-            while True:
-                batch = await loop.run_in_executor(None, stream.next_batch)
-                if batch is None:
-                    break
-                yield batch
-        except asyncio.CancelledError:
-            # Flip the token before surfacing the cancel so the producer
-            # (and its pool tasks) is already unwinding.
-            token.cancel()
-            raise
+            def open_stream():
+                # The producer occupies one serving slot (self._executor), so
+                # streamed queries count against max_concurrency like awaited
+                # ones.  Batch fetches below use the default executor instead —
+                # taking a second serving slot per get would deadlock a
+                # max_concurrency=1 server against its own producer.
+                return session.execute_iter(
+                    sql,
+                    batch_rows=batch_rows,
+                    max_batches=max_batches,
+                    engine=engine,
+                    name=name,
+                    deadline=token,
+                    executor=self._executor,
+                )
+
+            # Planning (and a cold statistics scan) happens inside
+            # execute_iter, so open off-loop too.
+            stream = await loop.run_in_executor(None, open_stream)
+            try:
+                while True:
+                    batch = await loop.run_in_executor(None, stream.next_batch)
+                    if batch is None:
+                        break
+                    yield batch
+            except asyncio.CancelledError:
+                # Flip the token before surfacing the cancel so the producer
+                # (and its pool tasks) is already unwinding.
+                token.cancel()
+                raise
+            finally:
+                await loop.run_in_executor(None, stream.close)
         finally:
-            await loop.run_in_executor(None, stream.close)
+            self._release(ticket)
 
     async def gather_many(
         self,

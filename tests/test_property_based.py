@@ -187,22 +187,20 @@ _SHAPES = {
     rows=st.integers(min_value=0, max_value=24),
     skew=st.sampled_from([0.0, 1.2]),
     seed=st.integers(min_value=0, max_value=9999),
-    scheduler=st.sampled_from(["steal", "range"]),
 )
-def test_random_queries_parallel_matches_serial(shape, length, rows, skew, seed,
-                                                scheduler):
+def test_random_queries_parallel_matches_serial(shape, length, rows, skew, seed):
     """Fuzz the parallel subsystem with generated conjunctive queries.
 
     Covers acyclic (chain, star) and cyclic (cycle, length >= 3) shapes,
     empty relations (``rows == 0`` short-circuits through the scheduler) and
-    Zipf-skewed value distributions, under both schedulers.
+    Zipf-skewed value distributions.
     """
     workload = _SHAPES[shape](
         length, rows_per_relation=rows, domain=5, skew=skew, seed=seed
     )
     query = workload.query
     plan = optimize_query(query)
-    parallel = dict(parallelism=3, parallel_mode="thread", scheduler=scheduler)
+    parallel = dict(parallelism=3, parallel_mode="thread", scheduler="steal")
     runs = [
         (FreeJoinEngine, FreeJoinOptions),
         (BinaryJoinEngine, BinaryJoinOptions),
@@ -212,7 +210,7 @@ def test_random_queries_parallel_matches_serial(shape, length, rows, skew, seed,
         serial = engine_cls(options_cls(parallelism=1)).run(query, plan)
         sharded = engine_cls(options_cls(**parallel)).run(query, plan)
         assert sharded.result.same_bag(serial.result), (
-            f"{engine_cls.name} parallel/{scheduler} output diverged on "
+            f"{engine_cls.name} parallel/steal output diverged on "
             f"{shape}(length={length}, rows={rows}, skew={skew}, seed={seed})"
         )
 

@@ -509,20 +509,23 @@ def test_steal_task_is_plain_data():
 
 
 # --------------------------------------------------------------------------- #
-# The `range` scheduler is deprecated (ROADMAP retirement step)
+# The `range` scheduler has been removed (ROADMAP retirement step)
 # --------------------------------------------------------------------------- #
 
 
-def test_range_scheduler_session_emits_deprecation_warning():
-    with pytest.warns(DeprecationWarning, match="'range' scheduler is deprecated"):
+def test_range_scheduler_session_is_rejected():
+    from repro.errors import QueryError
+
+    with pytest.raises(QueryError, match="'range' sharder was removed"):
         Database(scheduler="range")
 
 
-def test_range_scheduler_option_emits_deprecation_warning():
+def test_range_scheduler_option_is_rejected():
     from repro.core.engine import resolve_scheduler
+    from repro.errors import PlanError
 
-    with pytest.warns(DeprecationWarning, match="'range' scheduler is deprecated"):
-        assert resolve_scheduler("range") == "range"
+    with pytest.raises(PlanError, match="'range' sharder was removed"):
+        resolve_scheduler("range")
 
 
 def test_steal_scheduler_stays_warning_free(recwarn):

@@ -141,19 +141,18 @@ def test_deadline_aborts_mid_execution_without_leaks(slow_catalog, configure):
 
 
 @pytest.mark.parametrize("parallel_mode", ["thread", "process"])
-def test_range_scheduler_enforces_deadlines(slow_catalog, parallel_mode):
-    """Regression: ``scheduler="range"`` used to ignore deadlines entirely.
+def test_steal_scheduler_enforces_deadlines_on_both_backends(slow_catalog, parallel_mode):
+    """An over-budget query aborts mid-flight on both worker backends.
 
-    The legacy static sharder now threads the token (thread shards share it,
-    process shards rebuild it from the task's monotonic timestamp), so an
-    over-budget query raises ``DeadlineExceeded`` mid-flight on both
-    backends — matching the steal path's behavior.
+    Thread workers share the deadline token; process workers rebuild it from
+    the task's monotonic timestamp — either way ``DeadlineExceeded`` must
+    arrive well before a full run would finish, and the session must keep
+    serving afterwards.
     """
     database = Database(
         slow_catalog.catalog,
         parallelism=2,
         parallel_mode=parallel_mode,
-        scheduler="range",
     )
     full_started = time.perf_counter()
     expected = database.execute(SLOW_SQL).scalar()
@@ -164,7 +163,7 @@ def test_range_scheduler_enforces_deadlines(slow_catalog, parallel_mode):
         database.execute(SLOW_SQL, timeout=0.05)
     aborted_after = time.perf_counter() - started
     assert aborted_after < full_seconds / 2, (
-        f"range-scheduler deadline abort took {aborted_after:.2f}s vs "
+        f"deadline abort took {aborted_after:.2f}s vs "
         f"{full_seconds:.2f}s full run"
     )
     # The session keeps working after the abort.

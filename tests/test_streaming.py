@@ -338,27 +338,25 @@ def test_close_cancels_queued_producer_without_error():
         executor.shutdown(wait=True)
 
 
-def test_range_process_stream_close_terminates_shards(fanout_db):
-    """A cancel-only token reaches range-scheduler process shards.
+def test_process_stream_close_interrupts_steal_workers(fanout_db):
+    """A cancel-only token reaches process steal workers mid-join.
 
-    Range process shards watch only deadline timestamps, so the parent's
-    drain loop must notice the cancelled token, terminate the per-query
-    shard processes, and let close() return instead of waiting for the full
-    join.
+    Process workers probe a fork-inherited cancel cell, so the parent's
+    close() must propagate cancellation and return instead of waiting for
+    the full join to finish.
     """
     database = Database(
         fanout_db.catalog,
         parallelism=2,
         parallel_mode="process",
-        scheduler="range",
     )
     stream = database.execute_iter(FANOUT_SQL, batch_rows=100, max_batches=2)
-    time.sleep(0.2)  # let the shards fork and start joining
+    time.sleep(0.2)  # let the workers fork and start joining
     started = time.perf_counter()
     stream.close()
     assert time.perf_counter() - started < 4.0
     assert stream.finished
-    # The session still serves after the terminated shards.
+    # The session still serves after the cancelled stream.
     assert database.execute("SELECT COUNT(*) FROM small WHERE small.v < 10").scalar() == 10
 
 
