@@ -44,8 +44,11 @@ INTRA_QUERY = "q13"
 STEAL_OVERHEAD_GATE = 1.5
 #: Zipf exponent of the skewed synthetic join's key column.
 ZIPF_SKEW = 1.2
-#: Rows per relation for the skewed synthetic join.
-ZIPF_ROWS = 8_000 if BENCH_SMOKE else 16_000
+#: Rows per relation for the skewed synthetic join.  Sized so the join has
+#: enough work per task to amortize dispatch on the vectorized kernel path
+#: (the batch kernels cut per-row cost ~5x, so the pre-kernel row counts
+#: left the 4-worker run dominated by fixed scheduling overhead).
+ZIPF_ROWS = 24_000 if BENCH_SMOKE else 48_000
 
 
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
@@ -213,8 +216,10 @@ MULTICORE = os.environ.get("REPRO_BENCH_MULTICORE") == "1"
 MULTICORE_WALL_GATE = 0.9
 MULTICORE_WORKERS = 4
 #: Rows per relation; sized past the fork threshold so ``process`` is the
-#: honest backend even under ``auto``.
-MULTICORE_ROWS = 12_000
+#: honest backend even under ``auto``, and large enough that the serial
+#: wall on the vectorized kernel path (~5x faster per row than the old
+#: row-at-a-time path) still dwarfs the fixed per-query dispatch/IPC cost.
+MULTICORE_ROWS = 96_000
 
 
 @pytest.mark.skipif(

@@ -6,7 +6,8 @@ Two acceptance gates from the serving tentpole:
   the fingerprint-keyed context cache and skip its per-query trie rebuild;
   the warm median is gated at :data:`WARM_SPEEDUP_GATE` times the cold
   median.  Both sides run the same query on the same session; "cold" clears
-  the parent-side caches before every round.
+  the parent-side context caches and the kernel program/sorted-index caches
+  before every round.
 * **deadline overhead is bounded** — attaching a (never-expiring) deadline
   token to every query must not measurably slow the join: gated at
   :data:`DEADLINE_OVERHEAD_GATE` times the no-deadline median, a loose
@@ -25,6 +26,7 @@ import time
 
 from benchmarks.conftest import BENCH_SMOKE, JOB_QUERIES, JOB_SEED
 from repro.engine.session import Database
+from repro.kernels import kernel_caches_clear
 from repro.parallel import scheduler
 from repro.serve import AsyncDatabase
 from repro.storage.table import Table
@@ -79,7 +81,11 @@ def test_context_cache_warm_beats_cold(benchmark):
     expected = database.execute(CACHE_SQL).scalar()
 
     def cold():
+        # Cold = no cached derived structures at all: the fingerprint-keyed
+        # worker contexts AND the kernel program/sorted-index caches (the
+        # vectorized path's equivalent of the trie rebuild).
         scheduler.clear_context_caches()
+        kernel_caches_clear()
         outcome = parallel.execute(CACHE_SQL)
         assert outcome.scalar() == expected
         return outcome

@@ -39,6 +39,15 @@ Two comparison modes:
 
 Figures present in only one of the two files are reported but never fail the
 gate (adding a benchmark must not require regenerating history first).
+
+With ``--kernels-gate`` the script additionally runs the **bench-kernels**
+gate: the ``kernels`` figure measures the headline workload twice in one
+process — vectorized batch kernels vs ``REPRO_KERNELS=off`` — and the gate
+fails unless the vectorized wall is at most ``--kernels-max-ratio`` (default
+0.5, i.e. a >= 2x speedup) of the row-at-a-time wall.  Because both walls
+come from the same run on the same machine, this gate needs no drift
+normalization and cannot be absorbed by a fleet-wide speedup the way a
+baseline comparison would be.
 """
 
 from __future__ import annotations
@@ -62,6 +71,47 @@ def load_figures(path: str) -> Dict[str, float]:
     if not figures:
         raise SystemExit(f"{path}: no figures with driver_seconds found")
     return figures
+
+
+def check_kernels_gate(path: str, figure: str, max_ratio: float) -> List[str]:
+    """The bench-kernels gate: vectorized wall vs the row-path wall.
+
+    Reads the named figure's raw measurements from the current BENCH json
+    (the ``kernels`` driver runs the headline workload once per variant in
+    the same process) and fails unless
+    ``sum(vectorized) <= max_ratio * sum(row-path)``.  Returns failure
+    messages (empty when the gate passes); a missing or degenerate figure is
+    itself a failure so the gate cannot silently rot out of CI.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    records = [f for f in payload.get("figures", []) if f.get("figure") == figure]
+    if not records:
+        return [f"figure {figure!r} missing from {path}"]
+    walls = {"vectorized": 0.0, "row-path": 0.0}
+    for measurement in records[0].get("measurements", []):
+        variant = measurement.get("variant")
+        if variant in walls:
+            walls[variant] += float(measurement.get("seconds", 0.0))
+    if not walls["vectorized"] or not walls["row-path"]:
+        return [
+            f"figure {figure!r} lacks vectorized/row-path measurements "
+            f"(vectorized={walls['vectorized']:.4f} s, "
+            f"row-path={walls['row-path']:.4f} s)"
+        ]
+    ratio = walls["vectorized"] / walls["row-path"]
+    marker = "OK" if ratio <= max_ratio else "FAIL"
+    print(
+        f"{marker:4s} kernels: vectorized {walls['vectorized']:.4f} s vs "
+        f"row-path {walls['row-path']:.4f} s = {ratio:.3f}x "
+        f"(gate <= {max_ratio:.2f}x, speedup {1.0 / ratio:.2f}x)"
+    )
+    if ratio > max_ratio:
+        return [
+            f"vectorized kernels ran at {ratio:.3f}x the row-path wall "
+            f"(gate requires <= {max_ratio:.2f}x)"
+        ]
+    return []
 
 
 def _history_sequence(path: str) -> Tuple[int, str]:
@@ -158,6 +208,21 @@ def main() -> int:
         "--trend-tolerance", type=float, default=0.25,
         help="maximum allowed median drift vs the history (default 0.25)",
     )
+    parser.add_argument(
+        "--kernels-gate", action="store_true",
+        help="also run the bench-kernels gate on the current run's "
+             "'kernels' figure (vectorized vs row-path walls)",
+    )
+    parser.add_argument(
+        "--kernels-figure", default="kernels", metavar="NAME",
+        help="figure holding the vectorized/row-path measurements "
+             "(default 'kernels')",
+    )
+    parser.add_argument(
+        "--kernels-max-ratio", type=float, default=0.5,
+        help="maximum allowed vectorized/row-path wall ratio "
+             "(default 0.5 = a 2x speedup floor)",
+    )
     arguments = parser.parse_args()
 
     current = load_figures(arguments.current)
@@ -199,6 +264,15 @@ def main() -> int:
     for name in sorted(set(current) - set(baseline)):
         print(f"~ {name}: new figure, no baseline (skipped)")
 
+    kernel_failures: List[str] = []
+    if arguments.kernels_gate:
+        print("\nbench-kernels gate:")
+        kernel_failures = check_kernels_gate(
+            arguments.current,
+            arguments.kernels_figure,
+            arguments.kernels_max_ratio,
+        )
+
     trend_failures: List[str] = []
     if arguments.history:
         history = load_history(arguments.history)
@@ -210,7 +284,7 @@ def main() -> int:
         else:
             print(f"\n~ no history runs under {arguments.history}; trend skipped")
 
-    if failures or trend_failures:
+    if failures or trend_failures or kernel_failures:
         if failures:
             print(
                 f"\nbenchmark gate FAILED: {len(failures)} figure(s) regressed "
@@ -221,6 +295,10 @@ def main() -> int:
                 f"\nbenchmark trend gate FAILED: {len(trend_failures)} figure(s) "
                 f"drifted more than {arguments.trend_tolerance:.0%} above the "
                 f"history median: {', '.join(trend_failures)}"
+            )
+        if kernel_failures:
+            print(
+                "\nbench-kernels gate FAILED: " + "; ".join(kernel_failures)
             )
         return 1
     print("\nbenchmark gate passed")

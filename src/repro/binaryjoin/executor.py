@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.binaryjoin.hash_table import JoinHashTable
 from repro.engine.output import CountSink, OutputSink, RowSink
 from repro.engine.report import RunReport
@@ -86,6 +87,8 @@ class BinaryJoinEngine:
         other_seconds = 0.0
         final_result = None
 
+        kernel_stats = kernels.new_stats()
+        kernel_fallbacks: List[str] = []
         parallel_details: List[Dict[str, object]] = []
         for pipeline in pipelines:
             pipeline_atoms = self._resolve(pipeline, atoms)
@@ -112,14 +115,10 @@ class BinaryJoinEngine:
                 build_seconds += shard_run.build_seconds
                 join_seconds += shard_run.join_seconds
                 parallel_details.append(shard_run.details())
+                kernels.merge_stats(kernel_stats, shard_run.extra.get("kernels_stats"))
+                kernel_fallbacks.extend(shard_run.extra.get("kernels_fallbacks", ()))
                 result = shard_run.result
             else:
-                started = time.perf_counter()
-                hash_tables = self._build_hash_tables(
-                    pipeline_atoms, interrupt=options.deadline
-                )
-                build_seconds += time.perf_counter() - started
-
                 if final_sink is not None:
                     pipeline_sink = final_sink
                 elif pipeline.is_final:
@@ -127,15 +126,49 @@ class BinaryJoinEngine:
                 else:
                     pipeline_sink = RowSink(output_variables)
 
-                started = time.perf_counter()
-                self._run_pipeline(
-                    pipeline_atoms,
-                    hash_tables,
+                # Vectorized path: compile the pipeline into a batch kernel
+                # program (no hash tables needed — probes run against cached
+                # sorted indexes).  Count mode compresses dangling matches
+                # into multiplicities; row mode expands fully, which keeps
+                # the output byte-identical to the probe recursion.
+                program, reason = kernels.try_compile(
+                    pipeline_atoms[0],
+                    pipeline_atoms[1:],
                     output_variables,
-                    pipeline_sink,
-                    interrupt=options.deadline,
+                    compress=(sink_mode == "count"),
+                    stats=kernel_stats,
                 )
-                join_seconds += time.perf_counter() - started
+                if program is not None:
+                    started = time.perf_counter()
+                    try:
+                        kernels.execute_program(
+                            program,
+                            pipeline_sink,
+                            interrupt=options.deadline,
+                            stats=kernel_stats,
+                        )
+                    except kernels.KernelFrontierExplosion as exc:
+                        # Nothing reached the sink yet (guard invariant), so
+                        # the probe loop can re-run the pipeline from scratch.
+                        program, reason = None, str(exc)
+                    join_seconds += time.perf_counter() - started
+                if program is None:
+                    kernel_fallbacks.append(reason)
+                    started = time.perf_counter()
+                    hash_tables = self._build_hash_tables(
+                        pipeline_atoms, interrupt=options.deadline
+                    )
+                    build_seconds += time.perf_counter() - started
+
+                    started = time.perf_counter()
+                    self._run_pipeline(
+                        pipeline_atoms,
+                        hash_tables,
+                        output_variables,
+                        pipeline_sink,
+                        interrupt=options.deadline,
+                    )
+                    join_seconds += time.perf_counter() - started
                 result = pipeline_sink.result()
 
             if pipeline.is_final:
@@ -151,6 +184,7 @@ class BinaryJoinEngine:
         details: Dict[str, object] = {
             "num_pipelines": len(pipelines),
             "options": options,
+            "kernels": kernels.kernel_report(kernel_stats, kernel_fallbacks),
         }
         if parallel_details:
             details["parallel"] = parallel_details

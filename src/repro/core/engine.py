@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import kernels
 from repro.core.colt import TrieStrategy, build_tries
 from repro.core.convert import binary_to_free_join
 from repro.core.executor import FreeJoinExecutor
@@ -203,6 +204,8 @@ class FreeJoinEngine:
         parallel_details: List[Dict[str, object]] = []
         final_result = None
 
+        kernel_stats = kernels.new_stats()
+        kernel_fallbacks: List[str] = []
         for pipeline in pipelines:
             started = time.perf_counter()
             plan = self._plan_for_pipeline(pipeline, atoms, options)
@@ -237,12 +240,10 @@ class FreeJoinEngine:
                 build_seconds += shard_run.build_seconds
                 join_seconds += shard_run.join_seconds
                 parallel_details.append(shard_run.details())
+                kernels.merge_stats(kernel_stats, shard_run.extra.get("kernels_stats"))
+                kernel_fallbacks.extend(shard_run.extra.get("kernels_fallbacks", ()))
                 result = shard_run.result
             else:
-                started = time.perf_counter()
-                tries = build_tries(pipeline_atoms, schemas, options.trie_strategy)
-                build_seconds += time.perf_counter() - started
-
                 if final_sink is not None:
                     pipeline_sink = final_sink
                 elif pipeline.is_final:
@@ -250,18 +251,62 @@ class FreeJoinEngine:
                 else:
                     pipeline_sink = RowSink(output_variables)
 
-                executor = FreeJoinExecutor(
-                    plan,
-                    output_variables,
-                    pipeline_sink,
-                    dynamic_cover=options.dynamic_cover,
-                    batch_size=options.batch_size,
-                    factorize=(pipeline.is_final and options.output == "factorized"),
-                    interrupt=options.deadline,
-                )
-                started = time.perf_counter()
-                executor.run(tries)
-                join_seconds += time.perf_counter() - started
+                factorize = pipeline.is_final and options.output == "factorized"
+                program = None
+                if factorize:
+                    # Factorized output is about *not* enumerating the flat
+                    # bag, which is exactly what the kernels do — serial
+                    # trie execution stays authoritative there.
+                    reason = "factorized-output"
+                else:
+                    driver_name = self._kernel_driver_name(plan, pipeline_atoms)
+                    probes = [
+                        pipeline_atoms[name]
+                        for name in plan.relations()
+                        if name != driver_name
+                    ]
+                    program, reason = kernels.try_compile(
+                        pipeline_atoms[driver_name],
+                        probes,
+                        output_variables,
+                        compress=True,
+                        stats=kernel_stats,
+                    )
+                if program is not None:
+                    started = time.perf_counter()
+                    try:
+                        kernels.execute_program(
+                            program,
+                            pipeline_sink,
+                            interrupt=options.deadline,
+                            stats=kernel_stats,
+                        )
+                    except kernels.KernelFrontierExplosion as exc:
+                        # Nothing reached the sink yet (guard invariant), so
+                        # the trie executor can re-run the pipeline from
+                        # scratch.
+                        program, reason = None, str(exc)
+                    join_seconds += time.perf_counter() - started
+                if program is None:
+                    kernel_fallbacks.append(reason)
+                    started = time.perf_counter()
+                    tries = build_tries(
+                        pipeline_atoms, schemas, options.trie_strategy
+                    )
+                    build_seconds += time.perf_counter() - started
+
+                    executor = FreeJoinExecutor(
+                        plan,
+                        output_variables,
+                        pipeline_sink,
+                        dynamic_cover=options.dynamic_cover,
+                        batch_size=options.batch_size,
+                        factorize=factorize,
+                        interrupt=options.deadline,
+                    )
+                    started = time.perf_counter()
+                    executor.run(tries)
+                    join_seconds += time.perf_counter() - started
                 result = pipeline_sink.result()
 
             if pipeline.is_final:
@@ -278,6 +323,7 @@ class FreeJoinEngine:
             "plans": plans_used,
             "num_pipelines": len(pipelines),
             "options": options,
+            "kernels": kernels.kernel_report(kernel_stats, kernel_fallbacks),
         }
         if parallel_details:
             details["parallel"] = parallel_details
@@ -327,6 +373,10 @@ class FreeJoinEngine:
                     "plans": [repr(plan)],
                     "options": options,
                     "stats": shard_run.stats,
+                    "kernels": kernels.kernel_report(
+                        shard_run.extra.get("kernels_stats"),
+                        list(shard_run.extra.get("kernels_fallbacks", ())),
+                    ),
                     "parallel": [shard_run.details()],
                 },
             )
@@ -354,12 +404,30 @@ class FreeJoinEngine:
             result=sink.result(),
             build_seconds=build_seconds,
             join_seconds=join_seconds,
-            details={"plans": [repr(plan)], "options": options, "stats": executor.stats},
+            details={
+                "plans": [repr(plan)],
+                "options": options,
+                "stats": executor.stats,
+                # Hand-written plans exercise the trie executor directly;
+                # the kernels never claim this entry point.
+                "kernels": kernels.kernel_report(None, ["hand-written-plan"]),
+            },
         )
 
     # ------------------------------------------------------------------ #
     # Pipeline helpers
     # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _kernel_driver_name(plan: FreeJoinPlan, pipeline_atoms: Dict[str, Atom]) -> str:
+        """The batch driver relation: smallest cover of the root node.
+
+        Mirrors dynamic cover selection (Section 4.4) — iterate the root
+        cover with the fewest tuples, probe everything else.
+        """
+        covers = plan.covers(0)
+        candidates = [s.relation for s in covers] or plan.relations()[:1]
+        return min(candidates, key=lambda name: pipeline_atoms[name].size)
 
     def _plan_for_pipeline(
         self,

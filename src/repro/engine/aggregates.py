@@ -432,6 +432,11 @@ class PartialAggregateSink(OutputSink):
             return
         self._fold_row(row, multiplicity)
 
+    def on_rows(self, rows, multiplicities=None) -> None:
+        """Fold a kernel batch without materializing it."""
+        self.state.fold_rows(rows, multiplicities)
+        self.folded += len(rows)
+
     def on_group(self, prefix, prefix_variables, factors, multiplicity: int = 1) -> None:
         if multiplicity <= 0:
             return

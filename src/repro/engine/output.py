@@ -35,6 +35,22 @@ class OutputSink:
         """Report one fully bound output row with a bag multiplicity."""
         raise NotImplementedError
 
+    def on_rows(
+        self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
+    ) -> None:
+        """Report a batch of rows (``multiplicities=None`` means all 1).
+
+        The batch kernels emit whole frontiers through this entry point;
+        the default simply replays :meth:`on_row`, so existing sinks work
+        unchanged while the common ones override it with bulk appends.
+        """
+        if multiplicities is None:
+            for row in rows:
+                self.on_row(row, 1)
+        else:
+            for row, multiplicity in zip(rows, multiplicities):
+                self.on_row(row, multiplicity)
+
     def on_group(
         self,
         prefix: Row,
@@ -102,6 +118,18 @@ class RowSink(OutputSink):
         self._rows.append(row)
         self._multiplicities.append(multiplicity)
 
+    def on_rows(
+        self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
+    ) -> None:
+        if multiplicities is None:
+            self._rows.extend(rows)
+            self._multiplicities.extend([1] * len(rows))
+            return
+        for row, multiplicity in zip(rows, multiplicities):
+            if multiplicity > 0:
+                self._rows.append(row)
+                self._multiplicities.append(multiplicity)
+
     def result(self) -> "JoinResult":
         return JoinResult(
             variables=self.variables,
@@ -119,6 +147,14 @@ class CountSink(OutputSink):
 
     def on_row(self, row: Row, multiplicity: int = 1) -> None:
         self._count += multiplicity
+
+    def on_rows(
+        self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
+    ) -> None:
+        if multiplicities is None:
+            self._count += len(rows)
+        else:
+            self._count += sum(multiplicities)
 
     def on_group(self, prefix, prefix_variables, factors, multiplicity: int = 1) -> None:
         total = multiplicity

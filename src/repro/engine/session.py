@@ -13,6 +13,8 @@ entry point example applications use::
 
 from __future__ import annotations
 
+import atexit
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional
@@ -27,7 +29,7 @@ from repro.genericjoin.executor import GenericJoinEngine, GenericJoinOptions
 from repro.optimizer.binary_plan import BinaryPlan
 from repro.optimizer.join_order import optimize_query
 from repro.optimizer.statistics import StatisticsCache
-from repro.query.planner import LogicalQuery, Planner, variable_environment
+from repro.query.planner import LogicalQuery, Planner
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
 
@@ -75,6 +77,7 @@ class Database:
         parallel_mode: str = "auto",
         scheduler: str = "steal",
         router=None,
+        feedback_path=None,
     ) -> None:
         """Create a session.
 
@@ -92,6 +95,13 @@ class Database:
         which picks engine and worker count per query from statistics and
         observed runtimes; pass ``router`` to share one router (and its
         feedback store) across sessions, the way the serving layer does.
+
+        ``feedback_path`` makes the router's feedback store durable: the
+        store is loaded from that JSON file on init (a missing file starts
+        cold; a corrupted one falls back to a cold store instead of failing
+        the session) and saved on :meth:`close` and at interpreter exit, so
+        a restarted process routes warm.  Mutually exclusive with passing a
+        pre-built ``router``.
         """
         if default_engine not in ENGINES and default_engine != AUTO_ENGINE:
             raise QueryError(
@@ -117,10 +127,20 @@ class Database:
         self.parallel_mode = parallel_mode
         self.scheduler = scheduler
         self.statistics_cache = StatisticsCache()
+        self.feedback_path = feedback_path
+        if feedback_path is not None and router is not None:
+            raise QueryError(
+                "pass either a pre-built router or feedback_path, not both: "
+                "a shared router already owns its feedback store"
+            )
         if router is None:
             from repro.router.policy import QueryRouter
 
-            router = QueryRouter()
+            if feedback_path is not None:
+                router = QueryRouter(feedback=self._load_feedback(feedback_path))
+                atexit.register(self.save_feedback)
+            else:
+                router = QueryRouter()
         self.router = router
 
     def close(self) -> None:
@@ -129,14 +149,48 @@ class Database:
         The work-stealing pools and shared-memory exports are shared by every
         session in the process (that is what makes them persistent), so this
         tears down the *process*'s pools and segments — call it when the last
-        session is done, or rely on the interpreter's atexit hook.
+        session is done, or rely on the interpreter's atexit hook.  Sessions
+        opened with ``feedback_path`` persist their feedback store first.
         """
         from repro.parallel.scheduler import clear_context_caches, shutdown_pools
         from repro.storage.shm import shutdown_exports
 
+        if self.feedback_path is not None:
+            self.save_feedback()
+            atexit.unregister(self.save_feedback)
         shutdown_pools()
         clear_context_caches()
         shutdown_exports()
+
+    @staticmethod
+    def _load_feedback(path):
+        """Load a persisted feedback store; any damage means a cold start.
+
+        A serving process must come up even when its feedback file was
+        truncated by a crash or hand-edited into invalid JSON — routing
+        quality degrades to cold-start, correctness does not.
+        """
+        from repro.router.feedback import FeedbackStore
+
+        if not os.path.exists(path):
+            return FeedbackStore()
+        try:
+            return FeedbackStore.load(path)
+        except (OSError, ValueError, KeyError, TypeError, QueryError):
+            return FeedbackStore()
+
+    def save_feedback(self) -> None:
+        """Persist the router's feedback store to ``feedback_path``.
+
+        A no-op for sessions without a path.  Best-effort at interpreter
+        exit: a failed write must not turn a clean shutdown into a crash.
+        """
+        if self.feedback_path is None:
+            return
+        try:
+            self.router.feedback.save(self.feedback_path)
+        except OSError:
+            pass
 
     def __enter__(self) -> "Database":
         return self
@@ -422,8 +476,17 @@ class Database:
 
     @staticmethod
     def _batch_transform(logical: LogicalQuery, variables):
-        """Per-batch residual filtering + projection for streamed rows."""
-        predicates = logical.residual_predicates
+        """Per-batch residual filtering + projection for streamed rows.
+
+        Residual predicates are compiled once per stream
+        (:func:`repro.kernels.predicates.compile_batch_predicate`) and applied
+        as a batch mask — no per-row environment dicts on the hot path.
+        """
+        from repro.kernels.predicates import compile_batch_predicate
+
+        mask_batch = compile_batch_predicate(
+            logical.residual_predicates, variables
+        )
         if logical.select_star:
             positions = None
         else:
@@ -432,19 +495,13 @@ class Database:
             ]
             if positions == list(range(len(variables))):
                 positions = None
-        if not predicates and positions is None:
+        if mask_batch is None and positions is None:
             return None
 
         def transform(batch):
-            if predicates:
-                batch = [
-                    row
-                    for row in batch
-                    if all(
-                        bool(p.evaluate(variable_environment(variables, row)))
-                        for p in predicates
-                    )
-                ]
+            if mask_batch is not None:
+                mask = mask_batch(batch)
+                batch = [row for row, keep in zip(batch, mask) if keep]
             if positions is not None:
                 batch = [tuple(row[p] for p in positions) for row in batch]
             return batch
@@ -594,27 +651,36 @@ class Database:
 
     @staticmethod
     def _apply_residuals(result: JoinResult, logical: LogicalQuery) -> JoinResult:
-        """Apply cross-table, non-equality predicates after the join."""
+        """Apply cross-table, non-equality predicates after the join.
+
+        The predicate list is compiled once into a batch mask function and
+        evaluated over the whole materialized result — the same compiled
+        closures the streaming path uses, so both paths filter identically.
+        """
+        from repro.kernels.predicates import compile_batch_predicate
+
         if not logical.residual_predicates:
             return result
         variables = result.variables
-        kept_rows = []
-        kept_multiplicities = []
         if result.count_only is not None and not result.rows and result.groups is None:
             raise QueryError(
                 "residual predicates require materialized join rows; "
                 "this is an internal sink-selection bug"
             )
-        rows = result.rows if result.groups is None else None
-        if rows is not None:
-            pairs = zip(result.rows, result.multiplicities)
+        mask_batch = compile_batch_predicate(
+            logical.residual_predicates, variables
+        )
+        if result.groups is None:
+            rows = result.rows
+            multiplicities = result.multiplicities
         else:
-            pairs = ((row, 1) for row in result.iter_rows())
-        for row, multiplicity in pairs:
-            env = variable_environment(variables, row)
-            if all(bool(p.evaluate(env)) for p in logical.residual_predicates):
-                kept_rows.append(row)
-                kept_multiplicities.append(multiplicity)
+            rows = list(result.iter_rows())
+            multiplicities = [1] * len(rows)
+        mask = mask_batch(rows)
+        kept_rows = [row for row, keep in zip(rows, mask) if keep]
+        kept_multiplicities = [
+            mult for mult, keep in zip(multiplicities, mask) if keep
+        ]
         return JoinResult(
             variables=variables, rows=kept_rows, multiplicities=kept_multiplicities
         )

@@ -127,6 +127,12 @@ class StreamingSink(OutputSink):
                     self._put(buffer[: self.batch_rows])
                     del buffer[: self.batch_rows]
 
+    def on_rows(
+        self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
+    ) -> None:
+        """Batch reporting (the kernels' entry point) is :meth:`emit_rows`."""
+        self.emit_rows(rows, multiplicities)
+
     def emit_rows(
         self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
     ) -> None:

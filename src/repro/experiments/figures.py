@@ -15,6 +15,7 @@ reproduction from the command line::
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.colt import TrieStrategy
@@ -745,6 +746,67 @@ def run_headline(
 
 
 # --------------------------------------------------------------------------- #
+# Kernel plane: vectorized batch kernels vs the row-at-a-time reference
+# --------------------------------------------------------------------------- #
+
+
+def run_kernels(
+    job_scale: float = 0.3,
+    lsqb_scale: float = 1.0,
+    repeats: int = 1,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Batch kernel plane speedup over the row-at-a-time reference path.
+
+    Runs the headline workload twice in the same process — once on the
+    default vectorized kernels, once with ``REPRO_KERNELS=off`` — so the
+    measured ratio is machine-independent by construction.  The
+    ``bench-kernels`` CI gate (``scripts/check_bench_regression.py
+    --kernels-gate``) fails when the vectorized wall exceeds half the
+    row-path wall on this figure.
+    """
+    job = generate_job_workload(scale=job_scale, seed=seed)
+    lsqb = generate_lsqb_workload(scale_factor=lsqb_scale)
+    measurements: List[Measurement] = []
+    walls: Dict[str, float] = {}
+    prior = os.environ.get("REPRO_KERNELS")
+    try:
+        for variant, setting in (("vectorized", None), ("row-path", "off")):
+            if setting is None:
+                os.environ.pop("REPRO_KERNELS", None)
+            else:
+                os.environ["REPRO_KERNELS"] = setting
+            batch = run_suite(
+                job.catalog, job.queries, ENGINES,
+                workload="job", variant=variant, repeats=repeats,
+                scale=job_scale,
+            )
+            batch += run_suite(
+                lsqb.catalog, lsqb.queries, ENGINES,
+                workload="lsqb", variant=variant, repeats=repeats,
+                scale=lsqb_scale,
+            )
+            walls[variant] = sum(m.seconds for m in batch)
+            measurements.extend(batch)
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = prior
+    vectorized = walls["vectorized"]
+    row_path = walls["row-path"]
+    return {
+        "figure": "kernels",
+        "measurements": measurements,
+        "summary": {
+            "vectorized_seconds": round(vectorized, 4),
+            "row_path_seconds": round(row_path, 4),
+            "speedup": round(row_path / vectorized, 2) if vectorized > 0 else 0.0,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------------- #
 
@@ -759,6 +821,7 @@ FIGURES = {
     "ablation-factoring": run_ablation_factoring,
     "ablation-cover": run_ablation_cover,
     "headline": run_headline,
+    "kernels": run_kernels,
     "streaming": run_streaming,
     "aggregation": run_aggregation,
     "serving-mix": run_serving_mix,

@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import kernels
 from repro.engine.output import CountSink, OutputSink, RowSink
 from repro.engine.report import RunReport
 from repro.errors import PlanError
@@ -113,6 +114,8 @@ class GenericJoinEngine:
                 interrupt=options.deadline,
                 stream=sink,
             )
+            kernel_stats = kernels.new_stats()
+            kernels.merge_stats(kernel_stats, shard_run.extra.get("kernels_stats"))
             return RunReport(
                 engine=self.name,
                 result=shard_run.result,
@@ -121,35 +124,101 @@ class GenericJoinEngine:
                 details={
                     "variable_order": order,
                     "options": options,
+                    "kernels": kernels.kernel_report(
+                        kernel_stats,
+                        list(shard_run.extra.get("kernels_fallbacks", ())),
+                    ),
                     # One entry per sharded unit, matching the list shape the
                     # pipelined engines report.
                     "parallel": [shard_run.details()],
                 },
             )
 
-        started = time.perf_counter()
-        tries: Dict[str, HashTrie] = {}
-        for atom in query.atoms:
-            # Check between relations: each eager trie build is an
-            # uninterruptible O(rows) scan, so deadline enforcement in the
-            # build phase is per-relation granular.
-            if options.deadline is not None:
-                options.deadline.check()
-            tries[atom.name] = build_hash_trie(atom, order)
-        build_seconds = time.perf_counter() - started
+        kernel_stats = kernels.new_stats()
+        kernel_fallbacks: List[str] = []
+        program = None
+        atoms = list(query.atoms)
+        if atoms:
+            driver = self._kernel_driver(atoms, order)
+            probes = [atom for atom in atoms if atom is not driver]
+            # Bag semantics only: the kernel iterates driver *rows* and
+            # carries multiplicities, where the trie recursion iterates
+            # distinct values — same bag, different row grouping.
+            program, reason = kernels.try_compile(
+                driver,
+                probes,
+                query.output_variables,
+                compress=True,
+                stats=kernel_stats,
+            )
+            if program is None:
+                kernel_fallbacks.append(reason)
 
-        if sink is None:
-            sink = options.make_sink(query.output_variables)
-        started = time.perf_counter()
-        self._execute(query, order, tries, sink, interrupt=options.deadline)
-        join_seconds = time.perf_counter() - started
+        build_seconds = 0.0
+        join_seconds = 0.0
+        if program is not None:
+            if sink is None:
+                sink = options.make_sink(query.output_variables)
+            started = time.perf_counter()
+            try:
+                kernels.execute_program(
+                    program, sink, interrupt=options.deadline, stats=kernel_stats
+                )
+            except kernels.KernelFrontierExplosion as exc:
+                # Skew blew the frontier past the guard before anything was
+                # emitted; the sink is untouched, so the trie recursion can
+                # take over from scratch.
+                program = None
+                kernel_fallbacks.append(str(exc))
+            join_seconds += time.perf_counter() - started
+        if program is None:
+            started = time.perf_counter()
+            tries: Dict[str, HashTrie] = {}
+            for atom in query.atoms:
+                # Check between relations: each eager trie build is an
+                # uninterruptible O(rows) scan, so deadline enforcement in the
+                # build phase is per-relation granular.
+                if options.deadline is not None:
+                    options.deadline.check()
+                tries[atom.name] = build_hash_trie(atom, order)
+            build_seconds += time.perf_counter() - started
+
+            if sink is None:
+                sink = options.make_sink(query.output_variables)
+            started = time.perf_counter()
+            self._execute(query, order, tries, sink, interrupt=options.deadline)
+            join_seconds += time.perf_counter() - started
 
         return RunReport(
             engine=self.name,
             result=sink.result(),
             build_seconds=build_seconds,
             join_seconds=join_seconds,
-            details={"variable_order": order, "options": options},
+            details={
+                "variable_order": order,
+                "options": options,
+                "kernels": kernels.kernel_report(kernel_stats, kernel_fallbacks),
+            },
+        )
+
+    @staticmethod
+    def _kernel_driver(atoms: Sequence, order: Sequence[str]):
+        """The batch driver: smallest first-variable frontier.
+
+        Mirrors the recursion's optimal-intersection heuristic at position 0
+        (iterate the relation with the fewest distinct first-variable
+        values); ties keep atom order, like the recursion's stable sort.
+        """
+        if not order or not kernels.enabled():
+            return atoms[0]
+        participants = [atom for atom in atoms if atom.has_variable(order[0])]
+        if not participants:
+            return atoms[0]
+        return min(
+            participants,
+            key=lambda atom: kernels.column_distinct_count(
+                atom.table.column(atom.column_for(order[0]))
+            ),
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,154 @@
+"""The columnar kernel plane: batch-at-a-time join execution.
+
+This package rewrites the hot path of all three engines as vectorized
+numpy operations (Section 4.3's vectorization taken to its batch-at-a-time
+conclusion): per-plan :class:`~repro.kernels.program.KernelProgram`\\ s are
+compiled and cached by ``Table.fingerprint()`` + plan shape, probes run as
+``searchsorted`` sweeps over fingerprint-cached sorted indexes, and
+projection/output assembly decodes whole frontiers at once into the sinks'
+batch entry points.
+
+The vectorized path is the default everywhere; the row-at-a-time code
+remains as the semantic reference (the differential fuzz suite pins the
+kernels to it) and as the fallback for the few shapes the kernels do not
+cover (factorized output, sub-entry steal tasks, missing numpy) — plus
+the rare skew-driven frontier explosion the executor detects at runtime
+(:class:`~repro.kernels.executor.KernelFrontierExplosion`).  Set
+``REPRO_KERNELS=off`` to force the fallback globally.
+
+Every engine reports kernel activity under ``RunReport.details["kernels"]``
+(see :func:`kernel_report` for the schema).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+from repro.kernels.executor import (
+    CHUNK_ROWS,
+    FRONTIER_GUARD_ROWS,
+    KernelFrontierExplosion,
+    execute_program,
+    merge_stats,
+    new_stats,
+)
+from repro.kernels.indexes import column_distinct_count, index_cache_clear
+from repro.kernels.predicates import compile_batch_predicate
+from repro.kernels.program import (
+    KernelCompileError,
+    KernelProgram,
+    compile_program,
+    program_cache_clear,
+)
+
+__all__ = [
+    "CHUNK_ROWS",
+    "FRONTIER_GUARD_ROWS",
+    "KernelCompileError",
+    "KernelFrontierExplosion",
+    "KernelProgram",
+    "column_distinct_count",
+    "compile_batch_predicate",
+    "compile_program",
+    "enabled",
+    "execute_program",
+    "kernel_caches_clear",
+    "kernel_report",
+    "merge_stats",
+    "new_stats",
+    "try_compile",
+]
+
+_OFF_VALUES = ("off", "0", "false", "disabled", "no")
+
+
+def enabled() -> bool:
+    """Whether the vectorized path is available and not disabled.
+
+    ``REPRO_KERNELS=off`` (checked per query, so tests can toggle it) forces
+    the row-at-a-time fallback; a missing numpy disables kernels outright.
+    """
+    if _np is None:
+        return False
+    return os.environ.get("REPRO_KERNELS", "").strip().lower() not in _OFF_VALUES
+
+
+def try_compile(
+    driver,
+    probes: Sequence,
+    output_variables: Sequence[str],
+    *,
+    group_vars: Optional[Sequence[str]] = None,
+    compress: bool = True,
+    stats: Optional[dict] = None,
+) -> Tuple[Optional[KernelProgram], Optional[str]]:
+    """Compile a pipeline, returning ``(program, None)`` or ``(None, reason)``."""
+    if _np is None:
+        return None, "numpy-unavailable"
+    if not enabled():
+        return None, "disabled"
+    try:
+        program = compile_program(
+            driver,
+            probes,
+            output_variables,
+            group_vars=group_vars,
+            compress=compress,
+            stats=stats,
+        )
+    except KernelCompileError as exc:
+        return None, str(exc)
+    return program, None
+
+
+def kernel_caches_clear() -> None:
+    """Drop the program and index caches (tests and memory pressure)."""
+    program_cache_clear()
+    index_cache_clear()
+
+
+def kernel_report(
+    stats: Optional[Dict[str, int]] = None,
+    fallbacks: Optional[List[str]] = None,
+) -> Dict[str, object]:
+    """The ``RunReport.details["kernels"]`` record for one engine run.
+
+    Keys: ``mode`` (``"vectorized"`` / ``"fallback"`` / ``"mixed"``),
+    ``batches`` / ``rows_in`` / ``rows_out`` batch counters, ``programs``
+    and ``indexes`` cache hit/miss counters, and ``fallbacks`` (the
+    row-at-a-time reasons, present only when something fell back).
+    """
+    stats = stats or new_stats()
+    reasons = [reason for reason in (fallbacks or []) if reason]
+    ran_vectorized = (
+        stats.get("program_hits", 0) + stats.get("program_misses", 0) > 0
+    )
+    if ran_vectorized and not reasons:
+        mode = "vectorized"
+    elif ran_vectorized:
+        mode = "mixed"
+    else:
+        mode = "fallback"
+    record: Dict[str, object] = {
+        "mode": mode,
+        "batches": stats.get("batches", 0),
+        "rows_in": stats.get("rows_in", 0),
+        "rows_out": stats.get("rows_out", 0),
+        "programs": {
+            "hits": stats.get("program_hits", 0),
+            "misses": stats.get("program_misses", 0),
+        },
+        "indexes": {
+            "hits": stats.get("index_hits", 0),
+            "misses": stats.get("index_misses", 0),
+        },
+    }
+    if reasons:
+        record["fallbacks"] = reasons
+    return record

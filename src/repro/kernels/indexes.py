@@ -1,0 +1,267 @@
+"""Fingerprint-cached sorted join indexes for the batch kernels.
+
+A :class:`ProbeIndex` replaces a relation's hash table / trie on the
+vectorized path: rows are stably sorted by the bound key columns (only),
+so one ``searchsorted`` per frontier resolves every probe of a batch at
+once, and ties keep the original row order — the same order hash buckets
+and trie vectors iterate, which keeps the binary engine's output
+byte-identical.
+
+A :class:`DriverIndex` groups a relation's rows by a variable prefix in
+*first-occurrence* order — exactly the iteration order of the hash maps the
+row-at-a-time engines build (Python dicts preserve insertion order), which
+is what lets the steal scheduler's entry ranges slice the same partition on
+both paths.
+
+Both are cached under ``(Table.fingerprint(), columns, encodings)`` with a
+bounded LRU; fingerprints are content hashes, so a table rebuilt from a
+shared-memory attachment in a worker process hits the same entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kernels.encoding import code_array, float_array, int_array, key_array
+
+try:  # pragma: no cover
+    import numpy as np
+except Exception:  # pragma: no cover
+    np = None
+
+#: Maximum cached indexes; eviction is least-recently-used.
+INDEX_CACHE_CAPACITY = 256
+
+_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+
+
+def index_cache_clear() -> None:
+    """Drop every cached index (tests and memory pressure)."""
+    with _CACHE_LOCK:
+        _CACHE.clear()
+
+
+def _cache_get(key: tuple):
+    with _CACHE_LOCK:
+        entry = _CACHE.get(key)
+        if entry is not None:
+            _CACHE.move_to_end(key)
+        return entry
+
+
+def _cache_put(key: tuple, entry) -> None:
+    with _CACHE_LOCK:
+        _CACHE[key] = entry
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > INDEX_CACHE_CAPACITY:
+            _CACHE.popitem(last=False)
+
+
+def _segment_bisect(arr, lo, hi, vals, left: bool):
+    """Per-element binary search of ``vals`` within ``[lo, hi)`` segments.
+
+    ``numpy.searchsorted`` has no per-element bounds, so key columns after
+    the first are resolved with an explicit vectorized bisection: all
+    frontier elements step through their ~log2(segment) iterations in
+    lockstep.
+    """
+    lo = lo.copy()
+    hi = hi.copy()
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) >> 1
+        probe = arr[np.where(active, mid, 0)]
+        if left:
+            go_right = active & (probe < vals)
+        else:
+            go_right = active & (probe <= vals)
+        lo = np.where(go_right, mid + 1, lo)
+        hi = np.where(active & ~go_right, mid, hi)
+    return lo
+
+
+class ProbeIndex:
+    """A relation stably sorted by its bound key columns."""
+
+    __slots__ = ("perm", "key_cols", "size")
+
+    def __init__(self, perm, key_cols, size: int) -> None:
+        self.perm = perm
+        self.key_cols = key_cols
+        self.size = size
+
+    def probe(
+        self, frontier_cols: Sequence, frontier_size: int
+    ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Match-range ``(lo, hi)`` per frontier element (half-open).
+
+        ``frontier_size`` is the frontier length — needed explicitly for
+        key-less (cross product) probes, where every frontier element
+        matches the whole relation.
+        """
+        if not self.key_cols:
+            lo = np.zeros(frontier_size, dtype=np.int64)
+            hi = np.full(frontier_size, self.size, dtype=np.int64)
+            return lo, hi
+        first = self.key_cols[0]
+        vals = frontier_cols[0]
+        lo = np.searchsorted(first, vals, side="left").astype(np.int64)
+        hi = np.searchsorted(first, vals, side="right").astype(np.int64)
+        for col, v in zip(self.key_cols[1:], frontier_cols[1:]):
+            lo = _segment_bisect(col, lo, hi, v, left=True)
+            hi = _segment_bisect(col, lo, hi, v, left=False)
+        return lo, hi
+
+
+class DriverIndex:
+    """A relation's rows grouped by a variable prefix, first-occurrence order."""
+
+    __slots__ = ("perm", "starts", "group_count", "size")
+
+    def __init__(self, perm, starts, group_count: int, size: int) -> None:
+        self.perm = perm
+        self.starts = starts
+        self.group_count = group_count
+        self.size = size
+
+    def rows_for_groups(self, start: int, stop: int) -> "np.ndarray":
+        """Row indices (original order within groups) of groups [start, stop)."""
+        start = max(0, min(start, self.group_count))
+        stop = max(start, min(stop, self.group_count))
+        return self.perm[int(self.starts[start]) : int(self.starts[stop])]
+
+
+def _group_ids(arrays: Sequence) -> "np.ndarray":
+    """Dense group ids over one or more key arrays (value order, not first-occurrence)."""
+    gid = None
+    for arr in arrays:
+        uniques, inverse = np.unique(arr, return_inverse=True)
+        inverse = inverse.reshape(-1).astype(np.int64)
+        if gid is None:
+            gid = inverse
+        else:
+            gid = gid * np.int64(len(uniques)) + inverse
+            _, gid = np.unique(gid, return_inverse=True)
+            gid = gid.reshape(-1).astype(np.int64)
+    return gid
+
+
+def column_distinct_count(column) -> int:
+    """Distinct-value count of a column under Python dict-key equivalence.
+
+    Matches ``len(set(column.values))`` exactly (every encoding preserves
+    dict equivalence), which is what the steal scheduler's entry totals are
+    computed from — kernel drivers must agree with that count.
+    """
+    cache = getattr(column, "_kernel", None)
+    if cache is not None and "distinct" in cache:
+        return cache["distinct"]
+    arr = int_array(column)
+    if arr is None:
+        arr = float_array(column)
+    if arr is None:
+        arr = code_array(column)
+    count = int(np.unique(arr).size) if arr.size else 0
+    if cache is None:
+        cache = getattr(column, "_kernel", None)
+    if cache is not None:
+        cache["distinct"] = count
+    return count
+
+
+def build_probe_index(atom, key_vars: Sequence[str], kinds: Dict[str, str]) -> ProbeIndex:
+    size = atom.size
+    arrays = [
+        key_array(atom.table.column(atom.column_for(var)), kinds[var])
+        for var in key_vars
+    ]
+    if not arrays:
+        return ProbeIndex(np.arange(size, dtype=np.int64), [], size)
+    # lexsort: last key is primary, and successive stable sorts keep the
+    # original row order within full-tie groups.
+    perm = np.lexsort(tuple(arrays[::-1]))
+    key_cols = [arr[perm] for arr in arrays]
+    return ProbeIndex(perm.astype(np.int64), key_cols, size)
+
+
+def build_driver_index(
+    atom, group_vars: Sequence[str], kinds: Dict[str, str]
+) -> DriverIndex:
+    size = atom.size
+    if size == 0:
+        return DriverIndex(
+            np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), 0, 0
+        )
+    arrays = [
+        key_array(atom.table.column(atom.column_for(var)), kinds[var])
+        for var in group_vars
+    ]
+    if not arrays:
+        perm = np.arange(size, dtype=np.int64)
+        starts = np.asarray([0, size], dtype=np.int64)
+        return DriverIndex(perm, starts, 1, size)
+    gid = _group_ids(arrays)
+    group_count = int(gid.max()) + 1
+    # First-occurrence rank per group: the insertion order a Python dict
+    # built over these rows would iterate in.
+    first = np.full(group_count, size, dtype=np.int64)
+    np.minimum.at(first, gid, np.arange(size, dtype=np.int64))
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(group_count, dtype=np.int64)
+    rank[order] = np.arange(group_count, dtype=np.int64)
+    grank = rank[gid]
+    perm = np.lexsort((np.arange(size, dtype=np.int64), grank)).astype(np.int64)
+    counts = np.bincount(grank, minlength=group_count)
+    starts = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)]
+    )
+    return DriverIndex(perm, starts, group_count, size)
+
+
+def probe_index(
+    atom, key_vars: Sequence[str], kinds: Dict[str, str], stats: Optional[dict] = None
+) -> ProbeIndex:
+    """Cached :func:`build_probe_index` keyed by table content."""
+    key = (
+        "probe",
+        atom.table.fingerprint(),
+        tuple(atom.column_for(var) for var in key_vars),
+        tuple(kinds[var] for var in key_vars),
+    )
+    entry = _cache_get(key)
+    if entry is not None:
+        if stats is not None:
+            stats["index_hits"] = stats.get("index_hits", 0) + 1
+        return entry
+    if stats is not None:
+        stats["index_misses"] = stats.get("index_misses", 0) + 1
+    entry = build_probe_index(atom, key_vars, kinds)
+    _cache_put(key, entry)
+    return entry
+
+
+def driver_index(
+    atom, group_vars: Sequence[str], kinds: Dict[str, str], stats: Optional[dict] = None
+) -> DriverIndex:
+    """Cached :func:`build_driver_index` keyed by table content."""
+    key = (
+        "driver",
+        atom.table.fingerprint(),
+        tuple(atom.column_for(var) for var in group_vars),
+        tuple(kinds[var] for var in group_vars),
+    )
+    entry = _cache_get(key)
+    if entry is not None:
+        if stats is not None:
+            stats["index_hits"] = stats.get("index_hits", 0) + 1
+        return entry
+    if stats is not None:
+        stats["index_misses"] = stats.get("index_misses", 0) + 1
+    entry = build_driver_index(atom, group_vars, kinds)
+    _cache_put(key, entry)
+    return entry

@@ -1,0 +1,161 @@
+"""Batch residual-predicate evaluation.
+
+Residual predicates (cross-table non-equality filters) used to be evaluated
+row at a time: one environment dict plus one AST walk per row.  This module
+compiles a predicate list against a fixed variable order ONCE, into plain
+closures over tuple positions, and evaluates whole row batches through them
+— the batch analogue of the join kernels, and the same idea as
+:func:`repro.query.expressions.make_row_predicate` taken through the whole
+AST.
+
+The compiled form is exactly ``evaluate()``-equivalent, including the
+three-valued-logic conventions (``None`` operands make comparisons, LIKE,
+IN, and BETWEEN false).  Unknown future AST nodes fall back to the generic
+``evaluate(env)`` path per row, so the compiler can never change semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import QueryError
+from repro.query.expressions import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    _COMPARISONS,
+)
+
+RowTest = Callable[[tuple], bool]
+
+
+def _compile_value(expression: Expression, positions):
+    """A ``row -> value`` getter for a scalar sub-expression."""
+    if isinstance(expression, Literal):
+        value = expression.value
+        return lambda row: value
+    if isinstance(expression, ColumnRef):
+        name = expression.qualified_name
+        try:
+            index = positions[name]
+        except KeyError:
+            raise QueryError(
+                f"column {name!r} is not bound in the environment"
+            ) from None
+        return lambda row: row[index]
+    return None
+
+
+def _compile_test(expression: Expression, positions, variables) -> RowTest:
+    """A ``row -> bool`` test equivalent to ``expression.evaluate``."""
+    if isinstance(expression, Comparison):
+        left = _compile_value(expression.left, positions)
+        right = _compile_value(expression.right, positions)
+        if left is not None and right is not None:
+            op = _COMPARISONS[expression.op]
+
+            def test(row, _l=left, _r=right, _op=op):
+                lv = _l(row)
+                rv = _r(row)
+                if lv is None or rv is None:
+                    return False
+                return _op(lv, rv)
+
+            return test
+    elif isinstance(expression, And):
+        tests = [_compile_test(op, positions, variables) for op in expression.operands]
+        return lambda row: all(test(row) for test in tests)
+    elif isinstance(expression, Or):
+        tests = [_compile_test(op, positions, variables) for op in expression.operands]
+        return lambda row: any(test(row) for test in tests)
+    elif isinstance(expression, Not):
+        inner = _compile_test(expression.operand, positions, variables)
+        return lambda row: not inner(row)
+    elif isinstance(expression, Like):
+        operand = _compile_value(expression.operand, positions)
+        if operand is not None:
+            match = expression._regex.match
+            negated = expression.negated
+
+            def test(row, _get=operand, _match=match, _negated=negated):
+                value = _get(row)
+                if value is None:
+                    return False
+                matched = bool(_match(str(value)))
+                return (not matched) if _negated else matched
+
+            return test
+    elif isinstance(expression, InList):
+        operand = _compile_value(expression.operand, positions)
+        if operand is not None:
+            members = expression._value_set
+            negated = expression.negated
+
+            def test(row, _get=operand, _members=members, _negated=negated):
+                value = _get(row)
+                if value is None:
+                    return False
+                member = value in _members
+                return (not member) if _negated else member
+
+            return test
+    elif isinstance(expression, Between):
+        operand = _compile_value(expression.operand, positions)
+        low = _compile_value(expression.low, positions)
+        high = _compile_value(expression.high, positions)
+        if operand is not None and low is not None and high is not None:
+
+            def test(row, _get=operand, _low=low, _high=high):
+                value = _get(row)
+                lo = _low(row)
+                hi = _high(row)
+                if value is None or lo is None or hi is None:
+                    return False
+                return lo <= value <= hi
+
+            return test
+    elif isinstance(expression, IsNull):
+        operand = _compile_value(expression.operand, positions)
+        if operand is not None:
+            negated = expression.negated
+            if negated:
+                return lambda row, _get=operand: _get(row) is not None
+            return lambda row, _get=operand: _get(row) is None
+
+    # Nested scalar expressions or unknown node types: generic per-row
+    # evaluation against a positional environment (still no dict churn).
+    from repro.query.planner import variable_environment
+
+    def fallback(row, _expr=expression, _vars=variables):
+        return bool(_expr.evaluate(variable_environment(_vars, row)))
+
+    return fallback
+
+
+def compile_batch_predicate(
+    predicates: Sequence[Expression], variables: Sequence[str]
+) -> Optional[Callable[[Sequence[tuple]], List[bool]]]:
+    """Compile residual predicates into a batch mask function.
+
+    Returns ``None`` when there is nothing to filter; otherwise a callable
+    mapping a batch of row tuples (in ``variables`` order) to a keep-mask.
+    """
+    if not predicates:
+        return None
+    # The planner rewrites residual column refs onto join variables under a
+    # ``_var.`` prefix (see ``variable_environment``); mirror that here.
+    positions = {f"_var.{var}": index for index, var in enumerate(variables)}
+    variables = tuple(variables)
+    tests = [_compile_test(p, positions, variables) for p in predicates]
+    if len(tests) == 1:
+        single = tests[0]
+        return lambda rows: [single(row) for row in rows]
+    return lambda rows: [all(test(row) for test in tests) for row in rows]

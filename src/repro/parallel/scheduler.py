@@ -82,6 +82,16 @@ from repro.core.plan import FreeJoinPlan
 from repro.engine.aggregates import AggregateSpec, PartialAggregateSink
 from repro.engine.output import CountSink, JoinResult, OutputSink, RowSink
 from repro.errors import DeadlineExceeded, ExecutionError, QueryCancelled
+from repro.kernels import (
+    KernelCompileError,
+    KernelFrontierExplosion,
+    column_distinct_count,
+    compile_program as kernel_compile,
+    enabled as kernels_enabled,
+    execute_program as kernel_execute,
+    merge_stats as kernel_merge_stats,
+    new_stats as kernel_new_stats,
+)
 from repro.parallel.cancellation import DeadlineToken
 from repro.parallel.context_cache import (
     CONTEXT_BYTES_FACTOR,
@@ -347,6 +357,10 @@ class _FreeJoinTaskContext:
         output: str,
         cover: Optional[str] = None,
         attach_seconds: float = 0.0,
+        atoms: Optional[Dict[str, Atom]] = None,
+        schemas=None,
+        trie_strategy=None,
+        use_kernels: bool = False,
     ) -> None:
         self.plan = plan
         self.output_variables = output_variables
@@ -356,6 +370,40 @@ class _FreeJoinTaskContext:
         self.output = output
         self.cover = cover
         self.attach_seconds = attach_seconds
+        if atoms is None and tries is not None:
+            atoms = {name: trie.atom for name, trie in tries.items()}
+        self.atoms = atoms
+        self.schemas = schemas
+        self.trie_strategy = trie_strategy
+        self.use_kernels = use_kernels
+
+    def _ensure_tries(self):
+        # Kernel-serving workers skip the trie build; the first task that
+        # actually needs the row path (sub-entry split, compile fallback)
+        # builds it here.
+        if self.tries is None:
+            self.tries = build_tries(self.atoms, self.schemas, self.trie_strategy)
+        return self.tries
+
+    def _compile_kernel(self, stats):
+        levels = self.plan.subatoms_of(self.cover)
+        group_vars = None if len(levels) == 1 else tuple(levels[0].variables)
+        driver = self.atoms[self.cover]
+        probes = [
+            self.atoms[name] for name in self.plan.relations() if name != self.cover
+        ]
+        try:
+            program = kernel_compile(
+                driver,
+                probes,
+                self.output_variables,
+                group_vars=group_vars,
+                compress=True,
+                stats=stats,
+            )
+        except KernelCompileError as exc:
+            return None, str(exc)
+        return program, None
 
     def run_task(
         self,
@@ -364,6 +412,36 @@ class _FreeJoinTaskContext:
         aggregate: Optional[AggregateSpec] = None,
     ) -> Dict[str, object]:
         sink = _task_sink(self.output, self.output_variables, aggregate)
+        fallback = None
+        if self.use_kernels:
+            # Task ranges address the cover's root entries in
+            # first-occurrence order — the same partition the driver index
+            # groups by, so kernel and trie tasks can even mix in one run.
+            if task.sub is not None:
+                fallback = "sub-entry-task"
+            elif self.cover is None:
+                fallback = "probe-only-root"
+            else:
+                stats = kernel_new_stats()
+                program, fallback = self._compile_kernel(stats)
+                if program is not None:
+                    try:
+                        kernel_execute(
+                            program,
+                            sink,
+                            start=task.start,
+                            stop=task.stop,
+                            interrupt=interrupt,
+                            stats=stats,
+                        )
+                    except KernelFrontierExplosion as exc:
+                        # The task's sink is untouched (guard invariant);
+                        # re-run its range on the trie path.
+                        fallback = str(exc)
+                    else:
+                        outcome = _task_outcome(task, sink, self.output, None)
+                        outcome["kernels"] = stats
+                        return outcome
         executor = FreeJoinExecutor(
             self.plan,
             self.output_variables,
@@ -373,8 +451,13 @@ class _FreeJoinTaskContext:
             factorize=False,
             interrupt=interrupt,
         )
-        executor.run_task(self.tries, task.start, task.stop, task.sub, self.cover)
-        return _task_outcome(task, sink, self.output, executor.stats.as_dict())
+        executor.run_task(
+            self._ensure_tries(), task.start, task.stop, task.sub, self.cover
+        )
+        outcome = _task_outcome(task, sink, self.output, executor.stats.as_dict())
+        if fallback:
+            outcome["kernel_fallback"] = fallback
+        return outcome
 
 
 class _BinaryTaskContext:
@@ -390,6 +473,7 @@ class _BinaryTaskContext:
         output_variables: List[str],
         output: str,
         attach_seconds: float = 0.0,
+        use_kernels: bool = False,
     ) -> None:
         from repro.binaryjoin.executor import BinaryJoinEngine
 
@@ -397,7 +481,20 @@ class _BinaryTaskContext:
         self.output_variables = output_variables
         self.output = output
         self.attach_seconds = attach_seconds
-        self.hash_tables = BinaryJoinEngine._build_hash_tables(pipeline_atoms)
+        self.use_kernels = use_kernels
+        self._hash_tables = None
+        if not use_kernels:
+            self._hash_tables = BinaryJoinEngine._build_hash_tables(pipeline_atoms)
+
+    @property
+    def hash_tables(self):
+        if self._hash_tables is None:
+            from repro.binaryjoin.executor import BinaryJoinEngine
+
+            self._hash_tables = BinaryJoinEngine._build_hash_tables(
+                self.pipeline_atoms
+            )
+        return self._hash_tables
 
     def run_task(
         self,
@@ -408,6 +505,41 @@ class _BinaryTaskContext:
         from repro.binaryjoin.executor import BinaryJoinEngine
 
         sink = _task_sink(self.output, self.output_variables, aggregate)
+        fallback = None
+        if self.use_kernels:
+            stats = kernel_new_stats()
+            # Row mode expands fully (byte-identical to the probe loop's
+            # order within each offset range); count mode compresses —
+            # unless the task folds aggregates, which consume rows.
+            compress = self.output == "count" and aggregate is None
+            try:
+                program = kernel_compile(
+                    self.pipeline_atoms[0],
+                    self.pipeline_atoms[1:],
+                    self.output_variables,
+                    compress=compress,
+                    stats=stats,
+                )
+            except KernelCompileError as exc:
+                program, fallback = None, str(exc)
+            if program is not None:
+                try:
+                    kernel_execute(
+                        program,
+                        sink,
+                        start=task.start,
+                        stop=task.stop,
+                        interrupt=interrupt,
+                        stats=stats,
+                    )
+                except KernelFrontierExplosion as exc:
+                    # The task's sink is untouched (guard invariant);
+                    # re-run its range on the probe loop.
+                    fallback = str(exc)
+                else:
+                    outcome = _task_outcome(task, sink, self.output, None)
+                    outcome["kernels"] = stats
+                    return outcome
         BinaryJoinEngine._run_pipeline(
             self.pipeline_atoms,
             self.hash_tables,
@@ -416,7 +548,10 @@ class _BinaryTaskContext:
             offset_range=(task.start, task.stop),
             interrupt=interrupt,
         )
-        return _task_outcome(task, sink, self.output, None)
+        outcome = _task_outcome(task, sink, self.output, None)
+        if fallback:
+            outcome["kernel_fallback"] = fallback
+        return outcome
 
 
 class _GenericTaskContext:
@@ -433,15 +568,61 @@ class _GenericTaskContext:
         order: List[str],
         output: str,
         attach_seconds: float = 0.0,
+        use_kernels: bool = False,
     ) -> None:
-        from repro.genericjoin.trie import build_hash_trie
-
         self.atoms = atoms
         self.output_variables = output_variables
         self.order = order
         self.output = output
         self.attach_seconds = attach_seconds
-        self.tries = {atom.name: build_hash_trie(atom, order) for atom in atoms}
+        self.use_kernels = use_kernels
+        self._tries = None
+        if not use_kernels:
+            self._tries = self._build_tries()
+
+    def _build_tries(self):
+        from repro.genericjoin.trie import build_hash_trie
+
+        return {atom.name: build_hash_trie(atom, self.order) for atom in self.atoms}
+
+    @property
+    def tries(self):
+        if self._tries is None:
+            self._tries = self._build_tries()
+        return self._tries
+
+    def _compile_kernel(self, stats):
+        # Task ranges address distinct first-variable values of the smallest
+        # participant, in first-occurrence order — the entry iteration the
+        # recursion slices.  The driver must be that same atom (stable min,
+        # like the recursion's stable sort) so its group count equals the
+        # scheduler's entry total.
+        if not self.order:
+            return None, "no-variable-order"
+        participants = [
+            atom for atom in self.atoms if atom.has_variable(self.order[0])
+        ]
+        if not participants:
+            return None, "no-first-variable-participant"
+        driver = min(
+            participants,
+            key=lambda atom: column_distinct_count(
+                atom.table.column(atom.column_for(self.order[0]))
+            ),
+        )
+        probes = [atom for atom in self.atoms if atom is not driver]
+        try:
+            program = kernel_compile(
+                driver,
+                probes,
+                self.output_variables,
+                group_vars=(self.order[0],),
+                compress=True,
+                stats=stats,
+            )
+        except KernelCompileError as exc:
+            return None, str(exc)
+        return program, None
 
     def run_task(
         self,
@@ -452,6 +633,28 @@ class _GenericTaskContext:
         from repro.genericjoin.executor import GenericJoinEngine
 
         sink = _task_sink(self.output, self.output_variables, aggregate)
+        fallback = None
+        if self.use_kernels:
+            stats = kernel_new_stats()
+            program, fallback = self._compile_kernel(stats)
+            if program is not None:
+                try:
+                    kernel_execute(
+                        program,
+                        sink,
+                        start=task.start,
+                        stop=task.stop,
+                        interrupt=interrupt,
+                        stats=stats,
+                    )
+                except KernelFrontierExplosion as exc:
+                    # The task's sink is untouched (guard invariant);
+                    # re-run its range on the intersection recursion.
+                    fallback = str(exc)
+                else:
+                    outcome = _task_outcome(task, sink, self.output, None)
+                    outcome["kernels"] = stats
+                    return outcome
         GenericJoinEngine._execute_atoms(
             self.atoms,
             self.output_variables,
@@ -461,7 +664,10 @@ class _GenericTaskContext:
             entry_range=(task.start, task.stop),
             interrupt=interrupt,
         )
-        return _task_outcome(task, sink, self.output, None)
+        outcome = _task_outcome(task, sink, self.output, None)
+        if fallback:
+            outcome["kernel_fallback"] = fallback
+        return outcome
 
 
 def _cover_entry_total(trie) -> int:
@@ -535,8 +741,15 @@ def _build_worker_context(setup: Dict[str, object], cache: AttachmentCache):
     started = time.perf_counter()
     atoms, attachments = _attach_atoms(setup["atoms"], cache)
     attach_seconds = time.perf_counter() - started
+    use_kernels = bool(setup.get("use_kernels"))
     if kind == "freejoin":
-        tries = build_tries(atoms, setup["schemas"], setup["trie_strategy"])
+        # Kernel-serving workers defer the trie build to the first task
+        # that actually needs the row path (if any).
+        tries = (
+            None
+            if use_kernels
+            else build_tries(atoms, setup["schemas"], setup["trie_strategy"])
+        )
         context = _FreeJoinTaskContext(
             setup["plan"],
             setup["output_variables"],
@@ -546,11 +759,19 @@ def _build_worker_context(setup: Dict[str, object], cache: AttachmentCache):
             output=setup["output"],
             cover=setup["cover"],
             attach_seconds=attach_seconds,
+            atoms=atoms,
+            schemas=setup["schemas"],
+            trie_strategy=setup["trie_strategy"],
+            use_kernels=use_kernels,
         )
     elif kind == "binary":
         ordered = [atoms[name] for name in setup["atom_order"]]
         context = _BinaryTaskContext(
-            ordered, setup["output_variables"], setup["output"], attach_seconds
+            ordered,
+            setup["output_variables"],
+            setup["output"],
+            attach_seconds,
+            use_kernels=use_kernels,
         )
     elif kind == "generic":
         ordered = [atoms[name] for name in setup["atom_order"]]
@@ -560,6 +781,7 @@ def _build_worker_context(setup: Dict[str, object], cache: AttachmentCache):
             setup["order"],
             setup["output"],
             attach_seconds,
+            use_kernels=use_kernels,
         )
     else:
         raise ExecutionError(f"unknown steal context kind {kind!r}")
@@ -1524,6 +1746,13 @@ def _merge(
     attach_max = max(
         (report.get("attach_seconds", 0.0) for report in reports.values()), default=0.0
     )
+    kernel_stats = kernel_new_stats()
+    kernel_fallbacks: List[str] = []
+    for outcome in outcomes:
+        kernel_merge_stats(kernel_stats, outcome.get("kernels"))
+        reason = outcome.get("kernel_fallback")
+        if reason:
+            kernel_fallbacks.append(reason)
     extra = {
         "tasks": len(run.tasks),
         "steals": sum(report["steals"] for report in reports.values()),
@@ -1531,6 +1760,8 @@ def _merge(
         "queue": queue_stats,
         "attach_seconds": attach_max,
         "short_circuit": False,
+        "kernels_stats": kernel_stats,
+        "kernels_fallbacks": kernel_fallbacks,
     }
     if run.stream is not None:
         extra["stream"] = run.stream.stats()
@@ -1616,6 +1847,9 @@ def run_freejoin_pipeline_steal(
     input_tuples = sum(atom.size for atom in atoms.values())
     backend = _steal_backend(mode, workers, input_tuples)
     budget = context_cache_budget()
+    # Decided once, in the parent: every worker of this run executes the
+    # same path regardless of when it forked (env toggles are per-query).
+    use_kernels = kernels_enabled()
     cache_key = None
     if budget > 0:
         cache_key = context_cache_key(
@@ -1628,6 +1862,7 @@ def run_freejoin_pipeline_steal(
             batch_size,
             dynamic_cover,
             output,
+            use_kernels,
         )
     cache_telemetry = {"hits": 0, "misses": 0, "evictions": 0}
 
@@ -1671,7 +1906,7 @@ def run_freejoin_pipeline_steal(
             allow_sub = False
         else:
             cover_relation = root_info.cover_plans[cover_position].relation
-            if backend == "thread":
+            if backend == "thread" and not use_kernels:
                 # Thread workers share these tries, so forcing the cover's
                 # root level here is work the query needs anyway.
                 entry_total = entry_count(tries[cover_relation])
@@ -1691,7 +1926,15 @@ def run_freejoin_pipeline_steal(
     if interrupt is not None and interrupt.at is not None:
         for task in tasks:
             task.deadline = interrupt.at
-    if backend == "thread" and len(tasks) > 1 and context is None and tries is not None:
+    if (
+        backend == "thread"
+        and len(tasks) > 1
+        and context is None
+        and tries is not None
+        and not use_kernels
+    ):
+        # Kernel runs never touch the shared tries except on rare per-task
+        # fallbacks; pre-forcing would be pure overhead there.
         build_started = time.perf_counter()
         _preforce_shared_tries(plan, tries)
         build_seconds += time.perf_counter() - build_started
@@ -1715,6 +1958,10 @@ def run_freejoin_pipeline_steal(
             batch_size=batch_size,
             output=output,
             cover=cover_relation,
+            atoms=dict(atoms),
+            schemas=schemas,
+            trie_strategy=trie_strategy,
+            use_kernels=use_kernels,
         )
         cached_context.entry_total = entry_total
         cached_context.allow_sub = allow_sub
@@ -1738,6 +1985,7 @@ def run_freejoin_pipeline_steal(
             "output": output,
             "cover": cover_relation,
             "atoms": _atom_specs(list(atoms.values())),
+            "use_kernels": use_kernels,
             "context_key": cache_key,
             "context_bytes": _context_bytes_estimate(list(atoms.values())),
             "cache_budget": budget,
@@ -1788,6 +2036,7 @@ def run_binary_pipeline_steal(
     input_tuples = sum(atom.size for atom in pipeline_atoms)
     backend = _steal_backend(mode, workers, input_tuples)
     budget = context_cache_budget()
+    use_kernels = kernels_enabled()
     atoms_by_name = {atom.name: atom for atom in pipeline_atoms}
     cache_key = None
     if budget > 0:
@@ -1798,6 +2047,7 @@ def run_binary_pipeline_steal(
             tuple(tuple(atom.variables) for atom in pipeline_atoms),
             tuple(output_variables),
             output,
+            use_kernels,
         )
     entry_total = pipeline_atoms[0].size
     tasks = decompose_entries(entry_total, workers, tasks_per_worker, allow_sub=False)
@@ -1816,7 +2066,10 @@ def run_binary_pipeline_steal(
         if cache_key is not None:
             cache_telemetry["misses"] = 1
         context = _BinaryTaskContext(
-            list(pipeline_atoms), list(output_variables), output
+            list(pipeline_atoms),
+            list(output_variables),
+            output,
+            use_kernels=use_kernels,
         )
         cache_telemetry["evictions"] += _local_context_put(
             cache_key, context, _context_bytes_estimate(pipeline_atoms), budget
@@ -1830,6 +2083,7 @@ def run_binary_pipeline_steal(
             "output_variables": list(output_variables),
             "output": output,
             "atoms": _atom_specs(pipeline_atoms),
+            "use_kernels": use_kernels,
             "context_key": cache_key,
             "context_bytes": _context_bytes_estimate(pipeline_atoms),
             "cache_budget": budget,
@@ -1882,6 +2136,7 @@ def run_generic_steal(
     input_tuples = sum(atom.size for atom in atoms)
     backend = _steal_backend(mode, workers, input_tuples)
     budget = context_cache_budget()
+    use_kernels = kernels_enabled()
     atoms_by_name = {atom.name: atom for atom in atoms}
     cache_key = None
     if budget > 0:
@@ -1893,6 +2148,7 @@ def run_generic_steal(
             tuple(output_variables),
             tuple(order),
             output,
+            use_kernels,
         )
 
     # The first variable's intersection iterates the smallest participant
@@ -1929,7 +2185,7 @@ def run_generic_steal(
         if cache_key is not None:
             cache_telemetry["misses"] = 1
         context = _GenericTaskContext(
-            atoms, tuple(output_variables), order, output
+            atoms, tuple(output_variables), order, output, use_kernels=use_kernels
         )
         cache_telemetry["evictions"] += _local_context_put(
             cache_key, context, _context_bytes_estimate(atoms), budget
@@ -1944,6 +2200,7 @@ def run_generic_steal(
             "order": order,
             "output": output,
             "atoms": _atom_specs(atoms),
+            "use_kernels": use_kernels,
             "context_key": cache_key,
             "context_bytes": _context_bytes_estimate(atoms),
             "cache_budget": budget,

@@ -45,13 +45,18 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import AsyncIterator, Dict, Iterable, List, Optional, Union
 
 from repro.engine.session import Database, QueryOutcome
-from repro.errors import QueryError
+from repro.errors import DeadlineExceeded, QueryError
 from repro.parallel.cancellation import DeadlineToken
 from repro.parallel.workload import normalize_queries
 from repro.router.admission import AdmissionGate, AdmissionTicket, classify_sql
 
 #: Default size of the serving thread pool.
 DEFAULT_CONCURRENCY = 8
+#: ``gather_many`` retry policy for transient admission rejections: at most
+#: this many re-attempts per query, with exponential backoff between them.
+ADMISSION_RETRIES = 4
+ADMISSION_BACKOFF_INITIAL = 0.02
+ADMISSION_BACKOFF_MAX = 0.2
 
 
 class AsyncDatabase:
@@ -62,7 +67,10 @@ class AsyncDatabase:
     database:
         The session to serve.  When omitted, a fresh :class:`Database` is
         created from ``db_options`` (which are forwarded verbatim, e.g.
-        ``parallelism=4, parallel_mode="process"``).
+        ``parallelism=4, parallel_mode="process"``, or
+        ``feedback_path="router.json"`` to serve with a durable feedback
+        store — :meth:`close` persists it even when the underlying
+        database stays open).
     max_concurrency:
         Size of the worker thread pool — the hard cap on queries executing
         simultaneously.  ``gather_many`` can bound itself further per call.
@@ -115,6 +123,10 @@ class AsyncDatabase:
         # Waiting would block the event loop; threads drain in the
         # background, and cancelled queries unwind at their next token check.
         self._executor.shutdown(wait=False)
+        # What the router learned while serving survives the server even if
+        # the session object lives on (Database.close saves again — saving
+        # is idempotent).
+        self.database.save_feedback()
         if close_database:
             await asyncio.get_running_loop().run_in_executor(
                 None, self.database.close
@@ -336,23 +348,59 @@ class AsyncDatabase:
         :meth:`Database.execute_many` (SQL strings, ``(name, sql)`` pairs,
         objects with ``name``/``sql``).  ``timeout`` applies per query.
 
+        With an admission gate configured, a query rejected by the gate
+        (:class:`~repro.errors.AdmissionRejected` — load shedding, expected
+        to clear as siblings finish) is retried up to
+        :data:`ADMISSION_RETRIES` times with exponential backoff.  The
+        retries honor the per-query deadline: backoff never sleeps past the
+        remaining budget, re-attempts run with the budget that is left, and
+        a query whose budget is exhausted by rejections surfaces the last
+        ``AdmissionRejected`` rather than waiting further.
+
         With ``return_exceptions=False`` (default) the first failure —
         including a per-query ``DeadlineExceeded`` — cancels every sibling
         (in-flight siblings abort mid-execution via their tokens) and
         re-raises; with ``True`` each slot holds its outcome or exception,
         aligned with the input order.
         """
+        from repro.errors import AdmissionRejected
+
         normalized = normalize_queries(queries)
         limit = max_concurrency or self.max_concurrency
         if limit < 1:
             raise QueryError(f"max_concurrency must be at least 1, got {limit}")
         semaphore = asyncio.Semaphore(limit)
+        loop = asyncio.get_running_loop()
 
         async def run_one(name: str, sql: str):
             async with semaphore:
-                return await self.execute(
-                    sql, name=name, timeout=timeout, engine=engine
-                )
+                started = loop.time()
+                delay = ADMISSION_BACKOFF_INITIAL
+                for attempt in range(ADMISSION_RETRIES + 1):
+                    if timeout is None:
+                        remaining = None
+                    else:
+                        # The budget covers the whole admission+execution
+                        # span, so retried queries never outlive the
+                        # deadline a first-try query would get.
+                        remaining = timeout - (loop.time() - started)
+                        remaining = timeout if attempt == 0 else remaining
+                        if remaining <= 0:
+                            raise DeadlineExceeded(
+                                f"query {name!r}: {timeout}s budget exhausted "
+                                f"while retrying admission"
+                            )
+                    try:
+                        return await self.execute(
+                            sql, name=name, timeout=remaining, engine=engine
+                        )
+                    except AdmissionRejected:
+                        if attempt == ADMISSION_RETRIES:
+                            raise
+                        if remaining is not None and delay >= remaining:
+                            raise  # no budget left to wait out the gate
+                        await asyncio.sleep(delay)
+                        delay = min(delay * 2, ADMISSION_BACKOFF_MAX)
 
         tasks = [
             asyncio.create_task(run_one(name, sql), name=f"repro-serve-{name}")

@@ -28,7 +28,7 @@ class Column:
         values when omitted.
     """
 
-    __slots__ = ("name", "values", "dtype", "_digest")
+    __slots__ = ("name", "values", "dtype", "_digest", "_kernel")
 
     def __init__(
         self,
@@ -48,6 +48,11 @@ class Column:
         # these column vectors, so the digest must live on the column for
         # fingerprinting to stay O(1) per repeated query.
         self._digest: Optional[bytes] = None
+        # Memoized numpy encodings of this column (int64 / float64 / interner
+        # codes), built on demand by repro.kernels.encoding.  Lives on the
+        # column for the same reason as the digest: per-query Table wrappers
+        # share column objects, so encoding a column is once per dataset.
+        self._kernel: Optional[dict] = None
 
     def __len__(self) -> int:
         return len(self.values)

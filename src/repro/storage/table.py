@@ -302,6 +302,7 @@ class Table:
         for index, column in enumerate(self.columns):
             column.values.extend(row[index] for row in rows)
             column._digest = None
+            column._kernel = None
         self.version += 1
         self._fingerprint = None
 

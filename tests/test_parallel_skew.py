@@ -31,6 +31,23 @@ from repro.workloads.synthetic import random_tables
 ENGINES = ("freejoin", "binary", "generic")
 BACKENDS = ("thread", "process")
 
+
+@pytest.fixture(scope="module", autouse=True)
+def _row_at_a_time():
+    """Pin the row-at-a-time path for the whole battery.
+
+    The balance gates need tasks with real per-row work: the batch kernels
+    finish tasks so fast that per-worker spread collapses into scheduler
+    timing noise.  The scheduling behavior under test is path-independent
+    (the parent's kernels-off decision rides in each task setup, so process
+    workers honor it regardless of when they forked).  Module-scoped so the
+    module-scoped serial references are computed on the same path.
+    """
+    patcher = pytest.MonkeyPatch()
+    patcher.setenv("REPRO_KERNELS", "off")
+    yield
+    patcher.undo()
+
 ROWS_SQL = "SELECT R.a, S.b FROM R, S WHERE R.k = S.k"
 COUNT_SQL = "SELECT COUNT(*) FROM R, S WHERE R.k = S.k"
 

@@ -394,3 +394,125 @@ def test_async_database_without_gate_admits_everything(triangle_db):
             return outcome.scalar()
 
     assert asyncio.run(main()) == triangle_db.execute(ACYCLIC_COUNT_SQL).scalar()
+
+
+# --------------------------------------------------------------------------- #
+# Durable feedback: feedback_path on Database / AsyncDatabase
+# --------------------------------------------------------------------------- #
+
+
+def test_feedback_path_persists_and_reloads(tmp_path, triangle_db):
+    """What one session's router learned, the next session starts with."""
+    path = tmp_path / "feedback.json"
+    first = Database(triangle_db.catalog, feedback_path=str(path))
+    first.execute(ACYCLIC_COUNT_SQL, engine="auto")
+    learned = first.router.feedback.as_dict()
+    assert learned["entries"], "the routed query must have been observed"
+    first.close()  # saves
+
+    assert path.exists()
+    second = Database(triangle_db.catalog, feedback_path=str(path))
+    assert second.router.feedback.as_dict() == learned
+    second.close()
+
+
+def test_feedback_path_missing_file_starts_cold(tmp_path):
+    database = Database(feedback_path=str(tmp_path / "never_written.json"))
+    assert database.router.feedback.as_dict()["entries"] == []
+    database.close()
+    # close() persisted the (empty) store, so the next start-up reads it.
+    assert (tmp_path / "never_written.json").exists()
+
+
+def test_feedback_path_corrupted_file_falls_back_to_cold_store(tmp_path):
+    """Regression: a truncated/hand-mangled feedback file must not fail the
+    session — routing degrades to cold-start and the file is rewritten
+    valid on close."""
+    path = tmp_path / "feedback.json"
+    path.write_text('{"alpha": 0.3, "entries": [{"bucket"')  # crash artifact
+    database = Database(feedback_path=str(path))
+    assert database.router.feedback.as_dict()["entries"] == []
+    database.close()
+    restored = FeedbackStore.load(str(path))  # valid JSON again
+    assert restored.as_dict()["entries"] == []
+
+    # Structurally valid JSON with a broken payload falls back too.
+    path.write_text(json.dumps({"alpha": "not a number"}))
+    database = Database(feedback_path=str(path))
+    assert database.router.feedback.as_dict()["entries"] == []
+    database.close()
+
+
+def test_feedback_path_conflicts_with_prebuilt_router(tmp_path):
+    with pytest.raises(QueryError):
+        Database(
+            router=QueryRouter(),
+            feedback_path=str(tmp_path / "feedback.json"),
+        )
+
+
+def test_async_database_close_persists_feedback(tmp_path, triangle_db):
+    path = tmp_path / "feedback.json"
+
+    async def main():
+        async with AsyncDatabase(
+            catalog=triangle_db.catalog, feedback_path=str(path)
+        ) as server:
+            outcome = await server.execute(ACYCLIC_COUNT_SQL, engine="auto")
+            return outcome.scalar()
+
+    assert asyncio.run(main()) == triangle_db.execute(ACYCLIC_COUNT_SQL).scalar()
+    # close() ran on __aexit__ without close_database: the file is there.
+    assert FeedbackStore.load(str(path)).as_dict()["entries"]
+
+
+# --------------------------------------------------------------------------- #
+# gather_many: bounded retry of transient admission rejections
+# --------------------------------------------------------------------------- #
+
+
+def test_gather_many_retries_transient_admission_rejections(triangle_db):
+    """Regression: a gather_many burst against a small gate used to fail
+    wholesale on the first ``AdmissionRejected`` even though the gate would
+    clear moments later; rejected queries now back off and retry."""
+    triangle_db.execute(ACYCLIC_COUNT_SQL)  # warm plans + statistics
+    gate = AdmissionGate(point_limit=1, analytic_limit=1, max_outstanding=1)
+
+    async def main():
+        async with AsyncDatabase(
+            triangle_db, max_concurrency=3, admission=gate
+        ) as server:
+            results = await server.gather_many(
+                [(f"q{i}", ACYCLIC_COUNT_SQL) for i in range(3)],
+                max_concurrency=3,
+            )
+            return [outcome.scalar() for outcome in results]
+
+    expected = triangle_db.execute(ACYCLIC_COUNT_SQL).scalar()
+    assert asyncio.run(main()) == [expected] * 3
+    # The one-slot gate really did shed load along the way.
+    assert sum(gate.snapshot()["rejected"].values()) > 0
+
+
+def test_gather_many_admission_retry_honors_deadline(triangle_db):
+    """A gate that never clears must surface the rejection within the
+    per-query budget — not spin on retries past the deadline."""
+    import time
+
+    gate = AdmissionGate(point_limit=1, analytic_limit=1, max_outstanding=1)
+
+    async def main():
+        async with AsyncDatabase(triangle_db, admission=gate) as server:
+            blocker = gate.admit(POINT)  # saturate for the whole test
+            try:
+                started = time.perf_counter()
+                with pytest.raises(AdmissionRejected):
+                    await server.gather_many(
+                        [("q", ACYCLIC_COUNT_SQL)], timeout=0.1
+                    )
+                return time.perf_counter() - started
+            finally:
+                gate.release(blocker)
+
+    waited = asyncio.run(main())
+    assert waited < 1.0, f"rejection surfaced only after {waited:.2f}s"

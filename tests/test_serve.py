@@ -38,8 +38,15 @@ def _leaked_segments() -> list:
 
 
 @pytest.fixture
-def slow_catalog() -> Database:
-    """A catalog whose SLOW_SQL query takes a couple of seconds."""
+def slow_catalog(monkeypatch) -> Database:
+    """A catalog whose SLOW_SQL query takes a couple of seconds.
+
+    The slowness comes from row-at-a-time execution — the batch kernels
+    collapse this join to milliseconds — so the deadline/cancellation tests
+    below pin the fallback path (kernel-path deadline enforcement has its
+    own coverage in ``tests/test_kernels.py``).
+    """
+    monkeypatch.setenv("REPRO_KERNELS", "off")
     n = 1500
     database = Database()
     database.register(Table.from_columns("big", {

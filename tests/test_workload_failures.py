@@ -48,6 +48,20 @@ def _leaked_segments() -> list:
 # --------------------------------------------------------------------------- #
 
 
+@pytest.fixture
+def row_at_a_time(monkeypatch):
+    """Pin the row-at-a-time fallback for tests that need a *slow* query.
+
+    The batch kernels collapse these joins to milliseconds, which breaks the
+    timing premise of the timeout tests; pools are recycled so freshly
+    forked workers inherit the toggle.
+    """
+    scheduler.shutdown_pools()
+    monkeypatch.setenv("REPRO_KERNELS", "off")
+    yield
+    scheduler.shutdown_pools()
+
+
 def _slow_pair_catalog(rows: int = 1500) -> Database:
     database = Database()
     database.register(Table.from_columns("big", {
@@ -59,7 +73,7 @@ def _slow_pair_catalog(rows: int = 1500) -> Database:
     return database
 
 
-def test_thread_mode_timeout_aborts_mid_flight_and_frees_workers():
+def test_thread_mode_timeout_aborts_mid_flight_and_frees_workers(row_at_a_time):
     """Regression: a thread-mode timeout used to let the losing query finish
     in the background before the error surfaced.  It must now abort
     cooperatively: the workload returns promptly, the worker slot is free
@@ -98,7 +112,7 @@ def test_thread_mode_timeout_aborts_mid_flight_and_frees_workers():
     assert full == database.execute(slow_sql).scalar()  # catalog untouched
 
 
-def test_process_mode_timeout_cancels_intra_query_steal_tasks():
+def test_process_mode_timeout_cancels_intra_query_steal_tasks(row_at_a_time):
     """An over-budget query with intra-query parallelism must cancel its
     steal-pool tasks (cooperatively inside the worker, or via the group
     kill) and leak neither processes nor shm segments."""
@@ -119,7 +133,7 @@ def test_process_mode_timeout_cancels_intra_query_steal_tasks():
     assert set(_leaked_segments()) <= set(baseline)
 
 
-def test_per_query_timeout_actually_fires():
+def test_per_query_timeout_actually_fires(row_at_a_time):
     big = Table.from_columns("big", {"k": [0] * 1200, "v": list(range(1200))})
     other = Table.from_columns("other", {"k": [0] * 1200, "w": list(range(1200))})
     database = Database()
