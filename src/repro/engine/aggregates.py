@@ -527,3 +527,95 @@ def _iter_with_multiplicity(result: JoinResult):
             yield row, 1
         return
     yield from zip(result.rows, result.multiplicities)
+
+
+# --------------------------------------------------------------------------- #
+# The final pass: HAVING, DISTINCT, ORDER BY, LIMIT
+# --------------------------------------------------------------------------- #
+
+
+def apply_having(rows: List[Row], having) -> List[Row]:
+    """Filter finalized output rows with a resolved HAVING condition.
+
+    The planner rewrites every HAVING operand to
+    ``ColumnRef("_out.<position>")`` over the final output row, so
+    evaluation needs nothing but the row itself.  Three-valued logic
+    matches WHERE: a row is kept only when the condition is *true* (NULL
+    comparisons drop the row).
+    """
+    if having is None:
+        return rows
+    kept: List[Row] = []
+    for row in rows:
+        env = {f"_out.{position}": value for position, value in enumerate(row)}
+        if having.evaluate(env):
+            kept.append(row)
+    return kept
+
+
+def _value_key(value: Value):
+    """A total order over heterogeneous SQL values (NULLs first).
+
+    Values are ranked by type class (NULL < numbers < strings < other) and
+    compared within the class, so mixed-type columns sort identically on
+    every engine and platform instead of raising ``TypeError``.
+    """
+    if value is None:
+        return (0, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (1, float(value))
+    if isinstance(value, str):
+        return (2, value)
+    return (3, repr(value))
+
+
+def _canonical_row_key(row: Row):
+    """Deterministic whole-row sort key (used as the ORDER BY tiebreak)."""
+    return tuple(_value_key(value) for value in row) + (repr(row),)
+
+
+def order_rows(rows: List[Row], order_by) -> List[Row]:
+    """Sort output rows by the resolved ORDER BY keys, deterministically.
+
+    SQL leaves the order of peer rows (equal ORDER BY keys) unspecified;
+    here peers are broken by the canonical whole-row key so the same query
+    yields the same row sequence on every engine, kernel path, and worker
+    count — which is what lets the differential harness compare
+    ORDER BY + LIMIT results exactly.
+    """
+    if not order_by:
+        return rows
+    rows = sorted(rows, key=_canonical_row_key)
+    for item in reversed(order_by):
+        rows = sorted(
+            rows,
+            key=lambda row, position=item.position: _value_key(row[position]),
+            reverse=item.descending,
+        )
+    return rows
+
+
+def finalize_output(table: Table, logical: LogicalQuery) -> Table:
+    """Apply HAVING, DISTINCT, ORDER BY and LIMIT to the final table.
+
+    Runs after :func:`aggregate_result` (and after the session's left-outer
+    extension), in SQL's logical order: HAVING filters finalized groups,
+    DISTINCT dedups (first occurrence wins), ORDER BY sorts, LIMIT
+    truncates.  A LIMIT without ORDER BY would expose engine-dependent row
+    order, so the rows are put in canonical order first — making LIMIT
+    deterministic across engines at the cost of not preserving arrival
+    order (which SQL does not promise anyway).  Queries without any of
+    these features return ``table`` unchanged.
+    """
+    if not logical.needs_final_pass():
+        return table
+    rows = table.to_rows()
+    rows = apply_having(rows, logical.having)
+    if logical.distinct:
+        rows = list(dict.fromkeys(rows))
+    rows = order_rows(rows, logical.order_by)
+    if logical.limit is not None:
+        if not logical.order_by:
+            rows = sorted(rows, key=_canonical_row_key)
+        rows = rows[: logical.limit]
+    return Table.from_rows(table.name, list(table.column_names), rows)

@@ -21,7 +21,7 @@ from typing import Iterable, List, Optional
 
 from repro.binaryjoin.executor import BinaryJoinEngine, BinaryJoinOptions
 from repro.core.engine import FreeJoinEngine, FreeJoinOptions
-from repro.engine.aggregates import aggregate_result
+from repro.engine.aggregates import aggregate_result, finalize_output
 from repro.engine.output import JoinResult
 from repro.engine.report import RunReport
 from repro.errors import QueryError
@@ -277,7 +277,10 @@ class Database:
             self.router.observe(decision, time.perf_counter() - started)
             report.details["router"] = decision.as_dict()
         join_result = self._apply_residuals(report.result, logical)
+        if logical.left_joins:
+            join_result = self._extend_left_outer(join_result, logical, report)
         table = aggregate_result(join_result, logical)
+        table = finalize_output(table, logical)
         return QueryOutcome(
             table=table,
             report=report,
@@ -374,11 +377,16 @@ class Database:
         group_keys_selected = all(
             var in selected_plain for var in logical.group_by
         )
+        # Left-outer extensions and the final HAVING/ORDER/LIMIT/DISTINCT
+        # pass both run on the *complete* result, so queries using them
+        # cannot stream deltas; they take the materialize fallback below.
+        needs_post = bool(logical.left_joins) or logical.needs_final_pass()
 
         if (
             logical.has_aggregates()
             and not logical.residual_predicates
             and group_keys_selected
+            and not needs_post
         ):
             # The partial-aggregate plane: fold join rows into per-group
             # partials at the final pipeline and stream merged group deltas
@@ -417,10 +425,11 @@ class Database:
 
             return StreamingResult(sink, token, run_grouped, executor=executor)
 
-        if logical.has_aggregates() or logical.group_by:
+        if logical.has_aggregates() or logical.group_by or needs_post:
             # Residual-filtered aggregates (filters run on materialized join
-            # rows in execute()) and aggregate-free group-bys keep the
-            # materialize-then-stream fallback: only delivery streams.
+            # rows in execute()), aggregate-free group-bys, left-outer
+            # extensions, and HAVING/ORDER BY/LIMIT/DISTINCT queries keep
+            # the materialize-then-stream fallback: only delivery streams.
             sink = StreamingSink(
                 logical.output_labels(),
                 batch_rows=batch_rows,
@@ -646,6 +655,7 @@ class Database:
             )
             and not logical.group_by
             and not logical.residual_predicates
+            and not logical.left_joins
         )
         return "count" if only_count_star else "rows"
 
@@ -683,4 +693,83 @@ class Database:
         ]
         return JoinResult(
             variables=variables, rows=kept_rows, multiplicities=kept_multiplicities
+        )
+
+    @staticmethod
+    def _extend_left_outer(
+        result: JoinResult, logical: LogicalQuery, report: RunReport
+    ) -> JoinResult:
+        """Extend the core join result with each LEFT OUTER JOIN table.
+
+        For every :class:`~repro.query.planner.LeftJoinSpec` (in FROM-clause
+        order) a hash index over the optional table's key columns is probed
+        with the core row's key variables: matching rows are appended (one
+        output row per match, preserving bag multiplicities), unmatched or
+        NULL-keyed core rows get one NULL-padded row.  The core inner join
+        ran on whichever engine/kernel path was selected; this extension is
+        row-at-a-time, so the kernel telemetry records a
+        ``left-outer-extension`` fallback reason instead of claiming a fully
+        vectorized run.
+        """
+        variables = list(result.variables)
+        if result.groups is not None:
+            rows = list(result.iter_rows())
+            multiplicities = [1] * len(rows)
+        else:
+            rows = list(result.rows)
+            multiplicities = list(result.multiplicities)
+        if result.count_only is not None and not rows and result.groups is None:
+            raise QueryError(
+                "left-outer extension requires materialized join rows; "
+                "this is an internal sink-selection bug"
+            )
+        summary = []
+        for spec in logical.left_joins:
+            key_positions = [variables.index(var) for var, _column in spec.keys]
+            key_columns = [column for _var, column in spec.keys]
+            index: dict = {}
+            for optional_row in spec.table.to_rows():
+                key = tuple(optional_row[column] for column in key_columns)
+                if any(value is None for value in key):
+                    continue  # NULL never matches in SQL equality
+                index.setdefault(key, []).append(optional_row)
+            width = len(spec.variables)
+            padding = (None,) * width
+            extended_rows = []
+            extended_multiplicities = []
+            matched = 0
+            for row, multiplicity in zip(rows, multiplicities):
+                key = tuple(row[position] for position in key_positions)
+                matches = None
+                if not any(value is None for value in key):
+                    matches = index.get(key)
+                if matches:
+                    matched += multiplicity
+                    for optional_row in matches:
+                        extended_rows.append(row + tuple(optional_row))
+                        extended_multiplicities.append(multiplicity)
+                else:
+                    extended_rows.append(row + padding)
+                    extended_multiplicities.append(multiplicity)
+            rows = extended_rows
+            multiplicities = extended_multiplicities
+            variables.extend(spec.variables)
+            summary.append(
+                {
+                    "alias": spec.alias,
+                    "matched_core_rows": matched,
+                    "rows_after": sum(multiplicities),
+                }
+            )
+        kernels = report.details.get("kernels")
+        if isinstance(kernels, dict):
+            reasons = kernels.setdefault("fallbacks", [])
+            reasons.append("left-outer-extension")
+            if kernels.get("mode") == "vectorized":
+                kernels["mode"] = "mixed"
+        report.details["post_join"] = {"left_joins": summary}
+        return JoinResult(
+            variables=tuple(variables),
+            rows=rows,
+            multiplicities=multiplicities,
         )

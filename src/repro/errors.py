@@ -36,11 +36,18 @@ class SQLSyntaxError(QueryError):
     position:
         Character offset in the input where the error was detected, or -1
         when the offset is unknown.
+    expected:
+        Sorted tuple of the token texts/kinds the parser would have accepted
+        at ``position`` (empty when the parser cannot enumerate them, e.g.
+        tokenizer-level errors).
     """
 
-    def __init__(self, message: str, position: int = -1) -> None:
+    def __init__(
+        self, message: str, position: int = -1, expected: tuple = ()
+    ) -> None:
         super().__init__(message)
         self.position = position
+        self.expected = tuple(expected)
 
 
 class PlanError(ReproError):

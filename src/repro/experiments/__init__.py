@@ -8,6 +8,16 @@ laptop); the harness is about reproducing the *relationships*: who wins, by
 roughly what factor, and where the crossovers are.
 """
 
+from repro.experiments.differential import (
+    DifferentialReport,
+    DifferentialRunner,
+    Divergence,
+    EngineConfig,
+    default_configs,
+    reference_rows,
+    run_differential,
+    shrink_failing_query,
+)
 from repro.experiments.harness import Measurement, run_query, run_suite
 from repro.experiments.report import (
     geometric_mean,
@@ -17,6 +27,14 @@ from repro.experiments.report import (
 )
 
 __all__ = [
+    "DifferentialReport",
+    "DifferentialRunner",
+    "Divergence",
+    "EngineConfig",
+    "default_configs",
+    "reference_rows",
+    "run_differential",
+    "shrink_failing_query",
     "Measurement",
     "run_query",
     "run_suite",

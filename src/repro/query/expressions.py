@@ -11,6 +11,7 @@ column name (``alias.column``) to value.
 
 from __future__ import annotations
 
+import decimal
 import re
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
@@ -29,6 +30,16 @@ class Expression:
 
     def columns(self) -> FrozenSet[str]:
         """Qualified column names referenced by this expression."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        """Render the expression back to SQL text.
+
+        Round-trips through the parser: ``parse(expr.to_sql())`` is
+        structurally equal to ``expr`` (every node defines ``__eq__``), which
+        is what lets the workload generator emit SQL from an AST and the
+        differential shrinker re-parse its own minimized output.
+        """
         raise NotImplementedError
 
     def aliases(self) -> FrozenSet[str]:
@@ -68,6 +79,9 @@ class ColumnRef(Expression):
     def columns(self) -> FrozenSet[str]:
         return frozenset({self.qualified_name})
 
+    def to_sql(self) -> str:
+        return self.qualified_name
+
     def __repr__(self) -> str:
         return f"ColumnRef({self.qualified_name!r})"
 
@@ -92,6 +106,9 @@ class Literal(Expression):
     def columns(self) -> FrozenSet[str]:
         return frozenset()
 
+    def to_sql(self) -> str:
+        return render_literal(self.value)
+
     def __repr__(self) -> str:
         return f"Literal({self.value!r})"
 
@@ -100,6 +117,78 @@ class Literal(Expression):
 
     def __hash__(self) -> int:
         return hash(("Literal", self.value))
+
+
+class AggregateRef(Expression):
+    """Reference to an aggregate value, e.g. ``COUNT(*)`` or ``MIN(t.year)``.
+
+    Appears only in post-aggregate contexts (HAVING conditions and ORDER BY
+    items); the planner resolves it against the SELECT list, and the
+    differential reference executor evaluates it against an environment
+    keyed by :meth:`key`.
+    """
+
+    __slots__ = ("function", "column")
+
+    def __init__(self, function: str, column: Optional[str]) -> None:
+        if not function:
+            raise QueryError("aggregate reference requires a function name")
+        self.function = function.upper()
+        self.column = column  # None means '*'
+
+    def key(self) -> str:
+        """Canonical environment key, e.g. ``count(*)`` / ``min(t.year)``."""
+        return f"{self.function.lower()}({self.column or '*'})"
+
+    def evaluate(self, env: Environment) -> Value:
+        try:
+            return env[self.key()]
+        except KeyError:
+            raise QueryError(
+                f"aggregate {self.key()!r} is not bound in the environment"
+            ) from None
+
+    def columns(self) -> FrozenSet[str]:
+        return frozenset({self.column}) if self.column else frozenset()
+
+    def to_sql(self) -> str:
+        return f"{self.function}({self.column or '*'})"
+
+    def __repr__(self) -> str:
+        return f"AggregateRef({self.function!r}, {self.column!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AggregateRef)
+            and self.function == other.function
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash(("AggregateRef", self.function, self.column))
+
+
+def render_literal(value: Value) -> str:
+    """Render a literal value as SQL text the tokenizer round-trips.
+
+    Floats that would print in scientific notation (the tokenizer has no
+    exponent syntax) are expanded to positional notation.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        text = repr(value)
+        if "e" in text or "E" in text:
+            # Expand via Decimal so very small magnitudes keep their digits
+            # (a fixed ".17f" format would round 1e-300 down to zero).
+            text = format(decimal.Decimal(text), "f")
+            if "." not in text:
+                text += ".0"
+        return text
+    return str(value)
 
 
 _COMPARISONS = {
@@ -144,8 +233,22 @@ class Comparison(Expression):
             and self.left.aliases() != self.right.aliases()
         )
 
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
     def __repr__(self) -> str:
         return f"Comparison({self.op!r}, {self.left!r}, {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.op == other.op
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.op, self.left, self.right))
 
 
 class And(Expression):
@@ -167,8 +270,21 @@ class And(Expression):
             result |= op.columns()
         return result
 
+    def to_sql(self) -> str:
+        rendered = [
+            f"({op.to_sql()})" if isinstance(op, Or) else op.to_sql()
+            for op in self.operands
+        ]
+        return " AND ".join(rendered)
+
     def __repr__(self) -> str:
         return f"And({self.operands!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash(("And", tuple(self.operands)))
 
 
 class Or(Expression):
@@ -190,8 +306,17 @@ class Or(Expression):
             result |= op.columns()
         return result
 
+    def to_sql(self) -> str:
+        return " OR ".join(op.to_sql() for op in self.operands)
+
     def __repr__(self) -> str:
         return f"Or({self.operands!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash(("Or", tuple(self.operands)))
 
 
 class Not(Expression):
@@ -208,8 +333,19 @@ class Not(Expression):
     def columns(self) -> FrozenSet[str]:
         return self.operand.columns()
 
+    def to_sql(self) -> str:
+        if isinstance(self.operand, (And, Or)):
+            return f"NOT ({self.operand.to_sql()})"
+        return f"NOT {self.operand.to_sql()}"
+
     def __repr__(self) -> str:
         return f"Not({self.operand!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.operand))
 
 
 class Like(Expression):
@@ -233,9 +369,24 @@ class Like(Expression):
     def columns(self) -> FrozenSet[str]:
         return self.operand.columns()
 
+    def to_sql(self) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"{self.operand.to_sql()} {keyword} {render_literal(self.pattern)}"
+
     def __repr__(self) -> str:
         keyword = "NOT LIKE" if self.negated else "LIKE"
         return f"Like({self.operand!r} {keyword} {self.pattern!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Like)
+            and self.operand == other.operand
+            and self.pattern == other.pattern
+            and self.negated == other.negated
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Like", self.operand, self.pattern, self.negated))
 
 
 class InList(Expression):
@@ -259,9 +410,25 @@ class InList(Expression):
     def columns(self) -> FrozenSet[str]:
         return self.operand.columns()
 
+    def to_sql(self) -> str:
+        keyword = "NOT IN" if self.negated else "IN"
+        values = ", ".join(render_literal(value) for value in self.values)
+        return f"{self.operand.to_sql()} {keyword} ({values})"
+
     def __repr__(self) -> str:
         keyword = "NOT IN" if self.negated else "IN"
         return f"InList({self.operand!r} {keyword} {self.values!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, InList)
+            and self.operand == other.operand
+            and self.values == other.values
+            and self.negated == other.negated
+        )
+
+    def __hash__(self) -> int:
+        return hash(("InList", self.operand, tuple(self.values), self.negated))
 
 
 class Between(Expression):
@@ -285,8 +452,25 @@ class Between(Expression):
     def columns(self) -> FrozenSet[str]:
         return self.operand.columns() | self.low.columns() | self.high.columns()
 
+    def to_sql(self) -> str:
+        return (
+            f"{self.operand.to_sql()} BETWEEN "
+            f"{self.low.to_sql()} AND {self.high.to_sql()}"
+        )
+
     def __repr__(self) -> str:
         return f"Between({self.operand!r}, {self.low!r}, {self.high!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Between)
+            and self.operand == other.operand
+            and self.low == other.low
+            and self.high == other.high
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Between", self.operand, self.low, self.high))
 
 
 class IsNull(Expression):
@@ -305,9 +489,23 @@ class IsNull(Expression):
     def columns(self) -> FrozenSet[str]:
         return self.operand.columns()
 
+    def to_sql(self) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand.to_sql()} {keyword}"
+
     def __repr__(self) -> str:
         keyword = "IS NOT NULL" if self.negated else "IS NULL"
         return f"IsNull({self.operand!r} {keyword})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IsNull)
+            and self.operand == other.operand
+            and self.negated == other.negated
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IsNull", self.operand, self.negated))
 
 
 def _like_to_regex(pattern: str) -> str:

@@ -10,7 +10,17 @@ The planner performs the logical rewrites the paper assumes before joining
 
 The output is a :class:`LogicalQuery`: a full
 :class:`~repro.query.conjunctive.ConjunctiveQuery` plus the deferred
-post-join work (residual predicates, aggregates, group-by).
+post-join work (residual predicates, aggregates, group-by, HAVING,
+ORDER BY / LIMIT / DISTINCT, and left-outer extensions).
+
+``LEFT OUTER JOIN`` items are *excluded* from the conjunctive query — the
+core inner join runs unchanged on whichever engine was selected (the
+vectorized kernels still apply to it) and each optional table becomes a
+:class:`LeftJoinSpec` the session applies as a post-join hash extension
+(:meth:`repro.engine.session.Database._extend_left_outer`): matching rows
+are appended, unmatched core rows are NULL-padded.  Single-alias conjuncts
+of the ``ON`` condition are pushed down into the optional table at plan
+time, exactly like WHERE pushdown on core atoms.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from repro.errors import QueryError
 from repro.query.atoms import Atom
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.expressions import (
+    AggregateRef,
     And,
     ColumnRef,
     Comparison,
@@ -29,7 +40,7 @@ from repro.query.expressions import (
     conjuncts,
     make_row_predicate,
 )
-from repro.query.sql import FromItem, ParsedQuery, SelectItem, parse_sql
+from repro.query.sql import FromItem, OrderItem, ParsedQuery, SelectItem, parse_sql
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
 
@@ -48,6 +59,31 @@ class ResolvedSelectItem:
 
 
 @dataclass
+class ResolvedOrderItem:
+    """One ORDER BY key, resolved to a position in the final output row."""
+
+    position: int
+    descending: bool
+
+
+@dataclass
+class LeftJoinSpec:
+    """One LEFT OUTER JOIN, lowered for the session's post-join extension.
+
+    ``table`` already has the single-alias ``ON`` conjuncts pushed down.
+    ``keys`` pairs each equality key's core-side query variable with the
+    optional table's column index; ``variables`` are the fresh variables
+    assigned to the optional table's columns (appended to the join-result
+    layout by the extension, NULL-padded for unmatched core rows).
+    """
+
+    alias: str
+    table: Table
+    keys: List[Tuple[str, int]]
+    variables: List[str]
+
+
+@dataclass
 class LogicalQuery:
     """A planned query: full conjunctive join plus deferred post-join work."""
 
@@ -57,15 +93,36 @@ class LogicalQuery:
     group_by: List[str]
     residual_predicates: List[Expression] = field(default_factory=list)
     column_to_variable: Dict[str, str] = field(default_factory=dict)
+    left_joins: List[LeftJoinSpec] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[ResolvedOrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
 
     def has_aggregates(self) -> bool:
         """Whether any SELECT item is an aggregate."""
         return any(item.is_aggregate() for item in self.select_items)
 
+    def needs_final_pass(self) -> bool:
+        """Whether the query has post-aggregation work (HAVING/ORDER/LIMIT/DISTINCT)."""
+        return (
+            self.having is not None
+            or bool(self.order_by)
+            or self.limit is not None
+            or self.distinct
+        )
+
+    def result_variables(self) -> List[str]:
+        """The join-result row layout after left-outer extensions."""
+        variables = list(self.query.output_variables)
+        for spec in self.left_joins:
+            variables.extend(spec.variables)
+        return variables
+
     def output_labels(self) -> List[str]:
         """Labels of the result columns, in SELECT order."""
         if self.select_star:
-            return list(self.query.output_variables)
+            return self.result_variables()
         return [item.label for item in self.select_items]
 
 
@@ -118,20 +175,41 @@ class Planner:
     def plan(self, parsed: ParsedQuery, name: str = "") -> LogicalQuery:
         """Plan an already-parsed query."""
         alias_tables = self._resolve_from(parsed.from_items)
+        core_tables = {
+            item.alias: alias_tables[item.alias]
+            for item in parsed.from_items
+            if item.join_type == "inner"
+        }
+        outer_items = [item for item in parsed.from_items if item.join_type == "left"]
+        outer_aliases = {item.alias for item in outer_items}
+
         where_conjuncts = [
             self._qualify(conjunct, alias_tables) for conjunct in conjuncts(parsed.where)
         ]
+        for conjunct in where_conjuncts:
+            touched = conjunct.aliases() & outer_aliases
+            if touched:
+                raise QueryError(
+                    f"WHERE predicate references LEFT JOIN alias(es) "
+                    f"{sorted(touched)}; filter optional tables in their ON "
+                    f"condition instead (WHERE would turn the outer join back "
+                    f"into an inner join)"
+                )
 
-        join_classes, intra_equalities = self._join_classes(where_conjuncts, alias_tables)
+        join_classes, intra_equalities = self._join_classes(where_conjuncts, core_tables)
         pushdown, residual = self._split_predicates(where_conjuncts)
         variables, column_to_variable = self._assign_variables(
-            alias_tables, join_classes
+            core_tables, join_classes
         )
 
         atoms = self._build_atoms(
-            alias_tables, pushdown, intra_equalities, variables
+            core_tables, pushdown, intra_equalities, variables
         )
         query = ConjunctiveQuery(atoms, name=name)
+
+        left_joins = self._resolve_left_joins(
+            outer_items, alias_tables, outer_aliases, column_to_variable
+        )
 
         select_items = self._resolve_select(
             parsed.select_items, parsed.select_star, alias_tables, column_to_variable
@@ -142,6 +220,17 @@ class Planner:
         ]
         residual = [self._rewrite_to_variables(expr, column_to_variable) for expr in residual]
 
+        result_variables = list(query.output_variables)
+        for spec in left_joins:
+            result_variables.extend(spec.variables)
+
+        having = self._resolve_having(
+            parsed, select_items, alias_tables, column_to_variable
+        )
+        order_by = self._resolve_order_by(
+            parsed, select_items, alias_tables, column_to_variable, result_variables
+        )
+
         return LogicalQuery(
             query=query,
             select_items=select_items,
@@ -149,6 +238,11 @@ class Planner:
             group_by=group_by,
             residual_predicates=residual,
             column_to_variable=column_to_variable,
+            left_joins=left_joins,
+            having=having,
+            order_by=order_by,
+            limit=parsed.limit,
+            distinct=parsed.distinct,
         )
 
     # ------------------------------------------------------------------ #
@@ -375,6 +469,248 @@ class Planner:
             )
             resolved.append(ResolvedSelectItem(item.function, variable, item.label()))
         return resolved
+
+    # ------------------------------------------------------------------ #
+    # LEFT OUTER JOIN lowering
+    # ------------------------------------------------------------------ #
+
+    def _resolve_left_joins(
+        self,
+        outer_items: Sequence[FromItem],
+        alias_tables: Dict[str, Table],
+        outer_aliases: Set[str],
+        column_to_variable: Dict[str, str],
+    ) -> List[LeftJoinSpec]:
+        """Lower LEFT JOIN items into post-join extension specs.
+
+        Splits each ``ON`` condition into equality key pairs (core variable
+        vs. optional column) and single-alias pushdown filters; anything
+        else — non-equality cross conjuncts, references to other optional
+        aliases, conjuncts not touching the joined table — is rejected.
+        Fresh variables for the optional columns are appended to
+        ``column_to_variable`` so SELECT/GROUP BY/ORDER BY can reference
+        them like any other column.
+        """
+        specs: List[LeftJoinSpec] = []
+        used_names = set(column_to_variable.values())
+
+        def fresh(base: str) -> str:
+            candidate = base
+            suffix = 1
+            while candidate in used_names:
+                suffix += 1
+                candidate = f"{base}_{suffix}"
+            used_names.add(candidate)
+            return candidate
+
+        for item in outer_items:
+            alias = item.alias
+            table = alias_tables[alias]
+            on_conjuncts = [
+                self._qualify(conjunct, alias_tables) for conjunct in conjuncts(item.on)
+            ]
+            key_columns: List[Tuple[str, str]] = []  # (core qualified, opt column)
+            local: List[Expression] = []
+            for conjunct in on_conjuncts:
+                refs = conjunct.aliases()
+                if refs == {alias} or not refs:
+                    local.append(conjunct)
+                    continue
+                if alias not in refs:
+                    raise QueryError(
+                        f"LEFT JOIN {alias!r}: ON conjunct must reference the "
+                        f"joined table (got aliases {sorted(refs)})"
+                    )
+                others = refs - {alias}
+                if others & outer_aliases:
+                    raise QueryError(
+                        f"LEFT JOIN {alias!r}: ON condition may not reference "
+                        f"other LEFT JOIN aliases {sorted(others & outer_aliases)}"
+                    )
+                if not self._is_cross_alias_equality(conjunct):
+                    raise QueryError(
+                        f"LEFT JOIN {alias!r}: only column equalities between "
+                        f"the joined table and core tables are supported in ON"
+                    )
+                left_name = conjunct.left.qualified_name
+                right_name = conjunct.right.qualified_name
+                if left_name.split(".", 1)[0] == alias:
+                    opt_name, core_name = left_name, right_name
+                else:
+                    opt_name, core_name = right_name, left_name
+                key_columns.append((core_name, opt_name.split(".", 1)[1]))
+            if not key_columns:
+                raise QueryError(
+                    f"LEFT JOIN {alias!r}: ON condition needs at least one "
+                    f"equality against a core table column"
+                )
+            if local:
+                expression = local[0] if len(local) == 1 else And(local)
+                predicate = make_row_predicate(expression, alias, table.column_names)
+                filtered = table.filter(predicate, name=alias)
+            else:
+                filtered = Table(alias, table.columns)
+            key_pairs = [
+                (column_to_variable[core_name], table.column_index(opt_column))
+                for core_name, opt_column in key_columns
+            ]
+            opt_variables = [
+                fresh(f"{alias}_{column}") for column in table.column_names
+            ]
+            for column, variable in zip(table.column_names, opt_variables):
+                column_to_variable[f"{alias}.{column}"] = variable
+            specs.append(LeftJoinSpec(alias, filtered, key_pairs, opt_variables))
+        return specs
+
+    # ------------------------------------------------------------------ #
+    # HAVING / ORDER BY resolution
+    # ------------------------------------------------------------------ #
+
+    def _resolve_having(
+        self,
+        parsed: ParsedQuery,
+        select_items: List[ResolvedSelectItem],
+        alias_tables: Dict[str, Table],
+        column_to_variable: Dict[str, str],
+    ) -> Optional[Expression]:
+        """Rewrite the HAVING condition to reference final output positions.
+
+        Aggregate references and group-by columns are both resolved to the
+        position of the matching SELECT item and rewritten to
+        ``ColumnRef("_out.<position>")``; the post-aggregation pass
+        (:func:`repro.engine.aggregates.apply_having`) evaluates the
+        condition against each finalized output row.
+        """
+        if parsed.having is None:
+            return None
+        if parsed.select_star or not any(item.is_aggregate() for item in select_items):
+            raise QueryError(
+                "HAVING requires an aggregated SELECT list "
+                "(it filters groups after aggregation)"
+            )
+        return self._rewrite_having(
+            parsed.having, select_items, alias_tables, column_to_variable
+        )
+
+    def _rewrite_having(
+        self,
+        expression: Expression,
+        select_items: List[ResolvedSelectItem],
+        alias_tables: Dict[str, Table],
+        column_to_variable: Dict[str, str],
+    ) -> Expression:
+        if isinstance(expression, AggregateRef):
+            variable = None
+            if expression.column is not None:
+                variable = self._resolve_column(
+                    expression.column, alias_tables, column_to_variable
+                )
+            for position, item in enumerate(select_items):
+                if item.function == expression.function and item.variable == variable:
+                    return ColumnRef(f"_out.{position}")
+            raise QueryError(
+                f"HAVING aggregate {expression.to_sql()} must also appear in "
+                f"the SELECT list"
+            )
+        if isinstance(expression, ColumnRef):
+            variable = self._resolve_column(
+                expression.qualified_name, alias_tables, column_to_variable
+            )
+            for position, item in enumerate(select_items):
+                if item.function is None and item.variable == variable:
+                    return ColumnRef(f"_out.{position}")
+            raise QueryError(
+                f"HAVING column {expression.qualified_name!r} must be a "
+                f"selected GROUP BY column"
+            )
+        for attribute in ("left", "right", "operand", "low", "high"):
+            if hasattr(expression, attribute):
+                setattr(
+                    expression,
+                    attribute,
+                    self._rewrite_having(
+                        getattr(expression, attribute),
+                        select_items,
+                        alias_tables,
+                        column_to_variable,
+                    ),
+                )
+        if hasattr(expression, "operands"):
+            expression.operands = [
+                self._rewrite_having(
+                    operand, select_items, alias_tables, column_to_variable
+                )
+                for operand in expression.operands
+            ]
+        return expression
+
+    def _resolve_order_by(
+        self,
+        parsed: ParsedQuery,
+        select_items: List[ResolvedSelectItem],
+        alias_tables: Dict[str, Table],
+        column_to_variable: Dict[str, str],
+        result_variables: List[str],
+    ) -> List[ResolvedOrderItem]:
+        """Resolve ORDER BY items to positions in the final output row."""
+        resolved: List[ResolvedOrderItem] = []
+        for item in parsed.order_by:
+            position = self._order_position(
+                item,
+                select_items,
+                parsed.select_star,
+                alias_tables,
+                column_to_variable,
+                result_variables,
+            )
+            resolved.append(ResolvedOrderItem(position, item.descending))
+        return resolved
+
+    def _order_position(
+        self,
+        item: OrderItem,
+        select_items: List[ResolvedSelectItem],
+        select_star: bool,
+        alias_tables: Dict[str, Table],
+        column_to_variable: Dict[str, str],
+        result_variables: List[str],
+    ) -> int:
+        if select_star:
+            if item.function is not None:
+                raise QueryError(
+                    "ORDER BY aggregates require an aggregated SELECT list"
+                )
+            variable = self._resolve_column(
+                item.column, alias_tables, column_to_variable
+            )
+            return result_variables.index(variable)
+        if item.function is not None:
+            variable = None
+            if item.column is not None:
+                variable = self._resolve_column(
+                    item.column, alias_tables, column_to_variable
+                )
+            for position, selected in enumerate(select_items):
+                if selected.function == item.function and selected.variable == variable:
+                    return position
+            raise QueryError(
+                f"ORDER BY aggregate {item.to_sql()} must also appear in the "
+                f"SELECT list"
+            )
+        if item.column is not None:
+            # Output labels (including AS aliases) win over column resolution.
+            for position, selected in enumerate(select_items):
+                if selected.label == item.column:
+                    return position
+            variable = self._resolve_column(
+                item.column, alias_tables, column_to_variable
+            )
+            for position, selected in enumerate(select_items):
+                if selected.function is None and selected.variable == variable:
+                    return position
+        raise QueryError(
+            f"ORDER BY item {item.to_sql()!r} is not in the SELECT list"
+        )
 
     # ------------------------------------------------------------------ #
     # Residual predicate rewriting

@@ -1,15 +1,23 @@
 """A small SQL dialect: SELECT / FROM / WHERE / GROUP BY over natural joins.
 
 This parser covers the query shapes found in the paper's benchmarks (JOB and
-LSQB, Section 5.1): base-table filters, equality joins, and a simple aggregate
-at the end.  The grammar, roughly::
+LSQB, Section 5.1) plus the surface the statistics-driven workload generator
+emits (:mod:`repro.workloads.generated`): base-table filters, equality joins,
+LEFT OUTER JOIN with an equality ON condition, aggregates, GROUP BY with
+HAVING, ORDER BY, LIMIT, and DISTINCT.  The grammar, roughly::
 
-    query      := SELECT select_list FROM from_list [WHERE condition]
-                  [GROUP BY column_list] [;]
+    query      := SELECT [DISTINCT] select_list FROM from_clause
+                  [WHERE condition] [GROUP BY column_list]
+                  [HAVING having_cond] [ORDER BY order_list]
+                  [LIMIT number] [;]
     select_list:= '*' | select_item (',' select_item)*
     select_item:= agg '(' ('*' | column) ')' [AS ident] | column [AS ident]
     agg        := COUNT | MIN | MAX | SUM | AVG
-    from_list  := table [AS] alias (',' table [AS] alias)*
+    from_clause:= from_item (',' from_item
+                            | LEFT [OUTER] JOIN from_item ON condition)*
+    from_item  := table [AS] alias
+    order_list := order_item (',' order_item)*
+    order_item := (agg '(' ('*' | column) ')' | column) [ASC | DESC]
     condition  := or_expr
     or_expr    := and_expr (OR and_expr)*
     and_expr   := not_expr (AND not_expr)*
@@ -20,10 +28,19 @@ at the end.  The grammar, roughly::
                 | operand [NOT] IN '(' literal (',' literal)* ')'
                 | operand BETWEEN literal AND literal
                 | operand IS [NOT] NULL
-    operand    := column | literal
+    operand    := column | literal           -- HAVING also allows agg '(...)'
     column     := ident '.' ident | ident
 
-The parser produces a :class:`ParsedQuery`; turning it into a
+Syntax errors carry the token position and the set of tokens the parser
+would have accepted (:class:`~repro.errors.SQLSyntaxError` ``position`` /
+``expected``), so a malformed query points at its defect instead of a
+generic "unexpected token".
+
+The parser produces a :class:`ParsedQuery`; :meth:`ParsedQuery.to_sql`
+renders it back to SQL text such that ``parse_sql(q.to_sql())`` is
+structurally equal to ``q`` (the workload generator builds ASTs and emits
+their text; the differential shrinker re-parses its own minimized output).
+Turning a parsed query into a
 :class:`~repro.query.conjunctive.ConjunctiveQuery` against a catalog is the
 job of :mod:`repro.query.planner`.
 """
@@ -31,11 +48,12 @@ job of :mod:`repro.query.planner`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.datatypes import Value
 from repro.errors import SQLSyntaxError
 from repro.query.expressions import (
+    AggregateRef,
     And,
     Between,
     ColumnRef,
@@ -53,6 +71,7 @@ AGGREGATE_FUNCTIONS = ("COUNT", "MIN", "MAX", "SUM", "AVG")
 
 _KEYWORDS = {
     "SELECT",
+    "DISTINCT",
     "FROM",
     "WHERE",
     "GROUP",
@@ -66,8 +85,15 @@ _KEYWORDS = {
     "BETWEEN",
     "IS",
     "NULL",
+    "HAVING",
     "ORDER",
     "LIMIT",
+    "ASC",
+    "DESC",
+    "LEFT",
+    "OUTER",
+    "JOIN",
+    "ON",
 } | set(AGGREGATE_FUNCTIONS)
 
 
@@ -112,10 +138,20 @@ def tokenize(text: str) -> List[Token]:
             else:
                 tokens.append(Token("IDENT", word, word, start))
             continue
-        if char.isdigit() or (
+        negative = (
+            char == "-"
+            and i + 1 < length
+            and (
+                text[i + 1].isdigit()
+                or (text[i + 1] == "." and i + 2 < length and text[i + 2].isdigit())
+            )
+        )
+        if char.isdigit() or negative or (
             char == "." and i + 1 < length and text[i + 1].isdigit()
         ):
             start = i
+            if negative:
+                i += 1
             seen_dot = False
             while i < length and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
                 if text[i] == ".":
@@ -131,7 +167,9 @@ def tokenize(text: str) -> List[Token]:
             chunks: List[str] = []
             while True:
                 if i >= length:
-                    raise SQLSyntaxError("unterminated string literal", start)
+                    raise SQLSyntaxError(
+                        f"unterminated string literal at position {start}", start
+                    )
                 if text[i] == "'":
                     if i + 1 < length and text[i + 1] == "'":
                         chunks.append("'")
@@ -152,14 +190,14 @@ def tokenize(text: str) -> List[Token]:
                 op = char
                 i += 1
             if op == "!":
-                raise SQLSyntaxError("unexpected '!'", start)
+                raise SQLSyntaxError(f"unexpected '!' at position {start}", start)
             tokens.append(Token("OP", op, op, start))
             continue
         if char in "(),.*;":
             tokens.append(Token("PUNCT", char, char, i))
             i += 1
             continue
-        raise SQLSyntaxError(f"unexpected character {char!r}", i)
+        raise SQLSyntaxError(f"unexpected character {char!r} at position {i}", i)
     tokens.append(Token("EOF", "", None, length))
     return tokens
 
@@ -195,13 +233,52 @@ class SelectItem:
         """Whether the item is an aggregate function application."""
         return self.function is not None
 
+    def to_sql(self) -> str:
+        """Render this item as SQL text."""
+        if self.function is None:
+            base = self.column or "*"
+        else:
+            base = f"{self.function}({self.column or '*'})"
+        if self.alias:
+            return f"{base} AS {self.alias}"
+        return base
+
 
 @dataclass
 class FromItem:
-    """One entry of the FROM list: a table and its alias."""
+    """One entry of the FROM clause: a table, its alias, and how it joins.
+
+    ``join_type`` is ``"inner"`` for the comma-list items and ``"left"`` for
+    ``LEFT [OUTER] JOIN`` items; left items carry their ``ON`` condition.
+    """
 
     table: str
     alias: str
+    join_type: str = "inner"
+    on: Optional[Expression] = None
+
+    def to_sql(self) -> str:
+        """Render the table reference (without the join keyword)."""
+        if self.alias and self.alias != self.table:
+            return f"{self.table} AS {self.alias}"
+        return self.table
+
+
+@dataclass
+class OrderItem:
+    """One entry of the ORDER BY list: a column or aggregate, plus direction."""
+
+    function: Optional[str]  # None for plain columns, else an aggregate
+    column: Optional[str]  # None only for COUNT(*)-style targets
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        """Render this item as SQL text (ASC, the default, is omitted)."""
+        if self.function is None:
+            base = self.column or "*"
+        else:
+            base = f"{self.function}({self.column or '*'})"
+        return f"{base} DESC" if self.descending else base
 
 
 @dataclass
@@ -213,21 +290,71 @@ class ParsedQuery:
     from_items: List[FromItem]
     where: Optional[Expression]
     group_by: List[str] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
 
     def aliases(self) -> List[str]:
-        """Aliases of the FROM list, in order."""
+        """Aliases of the FROM clause, in order."""
         return [item.alias for item in self.from_items]
+
+    def to_sql(self) -> str:
+        """Render the query back to SQL text.
+
+        Round-trips: ``parse_sql(q.to_sql())`` is structurally equal to
+        ``q`` (dataclass equality over the whole tree).
+        """
+        parts: List[str] = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        if self.select_star:
+            parts.append("*")
+        else:
+            parts.append(", ".join(item.to_sql() for item in self.select_items))
+        parts.append("FROM")
+        from_chunks: List[str] = []
+        for index, item in enumerate(self.from_items):
+            if index == 0:
+                from_chunks.append(item.to_sql())
+            elif item.join_type == "left":
+                on_sql = item.on.to_sql() if item.on is not None else ""
+                from_chunks.append(f" LEFT OUTER JOIN {item.to_sql()} ON {on_sql}")
+            else:
+                from_chunks.append(f", {item.to_sql()}")
+        parts.append("".join(from_chunks))
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(item.to_sql() for item in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
 
 
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
 
+#: Friendly names for token kinds in error messages.
+_KIND_LABELS = {
+    "IDENT": "identifier",
+    "NUMBER": "number",
+    "STRING": "string",
+    "EOF": "end of input",
+    "OP": "comparison operator",
+}
+
 
 class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._allow_aggregates = False
 
     # Token plumbing ------------------------------------------------------ #
 
@@ -250,23 +377,31 @@ class _Parser:
             return self._advance()
         return None
 
+    def _fail(self, expected: Set[str]) -> "None":
+        """Raise a syntax error at the current token, listing what was legal."""
+        token = self._peek()
+        found = token.text if token.kind != "EOF" else "end of input"
+        options = ", ".join(sorted(expected))
+        raise SQLSyntaxError(
+            f"syntax error at position {token.position}: unexpected {found!r}; "
+            f"expected one of: {options}",
+            token.position,
+            tuple(sorted(expected)),
+        )
+
     def _expect(self, kind: str, text: Optional[str] = None) -> Token:
         if not self._check(kind, text):
-            token = self._peek()
-            expected = text or kind
-            raise SQLSyntaxError(
-                f"expected {expected} but found {token.text or 'end of input'!r}",
-                token.position,
-            )
+            self._fail({text or _KIND_LABELS.get(kind, kind)})
         return self._advance()
 
     # Grammar rules -------------------------------------------------------- #
 
     def parse(self) -> ParsedQuery:
         self._expect("KEYWORD", "SELECT")
+        distinct = bool(self._accept("KEYWORD", "DISTINCT"))
         select_star, select_items = self._select_list()
         self._expect("KEYWORD", "FROM")
-        from_items = self._from_list()
+        from_items = self._from_clause()
         where = None
         if self._accept("KEYWORD", "WHERE"):
             where = self._condition()
@@ -276,9 +411,59 @@ class _Parser:
             group_by.append(self._column_name())
             while self._accept("PUNCT", ","):
                 group_by.append(self._column_name())
+        having = None
+        if self._accept("KEYWORD", "HAVING"):
+            self._allow_aggregates = True
+            try:
+                having = self._condition()
+            finally:
+                self._allow_aggregates = False
+        order_by: List[OrderItem] = []
+        if self._accept("KEYWORD", "ORDER"):
+            self._expect("KEYWORD", "BY")
+            order_by.append(self._order_item())
+            while self._accept("PUNCT", ","):
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept("KEYWORD", "LIMIT"):
+            limit = self._limit_count()
         self._accept("PUNCT", ";")
-        self._expect("EOF")
-        return ParsedQuery(select_items, select_star, from_items, where, group_by)
+        if not self._check("EOF"):
+            self._fail(self._clause_expectations(where, group_by, having, order_by, limit))
+        return ParsedQuery(
+            select_items,
+            select_star,
+            from_items,
+            where,
+            group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    @staticmethod
+    def _clause_expectations(where, group_by, having, order_by, limit) -> Set[str]:
+        """What could legally follow the clauses parsed so far."""
+        expected = {"end of input", ";"}
+        if limit is None:
+            expected.add("LIMIT")
+            if not order_by:
+                expected.add("ORDER BY")
+                if having is None:
+                    expected.add("HAVING")
+                    if not group_by:
+                        expected.add("GROUP BY")
+                        if where is None:
+                            expected.add("WHERE")
+        return expected
+
+    def _limit_count(self) -> int:
+        token = self._peek()
+        if token.kind != "NUMBER" or not isinstance(token.value, int) or token.value < 0:
+            self._fail({"non-negative integer"})
+        self._advance()
+        return int(token.value)
 
     def _select_list(self) -> Tuple[bool, List[SelectItem]]:
         if self._accept("PUNCT", "*"):
@@ -289,6 +474,12 @@ class _Parser:
         return False, items
 
     def _select_item(self) -> SelectItem:
+        function, column = self._aggregate_or_column()
+        alias = self._optional_alias()
+        return SelectItem(function, column, alias)
+
+    def _aggregate_or_column(self) -> Tuple[Optional[str], Optional[str]]:
+        """Parse ``agg '(' ('*'|column) ')'`` or a plain column reference."""
         token = self._peek()
         if token.kind == "KEYWORD" and token.text in AGGREGATE_FUNCTIONS:
             function = self._advance().text
@@ -298,11 +489,19 @@ class _Parser:
             else:
                 column = self._column_name()
             self._expect("PUNCT", ")")
-            alias = self._optional_alias()
-            return SelectItem(function, column, alias)
-        column = self._column_name()
-        alias = self._optional_alias()
-        return SelectItem(None, column, alias)
+            return function, column
+        if token.kind != "IDENT":
+            self._fail(set(AGGREGATE_FUNCTIONS) | {"identifier"})
+        return None, self._column_name()
+
+    def _order_item(self) -> OrderItem:
+        function, column = self._aggregate_or_column()
+        descending = False
+        if self._accept("KEYWORD", "DESC"):
+            descending = True
+        else:
+            self._accept("KEYWORD", "ASC")
+        return OrderItem(function, column, descending)
 
     def _optional_alias(self) -> Optional[str]:
         if self._accept("KEYWORD", "AS"):
@@ -311,10 +510,23 @@ class _Parser:
             return self._advance().text
         return None
 
-    def _from_list(self) -> List[FromItem]:
+    def _from_clause(self) -> List[FromItem]:
         items = [self._from_item()]
-        while self._accept("PUNCT", ","):
-            items.append(self._from_item())
+        while True:
+            if self._accept("PUNCT", ","):
+                items.append(self._from_item())
+                continue
+            if self._check("KEYWORD", "LEFT"):
+                self._advance()
+                self._accept("KEYWORD", "OUTER")
+                self._expect("KEYWORD", "JOIN")
+                item = self._from_item()
+                self._expect("KEYWORD", "ON")
+                item.join_type = "left"
+                item.on = self._condition()
+                items.append(item)
+                continue
+            break
         return items
 
     def _from_item(self) -> FromItem:
@@ -360,6 +572,13 @@ class _Parser:
 
     def _operand(self) -> Expression:
         token = self._peek()
+        if (
+            self._allow_aggregates
+            and token.kind == "KEYWORD"
+            and token.text in AGGREGATE_FUNCTIONS
+        ):
+            function, column = self._aggregate_or_column()
+            return AggregateRef(function, column)
         if token.kind == "IDENT":
             return ColumnRef(self._column_name_or_bare())
         if token.kind in ("NUMBER", "STRING"):
@@ -367,9 +586,10 @@ class _Parser:
         if token.kind == "KEYWORD" and token.text == "NULL":
             self._advance()
             return Literal(None)
-        raise SQLSyntaxError(
-            f"expected a column or literal, found {token.text!r}", token.position
-        )
+        expected = {"column", "literal"}
+        if self._allow_aggregates:
+            expected |= set(AGGREGATE_FUNCTIONS)
+        self._fail(expected)
 
     def _column_name_or_bare(self) -> str:
         # Bare column names are allowed syntactically; the planner rejects
@@ -383,7 +603,7 @@ class _Parser:
         if token.kind == "KEYWORD" and token.text == "NULL":
             self._advance()
             return None
-        raise SQLSyntaxError(f"expected a literal, found {token.text!r}", token.position)
+        self._fail({"literal"})
 
     def _predicate(self) -> Expression:
         operand = self._operand()
@@ -403,10 +623,7 @@ class _Parser:
             return InList(operand, values, negated=negated)
 
         if negated:
-            token = self._peek()
-            raise SQLSyntaxError(
-                "NOT must be followed by LIKE or IN in this position", token.position
-            )
+            self._fail({"LIKE", "IN"})
 
         if self._accept("KEYWORD", "BETWEEN"):
             low = Literal(self._literal())
@@ -425,9 +642,8 @@ class _Parser:
             right = self._operand()
             return Comparison(op_token.text, operand, right)
 
-        raise SQLSyntaxError(
-            f"expected a comparison operator, found {op_token.text!r}",
-            op_token.position,
+        self._fail(
+            {"comparison operator", "LIKE", "IN", "BETWEEN", "IS", "NOT"}
         )
 
 

@@ -21,8 +21,22 @@ from repro.workloads.synthetic import (
 )
 from repro.workloads.job import JobWorkload, generate_job_workload
 from repro.workloads.lsqb import LsqbWorkload, generate_lsqb_workload
+from repro.workloads.generated import (
+    DEMO_RELATIONSHIPS,
+    GeneratedQuery,
+    WorkloadGenerator,
+    demo_catalog,
+    demo_generator,
+    infer_relationships,
+)
 
 __all__ = [
+    "DEMO_RELATIONSHIPS",
+    "GeneratedQuery",
+    "WorkloadGenerator",
+    "demo_catalog",
+    "demo_generator",
+    "infer_relationships",
     "FANOUT_SQL",
     "clover_instance",
     "clover_query",

@@ -1,0 +1,605 @@
+"""Statistics-driven random workload generation.
+
+Port of the brad-style ``generate_workload.py`` idea onto this catalog: a
+seeded sampler that draws acyclic join + aggregation queries whose shapes
+and literals come from the *observed* data — join paths follow declared (or
+name-inferred) foreign-key relationships, predicate literals are sampled
+from actual column values, and numeric ranges respect the
+:mod:`repro.optimizer.statistics` min/max/distinct statistics.  The result
+is a corpus that exercises the whole SQL surface (IN / BETWEEN / LIKE /
+NULL predicates, GROUP BY + HAVING, ORDER BY, LIMIT, DISTINCT,
+LEFT OUTER JOIN) while staying executable and selective on the catalog it
+was sampled from.
+
+Queries are built as :class:`~repro.query.sql.ParsedQuery` ASTs and
+rendered with :meth:`~repro.query.sql.ParsedQuery.to_sql` — the same
+round-trip the parser property tests pin — so the differential shrinker
+can mutate the AST and re-render minimized reproductions.
+
+Determinism: query ``i`` of seed ``s`` depends only on ``(s, i)`` and the
+catalog content, never on Python hash randomization or generation order —
+``REPRO_FUZZ_SEED=7`` replays the exact CI corpus locally.
+
+Generator policy choices that keep cross-engine differential comparison
+exact:
+
+* ``SUM``/``AVG`` are only emitted over integer-valued columns (integer
+  sums are exact in float64 far beyond these table sizes, so worker fold
+  order cannot change the result);
+* ``SELECT *`` is only emitted for single-core-table queries (equality
+  joins collapse the joined columns into one shared variable, so ``*``
+  over a join has engine-defined width);
+* every column reference is alias-qualified.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datatypes import Value
+from repro.errors import WorkloadError
+from repro.optimizer.statistics import StatisticsCache, TableStatistics
+from repro.query.expressions import (
+    AggregateRef,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+)
+from repro.query.sql import FromItem, OrderItem, ParsedQuery, SelectItem
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+#: A joinable column pair: (table_a, column_a, table_b, column_b).
+Relationship = Tuple[str, str, str, str]
+
+
+@dataclass
+class GeneratedQuery:
+    """One sampled query: SQL text, its AST, and the features it exercises."""
+
+    seed: int
+    index: int
+    sql: str
+    parsed: ParsedQuery
+    features: Dict[str, object] = field(default_factory=dict)
+
+    def name(self) -> str:
+        """Stable name for reports and corpus artifacts."""
+        return f"gen-s{self.seed}-q{self.index}"
+
+
+def infer_relationships(catalog: Catalog) -> List[Relationship]:
+    """Infer joinable column pairs from shared column names across tables.
+
+    The name-based default mirrors how the synthetic workloads declare
+    foreign keys; pass explicit relationships to the generator when the
+    schema does not follow that convention.
+    """
+    relationships: List[Relationship] = []
+    names = sorted(catalog.table_names())
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            first_table = catalog.get(first)
+            second_table = catalog.get(second)
+            for column in first_table.column_names:
+                if second_table.has_column(column):
+                    relationships.append((first, column, second, column))
+    return relationships
+
+
+class WorkloadGenerator:
+    """Seeded sampler of acyclic join + aggregation queries over a catalog."""
+
+    #: LIKE patterns use substrings of sampled values with these shapes.
+    _LIKE_SHAPES = ("prefix", "suffix", "contains")
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        seed: int,
+        relationships: Optional[Sequence[Relationship]] = None,
+        max_joins: int = 3,
+        statistics_cache: Optional[StatisticsCache] = None,
+    ) -> None:
+        if not catalog.table_names():
+            raise WorkloadError("cannot generate queries over an empty catalog")
+        if max_joins < 0:
+            raise WorkloadError(f"max_joins must be >= 0, got {max_joins}")
+        self.catalog = catalog
+        self.seed = seed
+        self.max_joins = max_joins
+        self.statistics = statistics_cache or StatisticsCache()
+        self.relationships = (
+            list(relationships)
+            if relationships is not None
+            else infer_relationships(catalog)
+        )
+        #: table -> list of (own column, other table, other column).
+        self._adjacent: Dict[str, List[Tuple[str, str, str]]] = {}
+        for table_a, column_a, table_b, column_b in self.relationships:
+            self._adjacent.setdefault(table_a, []).append((column_a, table_b, column_b))
+            self._adjacent.setdefault(table_b, []).append((column_b, table_a, column_a))
+        self._column_values: Dict[Tuple[str, str], List[Value]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def query(self, index: int) -> GeneratedQuery:
+        """Generate query ``index`` of this seed (pure in ``(seed, index)``)."""
+        rng = random.Random(f"{self.seed}:{index}")
+        parsed, features = self._sample_query(rng)
+        return GeneratedQuery(
+            seed=self.seed,
+            index=index,
+            sql=parsed.to_sql(),
+            parsed=parsed,
+            features=features,
+        )
+
+    def queries(self, count: int) -> List[GeneratedQuery]:
+        """Generate the first ``count`` queries of this seed."""
+        return [self.query(index) for index in range(count)]
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def _sample_query(self, rng: random.Random) -> Tuple[ParsedQuery, Dict[str, object]]:
+        from_items, equalities = self._sample_join_tree(rng)
+        left_item = self._sample_left_join(rng, from_items)
+
+        core_items = list(from_items)
+        if left_item is not None:
+            from_items = from_items + [left_item]
+
+        where, predicate_features = self._sample_predicates(rng, core_items)
+        where_conjuncts = equalities + where
+
+        aggregate = rng.random() < 0.6
+        if aggregate:
+            parsed, shape_features = self._sample_aggregate_shape(
+                rng, from_items, core_items, left_item, where_conjuncts
+            )
+        else:
+            parsed, shape_features = self._sample_plain_shape(
+                rng, from_items, core_items, left_item, where_conjuncts
+            )
+
+        features: Dict[str, object] = {
+            "joins": len(core_items) - 1,
+            "left_join": left_item is not None,
+        }
+        features.update(predicate_features)
+        features.update(shape_features)
+        return parsed, features
+
+    def _sample_join_tree(
+        self, rng: random.Random
+    ) -> Tuple[List[FromItem], List[Expression]]:
+        """Sample an acyclic chain/star of inner joins along relationships."""
+        start = rng.choice(sorted(self.catalog.table_names()))
+        items = [FromItem(start, "t0")]
+        equalities: List[Expression] = []
+        wanted = rng.randint(0, self.max_joins)
+        for _ in range(wanted):
+            frontier = [
+                (position, edge)
+                for position, item in enumerate(items)
+                for edge in self._adjacent.get(item.table, [])
+            ]
+            if not frontier:
+                break
+            position, (own_column, other_table, other_column) = rng.choice(frontier)
+            alias = f"t{len(items)}"
+            items.append(FromItem(other_table, alias))
+            equalities.append(
+                Comparison(
+                    "=",
+                    ColumnRef(f"{items[position].alias}.{own_column}"),
+                    ColumnRef(f"{alias}.{other_column}"),
+                )
+            )
+        return items, equalities
+
+    def _sample_left_join(
+        self, rng: random.Random, core_items: List[FromItem]
+    ) -> Optional[FromItem]:
+        """Optionally attach one LEFT OUTER JOIN to a random core alias."""
+        if rng.random() >= 0.3:
+            return None
+        anchors = [
+            (item, edge)
+            for item in core_items
+            for edge in self._adjacent.get(item.table, [])
+        ]
+        if not anchors:
+            return None
+        anchor, (own_column, other_table, other_column) = rng.choice(anchors)
+        alias = f"t{len(core_items)}"
+        on: Expression = Comparison(
+            "=",
+            ColumnRef(f"{anchor.alias}.{own_column}"),
+            ColumnRef(f"{alias}.{other_column}"),
+        )
+        # Optionally push one filter into the ON condition (the only legal
+        # place to filter an optional table).
+        if rng.random() < 0.4:
+            extra = self._sample_predicate(rng, alias, self.catalog.get(other_table))
+            if extra is not None:
+                from repro.query.expressions import And
+
+                on = And([on, extra])
+        return FromItem(other_table, alias, join_type="left", on=on)
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+
+    def _values(self, table: Table, column: str) -> List[Value]:
+        key = (table.name, column)
+        cached = self._column_values.get(key)
+        if cached is None:
+            cached = [v for v in table.column(column).values if v is not None]
+            self._column_values[key] = cached
+        return cached
+
+    def _stats(self, table: Table) -> TableStatistics:
+        return self.statistics.for_table(table)
+
+    def _sample_predicates(
+        self, rng: random.Random, core_items: List[FromItem]
+    ) -> Tuple[List[Expression], Dict[str, object]]:
+        conjuncts: List[Expression] = []
+        kinds: List[str] = []
+        for item in core_items:
+            table = self.catalog.get(item.table)
+            count = rng.choices((0, 1, 2), weights=(5, 4, 1))[0]
+            for _ in range(count):
+                predicate = self._sample_predicate(rng, item.alias, table)
+                if predicate is not None:
+                    conjuncts.append(predicate)
+                    kinds.append(type(predicate).__name__.lower())
+        features = {
+            "predicates": len(conjuncts),
+            "in": "inlist" in kinds,
+            "between": "between" in kinds,
+            "like": "like" in kinds,
+            "null": "isnull" in kinds,
+        }
+        return conjuncts, features
+
+    def _sample_predicate(
+        self, rng: random.Random, alias: str, table: Table
+    ) -> Optional[Expression]:
+        """Sample one predicate on a random column, driven by its statistics."""
+        column = rng.choice(list(table.column_names))
+        ref = ColumnRef(f"{alias}.{column}")
+        stats = self._stats(table).columns.get(column)
+        values = self._values(table, column)
+        nullable = table.column(column).null_count() > 0
+
+        choices = []
+        if nullable or rng.random() < 0.1:
+            choices.append("null")
+        if values:
+            choices.extend(["compare", "in"])
+            sample = values[0]
+            if isinstance(sample, str):
+                choices.append("like")
+            if stats is not None and isinstance(sample, (int, float)):
+                choices.append("between")
+        if not choices:
+            return None
+        kind = rng.choice(choices)
+
+        if kind == "null":
+            return IsNull(ref, negated=rng.random() < 0.5)
+        if kind == "compare":
+            op = rng.choice(("=", "<", "<=", ">", ">=", "<>"))
+            return Comparison(op, ref, Literal(rng.choice(values)))
+        if kind == "in":
+            width = rng.randint(1, min(4, len(values)))
+            picked = [rng.choice(values) for _ in range(width)]
+            return InList(ref, picked, negated=rng.random() < 0.2)
+        if kind == "like":
+            text = str(rng.choice(values))
+            shape = rng.choice(self._LIKE_SHAPES)
+            cut = max(1, len(text) // 2)
+            if shape == "prefix":
+                pattern = f"{text[:cut]}%"
+            elif shape == "suffix":
+                pattern = f"%{text[cut:]}" if text[cut:] else f"%{text}"
+            else:
+                pattern = f"%{text[:cut]}%"
+            return Like(ref, pattern, negated=rng.random() < 0.2)
+        # BETWEEN bounds come from the column statistics' observed range.
+        low, high = sorted(
+            (rng.choice(values), rng.choice(values)), key=lambda v: (str(type(v)), v)
+        )
+        if stats is not None and rng.random() < 0.5 and stats.minimum is not None:
+            low = stats.minimum
+        return Between(ref, Literal(low), Literal(high))
+
+    # ------------------------------------------------------------------ #
+    # Query shapes
+    # ------------------------------------------------------------------ #
+
+    def _int_columns(self, table: Table) -> List[str]:
+        """Columns whose non-NULL values are all ints (exact SUM/AVG)."""
+        result = []
+        for column in table.column_names:
+            values = self._values(table, column)
+            if values and all(
+                isinstance(v, int) and not isinstance(v, bool) for v in values
+            ):
+                result.append(column)
+        return result
+
+    def _all_columns(self, items: Sequence[FromItem]) -> List[str]:
+        return [
+            f"{item.alias}.{column}"
+            for item in items
+            for column in self.catalog.get(item.table).column_names
+        ]
+
+    def _sample_aggregate_shape(
+        self,
+        rng: random.Random,
+        from_items: List[FromItem],
+        core_items: List[FromItem],
+        left_item: Optional[FromItem],
+        where: List[Expression],
+    ) -> Tuple[ParsedQuery, Dict[str, object]]:
+        columns = self._all_columns(from_items)
+        key_count = rng.choices((0, 1, 2), weights=(2, 5, 2))[0]
+        group_by = rng.sample(columns, k=min(key_count, len(columns)))
+
+        select_items = [SelectItem(None, column) for column in group_by]
+        aggregates: List[SelectItem] = []
+        for _ in range(rng.randint(1, 2)):
+            aggregates.append(self._sample_aggregate(rng, from_items))
+        # Deduplicate by label: two identical aggregate items add nothing.
+        seen = {item.label() for item in select_items}
+        for item in aggregates:
+            if item.label() not in seen:
+                seen.add(item.label())
+                select_items.append(item)
+
+        parsed = ParsedQuery(
+            select_items=select_items,
+            select_star=False,
+            from_items=from_items,
+            where=self._and(where),
+            group_by=list(group_by),
+        )
+
+        aggregate_items = [item for item in select_items if item.function is not None]
+        if rng.random() < 0.4:
+            parsed.having = self._sample_having(rng, aggregate_items, from_items)
+        if rng.random() < 0.5:
+            parsed.order_by = self._sample_order(rng, select_items)
+        if rng.random() < 0.4:
+            parsed.limit = rng.randint(1, 20)
+
+        features = {
+            "aggregate": True,
+            "group_by": bool(group_by),
+            "having": parsed.having is not None,
+            "order_by": bool(parsed.order_by),
+            "limit": parsed.limit is not None,
+            "distinct": False,
+            "functions": sorted({item.function for item in aggregate_items}),
+        }
+        return parsed, features
+
+    def _sample_aggregate(
+        self, rng: random.Random, from_items: Sequence[FromItem]
+    ) -> SelectItem:
+        if rng.random() < 0.35:
+            return SelectItem("COUNT", None)
+        item = rng.choice(list(from_items))
+        table = self.catalog.get(item.table)
+        int_columns = self._int_columns(table)
+        choices = ["MIN", "MAX", "COUNT"]
+        if int_columns:
+            choices.extend(["SUM", "AVG"])
+        function = rng.choice(choices)
+        if function in ("SUM", "AVG"):
+            column = rng.choice(int_columns)
+        else:
+            column = rng.choice(list(table.column_names))
+        return SelectItem(function, f"{item.alias}.{column}")
+
+    def _sample_having(
+        self,
+        rng: random.Random,
+        aggregate_items: Sequence[SelectItem],
+        from_items: Sequence[FromItem],
+    ) -> Optional[Expression]:
+        if not aggregate_items:
+            return None
+        item = rng.choice(list(aggregate_items))
+        ref = AggregateRef(item.function, item.column)
+        if item.function == "COUNT" or item.column is None:
+            bound: Value = rng.randint(1, 4)
+        else:
+            alias, column = item.column.split(".", 1)
+            table_name = next(
+                from_item.table
+                for from_item in from_items
+                if from_item.alias == alias
+            )
+            values = self._values(self.catalog.get(table_name), column)
+            if not values:
+                return None
+            bound = rng.choice(values)
+        op = rng.choice((">", ">=", "<", "<=", "="))
+        return Comparison(op, ref, Literal(bound))
+
+    def _sample_order(
+        self, rng: random.Random, select_items: Sequence[SelectItem]
+    ) -> List[OrderItem]:
+        count = min(rng.randint(1, 2), len(select_items))
+        picked = rng.sample(list(select_items), k=count)
+        return [
+            OrderItem(item.function, item.column, descending=rng.random() < 0.5)
+            for item in picked
+        ]
+
+    def _sample_plain_shape(
+        self,
+        rng: random.Random,
+        from_items: List[FromItem],
+        core_items: List[FromItem],
+        left_item: Optional[FromItem],
+        where: List[Expression],
+    ) -> Tuple[ParsedQuery, Dict[str, object]]:
+        # SELECT * only when a join cannot collapse columns (single core
+        # table; a left-joined table is fine, its columns are appended).
+        star = len(core_items) == 1 and rng.random() < 0.25
+        if star:
+            select_items: List[SelectItem] = []
+        else:
+            columns = self._all_columns(from_items)
+            width = min(rng.randint(1, 4), len(columns))
+            select_items = [
+                SelectItem(None, column) for column in rng.sample(columns, k=width)
+            ]
+        parsed = ParsedQuery(
+            select_items=select_items,
+            select_star=star,
+            from_items=from_items,
+            where=self._and(where),
+            group_by=[],
+            distinct=(not star) and rng.random() < 0.3,
+        )
+        if rng.random() < 0.5:
+            order_source = (
+                select_items
+                if select_items
+                else [SelectItem(None, column) for column in self._all_columns(from_items)]
+            )
+            parsed.order_by = self._sample_order(rng, order_source)
+        if rng.random() < 0.4:
+            parsed.limit = rng.randint(1, 20)
+        features = {
+            "aggregate": False,
+            "group_by": False,
+            "having": False,
+            "order_by": bool(parsed.order_by),
+            "limit": parsed.limit is not None,
+            "distinct": parsed.distinct,
+            "functions": [],
+        }
+        return parsed, features
+
+    @staticmethod
+    def _and(conjuncts: List[Expression]) -> Optional[Expression]:
+        from repro.query.expressions import And
+
+        if not conjuncts:
+            return None
+        if len(conjuncts) == 1:
+            return conjuncts[0]
+        return And(list(conjuncts))
+
+
+# --------------------------------------------------------------------------- #
+# Demo catalog (used by the fuzz tests and the CI workload-fuzz lane)
+# --------------------------------------------------------------------------- #
+
+
+def demo_catalog(seed: int = 7) -> Catalog:
+    """A small seeded catalog with joins, NULLs, skew, and mixed types.
+
+    Shapes mirror the paper's workloads in miniature: a customers/orders/
+    items foreign-key chain (JOB-style acyclic joins) plus an events table
+    fanning out of customers (star joins).  Dangling foreign keys and NULL
+    keys are planted deliberately so LEFT OUTER JOIN and NULL-comparison
+    semantics actually get exercised.
+    """
+    rng = random.Random(f"demo:{seed}")
+    cities = ["amber", "basel", "carmel", "delft", None]
+    status = ["open", "paid", "void"]
+    kinds = ["click", "view", "buy", None]
+
+    customers = Table.from_rows(
+        "customers",
+        ["id", "city", "age", "score"],
+        [
+            (
+                i,
+                rng.choice(cities),
+                rng.randint(18, 80),
+                round(rng.uniform(0.0, 5.0), 2),
+            )
+            for i in range(40)
+        ],
+    )
+    orders = Table.from_rows(
+        "orders",
+        ["id", "cid", "amt", "status"],
+        [
+            (
+                100 + i,
+                # Skewed FK with dangling ids and NULLs.
+                rng.choice([rng.randint(0, 39), rng.randint(0, 9), 999, None]),
+                rng.randint(1, 500),
+                rng.choice(status),
+            )
+            for i in range(90)
+        ],
+    )
+    items = Table.from_rows(
+        "items",
+        ["order_id", "price", "kind"],
+        [
+            (
+                100 + rng.randint(0, 99),  # some dangle past orders' ids
+                rng.randint(1, 300),
+                rng.choice(kinds),
+            )
+            for i in range(120)
+        ],
+    )
+    events = Table.from_rows(
+        "events",
+        ["cid", "kind", "day"],
+        [
+            (
+                rng.choice([rng.randint(0, 39), None]),
+                rng.choice(["click", "view", "buy"]),
+                rng.randint(1, 30),
+            )
+            for i in range(70)
+        ],
+    )
+    catalog = Catalog()
+    catalog.register_all([customers, orders, items, events])
+    return catalog
+
+
+#: Foreign-key relationships of :func:`demo_catalog`.
+DEMO_RELATIONSHIPS: List[Relationship] = [
+    ("customers", "id", "orders", "cid"),
+    ("orders", "id", "items", "order_id"),
+    ("customers", "id", "events", "cid"),
+]
+
+
+def demo_generator(seed: int, max_joins: int = 3) -> WorkloadGenerator:
+    """The generator the fuzz tests and the CI workload-fuzz lane use."""
+    return WorkloadGenerator(
+        demo_catalog(),
+        seed=seed,
+        relationships=DEMO_RELATIONSHIPS,
+        max_joins=max_joins,
+    )

@@ -133,3 +133,287 @@ def _col_and_literal():
     from repro.query.expressions import ColumnRef, Literal
 
     return ColumnRef("t.a"), Literal(3)
+
+
+class TestExtendedGrammar:
+    def test_left_outer_join_with_on(self):
+        parsed = parse_sql(
+            "SELECT c.id FROM customers AS c "
+            "LEFT OUTER JOIN orders AS o ON c.id = o.cid AND o.amt > 5"
+        )
+        outer = parsed.from_items[1]
+        assert outer.join_type == "left"
+        assert outer.alias == "o"
+        assert outer.on is not None
+        assert "o.cid" in outer.on.columns()
+
+    def test_left_join_without_outer_keyword(self):
+        parsed = parse_sql("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert parsed.from_items[1].join_type == "left"
+
+    def test_having_with_aggregate_ref(self):
+        from repro.query.expressions import AggregateRef
+
+        parsed = parse_sql(
+            "SELECT t.kind, COUNT(*) FROM t GROUP BY t.kind HAVING COUNT(*) > 2"
+        )
+        assert isinstance(parsed.having.left, AggregateRef)
+        assert parsed.having.left.function == "COUNT"
+        assert parsed.having.left.column is None
+
+    def test_aggregates_rejected_outside_having(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT * FROM t WHERE COUNT(*) > 2")
+
+    def test_order_by_limit_distinct(self):
+        parsed = parse_sql(
+            "SELECT DISTINCT t.a FROM t ORDER BY t.a DESC, MIN(t.b) LIMIT 7"
+        )
+        assert parsed.distinct
+        assert parsed.limit == 7
+        first, second = parsed.order_by
+        assert (first.function, first.column, first.descending) == (None, "t.a", True)
+        assert (second.function, second.column, second.descending) == ("MIN", "t.b", False)
+
+    def test_order_by_asc_is_default(self):
+        parsed = parse_sql("SELECT t.a FROM t ORDER BY t.a ASC")
+        assert not parsed.order_by[0].descending
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT t.a FROM t LIMIT -1")
+
+    def test_clause_order_enforced(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT t.a FROM t LIMIT 3 ORDER BY t.a")
+
+    def test_negative_number_literal(self):
+        parsed = parse_sql("SELECT * FROM t WHERE t.a BETWEEN -5 AND -1.5")
+        assert parsed.where.low.value == -5
+        assert parsed.where.high.value == -1.5
+
+
+class TestErrorReporting:
+    """Parser errors must carry the token position and the expected set."""
+
+    def test_malformed_query_reports_position_and_expected(self):
+        sql = "SELECT x FROM t WHERE a ="
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            parse_sql(sql)
+        exc = excinfo.value
+        assert exc.position == len(sql)  # error at end of input
+        assert exc.expected  # non-empty expected-token set
+        assert "column" in exc.expected or "literal" in exc.expected
+        assert f"position {exc.position}" in str(exc)
+
+    def test_misplaced_keyword_lists_legal_clauses(self):
+        sql = "SELECT x FROM t ORDER BY x HAVING COUNT(*) > 1"
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            parse_sql(sql)
+        exc = excinfo.value
+        assert exc.position == sql.index("HAVING")
+        assert "LIMIT" in exc.expected
+        assert "HAVING" not in exc.expected  # too late for HAVING here
+
+    def test_unexpected_token_in_select_list(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            parse_sql("SELECT , FROM t")
+        exc = excinfo.value
+        assert exc.position == 7
+        assert "identifier" in exc.expected
+        assert "unexpected ','" in str(exc)
+
+    def test_tokenizer_errors_carry_position(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("SELECT @ FROM t")
+        assert excinfo.value.position == 7
+
+
+class TestToSqlRoundTrip:
+    """Hand-picked queries must satisfy parse(q.to_sql()) == q."""
+
+    QUERIES = [
+        "SELECT * FROM t",
+        "SELECT DISTINCT t.a FROM t",
+        "SELECT COUNT(*) AS n, MIN(t.a) FROM t, u WHERE t.a = u.b",
+        "SELECT c.id FROM customers AS c LEFT OUTER JOIN orders AS o ON c.id = o.cid",
+        "SELECT t.kind, SUM(t.a) FROM t GROUP BY t.kind HAVING SUM(t.a) >= 10 "
+        "ORDER BY SUM(t.a) DESC LIMIT 5",
+        "SELECT * FROM t WHERE t.a IN (1, 'two', NULL) AND t.b NOT LIKE 'x%' "
+        "AND (t.c IS NULL OR t.c BETWEEN -2 AND 3.5)",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_round_trip(self, sql):
+        parsed = parse_sql(sql)
+        rendered = parsed.to_sql()
+        assert parse_sql(rendered) == parsed
+        # Rendering is a fixed point: to_sql of the reparse is identical text.
+        assert parse_sql(rendered).to_sql() == rendered
+
+
+# --------------------------------------------------------------------------- #
+# Property-based round trip: random ASTs render to SQL that reparses equal.
+# --------------------------------------------------------------------------- #
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.query.expressions import (  # noqa: E402
+    AggregateRef,
+    And,
+    ColumnRef,
+    Literal,
+)
+from repro.query.sql import (  # noqa: E402
+    AGGREGATE_FUNCTIONS,
+    FromItem,
+    OrderItem,
+    ParsedQuery,
+    SelectItem,
+)
+
+_TABLES = ("alpha", "beta", "gamma")
+_COLUMNS = ("a", "b", "c")
+_ALIAS_NAMES = ("x0", "x1", "x2", "lj")
+
+_literal_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+)
+
+
+def _columns_for(aliases):
+    return st.sampled_from([f"{a}.{c}" for a in aliases for c in _COLUMNS])
+
+
+def _predicates(aliases):
+    column = st.builds(ColumnRef, _columns_for(aliases))
+    operand = st.one_of(column, st.builds(Literal, _literal_values))
+    comparison = st.builds(
+        Comparison,
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        column,
+        operand,
+    )
+    like = st.builds(
+        Like,
+        column,
+        st.text(alphabet="ab%_'x ", min_size=1, max_size=6),
+        negated=st.booleans(),
+    )
+    is_null = st.builds(IsNull, column, negated=st.booleans())
+    between = st.builds(
+        Between,
+        column,
+        st.builds(Literal, _literal_values),
+        st.builds(Literal, _literal_values),
+    )
+    in_list = st.builds(
+        InList,
+        column,
+        st.lists(_literal_values, min_size=1, max_size=4),
+        negated=st.booleans(),
+    )
+    return st.one_of(comparison, like, is_null, between, in_list)
+
+
+def _conditions(aliases):
+    predicate = _predicates(aliases)
+    simple = st.one_of(predicate, st.builds(Not, predicate))
+    anded = st.builds(And, st.lists(simple, min_size=2, max_size=3))
+    ored = st.builds(
+        Or, st.lists(st.one_of(simple, anded), min_size=2, max_size=3)
+    )
+    mixed = st.builds(
+        And, st.lists(st.one_of(simple, ored), min_size=2, max_size=3)
+    )
+    return st.one_of(simple, anded, ored, mixed)
+
+
+def _having_conditions(aliases):
+    aggregate = st.builds(
+        AggregateRef,
+        st.sampled_from(sorted(AGGREGATE_FUNCTIONS)),
+        st.one_of(st.none(), _columns_for(aliases)),
+    )
+    comparison = st.builds(
+        Comparison,
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        aggregate,
+        st.builds(Literal, st.integers(min_value=-100, max_value=100)),
+    )
+    return st.one_of(
+        comparison, st.builds(And, st.lists(comparison, min_size=2, max_size=2))
+    )
+
+
+def _order_items(aliases):
+    plain = st.builds(
+        OrderItem, st.none(), _columns_for(aliases), st.booleans()
+    )
+    aggregate = st.builds(
+        OrderItem,
+        st.sampled_from(sorted(AGGREGATE_FUNCTIONS)),
+        st.one_of(st.none(), _columns_for(aliases)),
+        st.booleans(),
+    )
+    return st.one_of(plain, aggregate)
+
+
+@st.composite
+def _queries(draw):
+    table_count = draw(st.integers(min_value=1, max_value=3))
+    tables = draw(st.permutations(_TABLES))[:table_count]
+    aliases = list(_ALIAS_NAMES[:table_count])
+    if draw(st.booleans()):
+        aliases[0] = tables[0]  # exercise the alias==table rendering path
+    from_items = [FromItem(t, a) for t, a in zip(tables, aliases)]
+    if draw(st.booleans()):
+        on = draw(_conditions(aliases + ["lj"]))
+        from_items.append(
+            FromItem(draw(st.sampled_from(_TABLES)), "lj", "left", on)
+        )
+        aliases.append("lj")
+
+    select_star = draw(st.booleans())
+    select_items = []
+    if not select_star:
+        item = st.builds(
+            SelectItem,
+            st.one_of(st.none(), st.sampled_from(sorted(AGGREGATE_FUNCTIONS))),
+            st.one_of(st.none(), _columns_for(aliases)),
+            st.one_of(st.none(), st.sampled_from(["m", "val", "res"])),
+        ).filter(lambda i: not (i.function is None and i.column is None))
+        select_items = draw(st.lists(item, min_size=1, max_size=3))
+
+    where = draw(st.one_of(st.none(), _conditions(aliases)))
+    group_by = draw(
+        st.lists(_columns_for(aliases), min_size=0, max_size=2, unique=True)
+    )
+    having = draw(st.one_of(st.none(), _having_conditions(aliases)))
+    order_by = draw(st.lists(_order_items(aliases), min_size=0, max_size=2))
+    limit = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=99)))
+    distinct = draw(st.booleans())
+    return ParsedQuery(
+        select_items,
+        select_star,
+        from_items,
+        where,
+        group_by,
+        having=having,
+        order_by=order_by,
+        limit=limit,
+        distinct=distinct,
+    )
+
+
+class TestRoundTripProperty:
+    @given(query=_queries())
+    @settings(max_examples=150, deadline=None)
+    def test_random_ast_round_trips(self, query):
+        rendered = query.to_sql()
+        reparsed = parse_sql(rendered)
+        assert reparsed == query
+        assert reparsed.to_sql() == rendered
