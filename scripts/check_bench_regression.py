@@ -47,7 +47,19 @@ fails unless the vectorized wall is at most ``--kernels-max-ratio`` (default
 0.5, i.e. a >= 2x speedup) of the row-at-a-time wall.  Because both walls
 come from the same run on the same machine, this gate needs no drift
 normalization and cannot be absorbed by a fleet-wide speedup the way a
-baseline comparison would be.
+baseline comparison would be.  The same flag enforces two more checks on
+the ``kernels`` figure:
+
+* **factorized delivery** — the Fig. 19-style star delivered into a
+  ``FactorizedSink`` must run at most ``--kernels-factorized-max-ratio``
+  (default 0.6) of its own row-at-a-time wall (variants ``factorized`` vs
+  ``factorized-row-path``);
+* **fallback budget** — the figure's fallback sweep over the headline
+  queries (plus a ``LEFT OUTER JOIN``) must report **zero** occurrences of
+  every budgeted reason (``factorized-output``, ``left-outer-extension``):
+  those paths are vectorized now, and a fallback reappearing means a
+  regression to row-at-a-time execution that no timing gate would catch on
+  small CI workloads.
 """
 
 from __future__ import annotations
@@ -73,45 +85,93 @@ def load_figures(path: str) -> Dict[str, float]:
     return figures
 
 
-def check_kernels_gate(path: str, figure: str, max_ratio: float) -> List[str]:
-    """The bench-kernels gate: vectorized wall vs the row-path wall.
+#: Kernel fallback reasons that must never fire on the headline workloads.
+FALLBACK_BUDGET_REASONS = ("factorized-output", "left-outer-extension")
+
+
+def _wall_ratio_check(
+    label: str,
+    walls: Dict[str, float],
+    fast: str,
+    slow: str,
+    max_ratio: float,
+) -> List[str]:
+    """Check ``walls[fast] <= max_ratio * walls[slow]``; print one line."""
+    if not walls[fast] or not walls[slow]:
+        return [
+            f"figure lacks {fast}/{slow} measurements "
+            f"({fast}={walls[fast]:.4f} s, {slow}={walls[slow]:.4f} s)"
+        ]
+    ratio = walls[fast] / walls[slow]
+    marker = "OK" if ratio <= max_ratio else "FAIL"
+    print(
+        f"{marker:4s} {label}: {fast} {walls[fast]:.4f} s vs "
+        f"{slow} {walls[slow]:.4f} s = {ratio:.3f}x "
+        f"(gate <= {max_ratio:.2f}x, speedup {1.0 / ratio:.2f}x)"
+    )
+    if ratio > max_ratio:
+        return [
+            f"{fast} ran at {ratio:.3f}x the {slow} wall "
+            f"(gate requires <= {max_ratio:.2f}x)"
+        ]
+    return []
+
+
+def check_kernels_gate(
+    path: str, figure: str, max_ratio: float, factorized_max_ratio: float
+) -> List[str]:
+    """The bench-kernels gate: vectorized walls, factorized walls, fallbacks.
 
     Reads the named figure's raw measurements from the current BENCH json
     (the ``kernels`` driver runs the headline workload once per variant in
     the same process) and fails unless
-    ``sum(vectorized) <= max_ratio * sum(row-path)``.  Returns failure
-    messages (empty when the gate passes); a missing or degenerate figure is
-    itself a failure so the gate cannot silently rot out of CI.
+    ``sum(vectorized) <= max_ratio * sum(row-path)`` and
+    ``sum(factorized) <= factorized_max_ratio * sum(factorized-row-path)``.
+    The figure's summary must also report a zero count for every budgeted
+    fallback reason.  Returns failure messages (empty when the gate
+    passes); a missing or degenerate figure is itself a failure so the gate
+    cannot silently rot out of CI.
     """
     with open(path) as handle:
         payload = json.load(handle)
     records = [f for f in payload.get("figures", []) if f.get("figure") == figure]
     if not records:
         return [f"figure {figure!r} missing from {path}"]
-    walls = {"vectorized": 0.0, "row-path": 0.0}
+    walls = {
+        "vectorized": 0.0,
+        "row-path": 0.0,
+        "factorized": 0.0,
+        "factorized-row-path": 0.0,
+    }
     for measurement in records[0].get("measurements", []):
         variant = measurement.get("variant")
         if variant in walls:
             walls[variant] += float(measurement.get("seconds", 0.0))
-    if not walls["vectorized"] or not walls["row-path"]:
-        return [
-            f"figure {figure!r} lacks vectorized/row-path measurements "
-            f"(vectorized={walls['vectorized']:.4f} s, "
-            f"row-path={walls['row-path']:.4f} s)"
-        ]
-    ratio = walls["vectorized"] / walls["row-path"]
-    marker = "OK" if ratio <= max_ratio else "FAIL"
-    print(
-        f"{marker:4s} kernels: vectorized {walls['vectorized']:.4f} s vs "
-        f"row-path {walls['row-path']:.4f} s = {ratio:.3f}x "
-        f"(gate <= {max_ratio:.2f}x, speedup {1.0 / ratio:.2f}x)"
+    failures = _wall_ratio_check(
+        "kernels", walls, "vectorized", "row-path", max_ratio
     )
-    if ratio > max_ratio:
-        return [
-            f"vectorized kernels ran at {ratio:.3f}x the row-path wall "
-            f"(gate requires <= {max_ratio:.2f}x)"
-        ]
-    return []
+    failures += _wall_ratio_check(
+        "kernels", walls, "factorized", "factorized-row-path",
+        factorized_max_ratio,
+    )
+    summary = records[0].get("summary") or {}
+    budget = (summary.get("fallbacks") or {}).get("budget")
+    if not isinstance(budget, dict):
+        failures.append(
+            f"figure {figure!r} has no fallback-budget summary "
+            "(rerun scripts/make_report.py to regenerate the BENCH json)"
+        )
+    else:
+        for reason in FALLBACK_BUDGET_REASONS:
+            count = int(budget.get(reason, 0))
+            marker = "OK" if count == 0 else "FAIL"
+            print(f"{marker:4s} kernels fallback budget: {reason} x{count}")
+            if count:
+                failures.append(
+                    f"budgeted kernel fallback {reason!r} fired {count} "
+                    "time(s) on the headline workloads (budget is zero)"
+                )
+    return failures
 
 
 def _history_sequence(path: str) -> Tuple[int, str]:
@@ -223,6 +283,11 @@ def main() -> int:
         help="maximum allowed vectorized/row-path wall ratio "
              "(default 0.5 = a 2x speedup floor)",
     )
+    parser.add_argument(
+        "--kernels-factorized-max-ratio", type=float, default=0.6,
+        help="maximum allowed factorized/factorized-row-path wall ratio "
+             "(default 0.6)",
+    )
     arguments = parser.parse_args()
 
     current = load_figures(arguments.current)
@@ -271,6 +336,7 @@ def main() -> int:
             arguments.current,
             arguments.kernels_figure,
             arguments.kernels_max_ratio,
+            arguments.kernels_factorized_max_ratio,
         )
 
     trend_failures: List[str] = []

@@ -32,6 +32,15 @@ import time
 from repro.experiments.figures import FIGURES, format_figure
 
 
+def _jsonable(summary):
+    """A figure's summary record, or None when it cannot be serialized."""
+    try:
+        json.dumps(summary)
+    except (TypeError, ValueError):
+        return None
+    return summary
+
+
 def _default_scale(smoke: bool) -> float:
     return 0.04 if smoke else 0.15
 
@@ -79,6 +88,7 @@ def run_figures(scale: float, seed, smoke: bool):
             "params": {k: list(v) if isinstance(v, tuple) else v
                        for k, v in kwargs.items()},
             "measurements": [m.as_record() for m in measurements],
+            "summary": _jsonable(result.get("summary")),
         })
         print(f"{name}: done in {elapsed:.1f} s", flush=True)
     return sections, figures

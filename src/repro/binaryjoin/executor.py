@@ -130,7 +130,13 @@ class BinaryJoinEngine:
                 # program (no hash tables needed — probes run against cached
                 # sorted indexes).  Count mode compresses dangling matches
                 # into multiplicities; row mode expands fully, which keeps
-                # the output byte-identical to the probe recursion.
+                # the output byte-identical to the probe recursion.  Sinks
+                # that accept factorized batches (streaming sinks, aggregate
+                # folds) get output-only probes emitted as factors instead
+                # of frontier expansions.
+                factorize = pipeline.is_final and getattr(
+                    pipeline_sink, "accepts_factorized", False
+                )
                 program, reason = kernels.try_compile(
                     pipeline_atoms[0],
                     pipeline_atoms[1:],
@@ -146,6 +152,7 @@ class BinaryJoinEngine:
                             pipeline_sink,
                             interrupt=options.deadline,
                             stats=kernel_stats,
+                            factorize=factorize,
                         )
                     except kernels.KernelFrontierExplosion as exc:
                         # Nothing reached the sink yet (guard invariant), so

@@ -251,27 +251,32 @@ class FreeJoinEngine:
                 else:
                     pipeline_sink = RowSink(output_variables)
 
-                factorize = pipeline.is_final and options.output == "factorized"
-                program = None
-                if factorize:
-                    # Factorized output is about *not* enumerating the flat
-                    # bag, which is exactly what the kernels do — serial
-                    # trie execution stays authoritative there.
-                    reason = "factorized-output"
-                else:
-                    driver_name = self._kernel_driver_name(plan, pipeline_atoms)
-                    probes = [
-                        pipeline_atoms[name]
-                        for name in plan.relations()
-                        if name != driver_name
-                    ]
-                    program, reason = kernels.try_compile(
-                        pipeline_atoms[driver_name],
-                        probes,
-                        output_variables,
-                        compress=True,
-                        stats=kernel_stats,
+                # Factorized output (Fig. 19) is vectorized too: when the
+                # final sink understands factorized batches the kernel
+                # executor holds output-only probes out of the frontier and
+                # emits shared prefixes plus flat factor columns — the
+                # Cartesian product is never enumerated.
+                if final_sink is not None:
+                    factorize = pipeline.is_final and getattr(
+                        final_sink, "accepts_factorized", False
                     )
+                else:
+                    factorize = (
+                        pipeline.is_final and options.output == "factorized"
+                    )
+                driver_name = self._kernel_driver_name(plan, pipeline_atoms)
+                probes = [
+                    pipeline_atoms[name]
+                    for name in plan.relations()
+                    if name != driver_name
+                ]
+                program, reason = kernels.try_compile(
+                    pipeline_atoms[driver_name],
+                    probes,
+                    output_variables,
+                    compress=True,
+                    stats=kernel_stats,
+                )
                 if program is not None:
                     started = time.perf_counter()
                     try:
@@ -280,6 +285,7 @@ class FreeJoinEngine:
                             pipeline_sink,
                             interrupt=options.deadline,
                             stats=kernel_stats,
+                            factorize=factorize,
                         )
                     except kernels.KernelFrontierExplosion as exc:
                         # Nothing reached the sink yet (guard invariant), so

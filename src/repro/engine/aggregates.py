@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.datatypes import Row, Value
-from repro.engine.output import JoinResult, OutputSink
+from repro.engine.output import JoinResult, OutputSink, _factorized_group_count
 from repro.errors import ExecutionError, QueryError
 from repro.query.planner import LogicalQuery
 from repro.storage.table import Table
@@ -393,6 +393,80 @@ def fold_group(
     return [key]
 
 
+def fold_factorized_batch(
+    state: GroupedAggregateState,
+    prefix_variables: Sequence[str],
+    prefix_columns: Sequence[Sequence[Value]],
+    factors: Sequence[Tuple[Tuple[str, ...], Sequence[Sequence[Value]], Sequence[int]]],
+    multiplicities: Optional[Sequence[int]] = None,
+) -> Optional[List[Row]]:
+    """Fold a columnar factorized batch into ``state`` without expansion.
+
+    The columnar counterpart of :func:`fold_group` for the batch contract
+    (:meth:`~repro.engine.output.OutputSink.on_factorized_batch`): every
+    group-by variable must be bound by the prefix columns and every
+    aggregate input by the prefix or a factor.  Aggregate values are read
+    straight off the flat factor columns, weighted by the other factors'
+    segment sizes — the Cartesian product is never enumerated.  Returns
+    the touched group keys, or ``None`` when the caller must fall back to
+    per-group handling.
+    """
+    prefix_index = {var: i for i, var in enumerate(prefix_variables)}
+    if any(var not in prefix_index for var in state.spec.group_by):
+        return None
+    factor_index: Dict[str, Tuple[int, int]] = {}
+    for position, (factor_vars, _columns, _offsets) in enumerate(factors):
+        for offset, var in enumerate(factor_vars):
+            factor_index[var] = (position, offset)
+    for function, variable, _label in state.spec.items:
+        if function is None or variable is None:
+            continue
+        if variable not in prefix_index and variable not in factor_index:
+            return None
+
+    groups = _factorized_group_count(prefix_columns, factors, multiplicities)
+    key_columns = [
+        prefix_columns[prefix_index[var]] for var in state.spec.group_by
+    ]
+    touched: List[Row] = []
+    for i in range(groups):
+        multiplicity = 1 if multiplicities is None else multiplicities[i]
+        sizes = [
+            offsets[i + 1] - offsets[i] for _vars, _columns, offsets in factors
+        ]
+        total = multiplicity
+        for size in sizes:
+            total *= size
+        if total == 0:
+            continue
+        key = tuple(column[i] for column in key_columns)
+        states = state.group_states(key)
+        touched.append(key)
+        for (function, variable, _label), item_state in zip(
+            state.spec.items, states
+        ):
+            if function is None:
+                continue
+            if variable is None:
+                item_state.update_count_star(total)
+                continue
+            if variable in prefix_index:
+                item_state.update(
+                    prefix_columns[prefix_index[variable]][i], total
+                )
+                continue
+            position, column_offset = factor_index[variable]
+            weight = multiplicity
+            for other, size in enumerate(sizes):
+                if other != position:
+                    weight *= size
+            column = factors[position][1][column_offset]
+            lo, hi = factors[position][2][i], factors[position][2][i + 1]
+            for j in range(lo, hi):
+                item_state.update(column[j], weight)
+    return touched
+
+
 class _RowExpander(OutputSink):
     """Expand factorized groups into rows aimed at a fold callback."""
 
@@ -411,9 +485,12 @@ class PartialAggregateSink(OutputSink):
     an aggregate sink: the task ships its (tiny) serialized partial to the
     parent instead of its raw rows, which is what makes parallel grouped
     aggregation cheap — the row bag never crosses the worker boundary.
-    Factorized groups are folded via :func:`fold_group` (no expansion)
-    whenever the group key lives in the prefix.
+    Factorized groups are folded via :func:`fold_group` /
+    :func:`fold_factorized_batch` (no expansion) whenever the group key
+    lives in the prefix.
     """
+
+    accepts_factorized = True
 
     def __init__(self, spec: AggregateSpec) -> None:
         super().__init__(spec.variables)
@@ -448,6 +525,22 @@ class PartialAggregateSink(OutputSink):
             self._expander.on_group(prefix, prefix_variables, factors, multiplicity)
             return
         self.folded += 1
+
+    def on_factorized_batch(
+        self, prefix_variables, prefix_columns, factors, multiplicities=None
+    ) -> None:
+        """Fold a columnar factorized batch straight off the factor columns."""
+        touched = fold_factorized_batch(
+            self.state, prefix_variables, prefix_columns, factors, multiplicities
+        )
+        if touched is None:
+            # Unfoldable shape: fall back to the per-group conversion, which
+            # routes through on_group (fold_group, then row expansion).
+            super().on_factorized_batch(
+                prefix_variables, prefix_columns, factors, multiplicities
+            )
+            return
+        self.folded += len(touched)
 
     def payload(self) -> List[Tuple[Row, Tuple[Tuple, ...]]]:
         """The serialized partial this sink accumulated."""
@@ -512,21 +605,30 @@ def _aggregate(result: JoinResult, logical: LogicalQuery) -> Table:
     # The serial pass folds through the same GroupedAggregateState the
     # streaming/parallel planes use, so their results agree by construction.
     state = GroupedAggregateState(spec)
-    for row, multiplicity in _iter_with_multiplicity(result):
-        state.fold_row(row, multiplicity)
+    if result.groups is not None:
+        # Factorized results fold group by group (no Cartesian expansion
+        # whenever the group key and aggregate inputs allow it).
+        expander = _RowExpander(spec.variables, state.fold_row)
+        for group in result.groups:
+            touched = fold_group(
+                state,
+                group.prefix,
+                group.prefix_variables,
+                group.factors,
+                group.multiplicity,
+            )
+            if touched is None:
+                expander.on_group(
+                    group.prefix,
+                    group.prefix_variables,
+                    group.factors,
+                    group.multiplicity,
+                )
+    else:
+        for row, multiplicity in zip(result.rows, result.multiplicities):
+            state.fold_row(row, multiplicity)
 
     return Table.from_rows("result", spec.labels(), state.finalize_rows())
-
-
-def _iter_with_multiplicity(result: JoinResult):
-    """Iterate ``(row, multiplicity)`` pairs without expanding duplicates."""
-    if result.groups is not None:
-        # Factorized results: expand groups (aggregation over factorized
-        # results without expansion is future work, as in the paper).
-        for row in result.iter_rows():
-            yield row, 1
-        return
-    yield from zip(result.rows, result.multiplicities)
 
 
 # --------------------------------------------------------------------------- #

@@ -13,6 +13,24 @@ decides how much of the output to materialize:
 
 The engines report results per *group*: a fully bound prefix row plus zero or
 more factors.  A plain output row is a group with no factors.
+
+Sinks consume results through a **columnar batch contract**:
+
+* :meth:`OutputSink.on_batch` receives per-variable value columns (one
+  column per output variable, all the same length) plus an optional
+  multiplicity vector.  The kernel executor emits whole decoded frontiers
+  through this entry point, so sinks that store columns (counts, streams,
+  aggregate folds) never pay for row tuples they immediately discard.
+* :meth:`OutputSink.on_factorized_batch` receives a batch of factorized
+  groups in columnar form: prefix columns (one value per group) plus flat
+  factor columns segmented by an offsets vector.  Sinks that understand
+  factorization (:class:`FactorizedSink`, :class:`CountSink`, the
+  streaming and aggregate sinks) advertise ``accepts_factorized = True``
+  and consume the groups without ever expanding the Cartesian product.
+
+Both batch methods have default implementations that adapt down to the
+legacy row surface (:meth:`on_row` / :meth:`on_group`), so hand-written
+sinks and uncovered shapes keep working unchanged.
 """
 
 from __future__ import annotations
@@ -24,8 +42,24 @@ from repro.datatypes import Row, Value
 from repro.errors import ExecutionError
 
 
+def _factorized_group_count(prefix_columns, factors, multiplicities) -> int:
+    """Number of groups in one factorized batch (any plane determines it)."""
+    if prefix_columns:
+        return len(prefix_columns[0])
+    if factors:
+        return len(factors[0][2]) - 1
+    if multiplicities is not None:
+        return len(multiplicities)
+    return 0
+
+
 class OutputSink:
     """Interface implemented by all sinks."""
+
+    #: Whether the sink consumes :meth:`on_factorized_batch` without needing
+    #: the producer to expand the Cartesian product first.  Engines only
+    #: emit factorized batches into sinks that advertise this.
+    accepts_factorized = False
 
     def __init__(self, variables: Sequence[str]) -> None:
         #: Output variables, in the order rows are reported.
@@ -50,6 +84,65 @@ class OutputSink:
         else:
             for row, multiplicity in zip(rows, multiplicities):
                 self.on_row(row, multiplicity)
+
+    def on_batch(
+        self,
+        columns: Sequence[Sequence[Value]],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Report a columnar batch: one value column per output variable.
+
+        ``columns`` aligns with :attr:`variables` (same order, equal
+        lengths); ``multiplicities=None`` means all 1.  The default zips
+        the columns into row tuples and replays :meth:`on_rows`, so
+        row-oriented sinks work unchanged while columnar consumers
+        override it and skip the tuple build entirely.
+        """
+        if columns:
+            rows: Sequence[Row] = list(zip(*columns))
+        elif multiplicities is not None:
+            rows = [()] * len(multiplicities)
+        else:
+            rows = []
+        self.on_rows(rows, multiplicities)
+
+    def on_factorized_batch(
+        self,
+        prefix_variables: Sequence[str],
+        prefix_columns: Sequence[Sequence[Value]],
+        factors: Sequence[
+            Tuple[Tuple[str, ...], Sequence[Sequence[Value]], Sequence[int]]
+        ],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Report a batch of factorized groups in columnar form.
+
+        ``prefix_columns`` hold one value per group (aligned with
+        ``prefix_variables``); each factor is ``(variables, columns,
+        offsets)`` where the columns are *flat* concatenations of every
+        group's factor rows and ``offsets`` has ``groups + 1`` boundaries —
+        group ``i`` owns the slice ``[offsets[i], offsets[i + 1])``.  The
+        group represents prefix x factor1 x factor2 x ..., repeated
+        ``multiplicities[i]`` times.
+
+        The default converts each group to a legacy :meth:`on_group` call
+        (which itself defaults to Cartesian expansion), so every existing
+        sink keeps its semantics; factorization-aware sinks override this
+        and advertise :attr:`accepts_factorized`.
+        """
+        total = _factorized_group_count(prefix_columns, factors, multiplicities)
+        for i in range(total):
+            prefix = tuple(column[i] for column in prefix_columns)
+            group_factors = []
+            for factor_vars, factor_columns, offsets in factors:
+                lo, hi = offsets[i], offsets[i + 1]
+                rows = [
+                    tuple(column[j] for column in factor_columns)
+                    for j in range(lo, hi)
+                ]
+                group_factors.append((tuple(factor_vars), rows))
+            multiplicity = 1 if multiplicities is None else multiplicities[i]
+            self.on_group(prefix, prefix_variables, group_factors, multiplicity)
 
     def on_group(
         self,
@@ -130,6 +223,21 @@ class RowSink(OutputSink):
                 self._rows.append(row)
                 self._multiplicities.append(multiplicity)
 
+    def on_batch(
+        self,
+        columns: Sequence[Sequence[Value]],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not columns:
+            super().on_batch(columns, multiplicities)
+            return
+        rows = list(zip(*columns))
+        if multiplicities is None:
+            self._rows.extend(rows)
+            self._multiplicities.extend([1] * len(rows))
+        else:
+            self.on_rows(rows, multiplicities)
+
     def result(self) -> "JoinResult":
         return JoinResult(
             variables=self.variables,
@@ -140,6 +248,8 @@ class RowSink(OutputSink):
 
 class CountSink(OutputSink):
     """Counts output rows without materializing them."""
+
+    accepts_factorized = True
 
     def __init__(self, variables: Sequence[str]) -> None:
         super().__init__(variables)
@@ -156,11 +266,39 @@ class CountSink(OutputSink):
         else:
             self._count += sum(multiplicities)
 
+    def on_batch(
+        self,
+        columns: Sequence[Sequence[Value]],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> None:
+        if multiplicities is not None:
+            self._count += sum(multiplicities)
+        elif columns:
+            self._count += len(columns[0])
+
     def on_group(self, prefix, prefix_variables, factors, multiplicity: int = 1) -> None:
         total = multiplicity
         for _vars, rows in factors:
             total *= len(rows)
         self._count += total
+
+    def on_factorized_batch(
+        self,
+        prefix_variables: Sequence[str],
+        prefix_columns: Sequence[Sequence[Value]],
+        factors: Sequence[
+            Tuple[Tuple[str, ...], Sequence[Sequence[Value]], Sequence[int]]
+        ],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> None:
+        total_groups = _factorized_group_count(
+            prefix_columns, factors, multiplicities
+        )
+        for i in range(total_groups):
+            count = 1 if multiplicities is None else multiplicities[i]
+            for _vars, _columns, offsets in factors:
+                count *= offsets[i + 1] - offsets[i]
+            self._count += count
 
     def result(self) -> "JoinResult":
         return JoinResult(
@@ -189,6 +327,8 @@ class FactorizedGroup:
 class FactorizedSink(OutputSink):
     """Stores the output in factorized form (Section 4.4, Figure 19)."""
 
+    accepts_factorized = True
+
     def __init__(self, variables: Sequence[str]) -> None:
         super().__init__(variables)
         self._groups: List[FactorizedGroup] = []
@@ -197,6 +337,21 @@ class FactorizedSink(OutputSink):
         self._groups.append(
             FactorizedGroup(row, self.variables, [], multiplicity)
         )
+
+    def on_batch(
+        self,
+        columns: Sequence[Sequence[Value]],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> None:
+        rows = list(zip(*columns)) if columns else []
+        if multiplicities is None:
+            for row in rows:
+                self._groups.append(FactorizedGroup(row, self.variables, []))
+        else:
+            for row, multiplicity in zip(rows, multiplicities):
+                self._groups.append(
+                    FactorizedGroup(row, self.variables, [], multiplicity)
+                )
 
     def on_group(self, prefix, prefix_variables, factors, multiplicity: int = 1) -> None:
         self._groups.append(
@@ -208,8 +363,159 @@ class FactorizedSink(OutputSink):
             )
         )
 
+    def on_factorized_batch(
+        self,
+        prefix_variables: Sequence[str],
+        prefix_columns: Sequence[Sequence[Value]],
+        factors: Sequence[
+            Tuple[Tuple[str, ...], Sequence[Sequence[Value]], Sequence[int]]
+        ],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> None:
+        prefix_vars = tuple(prefix_variables)
+        total_groups = _factorized_group_count(
+            prefix_columns, factors, multiplicities
+        )
+        for i in range(total_groups):
+            prefix = tuple(column[i] for column in prefix_columns)
+            group_factors = []
+            for factor_vars, factor_columns, offsets in factors:
+                lo, hi = offsets[i], offsets[i + 1]
+                # zip over column slices row-builds at C speed — this loop
+                # is the whole cost of accepting a factorized batch.
+                if factor_columns:
+                    rows = list(
+                        zip(*(column[lo:hi] for column in factor_columns))
+                    )
+                else:
+                    rows = [()] * (hi - lo)
+                group_factors.append((tuple(factor_vars), rows))
+            multiplicity = 1 if multiplicities is None else multiplicities[i]
+            self._groups.append(
+                FactorizedGroup(prefix, prefix_vars, group_factors, multiplicity)
+            )
+
     def result(self) -> "JoinResult":
         return JoinResult(variables=self.variables, rows=[], multiplicities=[], groups=self._groups)
+
+
+class ColumnBatchSink(OutputSink):
+    """Collects batches *as batches*, for replay into another sink.
+
+    The steal scheduler gives every worker task one of these when the query
+    streams into a batch-aware consumer: the task keeps kernel output in
+    columnar (and factorized) form, the batches cross the worker boundary
+    verbatim — picklable lists, no Cartesian expansion — and the parent
+    replays them into the streaming sink with :func:`replay_batches`.
+
+    Row-path producers (trie recursion, probe loops) still work: their rows
+    are buffered and flushed as a ``("rows", ...)`` batch.
+    """
+
+    accepts_factorized = True
+
+    def __init__(self, variables: Sequence[str]) -> None:
+        super().__init__(variables)
+        self._batches: List[Tuple] = []
+        self._rows: List[Row] = []
+        self._multiplicities: List[int] = []
+        #: Physical rows represented (factorized groups count their
+        #: expansion), for the scheduler's per-task ``outputs`` telemetry.
+        self.rows_delivered = 0
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        if multiplicity <= 0:
+            return
+        self._rows.append(row)
+        self._multiplicities.append(multiplicity)
+        self.rows_delivered += 1
+
+    def on_rows(
+        self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
+    ) -> None:
+        if multiplicities is None:
+            self._rows.extend(rows)
+            self._multiplicities.extend([1] * len(rows))
+            self.rows_delivered += len(rows)
+        else:
+            for row, multiplicity in zip(rows, multiplicities):
+                if multiplicity > 0:
+                    self._rows.append(row)
+                    self._multiplicities.append(multiplicity)
+                    self.rows_delivered += 1
+
+    def _flush_rows(self) -> None:
+        if self._rows:
+            self._batches.append(("rows", self._rows, self._multiplicities))
+            self._rows = []
+            self._multiplicities = []
+
+    def on_batch(
+        self,
+        columns: Sequence[Sequence[Value]],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._flush_rows()
+        self._batches.append(("batch", [list(c) for c in columns], multiplicities))
+        if columns:
+            self.rows_delivered += len(columns[0])
+        elif multiplicities is not None:
+            self.rows_delivered += len(multiplicities)
+
+    def on_factorized_batch(
+        self,
+        prefix_variables: Sequence[str],
+        prefix_columns: Sequence[Sequence[Value]],
+        factors: Sequence[
+            Tuple[Tuple[str, ...], Sequence[Sequence[Value]], Sequence[int]]
+        ],
+        multiplicities: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._flush_rows()
+        self._batches.append(
+            (
+                "factorized",
+                tuple(prefix_variables),
+                [list(c) for c in prefix_columns],
+                [
+                    (tuple(vars_), [list(c) for c in columns], list(offsets))
+                    for vars_, columns, offsets in factors
+                ],
+                multiplicities,
+            )
+        )
+        for i in range(
+            _factorized_group_count(prefix_columns, factors, multiplicities)
+        ):
+            count = 1
+            for _vars, _columns, offsets in factors:
+                count *= offsets[i + 1] - offsets[i]
+            self.rows_delivered += count
+
+    def batches(self) -> List[Tuple]:
+        """The collected batches (flushing any buffered row tail)."""
+        self._flush_rows()
+        return self._batches
+
+    def result(self) -> "JoinResult":
+        """Expand everything into a flat :class:`JoinResult` (fallback path)."""
+        sink = RowSink(self.variables)
+        replay_batches(sink, self.batches())
+        return sink.result()
+
+
+def replay_batches(sink: OutputSink, batches: Sequence[Tuple]) -> None:
+    """Replay :class:`ColumnBatchSink` batches into another sink."""
+    for batch in batches:
+        tag = batch[0]
+        if tag == "rows":
+            sink.on_rows(batch[1], batch[2])
+        elif tag == "batch":
+            sink.on_batch(batch[1], batch[2])
+        elif tag == "factorized":
+            sink.on_factorized_batch(batch[1], batch[2], batch[3], batch[4])
+        else:  # pragma: no cover - protocol corruption
+            raise ExecutionError(f"unknown replay batch tag {tag!r}")
 
 
 @dataclass

@@ -334,6 +334,13 @@ class Database:
         queries whose GROUP BY key is not in the SELECT list (delta rows
         would be indistinguishable without it).
 
+        **ORDER BY ... LIMIT n queries stream too**, through a bounded
+        top-k (:class:`~repro.engine.streaming.StreamingTopKSink`): rows
+        fold into a candidate set pruned to the ``n`` best mid-join, so
+        memory stays ``O(n)`` instead of materializing the result; the
+        finalize pass delivers the ordered prefix, identical to
+        :meth:`execute`'s final table.
+
         ``timeout`` covers the *whole* stream — execution and delivery: a
         consumer that stalls past the budget gets ``DeadlineExceeded`` and
         the producer (plus any pool tasks) aborts instead of pinning its
@@ -348,6 +355,7 @@ class Database:
             StreamingAggregateSink,
             StreamingResult,
             StreamingSink,
+            StreamingTopKSink,
         )
         from repro.parallel.cancellation import DeadlineToken
 
@@ -425,11 +433,60 @@ class Database:
 
             return StreamingResult(sink, token, run_grouped, executor=executor)
 
+        if (
+            not logical.has_aggregates()
+            and not logical.group_by
+            and not logical.left_joins
+            and logical.having is None
+            and not logical.distinct
+            and logical.limit is not None
+        ):
+            # Bounded top-k: ORDER BY ... LIMIT n no longer needs the
+            # materialize fallback.  Rows (and factorized worker batches)
+            # fold into a pruned candidate set *mid-join*; the finalize
+            # pass sorts the survivors and delivers the ordered prefix —
+            # identical to execute()'s final table.
+            binary_plan = optimize_query(
+                logical.query, statistics_cache=self.statistics_cache
+            )
+            variables = logical.query.output_variables
+            sink = StreamingTopKSink(
+                variables,
+                limit=logical.limit,
+                order_by=logical.order_by,
+                transform=self._batch_transform(logical, variables),
+                batch_rows=batch_rows,
+                max_batches=max_batches,
+                interrupt=token,
+            )
+            engine_name, decision = self._route_if_auto(
+                engine_name, logical, binary_plan
+            )
+
+            def run_topk():
+                started = time.perf_counter()
+                report = self.run_join(
+                    logical,
+                    binary_plan,
+                    engine_name,
+                    freejoin_options,
+                    deadline=token,
+                    sink=sink,
+                    parallelism=decision.parallelism if decision is not None else None,
+                )
+                if decision is not None:
+                    self.router.observe(decision, time.perf_counter() - started)
+                    report.details["router"] = decision.as_dict()
+                return report
+
+            return StreamingResult(sink, token, run_topk, executor=executor)
+
         if logical.has_aggregates() or logical.group_by or needs_post:
             # Residual-filtered aggregates (filters run on materialized join
             # rows in execute()), aggregate-free group-bys, left-outer
-            # extensions, and HAVING/ORDER BY/LIMIT/DISTINCT queries keep
-            # the materialize-then-stream fallback: only delivery streams.
+            # extensions, and HAVING/ORDER BY-without-LIMIT/DISTINCT queries
+            # keep the materialize-then-stream fallback: only delivery
+            # streams.
             sink = StreamingSink(
                 logical.output_labels(),
                 batch_rows=batch_rows,
@@ -702,14 +759,17 @@ class Database:
         """Extend the core join result with each LEFT OUTER JOIN table.
 
         For every :class:`~repro.query.planner.LeftJoinSpec` (in FROM-clause
-        order) a hash index over the optional table's key columns is probed
-        with the core row's key variables: matching rows are appended (one
-        output row per match, preserving bag multiplicities), unmatched or
-        NULL-keyed core rows get one NULL-padded row.  The core inner join
-        ran on whichever engine/kernel path was selected; this extension is
-        row-at-a-time, so the kernel telemetry records a
-        ``left-outer-extension`` fallback reason instead of claiming a fully
-        vectorized run.
+        order) the core rows are anti-probed against the optional table:
+        matching optional rows are appended (one output row per match,
+        preserving bag multiplicities), unmatched or NULL-keyed core rows
+        get one NULL-padded row.  When the kernel subsystem is enabled the
+        probe runs as a **batch anti-probe** (:meth:`_left_outer_batch`):
+        keys are interned to integer group ids and the match counting,
+        expansion layout, and optional-row gather are single vectorized
+        passes — no per-row dict probe, no fallback recorded.  Only when
+        kernels are disabled (``REPRO_KERNELS=off``, missing numpy) does
+        the row-at-a-time probe run, and only then does the kernel
+        telemetry record a ``left-outer-extension`` fallback reason.
         """
         variables = list(result.variables)
         if result.groups is not None:
@@ -723,36 +783,27 @@ class Database:
                 "left-outer extension requires materialized join rows; "
                 "this is an internal sink-selection bug"
             )
+        from repro import kernels as kernels_mod
+
+        np = None
+        if kernels_mod.enabled():
+            try:
+                import numpy as np
+            except ImportError:  # pragma: no cover - numpy is baked in
+                np = None
+        vectorized = np is not None
         summary = []
         for spec in logical.left_joins:
             key_positions = [variables.index(var) for var, _column in spec.keys]
             key_columns = [column for _var, column in spec.keys]
-            index: dict = {}
-            for optional_row in spec.table.to_rows():
-                key = tuple(optional_row[column] for column in key_columns)
-                if any(value is None for value in key):
-                    continue  # NULL never matches in SQL equality
-                index.setdefault(key, []).append(optional_row)
-            width = len(spec.variables)
-            padding = (None,) * width
-            extended_rows = []
-            extended_multiplicities = []
-            matched = 0
-            for row, multiplicity in zip(rows, multiplicities):
-                key = tuple(row[position] for position in key_positions)
-                matches = None
-                if not any(value is None for value in key):
-                    matches = index.get(key)
-                if matches:
-                    matched += multiplicity
-                    for optional_row in matches:
-                        extended_rows.append(row + tuple(optional_row))
-                        extended_multiplicities.append(multiplicity)
-                else:
-                    extended_rows.append(row + padding)
-                    extended_multiplicities.append(multiplicity)
-            rows = extended_rows
-            multiplicities = extended_multiplicities
+            if vectorized:
+                rows, multiplicities, matched = Database._left_outer_batch(
+                    np, rows, multiplicities, spec, key_positions, key_columns
+                )
+            else:
+                rows, multiplicities, matched = Database._left_outer_rowwise(
+                    rows, multiplicities, spec, key_positions, key_columns
+                )
             variables.extend(spec.variables)
             summary.append(
                 {
@@ -762,14 +813,126 @@ class Database:
                 }
             )
         kernels = report.details.get("kernels")
-        if isinstance(kernels, dict):
+        if not vectorized and isinstance(kernels, dict):
             reasons = kernels.setdefault("fallbacks", [])
             reasons.append("left-outer-extension")
             if kernels.get("mode") == "vectorized":
                 kernels["mode"] = "mixed"
-        report.details["post_join"] = {"left_joins": summary}
+        report.details["post_join"] = {
+            "left_joins": summary,
+            "vectorized": vectorized,
+        }
         return JoinResult(
             variables=tuple(variables),
             rows=rows,
             multiplicities=multiplicities,
         )
+
+    @staticmethod
+    def _left_outer_batch(np, rows, multiplicities, spec, key_positions, key_columns):
+        """One LEFT JOIN extension as a vectorized batch anti-probe.
+
+        Optional-table keys are interned to dense group ids (NULL-keyed
+        rows are dropped — NULL never matches in SQL equality) and sorted
+        by group, so each group's rows are one contiguous slice.  Core rows
+        map to the same ids; match counts, the expanded output layout
+        (``np.repeat`` over per-core-row output counts) and the gather of
+        matching optional-row indices are then single array passes.  The
+        output row order is identical to the row-at-a-time probe: core
+        order, matches in optional-table order, unmatched rows NULL-padded
+        in place.
+        """
+        opt_rows = spec.table.to_rows()
+        group_of: dict = {}
+        opt_group = np.empty(len(opt_rows), dtype=np.int64)
+        for j, optional_row in enumerate(opt_rows):
+            key = tuple(optional_row[column] for column in key_columns)
+            if any(value is None for value in key):
+                opt_group[j] = -1
+            else:
+                opt_group[j] = group_of.setdefault(key, len(group_of))
+        n_groups = len(group_of)
+        kept = np.flatnonzero(opt_group >= 0)
+        kept_groups = opt_group[kept]
+        order = np.argsort(kept_groups, kind="stable")
+        sorted_opt = kept[order]
+        group_starts = np.searchsorted(kept_groups[order], np.arange(n_groups))
+        group_counts = np.bincount(kept_groups, minlength=n_groups).astype(np.int64)
+
+        n = len(rows)
+        core_ids = np.empty(n, dtype=np.int64)
+        for i, row in enumerate(rows):
+            key = tuple(row[position] for position in key_positions)
+            if any(value is None for value in key):
+                core_ids[i] = -1
+            else:
+                core_ids[i] = group_of.get(key, -1)
+        safe_ids = np.maximum(core_ids, 0)
+        counts = np.where(core_ids >= 0, group_counts[safe_ids], 0)
+        matched_mask = counts > 0
+        mult_array = np.asarray(multiplicities, dtype=np.int64)
+        matched = int(mult_array[matched_mask].sum())
+
+        def segment_offsets(segment_counts):
+            total = int(segment_counts.sum())
+            if total == 0:
+                return np.empty(0, dtype=np.int64)
+            starts = np.zeros(len(segment_counts), dtype=np.int64)
+            starts[1:] = np.cumsum(segment_counts[:-1])
+            return np.arange(total, dtype=np.int64) - np.repeat(
+                starts, segment_counts
+            )
+
+        # Output layout: matched core rows occupy `counts` slots, everything
+        # else exactly one NULL-padded slot.
+        out_counts = np.where(matched_mask, counts, 1)
+        out_offsets = np.zeros(n + 1, dtype=np.int64)
+        out_offsets[1:] = np.cumsum(out_counts)
+        total = int(out_offsets[-1])
+        core_out = np.repeat(np.arange(n, dtype=np.int64), out_counts)
+        new_multiplicities = np.repeat(mult_array, out_counts).tolist()
+        opt_out = np.full(total, -1, dtype=np.int64)
+        matched_counts = counts[matched_mask]
+        if matched_counts.size:
+            offsets = segment_offsets(matched_counts)
+            slots = np.repeat(out_offsets[:-1][matched_mask], matched_counts)
+            picks = np.repeat(group_starts[core_ids[matched_mask]], matched_counts)
+            opt_out[slots + offsets] = sorted_opt[picks + offsets]
+
+        padding = (None,) * len(spec.variables)
+        extended_rows = []
+        append = extended_rows.append
+        for core_index, opt_index in zip(core_out.tolist(), opt_out.tolist()):
+            if opt_index < 0:
+                append(rows[core_index] + padding)
+            else:
+                append(rows[core_index] + tuple(opt_rows[opt_index]))
+        return extended_rows, new_multiplicities, matched
+
+    @staticmethod
+    def _left_outer_rowwise(rows, multiplicities, spec, key_positions, key_columns):
+        """The row-at-a-time probe (kernels disabled): hash index per spec."""
+        index: dict = {}
+        for optional_row in spec.table.to_rows():
+            key = tuple(optional_row[column] for column in key_columns)
+            if any(value is None for value in key):
+                continue  # NULL never matches in SQL equality
+            index.setdefault(key, []).append(optional_row)
+        padding = (None,) * len(spec.variables)
+        extended_rows = []
+        extended_multiplicities = []
+        matched = 0
+        for row, multiplicity in zip(rows, multiplicities):
+            key = tuple(row[position] for position in key_positions)
+            matches = None
+            if not any(value is None for value in key):
+                matches = index.get(key)
+            if matches:
+                matched += multiplicity
+                for optional_row in matches:
+                    extended_rows.append(row + tuple(optional_row))
+                    extended_multiplicities.append(multiplicity)
+            else:
+                extended_rows.append(row + padding)
+                extended_multiplicities.append(multiplicity)
+        return extended_rows, extended_multiplicities, matched

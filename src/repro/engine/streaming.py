@@ -9,10 +9,12 @@ provides the streaming counterpart:
   slices reported rows into fixed-size batches and pushes them into a
   **bounded** queue as the join recursion produces them.  A full queue blocks
   the producer (backpressure): a slow consumer throttles the join instead of
-  letting it race ahead and buffer the entire result.  Factorized groups go
-  through the default :meth:`~repro.engine.output.OutputSink.on_group`
-  expansion, so group products are enumerated row by row and split across
-  batch boundaries exactly like plain rows.
+  letting it race ahead and buffer the entire result.  The sink accepts
+  factorized batches (``accepts_factorized``): the kernel executor ships
+  shared prefixes plus flat factor columns and the Cartesian product is
+  enumerated only here, at the delivery boundary, split across batch
+  boundaries exactly like plain rows — the join itself never materializes
+  the product.
 * :class:`StreamingAggregateSink` is the **aggregate mode** of the sink:
   instead of shipping raw join rows it folds them (and merged worker
   partials — see :mod:`repro.engine.aggregates`) into per-group-key partial
@@ -37,6 +39,7 @@ cancellation and deadline expiry propagate within one slice.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -47,9 +50,12 @@ from repro.engine.aggregates import (
     AggregateSpec,
     GroupedAggregateState,
     _RowExpander,
+    _canonical_row_key,
+    fold_factorized_batch,
     fold_group,
+    order_rows,
 )
-from repro.engine.output import JoinResult, OutputSink
+from repro.engine.output import JoinResult, OutputSink, _factorized_group_count
 from repro.errors import ExecutionError, QueryError
 
 if TYPE_CHECKING:  # pragma: no cover - import would be circular at runtime
@@ -86,6 +92,8 @@ class StreamingSink(OutputSink):
     consumer that will never drain the queue.
     """
 
+    accepts_factorized = True
+
     def __init__(
         self,
         variables: Sequence[str],
@@ -111,6 +119,8 @@ class StreamingSink(OutputSink):
         self.batches_put = 0
         self.rows_put = 0
         self.put_wait_seconds = 0.0
+        #: Factorized batches received (expanded at the delivery boundary).
+        self.factorized_batches = 0
 
     # ------------------------------------------------------------------ #
     # Producer side
@@ -147,6 +157,57 @@ class StreamingSink(OutputSink):
             while len(buffer) >= self.batch_rows:
                 self._put(buffer[: self.batch_rows])
                 del buffer[: self.batch_rows]
+
+    def on_factorized_batch(
+        self, prefix_variables, prefix_columns, factors, multiplicities=None
+    ) -> None:
+        """Expand factorized groups into delivered rows, batch by batch.
+
+        The stream's contract is flat rows, so this is where the Cartesian
+        product is finally enumerated — the producer side (kernel frontier,
+        worker tasks) never materialized it.  Expansion flushes every
+        ``batch_rows`` rows, so backpressure and deadline checks apply
+        inside a single large group too.
+        """
+        self.factorized_batches += 1
+        prefix_index = {var: i for i, var in enumerate(prefix_variables)}
+        factor_index = {}
+        for position, (factor_vars, _columns, _offsets) in enumerate(factors):
+            for offset, var in enumerate(factor_vars):
+                factor_index[var] = (position, offset)
+        plan = []
+        for var in self.variables:
+            if var in factor_index:
+                plan.append(factor_index[var])
+            elif var in prefix_index:
+                plan.append((-1, prefix_index[var]))
+            else:
+                raise ExecutionError(
+                    f"factorized batch does not bind output variable {var!r}"
+                )
+        groups = _factorized_group_count(prefix_columns, factors, multiplicities)
+        rows: List[Row] = []
+        for i in range(groups):
+            multiplicity = 1 if multiplicities is None else multiplicities[i]
+            if multiplicity <= 0:
+                continue
+            ranges = [
+                range(offsets[i], offsets[i + 1])
+                for _vars, _columns, offsets in factors
+            ]
+            for choice in itertools.product(*ranges):
+                row = tuple(
+                    prefix_columns[offset][i]
+                    if position < 0
+                    else factors[position][1][offset][choice[position]]
+                    for position, offset in plan
+                )
+                rows.extend([row] * multiplicity)
+            if len(rows) >= self.batch_rows:
+                self.emit_rows(rows)
+                rows = []
+        if rows:
+            self.emit_rows(rows)
 
     def _put(self, item) -> None:
         """Blocking put with backpressure, interruptible via the token."""
@@ -245,6 +306,7 @@ class StreamingSink(OutputSink):
             "batch_rows": self.batch_rows,
             "max_batches": self._queue.maxsize,
             "put_wait_seconds": self.put_wait_seconds,
+            "factorized_batches": self.factorized_batches,
         }
 
 
@@ -356,6 +418,29 @@ class StreamingAggregateSink(StreamingSink):
             # enumerate the product row by row.
             self._expander.on_group(prefix, prefix_variables, factors, multiplicity)
 
+    def on_factorized_batch(
+        self, prefix_variables, prefix_columns, factors, multiplicities=None
+    ) -> None:
+        """Fold factorized batches straight off the factor columns."""
+        with self._lock:
+            touched = fold_factorized_batch(
+                self._state, prefix_variables, prefix_columns, factors,
+                multiplicities,
+            )
+            if touched is not None:
+                self.factorized_batches += 1
+                self._dirty.update(touched)
+                self.folded_rows += len(touched)
+                self._since_flush += len(touched)
+                if self._since_flush >= self.flush_rows:
+                    self._flush_deltas_locked()
+                return
+        # Unfoldable shape: per-group conversion (re-acquires the lock via
+        # on_group per group, so it must run outside the with block).
+        OutputSink.on_factorized_batch(
+            self, prefix_variables, prefix_columns, factors, multiplicities
+        )
+
     def emit_partial(self, payload) -> None:
         """Merge one worker task's serialized partial and flush its deltas.
 
@@ -410,6 +495,128 @@ class StreamingAggregateSink(StreamingSink):
         """Base stream telemetry plus the partial-merge counters."""
         merged = super().stats()
         merged["aggregate"] = self.aggregate_stats()
+        return merged
+
+
+def _select_topk(rows: List[Row], order_by, limit: int) -> List[Row]:
+    """The rows :func:`~repro.engine.aggregates.finalize_output` would keep.
+
+    Exactly mirrors its ORDER BY + LIMIT tail: :func:`order_rows` for the
+    resolved keys (canonical tiebreak included), canonical order when the
+    query has a bare LIMIT, then truncation.  Because the order is total,
+    the selection is a closed prefix — ``topk(A | B) == topk(topk(A) | B)``
+    — which is what lets the sink prune candidates mid-join.
+    """
+    rows = order_rows(rows, order_by)
+    if not order_by:
+        rows = sorted(rows, key=_canonical_row_key)
+    return rows[:limit]
+
+
+class StreamingTopKSink(StreamingSink):
+    """Bounded top-k: ``ORDER BY ... LIMIT n`` without materializing.
+
+    Instead of the materialize-then-stream fallback, every reported row —
+    flat batches, factorized groups (expanded incrementally by the
+    inherited :meth:`on_factorized_batch`), forwarded worker batches —
+    folds into a candidate set pruned back to the ``limit`` best rows
+    whenever it outgrows its bound, so memory stays ``O(limit +
+    batch_rows)`` however large the join output is.  ``transform`` applies
+    the query's residual predicates and projection *before* ranking
+    (ORDER BY positions address the final SELECT columns).
+
+    Delivery is necessarily terminal — no row is safe to ship until every
+    candidate has been seen — but the fold happens mid-join: the finalize
+    pass (:meth:`finish`) only sorts the surviving candidates and delivers
+    the ordered prefix, byte-identical to ``execute()``'s final table.
+    """
+
+    def __init__(
+        self,
+        variables: Sequence[str],
+        *,
+        limit: int,
+        order_by=(),
+        transform: Optional[Callable[[List[Row]], List[Row]]] = None,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        max_batches: int = DEFAULT_MAX_BATCHES,
+        interrupt: Optional[DeadlineToken] = None,
+    ) -> None:
+        super().__init__(
+            variables,
+            batch_rows=batch_rows,
+            max_batches=max_batches,
+            interrupt=interrupt,
+        )
+        if limit < 0:
+            raise QueryError(f"limit must be non-negative, got {limit}")
+        self.limit = limit
+        self.order_by = list(order_by)
+        self.transform = transform
+        self._candidates: List[Row] = []
+        # Prune bound: enough slack that sorting amortizes over many emits
+        # (a tiny delivery batch size must not force a sort per report).
+        self._prune_at = max(2 * limit, batch_rows, 4096)
+        # Telemetry.
+        self.candidate_rows = 0
+        self.prunes = 0
+
+    # ------------------------------------------------------------------ #
+    # Producer side: every entry point folds into the candidate set
+    # ------------------------------------------------------------------ #
+
+    def on_row(self, row: Row, multiplicity: int = 1) -> None:
+        if multiplicity <= 0:
+            return
+        self.emit_rows([row] * multiplicity)
+
+    def emit_rows(
+        self, rows: Sequence[Row], multiplicities: Optional[Sequence[int]] = None
+    ) -> None:
+        if multiplicities is not None:
+            expanded: List[Row] = []
+            for row, multiplicity in zip(rows, multiplicities):
+                if multiplicity > 0:
+                    expanded.extend([row] * multiplicity)
+            rows = expanded
+        else:
+            rows = list(rows)
+        if self.transform is not None:
+            rows = self.transform(rows)
+        if not rows:
+            return
+        with self._lock:
+            if self.interrupt is not None:
+                self.interrupt.check()
+            self._candidates.extend(rows)
+            self.candidate_rows += len(rows)
+            if len(self._candidates) > self._prune_at:
+                self._candidates = _select_topk(
+                    self._candidates, self.order_by, self.limit
+                )
+                self.prunes += 1
+
+    def finish(self) -> None:
+        """Sort the survivors, deliver the ordered prefix, close the stream."""
+        with self._lock:
+            rows = _select_topk(self._candidates, self.order_by, self.limit)
+            self._candidates = []
+            for start in range(0, len(rows), self.batch_rows):
+                self._put(rows[start : start + self.batch_rows])
+            self._put(_DONE)
+            self._finished.set()
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        merged = super().stats()
+        merged["topk"] = {
+            "limit": self.limit,
+            "candidate_rows": self.candidate_rows,
+            "prunes": self.prunes,
+        }
         return merged
 
 

@@ -2,8 +2,9 @@
 
 The same discipline the paper uses to validate Free Join against the binary
 and generic join baselines (Section 5), industrialized: every generated
-query runs on all three engines × kernels on/off × serial/thread-parallel
-(12 configurations), plus an **independent naive reference executor** that
+query runs on all three engines × kernels on/off × serial/thread-parallel/
+process-parallel (18 configurations), plus an **independent naive reference
+executor** that
 evaluates the parsed SQL directly — nested-loop joins over row dicts,
 dictionary grouping, straight-line HAVING/DISTINCT/ORDER/LIMIT — with no
 planner, no kernels, and no shared execution machinery.  The reference is
@@ -62,26 +63,41 @@ from repro.workloads.generated import GeneratedQuery
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """One execution configuration of the differential matrix."""
+    """One execution configuration of the differential matrix.
+
+    ``backend`` selects the parallel worker backend (``"thread"`` or
+    ``"process"``) and is only meaningful when ``parallel`` is true — the
+    process backend exercises the pickled task-outcome protocol (columnar
+    batch forwarding included), which the thread backend cannot.
+    """
 
     engine: str
     kernels: bool
     parallel: bool
+    backend: str = "thread"
 
     def label(self) -> str:
         kernels = "kernels" if self.kernels else "rowpath"
-        parallel = "thread2" if self.parallel else "serial"
+        if not self.parallel:
+            parallel = "serial"
+        elif self.backend == "process":
+            parallel = "proc2"
+        else:
+            parallel = "thread2"
         return f"{self.engine}/{kernels}/{parallel}"
 
 
 def default_configs() -> List[EngineConfig]:
-    """The full 12-way matrix: 3 engines × kernels on/off × serial/thread."""
-    return [
-        EngineConfig(engine, kernels, parallel)
-        for engine in ("freejoin", "binary", "generic")
-        for kernels in (True, False)
-        for parallel in (False, True)
-    ]
+    """The full 18-way matrix: 3 engines × kernels × serial/thread2/proc2."""
+    configs = []
+    for engine in ("freejoin", "binary", "generic"):
+        for kernels in (True, False):
+            configs.append(EngineConfig(engine, kernels, parallel=False))
+            configs.append(EngineConfig(engine, kernels, parallel=True))
+            configs.append(
+                EngineConfig(engine, kernels, parallel=True, backend="process")
+            )
+    return configs
 
 
 @dataclass
@@ -384,10 +400,18 @@ class DifferentialRunner:
         self._parallel = Database(
             catalog=catalog, parallelism=2, parallel_mode="thread"
         )
+        self._process = Database(
+            catalog=catalog, parallelism=2, parallel_mode="process"
+        )
 
     def run_config(self, sql: str, config: EngineConfig) -> List[Row]:
         """Execute one query under one configuration, returning raw rows."""
-        session = self._parallel if config.parallel else self._serial
+        if not config.parallel:
+            session = self._serial
+        elif config.backend == "process":
+            session = self._process
+        else:
+            session = self._parallel
         previous = os.environ.get("REPRO_KERNELS")
         try:
             if config.kernels:
@@ -457,6 +481,9 @@ class DifferentialRunner:
         return report
 
     def close(self) -> None:
+        # The pools are process-wide, so closing either parallel session
+        # tears both down; both closes are idempotent.
+        self._process.close()
         self._parallel.close()
 
 

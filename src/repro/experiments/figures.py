@@ -750,6 +750,139 @@ def run_headline(
 # --------------------------------------------------------------------------- #
 
 
+def _time_factorized_star(
+    drivers: int, fan: int, repeats: int
+) -> Dict[str, Measurement]:
+    """Time factorized delivery of a Fig. 19-style star, kernels on vs off.
+
+    The workload is shaped for factorization to matter: few driver groups
+    (``drivers`` distinct join keys) each carrying two large independent
+    factors (``fan`` matches per probe table), so the factorized
+    representation is ``drivers * 2 * fan`` values standing for
+    ``drivers * fan**2`` logical rows.  Both variants deliver into a
+    ``FactorizedSink`` — the vectorized path emits factorized batches
+    straight from the kernel executor (``on_factorized_batch``), the
+    ``REPRO_KERNELS=off`` variant is the row-at-a-time reference.
+    """
+    import time as time_module
+
+    from repro.core.engine import FreeJoinEngine
+    from repro.engine.output import FactorizedSink
+    from repro.optimizer.join_order import optimize_query
+    from repro.query.builder import QueryBuilder
+    from repro.storage.table import Table
+
+    builder = QueryBuilder("factorized-star")
+    builder.add_atom(
+        "r",
+        Table.from_rows("r", ["x", "a"], [(x, x) for x in range(drivers)]),
+        ["x", "a"],
+    )
+    builder.add_atom(
+        "s",
+        Table.from_rows(
+            "s", ["x", "b"], [(x, b) for x in range(drivers) for b in range(fan)]
+        ),
+        ["x", "b"],
+    )
+    builder.add_atom(
+        "t",
+        Table.from_rows(
+            "t", ["x", "c"], [(x, c) for x in range(drivers) for c in range(fan)]
+        ),
+        ["x", "c"],
+    )
+    query = builder.build()
+    plan = optimize_query(query)
+    timings: Dict[str, Measurement] = {}
+    for variant, setting in (("factorized", None), ("factorized-row-path", "off")):
+        if setting is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = setting
+        best = None
+        # One untimed warmup run per variant: the ratio gate compares
+        # steady-state delivery, not first-run program compilation and
+        # index builds (both are LRU-cached across runs).
+        for attempt in range(max(1, repeats) + 1):
+            sink = FactorizedSink(query.output_variables)
+            started = time_module.perf_counter()
+            FreeJoinEngine(FreeJoinOptions(parallelism=1)).run(
+                query, plan, sink=sink
+            )
+            elapsed = time_module.perf_counter() - started
+            if attempt and (best is None or elapsed < best):
+                best = elapsed
+        timings[variant] = Measurement(
+            workload="factorized-star",
+            query=f"star-{drivers}x{fan}",
+            engine="freejoin",
+            variant=variant,
+            seconds=best,
+            build_seconds=0.0,
+            join_seconds=best,
+            output_rows=drivers * fan * fan,
+        )
+    return timings
+
+
+#: Fallback reasons that must never appear on the headline workloads: the
+#: vectorized path serves factorized sinks directly, and the left-outer
+#: extension runs as a batch anti-probe whenever kernels are on.
+FALLBACK_BUDGET_REASONS = ("factorized-output", "left-outer-extension")
+
+
+def _fallback_sweep(job, lsqb) -> Dict[str, object]:
+    """Run the headline queries (+ a LEFT JOIN) and count kernel fallbacks.
+
+    Returns a JSON-ready record with one count per budgeted reason plus the
+    full observed reason histogram, for the ``--kernels-gate`` fallback
+    budget in ``scripts/check_bench_regression.py``.
+    """
+    from repro.storage.table import Table
+
+    observed: Dict[str, int] = {}
+    queries = 0
+
+    def record(outcome) -> None:
+        nonlocal queries
+        queries += 1
+        kernels = outcome.report.details.get("kernels", {})
+        for reason in kernels.get("fallbacks", []):
+            observed[reason] = observed.get(reason, 0) + 1
+
+    for workload in (job, lsqb):
+        database = Database(workload.catalog)
+        for query in workload.queries:
+            record(database.execute(query.sql, engine="freejoin", name=query.name))
+    outer = Database()
+    outer.register(
+        Table.from_rows(
+            "orders",
+            ["id", "cid"],
+            [(i, i % 9 if i % 4 else None) for i in range(200)],
+        )
+    )
+    outer.register(
+        Table.from_rows(
+            "customers", ["id", "region"], [(i, i % 3) for i in range(12)]
+        )
+    )
+    record(
+        outer.execute(
+            "SELECT orders.id, customers.region FROM orders "
+            "LEFT OUTER JOIN customers ON orders.cid = customers.id"
+        )
+    )
+    return {
+        "queries": queries,
+        "observed": observed,
+        "budget": {
+            reason: observed.get(reason, 0) for reason in FALLBACK_BUDGET_REASONS
+        },
+    }
+
+
 def run_kernels(
     job_scale: float = 0.3,
     lsqb_scale: float = 1.0,
@@ -760,10 +893,16 @@ def run_kernels(
 
     Runs the headline workload twice in the same process — once on the
     default vectorized kernels, once with ``REPRO_KERNELS=off`` — so the
-    measured ratio is machine-independent by construction.  The
-    ``bench-kernels`` CI gate (``scripts/check_bench_regression.py
-    --kernels-gate``) fails when the vectorized wall exceeds half the
-    row-path wall on this figure.
+    measured ratio is machine-independent by construction.  Two more
+    same-process phases feed the CI gate: a Fig. 19-style factorized star
+    delivered into a ``FactorizedSink`` (vectorized factorized batches vs
+    the row-at-a-time reference), and a fallback sweep counting kernel
+    fallback reasons across the headline queries plus a ``LEFT OUTER
+    JOIN``.  The ``bench-kernels`` gate
+    (``scripts/check_bench_regression.py --kernels-gate``) fails when the
+    vectorized wall exceeds half the row-path wall, when factorized
+    delivery exceeds 0.6x its row path, or when a budgeted fallback
+    (``factorized-output`` / ``left-outer-extension``) fires at all.
     """
     job = generate_job_workload(scale=job_scale, seed=seed)
     lsqb = generate_lsqb_workload(scale_factor=lsqb_scale)
@@ -788,6 +927,10 @@ def run_kernels(
             )
             walls[variant] = sum(m.seconds for m in batch)
             measurements.extend(batch)
+        factorized = _time_factorized_star(drivers=50, fan=40, repeats=repeats)
+        measurements.extend(factorized.values())
+        os.environ.pop("REPRO_KERNELS", None)
+        fallbacks = _fallback_sweep(job, lsqb)
     finally:
         if prior is None:
             os.environ.pop("REPRO_KERNELS", None)
@@ -795,6 +938,8 @@ def run_kernels(
             os.environ["REPRO_KERNELS"] = prior
     vectorized = walls["vectorized"]
     row_path = walls["row-path"]
+    fact = factorized["factorized"].seconds
+    fact_rows = factorized["factorized-row-path"].seconds
     return {
         "figure": "kernels",
         "measurements": measurements,
@@ -802,6 +947,10 @@ def run_kernels(
             "vectorized_seconds": round(vectorized, 4),
             "row_path_seconds": round(row_path, 4),
             "speedup": round(row_path / vectorized, 2) if vectorized > 0 else 0.0,
+            "factorized_seconds": round(fact, 4),
+            "factorized_row_path_seconds": round(fact_rows, 4),
+            "factorized_speedup": round(fact_rows / fact, 2) if fact > 0 else 0.0,
+            "fallbacks": fallbacks,
         },
     }
 

@@ -162,7 +162,11 @@ class GenericJoinEngine:
             started = time.perf_counter()
             try:
                 kernels.execute_program(
-                    program, sink, interrupt=options.deadline, stats=kernel_stats
+                    program,
+                    sink,
+                    interrupt=options.deadline,
+                    stats=kernel_stats,
+                    factorize=getattr(sink, "accepts_factorized", False),
                 )
             except kernels.KernelFrontierExplosion as exc:
                 # Skew blew the frontier past the guard before anything was

@@ -8,11 +8,14 @@ compiled and cached by ``Table.fingerprint()`` + plan shape, probes run as
 projection/output assembly decodes whole frontiers at once into the sinks'
 batch entry points.
 
-The vectorized path is the default everywhere; the row-at-a-time code
-remains as the semantic reference (the differential fuzz suite pins the
-kernels to it) and as the fallback for the few shapes the kernels do not
-cover (factorized output, sub-entry steal tasks, missing numpy) — plus
-the rare skew-driven frontier explosion the executor detects at runtime
+The vectorized path is the default everywhere — including factorized
+output, which the executor emits straight off the chunked frontier as
+shared prefixes plus independent factor columns (``factorize=True``).
+The row-at-a-time code remains as the semantic reference (the
+differential fuzz suite pins the kernels to it) and as the fallback for
+the few shapes the kernels do not cover (sub-entry steal tasks, missing
+numpy) — plus the rare skew-driven frontier explosion the executor
+detects at runtime
 (:class:`~repro.kernels.executor.KernelFrontierExplosion`).  Set
 ``REPRO_KERNELS=off`` to force the fallback globally.
 
@@ -35,6 +38,7 @@ from repro.kernels.executor import (
     FRONTIER_GUARD_ROWS,
     KernelFrontierExplosion,
     execute_program,
+    factor_step_indices,
     merge_stats,
     new_stats,
 )
@@ -58,6 +62,7 @@ __all__ = [
     "compile_program",
     "enabled",
     "execute_program",
+    "factor_step_indices",
     "kernel_caches_clear",
     "kernel_report",
     "merge_stats",
@@ -121,8 +126,10 @@ def kernel_report(
 
     Keys: ``mode`` (``"vectorized"`` / ``"fallback"`` / ``"mixed"``),
     ``batches`` / ``rows_in`` / ``rows_out`` batch counters, ``programs``
-    and ``indexes`` cache hit/miss counters, and ``fallbacks`` (the
-    row-at-a-time reasons, present only when something fell back).
+    and ``indexes`` cache hit/miss counters, ``factorized`` (batch/group/
+    row counters, present when factorized output was emitted), and
+    ``fallbacks`` (the row-at-a-time reasons, present only when something
+    fell back).
     """
     stats = stats or new_stats()
     reasons = [reason for reason in (fallbacks or []) if reason]
@@ -149,6 +156,12 @@ def kernel_report(
             "misses": stats.get("index_misses", 0),
         },
     }
+    if stats.get("factorized_batches", 0):
+        record["factorized"] = {
+            "batches": stats.get("factorized_batches", 0),
+            "groups": stats.get("factorized_groups", 0),
+            "rows": stats.get("factorized_rows", 0),
+        }
     if reasons:
         record["fallbacks"] = reasons
     return record

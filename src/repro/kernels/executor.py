@@ -5,7 +5,15 @@ The executor drives a program in driver-row chunks: each chunk seeds a
 arrays, an optional bag-multiplicity vector), every step resolves all of
 the chunk's probes with one ``searchsorted`` pass over a cached sorted
 index, and the surviving frontier is decoded and emitted through the
-sink's batch entry point (``OutputSink.on_rows``).
+sink's columnar batch entry point (``OutputSink.on_batch``) — decoded
+value columns stay columns all the way into the sink.
+
+With ``factorize=True`` the executor also emits *factorized* output
+(Section 4.4 / Fig. 19) straight off the chunked frontier: probe steps
+whose new variables feed nothing but the output are held out of the core
+frontier loop, probed once per surviving prefix row, and emitted through
+``OutputSink.on_factorized_batch`` as flat factor columns segmented by a
+per-group offsets vector — the Cartesian product is never expanded.
 
 Step scheduling is *adaptive*: the compiled step order is only a
 dependency order, and a chunk executes its steps greedily by smallest
@@ -84,6 +92,9 @@ def new_stats() -> Dict[str, int]:
         "program_misses": 0,
         "index_hits": 0,
         "index_misses": 0,
+        "factorized_batches": 0,
+        "factorized_groups": 0,
+        "factorized_rows": 0,
     }
 
 
@@ -96,6 +107,32 @@ def merge_stats(into: Dict[str, int], delta: Optional[Dict[str, int]]) -> None:
             into[key] = into.get(key, 0) + value
 
 
+def factor_step_indices(program: KernelProgram) -> frozenset:
+    """Steps that can be emitted as independent output factors.
+
+    A step qualifies when its matches feed nothing but the output: it
+    expands, binds at least one new variable, none of its new variables is
+    a probe key of any step, and it is the decode source of at least one
+    output variable.  Such steps are mutually independent given the core
+    frontier, so their matches form the factors of a factorized group.
+    """
+    keyed = set()
+    for step in program.steps:
+        keyed.update(step.key_vars)
+    indices = []
+    for i, step in enumerate(program.steps):
+        if not step.expand or not step.new_vars:
+            continue
+        if any(var in keyed for var in step.new_vars):
+            continue
+        if not any(
+            program.out_source.get(var) == i for var in program.output_variables
+        ):
+            continue
+        indices.append(i)
+    return frozenset(indices)
+
+
 def execute_program(
     program: KernelProgram,
     sink,
@@ -105,6 +142,7 @@ def execute_program(
     interrupt=None,
     stats: Optional[Dict[str, int]] = None,
     chunk_rows: int = CHUNK_ROWS,
+    factorize: bool = False,
 ) -> Dict[str, int]:
     """Run ``program`` over an entry range, emitting into ``sink``.
 
@@ -112,6 +150,11 @@ def execute_program(
     ``group_vars``, else driver *groups* in first-occurrence order — the
     same ranges the steal scheduler's tasks carry.  ``None`` bounds mean
     the full relation.
+
+    With ``factorize=True`` (the sink must advertise
+    ``accepts_factorized``), output-only probe steps are emitted as
+    independent factors through ``sink.on_factorized_batch`` instead of
+    being expanded into the frontier.
     """
     if stats is None:
         stats = new_stats()
@@ -127,6 +170,9 @@ def execute_program(
         lo, hi = 0, rows.size
 
     count_mode = isinstance(sink, CountSink)
+    factor_steps = (
+        factor_step_indices(program) if factorize and not count_mode else frozenset()
+    )
     count_total = 0
     offset = lo
     emitted_rows = 0
@@ -153,6 +199,7 @@ def execute_program(
             interrupt=interrupt,
             stats=stats,
             guard=count_mode or emitted_rows == 0,
+            factor_steps=factor_steps,
         )
         emitted_rows += 0 if count_mode else stats["rows_out"] - before
     if count_mode:
@@ -175,6 +222,7 @@ def _run_chunk(
     interrupt,
     stats: Dict[str, int],
     guard: bool = False,
+    factor_steps: frozenset = frozenset(),
 ) -> int:
     """Execute one driver chunk; returns the logical output rows emitted."""
     driver = program.driver
@@ -198,7 +246,7 @@ def _run_chunk(
     # same relational operation wherever it runs (expand/compress flags and
     # decode sources depend on *which* steps need a variable, not on when),
     # only the emission order within the chunk changes.
-    pending = list(range(len(program.steps)))
+    pending = [i for i in range(len(program.steps)) if i not in factor_steps]
     while pending:
         if n == 0:
             return 0
@@ -257,15 +305,30 @@ def _run_chunk(
                 n = kept
             mult = counts.astype(np.int64) if mult is None else mult * counts
 
-    logical = n if mult is None else int(mult.sum())
     if count_mode:
+        logical = n if mult is None else int(mult.sum())
         stats["rows_out"] += n
         return logical
 
+    if factor_steps:
+        return _emit_factorized(
+            program,
+            sink,
+            rowidx,
+            keys,
+            mult,
+            n,
+            factor_steps,
+            interrupt=interrupt,
+            stats=stats,
+            guard=guard,
+        )
+
+    logical = n if mult is None else int(mult.sum())
     # Batch projection: decode each output variable from its source atom's
     # matched rows (original storage, so values round-trip exactly).  The
     # tail is sliced so a fan-out chunk cannot outrun the deadline: decode
-    # + tuple build + sink cost a few µs per row, unbounded per chunk.
+    # + column build + sink cost a few µs per row, unbounded per chunk.
     for emit_lo in range(0, n, EMIT_ROWS):
         if interrupt is not None and emit_lo:
             interrupt.check()
@@ -279,11 +342,135 @@ def _run_chunk(
                 column = atom.table.column(atom.column_for(var))
                 decoded[var] = decode_gather(column, rowidx[source][emit])
             columns.append(decoded[var])
-        if columns:
-            rows_out = list(zip(*columns))
-        else:
-            rows_out = [()] * (emit.stop - emit_lo)
         multiplicities = None if mult is None else mult[emit].tolist()
-        sink.on_rows(rows_out, multiplicities)
+        if columns:
+            sink.on_batch(columns, multiplicities)
+        else:
+            sink.on_rows([()] * (emit.stop - emit_lo), multiplicities)
     stats["rows_out"] += n
+    return logical
+
+
+def _emit_factorized(
+    program: KernelProgram,
+    sink,
+    rowidx,
+    keys,
+    mult,
+    n: int,
+    factor_steps: frozenset,
+    *,
+    interrupt,
+    stats: Dict[str, int],
+    guard: bool,
+) -> int:
+    """Probe the held-out factor steps once and emit factorized batches.
+
+    Each surviving frontier row becomes one *group*: a prefix (decoded
+    from the core frontier) times one independent factor per held-out
+    step.  Factor matches are decoded into flat columns segmented by an
+    offsets vector — no Cartesian expansion ever happens here; sinks that
+    need flat rows should not be handed a factorized program.
+    """
+    driver = program.driver
+    kinds = program.kinds
+    order = sorted(factor_steps)
+
+    # One probe per factor step over the final frontier.  Groups where any
+    # factor comes up empty produce no output rows (inner-join semantics)
+    # and are filtered before emission.
+    probes = []
+    keep = None
+    for step_index in order:
+        step = program.steps[step_index]
+        index = probe_index(step.atom, step.key_vars, kinds, stats)
+        lo, hi = index.probe([keys[var] for var in step.key_vars], n)
+        counts = hi - lo
+        probes.append([step_index, index, lo, counts])
+        nonempty = counts > 0
+        keep = nonempty if keep is None else keep & nonempty
+    if keep is not None and not keep.all():
+        for source in list(rowidx):
+            rowidx[source] = rowidx[source][keep]
+        if mult is not None:
+            mult = mult[keep]
+        for probe in probes:
+            probe[2] = probe[2][keep]
+            probe[3] = probe[3][keep]
+        n = int(keep.sum())
+    if n == 0:
+        return 0
+    if guard:
+        for _step_index, _index, _lo, counts in probes:
+            if int(counts.sum()) > FRONTIER_GUARD_ROWS:
+                raise KernelFrontierExplosion("frontier-explosion")
+
+    prefix_vars = tuple(
+        var
+        for var in program.output_variables
+        if program.out_source[var] not in factor_steps
+    )
+    factor_vars = {
+        step_index: tuple(
+            var
+            for var in program.output_variables
+            if program.out_source[var] == step_index
+        )
+        for step_index in order
+    }
+
+    logical = 0
+    for emit_lo in range(0, n, EMIT_ROWS):
+        if interrupt is not None and emit_lo:
+            interrupt.check()
+        emit = slice(emit_lo, min(emit_lo + EMIT_ROWS, n))
+        groups = emit.stop - emit_lo
+
+        prefix_columns = []
+        for var in prefix_vars:
+            source = program.out_source[var]
+            atom = driver if source < 0 else program.steps[source].atom
+            column = atom.table.column(atom.column_for(var))
+            prefix_columns.append(decode_gather(column, rowidx[source][emit]))
+
+        factors = []
+        per_group = None
+        for step_index, index, lo, counts in probes:
+            step = program.steps[step_index]
+            counts_slice = counts[emit]
+            total = int(counts_slice.sum())
+            offsets = np.repeat(lo[emit], counts_slice) + _segment_offsets(
+                counts_slice, total
+            )
+            matches = index.perm[offsets]
+            columns = [
+                decode_gather(
+                    step.atom.table.column(step.atom.column_for(var)), matches
+                )
+                for var in factor_vars[step_index]
+            ]
+            boundaries = np.zeros(groups + 1, dtype=np.int64)
+            boundaries[1:] = np.cumsum(counts_slice)
+            factors.append(
+                (factor_vars[step_index], columns, boundaries.tolist())
+            )
+            per_group = (
+                counts_slice.astype(np.int64)
+                if per_group is None
+                else per_group * counts_slice
+            )
+        mult_slice = None if mult is None else mult[emit]
+        if mult_slice is not None:
+            per_group = mult_slice * per_group
+        logical += int(per_group.sum())
+        sink.on_factorized_batch(
+            prefix_vars,
+            prefix_columns,
+            factors,
+            None if mult_slice is None else mult_slice.tolist(),
+        )
+        stats["factorized_batches"] += 1
+        stats["factorized_groups"] += groups
+    stats["rows_out"] += n
+    stats["factorized_rows"] += logical
     return logical

@@ -35,6 +35,12 @@ from typing import Dict, Optional, Tuple
 #: Default LRU byte budget for cached contexts (per worker process).
 DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 
+#: Hard cap on cached context *count*: fingerprint keys over per-query
+#: intermediate tables never repeat, so without a count bound a fuzz-style
+#: workload fills the cache (and pins one shm attachment set per entry)
+#: long before the byte budget is reached.
+MAX_CACHE_ENTRIES = 64
+
 #: Rough multiplier from input column payload bytes to context footprint
 #: (tries/hash tables hold the key values plus per-node dict overhead).
 CONTEXT_BYTES_FACTOR = 2
@@ -113,7 +119,9 @@ class ContextCache:
             self._release(stale[0])
         self._entries[key] = (context, max(0, int(nbytes)))
         self.bytes_used += max(0, int(nbytes))
-        while self.bytes_used > budget and len(self._entries) > 1:
+        while (
+            self.bytes_used > budget or len(self._entries) > MAX_CACHE_ENTRIES
+        ) and len(self._entries) > 1:
             self._evict_oldest()
         return True
 

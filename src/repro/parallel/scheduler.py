@@ -80,7 +80,14 @@ from repro.core.colt import TrieStrategy, build_tries
 from repro.core.executor import ExecutorStats, FreeJoinExecutor
 from repro.core.plan import FreeJoinPlan
 from repro.engine.aggregates import AggregateSpec, PartialAggregateSink
-from repro.engine.output import CountSink, JoinResult, OutputSink, RowSink
+from repro.engine.output import (
+    ColumnBatchSink,
+    CountSink,
+    JoinResult,
+    OutputSink,
+    RowSink,
+    replay_batches,
+)
 from repro.errors import DeadlineExceeded, ExecutionError, QueryCancelled
 from repro.kernels import (
     KernelCompileError,
@@ -290,23 +297,34 @@ def assign_preferred(tasks: List[StealTask], workers: int) -> None:
 # --------------------------------------------------------------------------- #
 
 
-def _task_sink(output: str, output_variables, aggregate: Optional[AggregateSpec]):
+def _task_sink(
+    output: str,
+    output_variables,
+    aggregate: Optional[AggregateSpec],
+    batches: bool = False,
+):
     """The sink one task reports into.
 
     With an :class:`AggregateSpec` (a grouped-aggregate query streaming
     through an aggregate sink) the task folds its rows into a
     :class:`PartialAggregateSink` instead of materializing them — the
-    typed partial-result protocol between workers and parent.
+    typed partial-result protocol between workers and parent.  ``batches``
+    (a row stream whose consumer accepts factorized batches) collects
+    columnar batches instead of row tuples, so kernel output — factorized
+    groups included — crosses the worker boundary without Cartesian
+    expansion.
     """
     if aggregate is not None:
         return PartialAggregateSink(aggregate)
+    if batches:
+        return ColumnBatchSink(output_variables)
     return _make_sink(output, output_variables)
 
 
 def _task_outcome(
     task: StealTask, sink, output: str, stats: Optional[Dict[str, int]]
 ) -> Dict[str, object]:
-    """Package one task's result: rows/count, or a serialized partial."""
+    """Package one task's result: rows/count, batches, or a partial."""
     if isinstance(sink, PartialAggregateSink):
         return {
             "task_id": task.task_id,
@@ -316,6 +334,16 @@ def _task_outcome(
             "partial": sink.payload(),
             "stats": stats,
             "outputs": sink.folded,
+        }
+    if isinstance(sink, ColumnBatchSink):
+        return {
+            "task_id": task.task_id,
+            "rows": [],
+            "multiplicities": [],
+            "count": 0,
+            "batches": sink.batches(),
+            "stats": stats,
+            "outputs": sink.rows_delivered,
         }
     result = sink.result()
     outputs = result.count_only or 0 if output == "count" else len(result.rows)
@@ -327,6 +355,28 @@ def _task_outcome(
         "stats": stats,
         "outputs": outputs,
     }
+
+
+def _forward_stream(stream, outcome: Dict[str, object]) -> None:
+    """Ship one task's output to the streaming consumer (with backpressure).
+
+    Dispatches on the outcome's payload: a serialized aggregate partial, a
+    list of columnar batches (replayed through the sink's batch surface, so
+    factorized groups expand — if at all — only at the delivery boundary),
+    or plain rows.  The shipped payload is stripped from the outcome so
+    only telemetry is kept and merged.
+    """
+    partial = outcome.pop("partial", None)
+    if partial is not None:
+        stream.emit_partial(partial)
+        return
+    batches = outcome.pop("batches", None)
+    if batches is not None:
+        replay_batches(stream, batches)
+        return
+    stream.emit_rows(outcome["rows"], outcome["multiplicities"])
+    outcome["rows"] = []
+    outcome["multiplicities"] = []
 
 
 class _FreeJoinTaskContext:
@@ -410,8 +460,9 @@ class _FreeJoinTaskContext:
         task: StealTask,
         interrupt: Optional[DeadlineToken] = None,
         aggregate: Optional[AggregateSpec] = None,
+        batches: bool = False,
     ) -> Dict[str, object]:
-        sink = _task_sink(self.output, self.output_variables, aggregate)
+        sink = _task_sink(self.output, self.output_variables, aggregate, batches)
         fallback = None
         if self.use_kernels:
             # Task ranges address the cover's root entries in
@@ -433,6 +484,7 @@ class _FreeJoinTaskContext:
                             stop=task.stop,
                             interrupt=interrupt,
                             stats=stats,
+                            factorize=getattr(sink, "accepts_factorized", False),
                         )
                     except KernelFrontierExplosion as exc:
                         # The task's sink is untouched (guard invariant);
@@ -501,10 +553,11 @@ class _BinaryTaskContext:
         task: StealTask,
         interrupt: Optional[DeadlineToken] = None,
         aggregate: Optional[AggregateSpec] = None,
+        batches: bool = False,
     ) -> Dict[str, object]:
         from repro.binaryjoin.executor import BinaryJoinEngine
 
-        sink = _task_sink(self.output, self.output_variables, aggregate)
+        sink = _task_sink(self.output, self.output_variables, aggregate, batches)
         fallback = None
         if self.use_kernels:
             stats = kernel_new_stats()
@@ -531,6 +584,7 @@ class _BinaryTaskContext:
                         stop=task.stop,
                         interrupt=interrupt,
                         stats=stats,
+                        factorize=getattr(sink, "accepts_factorized", False),
                     )
                 except KernelFrontierExplosion as exc:
                     # The task's sink is untouched (guard invariant);
@@ -629,10 +683,11 @@ class _GenericTaskContext:
         task: StealTask,
         interrupt: Optional[DeadlineToken] = None,
         aggregate: Optional[AggregateSpec] = None,
+        batches: bool = False,
     ) -> Dict[str, object]:
         from repro.genericjoin.executor import GenericJoinEngine
 
-        sink = _task_sink(self.output, self.output_variables, aggregate)
+        sink = _task_sink(self.output, self.output_variables, aggregate, batches)
         fallback = None
         if self.use_kernels:
             stats = kernel_new_stats()
@@ -646,6 +701,7 @@ class _GenericTaskContext:
                         stop=task.stop,
                         interrupt=interrupt,
                         stats=stats,
+                        factorize=getattr(sink, "accepts_factorized", False),
                     )
                 except KernelFrontierExplosion as exc:
                     # The task's sink is untouched (guard invariant);
@@ -717,16 +773,35 @@ def _preforce_shared_tries(plan: FreeJoinPlan, tries) -> None:
             force()
 
 
+def _unpin_attachments(attachments) -> None:
+    for attachment in attachments:
+        attachment.pins = max(0, attachment.pins - 1)
+
+
 def _attach_atoms(
     specs: Sequence[Tuple[str, Tuple[str, ...], ShmTableHandle]],
     cache: AttachmentCache,
 ):
+    """Attach (and immediately pin) every atom's segment for one query.
+
+    The pin is taken *before* anything reads the attached columns: a query
+    over per-query intermediate tables churns segment names, and once the
+    attachment LRU is over capacity, attaching atom N could otherwise evict
+    — and release the views of — atoms 1..N-1 of the very same query.
+    Ownership of the pins passes to the built context; on failure the caller
+    unpins via :func:`_unpin_attachments`.
+    """
     atoms: Dict[str, Atom] = {}
     attachments = []
-    for name, variables, handle in specs:
-        attachment = cache.attach_entry(handle)
-        attachments.append(attachment)
-        atoms[name] = Atom(name, attachment.table, variables)
+    try:
+        for name, variables, handle in specs:
+            attachment = cache.attach_entry(handle)
+            attachment.pins += 1
+            attachments.append(attachment)
+            atoms[name] = Atom(name, attachment.table, variables)
+    except Exception:
+        _unpin_attachments(attachments)
+        raise
     return atoms, attachments
 
 
@@ -742,6 +817,18 @@ def _build_worker_context(setup: Dict[str, object], cache: AttachmentCache):
     atoms, attachments = _attach_atoms(setup["atoms"], cache)
     attach_seconds = time.perf_counter() - started
     use_kernels = bool(setup.get("use_kernels"))
+    try:
+        context = _make_worker_context(
+            kind, setup, atoms, attach_seconds, use_kernels
+        )
+    except Exception:
+        _unpin_attachments(attachments)
+        raise
+    context.attachments = tuple(attachments)
+    return context
+
+
+def _make_worker_context(kind, setup, atoms, attach_seconds, use_kernels):
     if kind == "freejoin":
         # Kernel-serving workers defer the trie build to the first task
         # that actually needs the row path (if any).
@@ -785,9 +872,6 @@ def _build_worker_context(setup: Dict[str, object], cache: AttachmentCache):
         )
     else:
         raise ExecutionError(f"unknown steal context kind {kind!r}")
-    for attachment in attachments:
-        attachment.pins += 1
-    context.attachments = tuple(attachments)
     return context
 
 
@@ -1006,18 +1090,11 @@ class ThreadStealPool:
             try:
                 outcome = job.runner(task, job.interrupt)
                 if job.stream is not None:
-                    # Ship this task's rows — or, for grouped aggregates,
-                    # its folded partial — to the streaming consumer now
-                    # (with backpressure), keeping only the telemetry.
-                    partial = outcome.pop("partial", None)
-                    if partial is not None:
-                        job.stream.emit_partial(partial)
-                    else:
-                        job.stream.emit_rows(
-                            outcome["rows"], outcome["multiplicities"]
-                        )
-                    outcome["rows"] = []
-                    outcome["multiplicities"] = []
+                    # Ship this task's columnar batches — or rows, or for
+                    # grouped aggregates its folded partial — to the
+                    # streaming consumer now (with backpressure), keeping
+                    # only the telemetry.
+                    _forward_stream(job.stream, outcome)
                 seconds = time.perf_counter() - started
                 outcome.update(
                     worker=worker_id,
@@ -1106,6 +1183,7 @@ def _process_worker_main(
         # tries can serve a grouped-aggregate query and a row query back to
         # back without cross-talk.
         aggregate = setup.get("aggregate")
+        stream_batches = bool(setup.get("stream_batches"))
         context = None
         try:
             started = time.perf_counter()
@@ -1163,7 +1241,7 @@ def _process_worker_main(
             started = time.perf_counter()
             try:
                 token = DeadlineToken(at=task.deadline, cancel_probe=cancelled)
-                outcome = context.run_task(task, token, aggregate)
+                outcome = context.run_task(task, token, aggregate, stream_batches)
             except Exception as exc:  # noqa: BLE001 - reported to the parent
                 result_queue.put(
                     (
@@ -1346,15 +1424,9 @@ class ProcessStealPool:
             message = self._receive(hook=watch_interrupt)
             if message[0] == "result":
                 outcome = message[2]
-                partial = outcome.pop("partial", None)
                 if stream is not None and not stream_broken:
                     try:
-                        if partial is not None:
-                            stream.emit_partial(partial)
-                        else:
-                            stream.emit_rows(
-                                outcome["rows"], outcome["multiplicities"]
-                            )
+                        _forward_stream(stream, outcome)
                     except Exception as exc:  # noqa: BLE001 - classified below
                         # The consumer went away (cancel) or delivery blew
                         # the deadline: cancel the remaining tasks and keep
@@ -1640,20 +1712,22 @@ def _drive(run: _StealRun) -> ShardedRunResult:
     # Aggregate streaming: tasks fold rows into partials worker-side and the
     # parent merges them as workers finish (the spec rides on the sink).
     aggregate = getattr(run.stream, "spec", None)
+    # Row streams whose consumer takes the batch surface get columnar
+    # per-task forwarding: kernel output (factorized groups included)
+    # crosses the worker boundary without row tuples or expansion.
+    batches = (
+        run.stream is not None
+        and aggregate is None
+        and getattr(run.stream, "accepts_factorized", False)
+    )
     join_started = time.perf_counter()
     if len(run.tasks) == 1:
         # One task cannot balance anything: run it inline, skip the pool.
         context = run.context_factory()
         task = run.tasks[0]
-        outcome = context.run_task(task, run.interrupt, aggregate)
+        outcome = context.run_task(task, run.interrupt, aggregate, batches)
         if run.stream is not None:
-            partial = outcome.pop("partial", None)
-            if partial is not None:
-                run.stream.emit_partial(partial)
-            else:
-                run.stream.emit_rows(outcome["rows"], outcome["multiplicities"])
-            outcome["rows"] = []
-            outcome["multiplicities"] = []
+            _forward_stream(run.stream, outcome)
         outcome.update(worker=0, stolen=False, wait_seconds=0.0)
         outcome["seconds"] = time.perf_counter() - join_started
         report = _new_worker_report()
@@ -1664,11 +1738,13 @@ def _drive(run: _StealRun) -> ShardedRunResult:
         backend_label = "inline"
     elif run.backend == "thread":
         context = run.context_factory()
-        if aggregate is None:
+        if aggregate is None and not batches:
             runner = context.run_task
         else:
-            def runner(task, interrupt, _context=context, _spec=aggregate):
-                return _context.run_task(task, interrupt, _spec)
+            def runner(
+                task, interrupt, _context=context, _spec=aggregate, _batches=batches
+            ):
+                return _context.run_task(task, interrupt, _spec, _batches)
         pool = get_pool("thread", effective)
         outcomes, reports = pool.submit(
             runner, run.tasks, run.interrupt, run.stream
@@ -1678,6 +1754,8 @@ def _drive(run: _StealRun) -> ShardedRunResult:
         setup = run.setup_factory()
         if aggregate is not None:
             setup["aggregate"] = aggregate
+        if batches:
+            setup["stream_batches"] = True
         pool = get_pool("process", effective)
         outcomes, reports = pool.submit(
             setup, run.tasks, run.interrupt, run.stream

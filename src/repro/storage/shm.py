@@ -322,6 +322,10 @@ class Attachment:
         #: direct references to this attachment's memoryviews, so the
         #: attachment LRU must not close it while any context still uses it.
         self.pins = 0
+        #: Set when a failed :meth:`close` released *some* views: the
+        #: attachment's table is no longer safe to hand out, but the mapping
+        #: must stay alive for whoever still exports the surviving views.
+        self.poisoned = False
         self.table = self._build_table()
 
     def _build_table(self) -> Table:
@@ -346,12 +350,26 @@ class Attachment:
         return Table(self.handle.table_name, columns)
 
     def close(self) -> bool:
-        """Release views and close the mapping; ``False`` if still in use."""
+        """Release views and close the mapping; ``False`` if still in use.
+
+        ``memoryview.release`` is idempotent, so retrying a failed close is
+        safe.  A close that releases only *some* views (another view still
+        has exported buffers) marks the attachment poisoned: its table now
+        dangles over released views and must never be reused, though the
+        mapping itself stays open for the surviving exports.
+        """
+        released = 0
+        failed = False
         for view in self._views:
             try:
                 view.release()
+                released += 1
             except BufferError:
-                return False
+                failed = True
+        if failed:
+            if released:
+                self.poisoned = True
+            return False
         self._views = []
         try:
             self.segment.close()
@@ -371,6 +389,10 @@ class AttachmentCache:
     def __init__(self, capacity: int = 64) -> None:
         self.capacity = capacity
         self._attachments: Dict[str, Attachment] = {}
+        # Attachments whose close released some (but not all) views: their
+        # tables dangle, so they can never be handed out again, but the
+        # objects are kept alive so the surviving views stay mapped.
+        self._zombies: List[Attachment] = []
 
     def attach(self, handle: ShmTableHandle) -> Table:
         return self.attach_entry(handle).table
@@ -383,12 +405,22 @@ class AttachmentCache:
         attachment from LRU eviction, and drop the pin when done.
         """
         attachment = self._attachments.pop(handle.segment, None)
+        if attachment is not None and attachment.poisoned:
+            self._zombies.append(attachment)
+            attachment = None
         if attachment is None:
             attachment = Attachment(handle)
         # Re-insert at the back: plain dicts preserve insertion order, which
         # makes the front the least recently used entry.
         self._attachments[handle.segment] = attachment
-        self._evict()
+        # Guard-pin across eviction: when every older entry is pinned by a
+        # cached context, the LRU walk would otherwise reach the back and
+        # close the very attachment being handed out.
+        attachment.pins += 1
+        try:
+            self._evict()
+        finally:
+            attachment.pins -= 1
         return attachment
 
     def _evict(self) -> None:
@@ -403,8 +435,12 @@ class AttachmentCache:
                 continue
             del self._attachments[name]
             if not attachment.close():
-                # Still referenced (cached table in use): keep it around.
-                self._attachments[name] = attachment
+                if attachment.poisoned:
+                    # Partially released: unusable, but keep it alive.
+                    self._zombies.append(attachment)
+                else:
+                    # Still fully intact (cached table in use): keep it.
+                    self._attachments[name] = attachment
 
     def close_all(self) -> None:
         for attachment in list(self._attachments.values()):

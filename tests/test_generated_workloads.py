@@ -2,7 +2,7 @@
 
 The workload generator samples random join+aggregation queries from catalog
 statistics; the differential harness executes each one on the full engine
-matrix (3 engines × kernels on/off × serial/thread) and compares against an
+matrix (3 engines × kernels on/off × serial/thread/process) and compares against an
 independent naive reference executor.  Any disagreement is shrunk to a
 minimal reproducing query.
 
@@ -103,7 +103,7 @@ class TestGenerator:
 
 class TestDifferentialFuzz:
     def test_fuzz_seed_matrix(self):
-        """The CI fuzz entry point: one seed, N queries, full 12-way matrix."""
+        """The CI fuzz entry point: one seed, N queries, full 18-way matrix."""
         seed = _fuzz_seed()
         count = _fuzz_queries()
         generator = demo_generator(seed=seed)
