@@ -13,6 +13,7 @@ Run with::
 import sys
 
 from repro.core.engine import FreeJoinOptions
+from repro.engine.options import ExecOptions
 from repro.engine.session import Database
 from repro.experiments.harness import run_suite
 from repro.experiments.report import format_measurements
@@ -46,7 +47,9 @@ def main() -> None:
         ("flat output", FreeJoinOptions(output="rows")),
         ("factorized output", FreeJoinOptions(output="factorized")),
     ):
-        outcome = database.execute(q4.sql, engine="freejoin", freejoin_options=options)
+        outcome = database.execute(
+            q4.sql, options=ExecOptions(engine="freejoin", freejoin_options=options)
+        )
         print(
             f"  {label:>18}: {outcome.report.total_seconds * 1000:8.1f} ms, "
             f"{outcome.join_result.count()} output rows, result={outcome.rows()}"

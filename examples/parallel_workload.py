@@ -17,6 +17,7 @@ Run with::
 
 import sys
 
+from repro.engine.options import ExecOptions
 from repro.engine.session import Database
 from repro.workloads.job import generate_job_workload
 
@@ -33,7 +34,8 @@ def main() -> None:
     print(f"Executing {len(workload.queries)} JOB-like queries "
           f"with {workers} workers (timeout 30 s per query)...")
     outcome = database.execute_many(
-        workload.queries, max_workers=workers, timeout=30.0, collect_rows=False
+        workload.queries, max_workers=workers, collect_rows=False,
+        options=ExecOptions(timeout=30.0)
     )
     print(outcome.summary())
     for execution in outcome.executions:

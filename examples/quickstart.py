@@ -6,7 +6,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Database, Table
+from repro import Database, ExecOptions, Table
 
 
 def build_database() -> Database:
@@ -51,12 +51,12 @@ def main() -> None:
         WHERE r.movie_id = m.id AND t.movie_id = m.id
     """
     for engine in ("freejoin", "binary", "generic"):
-        outcome = db.execute(count_sql, engine=engine)
+        outcome = db.execute(count_sql, options=ExecOptions(engine=engine))
         print(f"  {engine:>9}: {outcome.scalar()} rows  ({outcome.report.summary()})")
 
     print()
     print("== Peek at the plans Free Join runs ==")
-    outcome = db.execute(count_sql, engine="freejoin")
+    outcome = db.execute(count_sql, options=ExecOptions(engine="freejoin"))
     print("  binary plan :", outcome.binary_plan)
     for plan in outcome.report.details["plans"]:
         print("  free join   :", plan)

@@ -24,6 +24,7 @@ import asyncio
 import sys
 import time
 
+from repro.engine.options import ExecOptions
 from repro.engine.session import Database
 from repro.errors import DeadlineExceeded
 from repro.serve import AsyncDatabase
@@ -65,7 +66,7 @@ async def serve(scale: float, concurrency: int) -> None:
         explosive_sql = workload.query(EXPLOSIVE).sql
         started = time.perf_counter()
         try:
-            await adb.execute(explosive_sql, timeout=0.02)
+            await adb.execute(explosive_sql, options=ExecOptions(timeout=0.02))
             print(f"\n{EXPLOSIVE} finished under 20 ms?! (tiny scale)")
         except DeadlineExceeded:
             print(f"\n{EXPLOSIVE} aborted mid-execution after "
@@ -92,7 +93,7 @@ async def serve(scale: float, concurrency: int) -> None:
         batches = 0
         started = time.perf_counter()
         first_batch_at = None
-        async for batch in adb.execute_stream(queries[0][1], batch_rows=256):
+        async for batch in adb.execute_stream(queries[0][1], options=ExecOptions(batch_rows=256)):
             if first_batch_at is None:
                 first_batch_at = time.perf_counter() - started
             total += len(batch)

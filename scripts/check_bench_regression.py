@@ -174,6 +174,45 @@ def check_kernels_gate(
     return failures
 
 
+def check_ivm_gate(path: str, figure: str, max_ratio: float) -> List[str]:
+    """The bench-ivm gate: delta folding must beat re-execution.
+
+    Reads the named figure's raw measurements from the current BENCH json
+    (the ``ivm`` driver maintains one standing query and one re-executed
+    baseline over identical append bursts, asserting snapshot parity per
+    burst) and fails unless
+    ``sum(delta-fold) <= max_ratio * sum(reexecute)``.  The figure's
+    summary must also confirm the standing query actually ran on the delta
+    path — a silent fallback to re-execution would make the ratio ~1 and
+    fail anyway, but the mode check reports *why*.  Returns failure
+    messages (empty when the gate passes); a missing figure is itself a
+    failure so the gate cannot silently rot out of CI.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    records = [f for f in payload.get("figures", []) if f.get("figure") == figure]
+    if not records:
+        return [f"figure {figure!r} missing from {path}"]
+    walls = {"delta-fold": 0.0, "reexecute": 0.0}
+    for measurement in records[0].get("measurements", []):
+        variant = measurement.get("variant")
+        if variant in walls:
+            walls[variant] += float(measurement.get("seconds", 0.0))
+    failures = _wall_ratio_check(
+        "ivm", walls, "delta-fold", "reexecute", max_ratio
+    )
+    summary = records[0].get("summary") or {}
+    mode = summary.get("mode")
+    marker = "OK" if mode == "delta" else "FAIL"
+    print(f"{marker:4s} ivm maintenance mode: {mode!r}")
+    if mode != "delta":
+        failures.append(
+            f"the ivm figure's standing query ran in mode {mode!r}; the gate "
+            "measures the delta-fold path"
+        )
+    return failures
+
+
 def _history_sequence(path: str) -> Tuple[int, str]:
     """Numeric sequence prefix of a history file name (oldest-first sort)."""
     name = os.path.basename(path)
@@ -288,6 +327,20 @@ def main() -> int:
         help="maximum allowed factorized/factorized-row-path wall ratio "
              "(default 0.6)",
     )
+    parser.add_argument(
+        "--ivm-gate", action="store_true",
+        help="also run the bench-ivm gate on the current run's 'ivm' figure "
+             "(standing-query delta folding vs re-execution walls)",
+    )
+    parser.add_argument(
+        "--ivm-figure", default="ivm", metavar="NAME",
+        help="figure holding the delta-fold/reexecute measurements "
+             "(default 'ivm')",
+    )
+    parser.add_argument(
+        "--ivm-max-ratio", type=float, default=0.3,
+        help="maximum allowed delta-fold/reexecute wall ratio (default 0.3)",
+    )
     arguments = parser.parse_args()
 
     current = load_figures(arguments.current)
@@ -338,6 +391,14 @@ def main() -> int:
             arguments.kernels_max_ratio,
             arguments.kernels_factorized_max_ratio,
         )
+    ivm_failures: List[str] = []
+    if arguments.ivm_gate:
+        print("\nbench-ivm gate:")
+        ivm_failures = check_ivm_gate(
+            arguments.current,
+            arguments.ivm_figure,
+            arguments.ivm_max_ratio,
+        )
 
     trend_failures: List[str] = []
     if arguments.history:
@@ -350,7 +411,7 @@ def main() -> int:
         else:
             print(f"\n~ no history runs under {arguments.history}; trend skipped")
 
-    if failures or trend_failures or kernel_failures:
+    if failures or trend_failures or kernel_failures or ivm_failures:
         if failures:
             print(
                 f"\nbenchmark gate FAILED: {len(failures)} figure(s) regressed "
@@ -366,6 +427,8 @@ def main() -> int:
             print(
                 "\nbench-kernels gate FAILED: " + "; ".join(kernel_failures)
             )
+        if ivm_failures:
+            print("\nbench-ivm gate FAILED: " + "; ".join(ivm_failures))
         return 1
     print("\nbenchmark gate passed")
     return 0

@@ -18,7 +18,16 @@ and Suciu.  The package provides:
 * a front-door query router with admission control (:mod:`repro.router`):
   ``engine="auto"`` picks the engine and worker count per query from
   statistics and observed runtimes, and an :class:`AdmissionGate` sheds
-  load with fast typed rejections instead of slow timeouts.
+  load with fast typed rejections instead of slow timeouts,
+* standing queries with incremental view maintenance (:mod:`repro.views`):
+  ``db.subscribe(sql)`` seeds a materialized snapshot and folds each
+  append's delta rows through the partial-aggregate plane, streaming group
+  deltas to subscribers.
+
+Per-query knobs (engine, timeout, parallelism, streaming batch shape)
+travel in one :class:`ExecOptions` accepted as ``options=`` by every entry
+point; the legacy loose keyword arguments still work but emit a
+``DeprecationWarning``.
 
 Quickstart::
 
@@ -58,7 +67,9 @@ from repro.engine import (
     collapse_grouped_batches,
 )
 from repro.engine.session import Database
+from repro.engine.options import ExecOptions
 from repro.engine.aggregates import AggregateSpec, aggregate_result, aggregate_spec
+from repro.views import ChangeFeed, StandingQuery
 from repro.errors import AdmissionRejected, DeadlineExceeded, QueryCancelled
 from repro.parallel.cancellation import DeadlineToken
 from repro.router import (
@@ -97,6 +108,9 @@ __all__ = [
     "BinaryJoinEngine",
     "GenericJoinEngine",
     "Database",
+    "ExecOptions",
+    "StandingQuery",
+    "ChangeFeed",
     "AsyncDatabase",
     "QueryRouter",
     "RoutingDecision",

@@ -467,6 +467,65 @@ def fold_factorized_batch(
     return touched
 
 
+def fold_join_result(
+    state: GroupedAggregateState, result: JoinResult
+) -> List[Row]:
+    """Fold a materialized :class:`JoinResult` into ``state``.
+
+    Handles all three result shapes — factorized groups (folded without
+    Cartesian expansion whenever :func:`fold_group` allows), flat rows with
+    multiplicities, and count-only results (legal only for grouping-free
+    ``COUNT(*)``-only specs) — and returns the touched group keys (with
+    repeats).  This is the one fold the serial pass (:func:`_aggregate`) and
+    the standing-query plane (:mod:`repro.views`) share, which is what makes
+    an incrementally maintained snapshot byte-identical to ``execute()``'s.
+    """
+    touched: List[Row] = []
+    if result.groups is not None:
+        expander = _RowExpander(
+            state.spec.variables,
+            lambda row, multiplicity: touched.append(
+                state.fold_row(row, multiplicity)
+            ),
+        )
+        for group in result.groups:
+            keys = fold_group(
+                state,
+                group.prefix,
+                group.prefix_variables,
+                group.factors,
+                group.multiplicity,
+            )
+            if keys is None:
+                expander.on_group(
+                    group.prefix,
+                    group.prefix_variables,
+                    group.factors,
+                    group.multiplicity,
+                )
+            else:
+                touched.extend(keys)
+        return touched
+    if result.rows or result.count_only is None:
+        for row, multiplicity in zip(result.rows, result.multiplicities):
+            touched.append(state.fold_row(row, multiplicity))
+        return touched
+    # Count-only sink: a bare total can only feed grouping-free COUNT(*).
+    count_star_only = not state.spec.group_by and all(
+        function == "COUNT" and variable is None
+        for function, variable, _label in state.spec.items
+    )
+    if not count_star_only:
+        raise ExecutionError(
+            "cannot compute value aggregates from a count-only join result"
+        )
+    if result.count_only:
+        for item_state in state.group_states(()):
+            item_state.update_count_star(result.count_only)
+        touched.append(())
+    return touched
+
+
 class _RowExpander(OutputSink):
     """Expand factorized groups into rows aimed at a fold callback."""
 
@@ -597,37 +656,11 @@ def _aggregate(result: JoinResult, logical: LogicalQuery) -> Table:
 
     spec = aggregate_spec(logical, result.variables)
 
-    if result.count_only is not None and not result.rows and result.groups is None:
-        raise ExecutionError(
-            "cannot compute value aggregates from a count-only join result"
-        )
-
-    # The serial pass folds through the same GroupedAggregateState the
-    # streaming/parallel planes use, so their results agree by construction.
+    # The serial pass folds through the same GroupedAggregateState (and the
+    # same fold_join_result) the streaming/parallel/standing-query planes
+    # use, so their results agree by construction.
     state = GroupedAggregateState(spec)
-    if result.groups is not None:
-        # Factorized results fold group by group (no Cartesian expansion
-        # whenever the group key and aggregate inputs allow it).
-        expander = _RowExpander(spec.variables, state.fold_row)
-        for group in result.groups:
-            touched = fold_group(
-                state,
-                group.prefix,
-                group.prefix_variables,
-                group.factors,
-                group.multiplicity,
-            )
-            if touched is None:
-                expander.on_group(
-                    group.prefix,
-                    group.prefix_variables,
-                    group.factors,
-                    group.multiplicity,
-                )
-    else:
-        for row, multiplicity in zip(result.rows, result.multiplicities):
-            state.fold_row(row, multiplicity)
-
+    fold_join_result(state, result)
     return Table.from_rows("result", spec.labels(), state.finalize_rows())
 
 

@@ -1,0 +1,150 @@
+"""The unified execution-options contract shared by every query entry point.
+
+``execute``, ``execute_iter``, ``execute_many``,
+``AsyncDatabase.execute``/``execute_stream`` and ``Database.subscribe`` all
+grew their own keyword arguments over time — the same knob spelled slightly
+differently on six signatures.  :class:`ExecOptions` consolidates them into
+one frozen dataclass accepted as ``options=`` everywhere:
+
+    db.execute(sql, options=ExecOptions(engine="binary", timeout=0.5))
+    db.execute_iter(sql, options=ExecOptions(batch_rows=256))
+    db.subscribe(sql, options=ExecOptions(engine="freejoin"))
+
+The legacy loose kwargs keep working through :func:`resolve_options`: every
+public entry point folds them into an ``ExecOptions`` and emits a
+``DeprecationWarning`` naming the legacy spellings, and passing the *same*
+knob both ways raises :class:`~repro.errors.QueryError` instead of silently
+preferring one — the migration must never change semantics behind a caller's
+back.  Internal callers always pass a resolved ``ExecOptions`` (or call the
+``_execute*`` internals directly), so the deprecation fires only on real
+legacy call sites.
+
+Fields not meaningful for a given entry point are simply ignored there
+(``batch_rows`` by ``execute``), except where silence would be misleading:
+``execute_many`` rejects ``deadline``/``bad_estimates`` because its
+per-query worker processes cannot honor them.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.core.engine import FreeJoinOptions
+    from repro.parallel.cancellation import DeadlineToken
+
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """Per-query execution options, shared by all query entry points.
+
+    Every field defaults to "unset": ``None`` means *use the session (or
+    subsystem) default*, so an empty ``ExecOptions()`` is always equivalent
+    to passing nothing at all.
+
+    Parameters
+    ----------
+    engine:
+        ``"freejoin"``, ``"binary"``, ``"generic"`` or ``"auto"`` (route per
+        query through the session's router).
+    timeout:
+        Query budget in seconds, enforced cooperatively mid-execution.
+    deadline:
+        A pre-built :class:`~repro.parallel.cancellation.DeadlineToken`;
+        wins over ``timeout`` (callers that want to *cancel* pass one).
+    parallelism:
+        Intra-query worker count, overriding both the session default and a
+        router decision.
+    batch_rows / max_batches:
+        Streaming delivery: rows per batch and queue bound (used by
+        ``execute_iter``, ``execute_stream`` and ``subscribe``).
+    bad_estimates:
+        Optimize with adversarial cardinality estimates (the paper's Fig. 15
+        experiment; ``execute`` only).
+    freejoin_options:
+        Per-query :class:`~repro.core.engine.FreeJoinOptions`.
+    """
+
+    engine: Optional[str] = None
+    timeout: Optional[float] = None
+    deadline: Optional[DeadlineToken] = None
+    parallelism: Optional[int] = None
+    batch_rows: Optional[int] = None
+    max_batches: Optional[int] = None
+    bad_estimates: bool = False
+    freejoin_options: Optional[FreeJoinOptions] = None
+
+    def __post_init__(self) -> None:
+        if self.parallelism is not None and self.parallelism < 1:
+            raise QueryError(
+                f"parallelism must be at least 1, got {self.parallelism}"
+            )
+        if self.batch_rows is not None and self.batch_rows < 1:
+            raise QueryError(f"batch_rows must be at least 1, got {self.batch_rows}")
+        if self.max_batches is not None and self.max_batches < 1:
+            raise QueryError(
+                f"max_batches must be at least 1, got {self.max_batches}"
+            )
+
+    def resolve_deadline(self, always: bool = False) -> Optional[DeadlineToken]:
+        """The query's deadline token: ``deadline`` wins over ``timeout``.
+
+        With ``always=True`` an unbounded token is armed even without a
+        timeout, so the caller can still *cancel* (the streaming and
+        standing-query paths rely on this).
+        """
+        from repro.parallel.cancellation import DeadlineToken
+
+        if self.deadline is not None:
+            return self.deadline
+        if self.timeout is not None:
+            return DeadlineToken.after(self.timeout)
+        return DeadlineToken() if always else None
+
+
+#: The all-unset options every legacy kwarg is compared against.
+_DEFAULTS = ExecOptions()
+
+
+def resolve_options(
+    options: Optional[ExecOptions], caller: str, **legacy
+) -> ExecOptions:
+    """Fold legacy keyword arguments into one :class:`ExecOptions`.
+
+    ``legacy`` maps field names to the values the entry point's loose kwargs
+    received; a value equal to the field default counts as "not passed"
+    (the defaults are all inert, so this cannot change semantics).  Any
+    genuinely passed legacy kwarg emits a single ``DeprecationWarning``
+    naming the offending spellings; a knob passed both ways raises
+    :class:`~repro.errors.QueryError`.
+    """
+    provided = {
+        key: value
+        for key, value in legacy.items()
+        if value != getattr(_DEFAULTS, key)
+    }
+    if not provided:
+        return options if options is not None else _DEFAULTS
+    warnings.warn(
+        f"{caller}: keyword argument(s) {sorted(provided)} are deprecated; "
+        f"pass options=ExecOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if options is None:
+        return replace(_DEFAULTS, **provided)
+    conflicts = [
+        key
+        for key in sorted(provided)
+        if getattr(options, key) != getattr(_DEFAULTS, key)
+    ]
+    if conflicts:
+        raise QueryError(
+            f"{caller}: {conflicts} passed both as legacy keyword(s) and in "
+            f"options=; set each knob exactly once"
+        )
+    return replace(options, **provided)

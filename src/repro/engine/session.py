@@ -17,11 +17,12 @@ import atexit
 import os
 import time
 from dataclasses import dataclass, replace
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.binaryjoin.executor import BinaryJoinEngine, BinaryJoinOptions
 from repro.core.engine import FreeJoinEngine, FreeJoinOptions
 from repro.engine.aggregates import aggregate_result, finalize_output
+from repro.engine.options import ExecOptions, resolve_options
 from repro.engine.output import JoinResult
 from repro.engine.report import RunReport
 from repro.errors import QueryError
@@ -32,6 +33,10 @@ from repro.optimizer.statistics import StatisticsCache
 from repro.query.planner import LogicalQuery, Planner
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.parallel.cancellation import DeadlineToken
+    from repro.views.standing import StandingQuery
 
 #: Engines selectable by name.
 ENGINES = ("freejoin", "binary", "generic")
@@ -142,6 +147,9 @@ class Database:
             else:
                 router = QueryRouter()
         self.router = router
+        #: Live standing queries (:meth:`subscribe`); closed with the session.
+        self._subscriptions: List["StandingQuery"] = []
+        self._change_feed = None
 
     def close(self) -> None:
         """Release process-wide parallel resources.
@@ -155,6 +163,8 @@ class Database:
         from repro.parallel.scheduler import clear_context_caches, shutdown_pools
         from repro.storage.shm import shutdown_exports
 
+        for standing in list(self._subscriptions):
+            standing.close()
         if self.feedback_path is not None:
             self.save_feedback()
             atexit.unregister(self.save_feedback)
@@ -226,41 +236,61 @@ class Database:
         freejoin_options: Optional[FreeJoinOptions] = None,
         name: str = "",
         timeout: Optional[float] = None,
-        deadline=None,
+        deadline: Optional[DeadlineToken] = None,
+        *,
+        options: Optional[ExecOptions] = None,
     ) -> QueryOutcome:
         """Parse, plan, optimize and execute a SQL query.
 
-        ``timeout`` gives the query a budget in seconds, enforced
+        Per-query knobs travel in ``options``
+        (:class:`~repro.engine.options.ExecOptions`); the loose keyword
+        arguments are a deprecated legacy spelling kept working through
+        :func:`~repro.engine.options.resolve_options` (they fold into the
+        same ``ExecOptions``, with a ``DeprecationWarning``).
+
+        ``options.timeout`` gives the query a budget in seconds, enforced
         *cooperatively and mid-execution*: executors (and, on parallel
         sessions, every steal-pool worker) check the deadline at
         trie-expansion boundaries, so an over-budget query raises
         :class:`~repro.errors.DeadlineExceeded` while the join is still
-        running instead of after it completes.  ``deadline`` accepts a
-        pre-built :class:`~repro.parallel.cancellation.DeadlineToken` (the
+        running instead of after it completes.  ``options.deadline`` accepts
+        a pre-built :class:`~repro.parallel.cancellation.DeadlineToken` (the
         async serving layer passes one so it can also *cancel* the query);
         when both are given the token wins.
 
-        ``engine="auto"`` routes through the session's
+        ``options.engine="auto"`` routes through the session's
         :class:`~repro.router.policy.QueryRouter`: engine and worker count
         are chosen per query (statistics cold, observed runtimes warm), the
         decision lands under ``report.details["router"]``, and the
         completed wall-clock is fed back to the router.
+        ``options.parallelism`` overrides both the session default and the
+        router's worker choice.
         """
-        engine_name = engine or self.default_engine
+        opts = resolve_options(
+            options,
+            "Database.execute",
+            engine=engine,
+            bad_estimates=bad_estimates,
+            freejoin_options=freejoin_options,
+            timeout=timeout,
+            deadline=deadline,
+        )
+        return self._execute(sql, opts, name=name)
+
+    def _execute(self, sql: str, opts: ExecOptions, name: str = "") -> QueryOutcome:
+        """Options-driven execute internals (no legacy-kwarg shim)."""
+        engine_name = opts.engine or self.default_engine
         if engine_name not in ENGINES and engine_name != AUTO_ENGINE:
             raise QueryError(
                 f"unknown engine {engine_name!r}; choose from "
                 f"{ENGINES + (AUTO_ENGINE,)}"
             )
-        if deadline is None and timeout is not None:
-            from repro.parallel.cancellation import DeadlineToken
-
-            deadline = DeadlineToken.after(timeout)
+        deadline = opts.resolve_deadline()
 
         logical = Planner(self.catalog).plan_sql(sql, name=name)
         binary_plan = optimize_query(
             logical.query,
-            bad_estimates=bad_estimates,
+            bad_estimates=opts.bad_estimates,
             statistics_cache=self.statistics_cache,
         )
         engine_name, decision = self._route_if_auto(engine_name, logical, binary_plan)
@@ -269,9 +299,9 @@ class Database:
             logical,
             binary_plan,
             engine_name,
-            freejoin_options,
+            opts.freejoin_options,
             deadline=deadline,
-            parallelism=decision.parallelism if decision is not None else None,
+            parallelism=self._effective_parallelism(opts, decision),
         )
         if decision is not None:
             self.router.observe(decision, time.perf_counter() - started)
@@ -289,20 +319,33 @@ class Database:
             join_result=join_result,
         )
 
+    @staticmethod
+    def _effective_parallelism(opts: ExecOptions, decision) -> Optional[int]:
+        """Explicit per-query parallelism wins over a router decision."""
+        if opts.parallelism is not None:
+            return opts.parallelism
+        return decision.parallelism if decision is not None else None
+
     def execute_iter(
         self,
         sql: str,
         *,
-        batch_rows: int = 1024,
-        max_batches: int = 8,
+        batch_rows: Optional[int] = None,
+        max_batches: Optional[int] = None,
         engine: Optional[str] = None,
         name: str = "",
         timeout: Optional[float] = None,
-        deadline=None,
+        deadline: Optional[DeadlineToken] = None,
         freejoin_options: Optional[FreeJoinOptions] = None,
         executor=None,
+        options: Optional[ExecOptions] = None,
     ):
         """Execute a query and stream its result rows in batches.
+
+        Per-query knobs travel in ``options``
+        (:class:`~repro.engine.options.ExecOptions`); the loose keyword
+        arguments are the deprecated legacy spelling (``batch_rows`` and
+        ``max_batches`` default to 1024 and 8 when unset either way).
 
         ``executor`` optionally runs the producer on a caller-owned
         ``concurrent.futures`` executor instead of a dedicated thread (the
@@ -351,25 +394,43 @@ class Database:
         exactly the rows :meth:`execute` would return (as a bag — parallel
         completion order may differ).
         """
+        opts = resolve_options(
+            options,
+            "Database.execute_iter",
+            batch_rows=batch_rows,
+            max_batches=max_batches,
+            engine=engine,
+            timeout=timeout,
+            deadline=deadline,
+            freejoin_options=freejoin_options,
+        )
+        return self._execute_iter(sql, opts, name=name, executor=executor)
+
+    def _execute_iter(
+        self, sql: str, opts: ExecOptions, name: str = "", executor=None
+    ):
+        """Options-driven execute_iter internals (no legacy-kwarg shim)."""
         from repro.engine.streaming import (
+            DEFAULT_BATCH_ROWS,
+            DEFAULT_MAX_BATCHES,
             StreamingAggregateSink,
             StreamingResult,
             StreamingSink,
             StreamingTopKSink,
         )
-        from repro.parallel.cancellation import DeadlineToken
 
-        engine_name = engine or self.default_engine
+        engine_name = opts.engine or self.default_engine
         if engine_name not in ENGINES and engine_name != AUTO_ENGINE:
             raise QueryError(
                 f"unknown engine {engine_name!r}; choose from "
                 f"{ENGINES + (AUTO_ENGINE,)}"
             )
-        token = deadline
-        if token is None:
-            # Always arm a token (without a deadline when no timeout): early
-            # close cancels the producer through it.
-            token = DeadlineToken.after(timeout) if timeout is not None else DeadlineToken()
+        batch_rows = opts.batch_rows or DEFAULT_BATCH_ROWS
+        max_batches = opts.max_batches or DEFAULT_MAX_BATCHES
+        freejoin_options = opts.freejoin_options
+        # Always arm a token (without a deadline when no timeout): early
+        # close cancels the producer through it.
+        token = opts.resolve_deadline(always=True)
 
         logical = Planner(self.catalog).plan_sql(sql, name=name)
 
@@ -424,7 +485,7 @@ class Database:
                     freejoin_options,
                     deadline=token,
                     sink=sink,
-                    parallelism=decision.parallelism if decision is not None else None,
+                    parallelism=self._effective_parallelism(opts, decision),
                 )
                 if decision is not None:
                     self.router.observe(decision, time.perf_counter() - started)
@@ -472,7 +533,7 @@ class Database:
                     freejoin_options,
                     deadline=token,
                     sink=sink,
-                    parallelism=decision.parallelism if decision is not None else None,
+                    parallelism=self._effective_parallelism(opts, decision),
                 )
                 if decision is not None:
                     self.router.observe(decision, time.perf_counter() - started)
@@ -495,12 +556,10 @@ class Database:
             )
 
             def run_aggregate():
-                outcome = self.execute(
+                outcome = self._execute(
                     sql,
-                    engine=engine_name,
-                    freejoin_options=freejoin_options,
+                    replace(opts, engine=engine_name, deadline=token, timeout=None),
                     name=name,
-                    deadline=token,
                 )
                 sink.emit_rows(outcome.table.to_rows())
                 return outcome.report
@@ -529,7 +588,7 @@ class Database:
                 freejoin_options,
                 deadline=token,
                 sink=sink,
-                parallelism=decision.parallelism if decision is not None else None,
+                parallelism=self._effective_parallelism(opts, decision),
             )
             if decision is not None:
                 self.router.observe(decision, time.perf_counter() - started)
@@ -583,6 +642,8 @@ class Database:
         freejoin_options: Optional[FreeJoinOptions] = None,
         mode: str = "auto",
         collect_rows: bool = True,
+        *,
+        options: Optional[ExecOptions] = None,
     ):
         """Evaluate a workload of queries concurrently.
 
@@ -594,23 +655,48 @@ class Database:
         workload.  Returns a :class:`repro.parallel.workload.WorkloadOutcome`
         whose per-query status/seconds/rows serialize to JSON.
 
+        Per-query knobs (engine, timeout, parallelism, Free Join options)
+        travel in ``options``; the loose ``timeout``/``engine``/
+        ``freejoin_options`` kwargs are the deprecated legacy spelling.
+        ``options.deadline`` and ``options.bad_estimates`` are rejected: a
+        deadline token cannot cross the per-query worker boundary, and the
+        workload runner optimizes with real estimates only.
+
         Results are identical to calling :meth:`execute` serially for each
         query; see :mod:`repro.parallel.workload` for the guarantees.
         """
         from repro.parallel.workload import execute_workload
 
-        if engine is not None and engine not in ENGINES and engine != AUTO_ENGINE:
+        opts = resolve_options(
+            options,
+            "Database.execute_many",
+            timeout=timeout,
+            engine=engine,
+            freejoin_options=freejoin_options,
+        )
+        if opts.deadline is not None:
             raise QueryError(
-                f"unknown engine {engine!r}; choose from {ENGINES + (AUTO_ENGINE,)}"
+                "execute_many cannot honor a shared deadline token across "
+                "per-query workers; use options.timeout for per-query budgets"
+            )
+        if opts.bad_estimates:
+            raise QueryError("execute_many does not support bad_estimates")
+        engine_name = opts.engine or self.default_engine
+        if engine_name not in ENGINES and engine_name != AUTO_ENGINE:
+            raise QueryError(
+                f"unknown engine {engine_name!r}; choose from "
+                f"{ENGINES + (AUTO_ENGINE,)}"
             )
         return execute_workload(
             self.catalog,
             queries,
             max_workers=max_workers,
-            timeout=timeout,
-            engine=engine or self.default_engine,
-            freejoin_options=freejoin_options or self.freejoin_options,
-            parallelism=self.parallelism,
+            timeout=opts.timeout,
+            engine=engine_name,
+            freejoin_options=opts.freejoin_options or self.freejoin_options,
+            parallelism=opts.parallelism
+            if opts.parallelism is not None
+            else self.parallelism,
             parallel_mode=self.parallel_mode,
             scheduler=self.scheduler,
             mode=mode,
@@ -618,6 +704,56 @@ class Database:
             statistics_cache=self.statistics_cache,
             router=self.router,
         )
+
+    # ------------------------------------------------------------------ #
+    # Standing queries
+    # ------------------------------------------------------------------ #
+
+    def subscribe(
+        self, sql: str, *, options: Optional[ExecOptions] = None, name: str = ""
+    ) -> "StandingQuery":
+        """Register ``sql`` as a standing query maintained over appends.
+
+        The query runs once to seed a materialized snapshot; from then on
+        every :meth:`Table.append_rows <repro.storage.table.Table.append_rows>`
+        to a table it depends on refreshes the snapshot through the
+        session's change feed — incrementally, by folding only the delta
+        rows through the partial-aggregate plane, whenever the query shape
+        allows (residual-free single-table and star-shaped aggregates);
+        everything else falls back to re-execution with a recorded
+        ``ivm-fallback`` reason.  Group-delta batches are pushed to the
+        returned :class:`~repro.views.StandingQuery`'s bounded queue
+        (``options.batch_rows`` / ``options.max_batches``); consume them via
+        :meth:`~repro.views.StandingQuery.next_batch` /
+        :meth:`~repro.views.StandingQuery.pending_deltas`, or asynchronously
+        via :meth:`repro.serve.AsyncDatabase.subscribe_stream`.  Close the
+        handle (or the session) to detach the hooks.
+
+        ``options`` is the same :class:`~repro.engine.options.ExecOptions`
+        contract as every other entry point; ``timeout``/``deadline`` are
+        rejected (a standing query has no natural budget — ``close()`` ends
+        it).
+        """
+        from repro.views.standing import StandingQuery
+
+        standing = StandingQuery(
+            self, sql, options=options if options is not None else ExecOptions(),
+            name=name,
+        )
+        self._subscriptions.append(standing)
+        return standing
+
+    def standing_queries(self) -> List["StandingQuery"]:
+        """The session's live standing queries, in subscription order."""
+        return list(self._subscriptions)
+
+    def change_feed(self):
+        """The session's (lazily created) append change feed."""
+        if self._change_feed is None:
+            from repro.views.feed import ChangeFeed
+
+            self._change_feed = ChangeFeed(self.catalog)
+        return self._change_feed
 
     def run_join(
         self,

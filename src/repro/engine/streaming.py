@@ -227,6 +227,19 @@ class StreamingSink(OutputSink):
             self.batches_put += 1
             self.rows_put += len(item)
 
+    def flush(self) -> None:
+        """Deliver any buffered rows now, without ending the stream.
+
+        The standing-query plane (:mod:`repro.views`) pushes one group-delta
+        batch per append: each refresh emits its rows and flushes, so
+        subscribers see the whole delta immediately instead of waiting for a
+        full ``batch_rows`` buffer.
+        """
+        with self._lock:
+            if self._buffer:
+                self._put(list(self._buffer))
+                self._buffer.clear()
+
     def finish(self) -> None:
         """Flush the partial batch and mark the stream complete."""
         with self._lock:
@@ -235,6 +248,22 @@ class StreamingSink(OutputSink):
                 self._buffer.clear()
             self._put(_DONE)
             self._finished.set()
+
+    def finish_nowait(self) -> None:
+        """Mark end-of-stream without blocking (and without flushing).
+
+        The standing-query close path: the caller has already cancelled the
+        producer token and drained the queue, so the best-effort ``_DONE``
+        almost always lands; even when the queue refills concurrently,
+        consumers also observe the finished event once drained.
+        """
+        with self._lock:
+            self._buffer.clear()
+            self._finished.set()
+        try:
+            self._queue.put_nowait(_DONE)
+        except queue.Full:
+            pass
 
     def fail(self, error: BaseException) -> None:
         """Record a producer failure; the consumer re-raises it."""
@@ -284,6 +313,25 @@ class StreamingSink(OutputSink):
                 self._queue.get_nowait()
             except queue.Empty:
                 return
+
+    def pending_batches(self) -> List[List[Row]]:
+        """Dequeue everything currently queued, without blocking.
+
+        A standing-query consumer polls deliveries between appends (the
+        producer is the appender's thread, so after ``append_rows`` returns
+        every delta batch is already queued).  Unlike :meth:`next_batch`
+        this never waits and never signals end-of-stream; an end marker
+        encountered mid-drain is swallowed (the caller tracks closure via
+        the standing query itself).
+        """
+        batches: List[List[Row]] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return batches
+            if item is not _DONE:
+                batches.append(item)
 
     # ------------------------------------------------------------------ #
     # Sink interface / telemetry

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.datatypes import Row, Value
+from repro.engine.options import ExecOptions
 from repro.engine.session import Database
 from repro.errors import ReproError
 from repro.query.expressions import (
@@ -418,7 +419,9 @@ class DifferentialRunner:
                 os.environ.pop("REPRO_KERNELS", None)
             else:
                 os.environ["REPRO_KERNELS"] = "off"
-            return session.execute(sql, engine=config.engine).rows()
+            return session.execute(
+                sql, options=ExecOptions(engine=config.engine)
+            ).rows()
         finally:
             if previous is None:
                 os.environ.pop("REPRO_KERNELS", None)

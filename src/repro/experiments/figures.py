@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.colt import TrieStrategy
 from repro.core.engine import FreeJoinOptions
+from repro.engine.options import ExecOptions
 from repro.engine.session import Database
 from repro.experiments.harness import Measurement, run_suite
 from repro.experiments.report import (
@@ -457,7 +458,9 @@ def run_streaming(
         full_seconds = time_module.perf_counter() - started
 
         started = time_module.perf_counter()
-        stream = database.execute_iter(sql, name="fanout", batch_rows=1024)
+        stream = database.execute_iter(
+            sql, name="fanout", options=ExecOptions(batch_rows=1024)
+        )
         first = stream.next_batch()
         first_seconds = time_module.perf_counter() - started
         streamed = len(first or [])
@@ -536,7 +539,9 @@ def run_aggregation(
         full_seconds = time_module.perf_counter() - started
 
         started = time_module.perf_counter()
-        stream = database.execute_iter(sql, name="fanout-group", batch_rows=256)
+        stream = database.execute_iter(
+            sql, name="fanout-group", options=ExecOptions(batch_rows=256)
+        )
         batches = [stream.next_batch()]
         first_seconds = time_module.perf_counter() - started
         if not batches[0]:
@@ -636,8 +641,8 @@ def run_serving_mix(
             started = time_module.perf_counter()
             try:
                 await server.execute(
-                    sql, name=f"mix-{index}", timeout=budget,
-                    query_class=query_class,
+                    sql, name=f"mix-{index}", query_class=query_class,
+                    options=ExecOptions(timeout=budget),
                 )
                 return (query_class, "served", time_module.perf_counter() - started)
             except AdmissionRejected:
@@ -854,7 +859,11 @@ def _fallback_sweep(job, lsqb) -> Dict[str, object]:
     for workload in (job, lsqb):
         database = Database(workload.catalog)
         for query in workload.queries:
-            record(database.execute(query.sql, engine="freejoin", name=query.name))
+            record(
+                database.execute(
+                    query.sql, name=query.name, options=ExecOptions(engine="freejoin")
+                )
+            )
     outer = Database()
     outer.register(
         Table.from_rows(
@@ -956,6 +965,130 @@ def run_kernels(
 
 
 # --------------------------------------------------------------------------- #
+# Incremental view maintenance: delta folding vs re-execution per burst
+# --------------------------------------------------------------------------- #
+
+
+def run_ivm(
+    scale: float = 0.3,
+    repeats: int = 1,
+    seed: int = 42,
+) -> Dict[str, object]:
+    """Standing-query maintenance cost: delta fold vs full re-execution.
+
+    A grouped aggregate over one growing fact table is maintained two ways
+    across identical append bursts: a :meth:`Database.subscribe` standing
+    query that folds only the delta rows through the partial-aggregate
+    states (the table-append hook runs synchronously, so the timed
+    ``append_rows`` call *is* the maintenance cost), and a plain database
+    that re-runs ``execute`` after every burst.  Both see the same data;
+    after every burst the maintained snapshot is asserted byte-identical to
+    the re-executed result, so a fast-but-wrong fold cannot score.  The CI
+    gate (``benchmarks/test_bench_ivm.py`` and
+    ``scripts/check_bench_regression.py --ivm-gate``) bounds
+    ``delta-fold / reexecute`` at 0.3; this driver feeds the same numbers
+    into ``BENCH_<label>.json`` for the history trend gate.
+    """
+    import random
+    import time as time_module
+
+    from repro.storage.table import Table
+
+    base_rows = max(500, int(8_000 * scale))
+    burst_rows = max(100, int(1_000 * scale))
+    bursts = 8
+    rng = random.Random(seed)
+
+    def make_rows(count: int) -> List[tuple]:
+        return [
+            (rng.randrange(64), rng.randrange(1, 40), rng.randrange(-100, 100))
+            for _ in range(count)
+        ]
+
+    columns = ["k", "d", "v"]
+    seed_rows = make_rows(base_rows)
+    burst_data = [make_rows(burst_rows) for _ in range(bursts)]
+    sql = (
+        "SELECT ivm_fact.k, SUM(ivm_fact.v), COUNT(*) "
+        "FROM ivm_fact GROUP BY ivm_fact.k"
+    )
+
+    measurements: List[Measurement] = []
+    summary: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        delta_db = Database()
+        delta_db.register(Table.from_rows("ivm_fact", columns, seed_rows))
+        reexec_db = Database()
+        reexec_db.register(Table.from_rows("ivm_fact", columns, seed_rows))
+        standing = delta_db.subscribe(
+            sql, options=ExecOptions(batch_rows=4096, max_batches=64), name="ivm"
+        )
+        if standing.mode != "delta":
+            raise RuntimeError(
+                f"ivm figure expects the delta path, got mode={standing.mode!r} "
+                f"(fallback {standing.fallback_reason!r})"
+            )
+        delta_seconds = 0.0
+        reexec_seconds = 0.0
+        for index, burst in enumerate(burst_data):
+            started = time_module.perf_counter()
+            delta_db.catalog.get("ivm_fact").append_rows(burst)
+            burst_delta = time_module.perf_counter() - started
+            delta_seconds += burst_delta
+            # Drain the group-delta batches so the bounded queue never
+            # backpressures the next fold into the timing.
+            standing.pending_deltas()
+
+            started = time_module.perf_counter()
+            reexec_db.catalog.get("ivm_fact").append_rows(burst)
+            expected = reexec_db.execute(sql, name="ivm").rows()
+            burst_reexec = time_module.perf_counter() - started
+            reexec_seconds += burst_reexec
+
+            if standing.snapshot().to_rows() != expected:
+                raise RuntimeError(
+                    f"maintained snapshot diverged from re-execution after "
+                    f"burst {index}"
+                )
+            measurements.append(Measurement(
+                workload="ivm-scan", query=f"burst{index}", engine="freejoin",
+                variant="delta-fold", seconds=burst_delta,
+                build_seconds=0.0, join_seconds=burst_delta,
+                output_rows=len(burst), scale=scale,
+            ))
+            measurements.append(Measurement(
+                workload="ivm-scan", query=f"burst{index}", engine="freejoin",
+                variant="reexecute", seconds=burst_reexec,
+                build_seconds=0.0, join_seconds=burst_reexec,
+                output_rows=len(expected), scale=scale,
+            ))
+        stats = standing.stats()
+        standing.close()
+        delta_db.close()
+        reexec_db.close()
+        summary = {
+            "bursts": bursts,
+            "base_rows": base_rows,
+            "burst_rows": burst_rows,
+            "mode": stats["mode"],
+            "path": stats["path"],
+            "deltas_folded": stats["deltas_folded"],
+            "rows_skipped": stats["rows_skipped"],
+            "delta_fold_seconds": round(delta_seconds, 4),
+            "reexecute_seconds": round(reexec_seconds, 4),
+            "delta_ratio": (
+                round(delta_seconds / reexec_seconds, 4)
+                if reexec_seconds > 0 else 0.0
+            ),
+        }
+    return {
+        "figure": "ivm",
+        "measurements": measurements,
+        "summary": summary,
+    }
+
+
+# --------------------------------------------------------------------------- #
 # CLI
 # --------------------------------------------------------------------------- #
 
@@ -970,6 +1103,7 @@ FIGURES = {
     "ablation-factoring": run_ablation_factoring,
     "ablation-cover": run_ablation_cover,
     "headline": run_headline,
+    "ivm": run_ivm,
     "kernels": run_kernels,
     "streaming": run_streaming,
     "aggregation": run_aggregation,

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.engine import FreeJoinOptions
+from repro.engine.options import ExecOptions
 from repro.engine.session import Database
 from repro.query.hypergraph import classify_query
 from repro.storage.catalog import Catalog
@@ -66,10 +67,12 @@ def run_query(
     for _ in range(max(1, repeats)):
         outcome = database.execute(
             query.sql,
-            engine=engine,
-            bad_estimates=bad_estimates,
-            freejoin_options=freejoin_options,
             name=query.name,
+            options=ExecOptions(
+                engine=engine,
+                bad_estimates=bad_estimates,
+                freejoin_options=freejoin_options,
+            ),
         )
         report = outcome.report
         category = query.category or classify_query(outcome.logical.query)

@@ -10,14 +10,17 @@ into the frontier's bag multiplicity.
 
 Programs are cached under ``Table.fingerprint()`` + plan shape, so repeated
 queries over unchanged tables skip compilation (and, transitively, reuse
-the cached sorted indexes the steps point at).
+the cached sorted indexes the steps point at).  Hits are re-bound to the
+caller's atom objects before use: the fingerprint key certifies content
+identity, not object identity, and the compiled-from tables may have been
+mutated in place (``Table.append_rows``) since the entry was stored.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.kernels.encoding import choose_kind
@@ -171,6 +174,26 @@ def _cache_key(driver, probes, output_variables, group_vars, compress) -> tuple:
     )
 
 
+def _rebind(program: "KernelProgram", driver, probes: Sequence) -> "KernelProgram":
+    """Re-point a cached program at the caller's atoms.
+
+    The cache key proves the caller's tables are content-identical to the
+    ones the program was compiled from — but only *as of compile time*.  The
+    compiled-from tables may since have been mutated in place
+    (``Table.append_rows``), so executing a hit through the cached atom
+    references would read the mutated columns.  Substituting the caller's
+    atoms keeps every hit correct and stops the cache pinning dead tables.
+    """
+    if program.driver is driver and all(
+        step.atom is atom for step, atom in zip(program.steps, probes)
+    ):
+        return program
+    steps = [
+        replace(step, atom=atom) for step, atom in zip(program.steps, probes)
+    ]
+    return replace(program, driver=driver, steps=steps)
+
+
 def compile_program(
     driver,
     probes: Sequence,
@@ -191,6 +214,10 @@ def compile_program(
         if program is not None:
             _CACHE.move_to_end(key)
     if program is not None:
+        program = _rebind(program, driver, probes)
+        with _CACHE_LOCK:
+            if key in _CACHE:
+                _CACHE[key] = program
         if stats is not None:
             stats["program_hits"] = stats.get("program_hits", 0) + 1
         return program

@@ -44,6 +44,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.engine.options import ExecOptions
 from repro.errors import QueryError
 
 #: Query states reported by the workload runner.
@@ -243,7 +244,9 @@ def _execute_single(
             # table identity, which survives fork (copy-on-write) and thread
             # sharing, so pre-analyzed tables are never re-scanned per query.
             database.statistics_cache = statistics_cache
-        outcome = database.execute(sql, engine=engine, name=name, timeout=timeout)
+        outcome = database.execute(
+            sql, name=name, options=ExecOptions(engine=engine, timeout=timeout)
+        )
         seconds = time.perf_counter() - started
         if collect_rows:
             rows = outcome.table.to_rows()

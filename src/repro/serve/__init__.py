@@ -4,10 +4,14 @@ Public surface::
 
     from repro.serve import AsyncDatabase, DeadlineToken
 
+    from repro import ExecOptions
+
     async with AsyncDatabase(parallelism=4) as db:
         outcome = await db.execute("SELECT COUNT(*) FROM r, s WHERE ...",
-                                   timeout=0.5)
+                                   options=ExecOptions(timeout=0.5))
         async for batch in db.execute_stream("SELECT * FROM ..."):
+            ...
+        async for deltas in db.subscribe_stream("SELECT x, SUM(y) ..."):
             ...
         results = await db.gather_many(queries, max_concurrency=4)
 

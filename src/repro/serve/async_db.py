@@ -42,13 +42,17 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import AsyncIterator, Dict, Iterable, List, Optional, Union
+from dataclasses import replace
+from typing import TYPE_CHECKING, AsyncIterator, Dict, Iterable, List, Optional, Union
 
+from repro.engine.options import ExecOptions, resolve_options
 from repro.engine.session import Database, QueryOutcome
 from repro.errors import DeadlineExceeded, QueryError
-from repro.parallel.cancellation import DeadlineToken
 from repro.parallel.workload import normalize_queries
 from repro.router.admission import AdmissionGate, AdmissionTicket, classify_sql
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.views.standing import StandingQuery
 
 #: Default size of the serving thread pool.
 DEFAULT_CONCURRENCY = 8
@@ -151,10 +155,16 @@ class AsyncDatabase:
         timeout: Optional[float] = None,
         freejoin_options=None,
         query_class: Optional[str] = None,
+        options: Optional[ExecOptions] = None,
     ) -> QueryOutcome:
         """Execute one query off-loop; deadline-enforced, cancellation-safe.
 
-        Raises :class:`~repro.errors.DeadlineExceeded` when ``timeout``
+        Per-query knobs travel in ``options``
+        (:class:`~repro.engine.options.ExecOptions`); the loose
+        ``engine``/``timeout``/``freejoin_options`` kwargs are the deprecated
+        legacy spelling.
+
+        Raises :class:`~repro.errors.DeadlineExceeded` when the budget
         expires mid-query.  If the awaiting task is cancelled, the query's
         deadline token is cancelled too, so the worker thread aborts promptly
         (the ``CancelledError`` still propagates to the caller).
@@ -166,15 +176,20 @@ class AsyncDatabase:
         """
         if self._closed:
             raise QueryError("AsyncDatabase is closed")
+        opts = resolve_options(
+            options,
+            "AsyncDatabase.execute",
+            engine=engine,
+            timeout=timeout,
+            freejoin_options=freejoin_options,
+        )
         ticket = self._admit(sql, query_class)
         try:
-            token = DeadlineToken.after(timeout)
+            token = opts.resolve_deadline(always=True)
             loop = asyncio.get_running_loop()
             future = loop.run_in_executor(
                 self._executor,
-                lambda: self._execute_blocking(
-                    sql, engine, name, token, freejoin_options, ticket
-                ),
+                lambda: self._execute_blocking(sql, opts, name, token, ticket),
             )
             try:
                 return await future
@@ -231,11 +246,18 @@ class AsyncDatabase:
         return self.admission.suggest_workers(self.database.parallelism)
 
     def _execute_blocking(
-        self, sql, engine, name, token, freejoin_options, ticket=None
+        self, sql, opts: ExecOptions, name, token, ticket=None
     ) -> QueryOutcome:
-        workers = self._admitted_workers(ticket)
-        session = self._make_session(freejoin_options, parallelism=workers)
-        outcome = session.execute(sql, engine=engine, name=name, deadline=token)
+        # Explicit per-query parallelism wins over the gate's suggestion.
+        workers = (
+            opts.parallelism
+            if opts.parallelism is not None
+            else self._admitted_workers(ticket)
+        )
+        session = self._make_session(opts.freejoin_options, parallelism=workers)
+        outcome = session._execute(
+            sql, replace(opts, deadline=token, timeout=None), name=name
+        )
         if ticket is not None:
             # Routed queries already carry a "router" record; admitted
             # explicit-engine queries get one holding just the gate's view.
@@ -251,15 +273,21 @@ class AsyncDatabase:
         self,
         sql: str,
         *,
-        batch_rows: int = 1024,
-        max_batches: int = 8,
+        batch_rows: Optional[int] = None,
+        max_batches: Optional[int] = None,
         engine: Optional[str] = None,
         name: str = "",
         timeout: Optional[float] = None,
         freejoin_options=None,
         query_class: Optional[str] = None,
+        options: Optional[ExecOptions] = None,
     ) -> AsyncIterator[List[tuple]]:
-        """Stream a query's result rows in batches of ``batch_rows``.
+        """Stream a query's result rows in batches of ``options.batch_rows``.
+
+        Per-query knobs travel in ``options``
+        (:class:`~repro.engine.options.ExecOptions`); the loose keyword
+        arguments are the deprecated legacy spelling (``batch_rows`` and
+        ``max_batches`` default to 1024 and 8 when unset either way).
 
         A true execution stream: the join runs on one serving-pool slot
         (counted against ``max_concurrency`` like any other query) and
@@ -288,15 +316,25 @@ class AsyncDatabase:
         """
         if self._closed:
             raise QueryError("AsyncDatabase is closed")
-        if batch_rows < 1:
-            raise QueryError(f"batch_rows must be at least 1, got {batch_rows}")
+        opts = resolve_options(
+            options,
+            "AsyncDatabase.execute_stream",
+            batch_rows=batch_rows,
+            max_batches=max_batches,
+            engine=engine,
+            timeout=timeout,
+            freejoin_options=freejoin_options,
+        )
         ticket = self._admit(sql, query_class)
         try:
-            token = DeadlineToken.after(timeout)
+            token = opts.resolve_deadline(always=True)
             loop = asyncio.get_running_loop()
-            session = self._make_session(
-                freejoin_options, parallelism=self._admitted_workers(ticket)
+            workers = (
+                opts.parallelism
+                if opts.parallelism is not None
+                else self._admitted_workers(ticket)
             )
+            session = self._make_session(opts.freejoin_options, parallelism=workers)
 
             def open_stream():
                 # The producer occupies one serving slot (self._executor), so
@@ -306,12 +344,9 @@ class AsyncDatabase:
                 # max_concurrency=1 server against its own producer.
                 return session.execute_iter(
                     sql,
-                    batch_rows=batch_rows,
-                    max_batches=max_batches,
-                    engine=engine,
                     name=name,
-                    deadline=token,
                     executor=self._executor,
+                    options=replace(opts, deadline=token, timeout=None),
                 )
 
             # Planning (and a cold statistics scan) happens inside
@@ -332,6 +367,47 @@ class AsyncDatabase:
                 await loop.run_in_executor(None, stream.close)
         finally:
             self._release(ticket)
+
+    async def subscribe_stream(
+        self,
+        sql: str,
+        *,
+        options: Optional[ExecOptions] = None,
+        name: str = "",
+    ) -> AsyncIterator[List[tuple]]:
+        """Subscribe to a standing query and stream its delta batches.
+
+        Wraps :meth:`Database.subscribe` on the underlying session (the
+        subscription outlives any per-query serving session, so it lives on
+        ``self.database`` itself): the first yielded batch carries the seed
+        snapshot, every later one the group deltas of an append — rows
+        upsert by group key, same contract as
+        :meth:`~repro.views.StandingQuery.next_batch`.
+
+        The blocking waits run on the *default* executor, not the serving
+        pool, so an idle subscription never pins a ``max_concurrency`` slot.
+        Exiting the ``async for`` (or cancelling the task) closes the
+        subscription and detaches its table hooks.
+        """
+        if self._closed:
+            raise QueryError("AsyncDatabase is closed")
+        loop = asyncio.get_running_loop()
+        standing = await loop.run_in_executor(
+            None, lambda: self.database.subscribe(sql, options=options, name=name)
+        )
+        try:
+            # Deltas delivered while we read the seed re-arrive as upserts,
+            # so the snapshot-then-stream handoff cannot drop a group.
+            yield await loop.run_in_executor(
+                None, lambda: standing.snapshot().to_rows()
+            )
+            while True:
+                batch = await loop.run_in_executor(None, standing.next_batch)
+                if batch is None:
+                    break
+                yield batch
+        finally:
+            await loop.run_in_executor(None, standing.close)
 
     async def gather_many(
         self,
@@ -392,7 +468,9 @@ class AsyncDatabase:
                             )
                     try:
                         return await self.execute(
-                            sql, name=name, timeout=remaining, engine=engine
+                            sql,
+                            name=name,
+                            options=ExecOptions(timeout=remaining, engine=engine),
                         )
                     except AdmissionRejected:
                         if attempt == ADMISSION_RETRIES:

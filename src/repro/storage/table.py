@@ -93,6 +93,10 @@ class Table:
         #: table identity (shm exports, statistics) use it for invalidation.
         self.version = 0
         self._fingerprint: Optional[str] = None
+        #: Callbacks invoked after each :meth:`append_rows`; see
+        #: :meth:`add_append_hook`.  The change-feed plane
+        #: (:mod:`repro.views`) uses these to maintain standing queries.
+        self._append_hooks: List[Callable[["Table", Sequence[Row], int], None]] = []
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -303,8 +307,35 @@ class Table:
             column.values.extend(row[index] for row in rows)
             column._digest = None
             column._kernel = None
+        old_version = self.version
         self.version += 1
         self._fingerprint = None
+        for hook in list(self._append_hooks):
+            hook(self, rows, old_version)
+
+    def add_append_hook(
+        self, hook: Callable[["Table", Sequence[Row], int], None]
+    ) -> None:
+        """Register a callback fired after every :meth:`append_rows`.
+
+        The hook runs *synchronously in the appender's thread*, after the
+        rows are in place and :attr:`version` is bumped, as
+        ``hook(table, rows, old_version)`` — ``old_version`` is the version
+        the append replaced, so a listener tracking versions can detect a
+        gap (appends it never saw).  ``rows`` is the appended sequence;
+        hooks must treat it as read-only.  A hook that raises propagates to
+        the appender.
+        """
+        self._append_hooks.append(hook)
+
+    def remove_append_hook(
+        self, hook: Callable[["Table", Sequence[Row], int], None]
+    ) -> None:
+        """Unregister a previously added append hook (no-op if absent)."""
+        try:
+            self._append_hooks.remove(hook)
+        except ValueError:
+            pass
 
     def concat(self, other: "Table", name: Optional[str] = None) -> "Table":
         """Append another table with an identical schema (bag union)."""
@@ -322,6 +353,14 @@ class Table:
     # ------------------------------------------------------------------ #
     # Misc
     # ------------------------------------------------------------------ #
+
+    def __getstate__(self):
+        # Append hooks are process-local observers (change feeds hold
+        # session state that does not pickle); a copy shipped to a worker
+        # has no subscribers to notify.
+        state = self.__dict__.copy()
+        state["_append_hooks"] = []
+        return state
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Table):

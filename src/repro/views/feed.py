@@ -1,0 +1,116 @@
+"""The session-level append change feed standing queries subscribe to.
+
+:class:`ChangeFeed` owns one :class:`_Watch` per watched table.  A watch
+installs a single append hook on the underlying
+:class:`~repro.storage.table.Table` (however many subscribers share it) and
+fans each append out to the subscribers, tagging it with a *gap* flag when
+the observed ``Table.version`` does not line up with the last version the
+watch saw — a gap means deltas were missed (the catalog re-registered a new
+table object under the same name, say) and subscribers must reseed from
+scratch rather than fold the delta.
+
+Dispatch runs synchronously on the appender's thread, after the rows are in
+place and the version bumped, so a subscriber that folds the delta observes
+exactly the state ``append_rows`` produced.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Protocol, Sequence
+
+from repro.storage.catalog import Catalog
+from repro.storage.table import Row, Table
+
+
+class ChangeSubscriber(Protocol):
+    """What the feed delivers appends to (structurally typed)."""
+
+    def on_append(
+        self, table: Table, rows: Sequence[Row], old_version: int, gap: bool
+    ) -> None:
+        """Handle one append. ``rows`` is read-only and only valid during the call."""
+
+
+class _Watch:
+    """One watched table: its hook, last seen version, and subscribers."""
+
+    __slots__ = ("name", "table", "version", "subscribers", "hook")
+
+    def __init__(self, name: str, table: Table) -> None:
+        self.name = name
+        self.table = table
+        self.version = table.version
+        self.subscribers: List[ChangeSubscriber] = []
+        self.hook = None  # bound in ChangeFeed.attach
+
+
+class ChangeFeed:
+    """Fan table appends out to standing-query subscribers.
+
+    One feed per session (created lazily by
+    :meth:`repro.Database.change_feed`); watches are keyed by catalog table
+    name and created/removed as subscribers attach and detach, so an idle
+    session carries no hooks at all.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._watches: Dict[str, _Watch] = {}
+        self._lock = threading.Lock()
+
+    def attach(self, name: str, subscriber: ChangeSubscriber) -> None:
+        """Subscribe to appends on the catalog table ``name``."""
+        table = self.catalog.get(name)
+        with self._lock:
+            watch = self._watches.get(name)
+            if watch is not None and watch.table is not table:
+                # The catalog re-registered a new object under this name;
+                # move the watch (existing subscribers see a gap on the next
+                # dispatch because the table identity changed under them).
+                watch.table.remove_append_hook(watch.hook)
+                watch = None
+            if watch is None:
+                watch = _Watch(name, table)
+
+                def hook(
+                    table: Table,
+                    rows: Sequence[Row],
+                    old_version: int,
+                    watch: _Watch = watch,
+                ) -> None:
+                    self._dispatch(watch, table, rows, old_version)
+
+                watch.hook = hook
+                table.add_append_hook(hook)
+                self._watches[name] = watch
+            if subscriber not in watch.subscribers:
+                watch.subscribers.append(subscriber)
+
+    def detach(self, name: str, subscriber: ChangeSubscriber) -> None:
+        """Unsubscribe; the last subscriber removes the table hook."""
+        with self._lock:
+            watch = self._watches.get(name)
+            if watch is None:
+                return
+            if subscriber in watch.subscribers:
+                watch.subscribers.remove(subscriber)
+            if not watch.subscribers:
+                watch.table.remove_append_hook(watch.hook)
+                del self._watches[name]
+
+    def watched_tables(self) -> List[str]:
+        """Names of the tables currently carrying an append hook."""
+        with self._lock:
+            return sorted(self._watches)
+
+    def _dispatch(
+        self, watch: _Watch, table: Table, rows: Sequence[Row], old_version: int
+    ) -> None:
+        gap = old_version != watch.version or table is not watch.table
+        watch.version = table.version
+        watch.table = table
+        with self._lock:
+            subscribers = list(watch.subscribers)
+        for subscriber in subscribers:
+            subscriber.on_append(table, rows, old_version, gap)

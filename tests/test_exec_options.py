@@ -1,0 +1,312 @@
+"""Tests for the unified ``ExecOptions`` contract and its back-compat shim.
+
+The acceptance bar from the API-redesign tentpole:
+
+* every entry point (``execute``, ``execute_iter``, ``execute_many``,
+  ``AsyncDatabase.execute``/``execute_stream``) accepts ``options=`` and
+  behaves identically to the legacy loose kwargs;
+* every legacy kwarg spelling still works but emits a ``DeprecationWarning``
+  naming the deprecated spellings;
+* passing the same knob both ways raises ``QueryError`` instead of silently
+  preferring one;
+* the ``options=`` path (and every internal call site) is warning-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+
+from repro import Database, ExecOptions
+from repro.core.engine import FreeJoinOptions
+from repro.errors import DeadlineExceeded, QueryError
+from repro.parallel.cancellation import DeadlineToken
+from repro.serve import AsyncDatabase
+from repro.storage.table import Table
+
+
+def make_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    db.register(
+        Table.from_rows("r", ["x", "y"], [(1, 10), (2, 20), (3, 30), (1, 40)])
+    )
+    db.register(Table.from_rows("s", ["y", "z"], [(10, 7), (20, 8), (40, 9)]))
+    return db
+
+
+JOIN_SQL = "SELECT COUNT(*) FROM r, s WHERE r.y = s.y"
+GROUP_SQL = "SELECT r.x, COUNT(*) FROM r, s WHERE r.y = s.y GROUP BY r.x"
+
+
+# --------------------------------------------------------------------------- #
+# ExecOptions itself
+# --------------------------------------------------------------------------- #
+
+
+def test_exec_options_validates_knobs():
+    for bad in (
+        dict(parallelism=0),
+        dict(batch_rows=0),
+        dict(max_batches=-1),
+    ):
+        with pytest.raises(QueryError):
+            ExecOptions(**bad)
+
+
+def test_resolve_deadline_prefers_token_over_timeout():
+    token = DeadlineToken.after(5.0)
+    opts = ExecOptions(timeout=0.001, deadline=token)
+    assert opts.resolve_deadline() is token
+    assert ExecOptions().resolve_deadline() is None
+    always = ExecOptions().resolve_deadline(always=True)
+    assert always is not None  # cancellation-only token
+
+
+# --------------------------------------------------------------------------- #
+# Database.execute
+# --------------------------------------------------------------------------- #
+
+
+def test_execute_options_path_is_warning_free():
+    db = make_db()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        outcome = db.execute(
+            JOIN_SQL,
+            options=ExecOptions(engine="binary", timeout=30.0, parallelism=1),
+        )
+    assert outcome.scalar() == 3
+    db.close()
+
+
+@pytest.mark.parametrize(
+    "legacy",
+    [
+        {"engine": "binary"},
+        {"bad_estimates": True},
+        {"timeout": 30.0},
+        {"deadline": DeadlineToken.after(30.0)},
+        {"freejoin_options": FreeJoinOptions()},
+    ],
+    ids=lambda legacy: next(iter(legacy)),
+)
+def test_execute_legacy_kwargs_warn_and_work(legacy):
+    db = make_db()
+    with pytest.warns(DeprecationWarning, match="Database.execute"):
+        outcome = db.execute(JOIN_SQL, **legacy)
+    assert outcome.scalar() == 3
+    db.close()
+
+
+def test_execute_legacy_kwargs_match_options_semantics():
+    db = make_db()
+    with pytest.warns(DeprecationWarning):
+        legacy_rows = db.execute(GROUP_SQL, engine="generic").rows()
+    options_rows = db.execute(GROUP_SQL, options=ExecOptions(engine="generic")).rows()
+    assert legacy_rows == options_rows
+    db.close()
+
+
+def test_execute_same_knob_both_ways_raises():
+    db = make_db()
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(QueryError, match="exactly once"):
+            db.execute(
+                JOIN_SQL, engine="binary", options=ExecOptions(engine="generic")
+            )
+    db.close()
+
+
+def test_execute_legacy_kwarg_merges_into_partial_options():
+    # Different knobs via both spellings merge (with a warning).
+    db = make_db()
+    with pytest.warns(DeprecationWarning):
+        outcome = db.execute(
+            JOIN_SQL, engine="binary", options=ExecOptions(timeout=30.0)
+        )
+    assert outcome.scalar() == 3
+    db.close()
+
+
+def test_execute_options_deadline_is_enforced():
+    db = make_db()
+    token = DeadlineToken.after(0.000001)
+    import time
+
+    time.sleep(0.01)
+    with pytest.raises(DeadlineExceeded):
+        db.execute(JOIN_SQL, options=ExecOptions(deadline=token))
+    db.close()
+
+
+# --------------------------------------------------------------------------- #
+# Database.execute_iter
+# --------------------------------------------------------------------------- #
+
+
+def test_execute_iter_options_path_is_warning_free():
+    db = make_db()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with db.execute_iter(
+            "SELECT r.x, s.z FROM r, s WHERE r.y = s.y",
+            options=ExecOptions(batch_rows=2, max_batches=4),
+        ) as stream:
+            batches = list(stream)
+    assert sorted(row for batch in batches for row in batch) == [
+        (1, 7),
+        (1, 9),
+        (2, 8),
+    ]
+    assert all(len(batch) <= 2 for batch in batches)
+    db.close()
+
+
+@pytest.mark.parametrize(
+    "legacy",
+    [
+        {"batch_rows": 2},
+        {"max_batches": 4},
+        {"engine": "binary"},
+        {"timeout": 30.0},
+        {"deadline": DeadlineToken.after(30.0)},
+        {"freejoin_options": FreeJoinOptions()},
+    ],
+    ids=lambda legacy: next(iter(legacy)),
+)
+def test_execute_iter_legacy_kwargs_warn_and_work(legacy):
+    db = make_db()
+    with pytest.warns(DeprecationWarning, match="Database.execute_iter"):
+        stream = db.execute_iter(JOIN_SQL, **legacy)
+    with stream:
+        rows = [row for batch in stream for row in batch]
+    # Grouped streams deliver progressive deltas; the last row is the final
+    # snapshot (last-write-wins).
+    assert rows[-1] == (3,)
+    db.close()
+
+
+# --------------------------------------------------------------------------- #
+# Database.execute_many
+# --------------------------------------------------------------------------- #
+
+
+def test_execute_many_accepts_options():
+    db = make_db()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        outcome = db.execute_many(
+            [("q0", JOIN_SQL), ("q1", GROUP_SQL)],
+            mode="thread",
+            options=ExecOptions(engine="binary", timeout=30.0),
+        )
+    assert [q.status for q in outcome.executions] == ["ok", "ok"]
+    db.close()
+
+
+def test_execute_many_legacy_kwargs_warn():
+    db = make_db()
+    with pytest.warns(DeprecationWarning, match="Database.execute_many"):
+        outcome = db.execute_many([("q0", JOIN_SQL)], mode="thread", engine="binary")
+    assert outcome.executions[0].status == "ok"
+    db.close()
+
+
+def test_execute_many_rejects_worker_hostile_options():
+    db = make_db()
+    with pytest.raises(QueryError, match="deadline"):
+        db.execute_many(
+            [JOIN_SQL], options=ExecOptions(deadline=DeadlineToken.after(1.0))
+        )
+    with pytest.raises(QueryError, match="bad_estimates"):
+        db.execute_many([JOIN_SQL], options=ExecOptions(bad_estimates=True))
+    db.close()
+
+
+# --------------------------------------------------------------------------- #
+# AsyncDatabase
+# --------------------------------------------------------------------------- #
+
+
+def test_async_execute_options_and_legacy_shim():
+    db = make_db()
+
+    async def main():
+        async with AsyncDatabase(db) as server:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                outcome = await server.execute(
+                    JOIN_SQL, options=ExecOptions(engine="binary", timeout=30.0)
+                )
+            assert outcome.scalar() == 3
+            with pytest.warns(DeprecationWarning, match="AsyncDatabase.execute"):
+                outcome = await server.execute(JOIN_SQL, timeout=30.0)
+            assert outcome.scalar() == 3
+
+    asyncio.run(main())
+    db.close()
+
+
+def test_async_execute_stream_options_and_legacy_shim():
+    db = make_db()
+
+    async def main():
+        async with AsyncDatabase(db) as server:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                rows = []
+                async for batch in server.execute_stream(
+                    "SELECT r.x, s.z FROM r, s WHERE r.y = s.y",
+                    options=ExecOptions(batch_rows=2),
+                ):
+                    rows.extend(batch)
+            assert sorted(rows) == [(1, 7), (1, 9), (2, 8)]
+            with pytest.warns(
+                DeprecationWarning, match="AsyncDatabase.execute_stream"
+            ):
+                stream = server.execute_stream(JOIN_SQL, batch_rows=2)
+                rows = [row async for batch in stream for row in batch]
+            # Grouped streams deliver progressive deltas; the last row is
+            # the final snapshot (last-write-wins).
+            assert rows[-1] == (3,)
+
+    asyncio.run(main())
+    db.close()
+
+
+def test_gather_many_is_warning_free():
+    db = make_db()
+
+    async def main():
+        async with AsyncDatabase(db) as server:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                results = await server.gather_many(
+                    [JOIN_SQL, GROUP_SQL], timeout=30.0
+                )
+            assert len(results) == 2
+
+    asyncio.run(main())
+    db.close()
+
+
+# --------------------------------------------------------------------------- #
+# Annotation satellite
+# --------------------------------------------------------------------------- #
+
+
+def test_execute_deadline_annotation_is_typed():
+    import inspect
+
+    hints = inspect.signature(Database.execute).parameters
+    assert "Optional[DeadlineToken]" in str(hints["deadline"].annotation)
+
+
+def test_top_level_exports():
+    import repro
+
+    assert "ExecOptions" in repro.__all__
+    assert "StandingQuery" in repro.__all__
+    assert repro.ExecOptions is ExecOptions

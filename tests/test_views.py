@@ -1,0 +1,387 @@
+"""Tests for the standing-query subsystem (:mod:`repro.views`).
+
+The acceptance bar from the IVM tentpole:
+
+* ``subscribe`` seeds a snapshot identical to ``execute()``;
+* after every ``append_rows`` burst the maintained snapshot is
+  **byte-identical** to re-running ``execute()`` (randomized bursts fuzzed
+  with hypothesis), on both delta paths (scan and delta-join) and on the
+  re-execution fallback;
+* join queries the delta planner cannot maintain fall back to re-execution
+  with a recorded ``ivm-fallback`` reason in telemetry;
+* deliveries ride the bounded streaming queue: one group-delta batch per
+  append (the seed is read via ``snapshot()`` — delta batches upsert by
+  group key, so the snapshot-then-stream handoff cannot drop a group);
+* ``close()`` (and ``Database.close``) detaches the table hooks, drains the
+  queue, unblocks consumers, and leaves the steal pools warm.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database, ExecOptions, StandingQuery
+from repro.errors import QueryError
+from repro.parallel import scheduler
+from repro.serve import AsyncDatabase
+from repro.storage.table import Table
+
+
+def star_db() -> Database:
+    db = Database()
+    db.register(
+        Table.from_rows(
+            "fact", ["k", "d", "v"], [(1, 10, 2), (2, 20, 3), (1, 20, 4)]
+        )
+    )
+    db.register(
+        Table.from_rows("dim", ["d", "w"], [(10, 100), (20, 200), (30, 300)])
+    )
+    return db
+
+
+SCAN_SQL = "SELECT fact.k, SUM(fact.v), COUNT(*) FROM fact GROUP BY fact.k"
+STAR_SQL = (
+    "SELECT fact.k, SUM(dim.w) FROM fact, dim WHERE fact.d = dim.d "
+    "GROUP BY fact.k"
+)
+
+
+def assert_snapshot_parity(db: Database, standing: StandingQuery, sql: str):
+    expected = db.execute(sql)
+    assert standing.snapshot().to_rows() == expected.rows()
+    assert standing.labels() == expected.table.column_names
+
+
+# --------------------------------------------------------------------------- #
+# Seeding and mode selection
+# --------------------------------------------------------------------------- #
+
+
+def test_seed_snapshot_matches_execute():
+    db = star_db()
+    for sql in (SCAN_SQL, STAR_SQL):
+        standing = db.subscribe(sql)
+        assert_snapshot_parity(db, standing, sql)
+        # The queue carries deltas only; the seed is read via snapshot().
+        assert standing.pending_deltas() == []
+        standing.close()
+    db.close()
+
+
+def test_mode_selection_and_fallback_reasons():
+    db = star_db()
+    cases = {
+        SCAN_SQL: ("delta", "scan", None),
+        "SELECT fact.k, SUM(fact.v) FROM fact WHERE fact.v > 1 GROUP BY fact.k": (
+            "delta", "delta-join", None,
+        ),
+        STAR_SQL: ("delta", "delta-join", None),
+        "SELECT * FROM fact": ("reexec", None, "non-aggregate"),
+        "SELECT fact.k, COUNT(*) FROM fact, dim WHERE fact.d = dim.d "
+        "AND fact.v < dim.w GROUP BY fact.k": (
+            "reexec", None, "residual-predicates",
+        ),
+        "SELECT fact.k, SUM(fact.v) FROM fact GROUP BY fact.k "
+        "ORDER BY fact.k LIMIT 2": ("reexec", None, "final-pass"),
+        "SELECT a.k, COUNT(*) FROM fact AS a, fact AS b WHERE a.d = b.d "
+        "GROUP BY a.k": ("reexec", None, "self-join"),
+    }
+    for sql, expected in cases.items():
+        standing = db.subscribe(sql)
+        assert (standing.mode, standing.delta_path, standing.fallback_reason) == (
+            expected
+        ), sql
+        standing.close()
+    db.close()
+
+
+def test_subscribe_rejects_deadlines():
+    db = star_db()
+    with pytest.raises(QueryError, match="no deadline"):
+        db.subscribe(SCAN_SQL, options=ExecOptions(timeout=1.0))
+    db.close()
+
+
+# --------------------------------------------------------------------------- #
+# Delta maintenance parity
+# --------------------------------------------------------------------------- #
+
+
+def test_scan_path_folds_only_delta_rows():
+    db = star_db()
+    standing = db.subscribe(SCAN_SQL)
+    fact = db.catalog.get("fact")
+    fact.append_rows([(2, 10, 5), (3, 30, 6)])
+    assert_snapshot_parity(db, standing, SCAN_SQL)
+    stats = standing.stats()
+    assert stats["deltas_folded"] == 1
+    assert stats["delta_rows"] == 2
+    assert stats["rows_skipped"] == 3  # pre-append rows never rescanned
+    assert stats["reexecutions"] == 0
+    # One delta batch, touching only the appended groups.
+    batches = standing.pending_deltas()
+    keys = {row[0] for batch in batches for row in batch}
+    assert keys == {2, 3}
+    standing.close()
+    db.close()
+
+
+def test_delta_join_parity_across_both_tables():
+    db = star_db()
+    standing = db.subscribe(STAR_SQL)
+    fact = db.catalog.get("fact")
+    dim = db.catalog.get("dim")
+    fact.append_rows([(3, 30, 1), (1, 10, 1)])
+    assert_snapshot_parity(db, standing, STAR_SQL)
+    dim.append_rows([(40, 400)])
+    fact.append_rows([(4, 40, 1)])
+    assert_snapshot_parity(db, standing, STAR_SQL)
+    stats = standing.stats()
+    assert stats["deltas_folded"] == 3
+    assert stats["reexecutions"] == 0
+    assert standing.last_report.details["ivm"]["mode"] == "delta"
+    standing.close()
+    db.close()
+
+
+def test_count_star_only_standing_query():
+    db = star_db()
+    sql = "SELECT COUNT(*) FROM fact"
+    standing = db.subscribe(sql)
+    assert standing.snapshot().to_rows() == [(3,)]
+    db.catalog.get("fact").append_rows([(9, 9, 9)] * 4)
+    assert standing.snapshot().to_rows() == [(7,)]
+    assert_snapshot_parity(db, standing, sql)
+    standing.close()
+    db.close()
+
+
+def test_join_fallback_stays_snapshot_identical_with_recorded_reason():
+    db = star_db()
+    sql = (
+        "SELECT fact.k, COUNT(*) FROM fact, dim WHERE fact.d = dim.d "
+        "AND fact.v < dim.w GROUP BY fact.k"
+    )
+    standing = db.subscribe(sql)
+    db.catalog.get("fact").append_rows([(7, 10, 1), (1, 20, 2)])
+    assert_snapshot_parity(db, standing, sql)
+    stats = standing.stats()
+    assert stats["fallback_reason"] == "residual-predicates"
+    assert stats["fallbacks"] == {"residual-predicates": 1}
+    assert stats["reexecutions"] == 1
+    assert standing.last_report.details["ivm"]["event"] == "reexec"
+    # Keyed diff delivery: only changed/new groups are delivered.
+    batches = standing.pending_deltas()
+    keys = {row[0] for batch in batches for row in batch}
+    assert keys == {7, 1}
+    standing.close()
+    db.close()
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    bursts=st.lists(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.sampled_from([10, 20, 30, 40, 50]),
+                st.integers(min_value=-5, max_value=5),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    sql=st.sampled_from([SCAN_SQL, STAR_SQL]),
+)
+def test_randomized_append_bursts_keep_parity(bursts, sql):
+    db = star_db()
+    standing = db.subscribe(sql)
+    fact = db.catalog.get("fact")
+    try:
+        for burst in bursts:
+            fact.append_rows(burst)
+            assert_snapshot_parity(db, standing, sql)
+    finally:
+        standing.close()
+        db.close()
+
+
+def test_version_gap_reseeds():
+    db = star_db()
+    standing = db.subscribe(SCAN_SQL)
+    # Append while the hook list is bypassed: simulate missed deltas by
+    # re-registering a *new* table object under the same name.
+    grown = Table.from_rows(
+        "fact", ["k", "d", "v"], db.catalog.get("fact").to_rows() + [(8, 10, 8)]
+    )
+    db.register(grown, replace=True)
+    # The old table object still carries the hook; appending to the *new*
+    # object is invisible until the feed re-attaches, so drive the gap
+    # through the old object's version skew instead.
+    old = standing._owner.catalog.get("fact")
+    assert old is grown
+    standing.on_append(grown, [], grown.version - 2, True)
+    assert_snapshot_parity(db, standing, SCAN_SQL)
+    assert standing.stats()["fallbacks"].get("version-gap") == 1
+    standing.close()
+    db.close()
+
+
+# --------------------------------------------------------------------------- #
+# Delivery and lifecycle
+# --------------------------------------------------------------------------- #
+
+
+def test_next_batch_blocks_until_append_then_delivers():
+    db = star_db()
+    standing = db.subscribe(SCAN_SQL)
+    got = []
+
+    def consume():
+        got.append(standing.next_batch())
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    db.catalog.get("fact").append_rows([(5, 10, 5)])
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert got and {row[0] for row in got[0]} == {5}
+    standing.close()
+    db.close()
+
+
+def test_close_unblocks_consumer_and_detaches_hooks():
+    db = star_db()
+    standing = db.subscribe(SCAN_SQL)
+    fact = db.catalog.get("fact")
+    assert db.change_feed().watched_tables() == ["fact"]
+    assert len(fact._append_hooks) == 1
+    results = []
+
+    def consume():
+        results.append(standing.next_batch())
+
+    thread = threading.Thread(target=consume)
+    thread.start()
+    standing.close()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert results == [None]
+    assert db.change_feed().watched_tables() == []
+    assert fact._append_hooks == []
+    assert db.standing_queries() == []
+    # Appends after close are plain appends: no refresh, no delivery.
+    fact.append_rows([(6, 10, 6)])
+    assert standing.pending_deltas() == []
+    standing.close()  # idempotent
+    db.close()
+
+
+def test_close_unblocks_backpressured_producer():
+    """An appender stuck on a full delivery queue unwinds on close()."""
+    db = star_db()
+    standing = db.subscribe(
+        SCAN_SQL, options=ExecOptions(batch_rows=1, max_batches=1)
+    )
+    fact = db.catalog.get("fact")
+    done = threading.Event()
+
+    def append_many():
+        # Each appended row becomes a delta batch; with max_batches=1 and
+        # no consumer, the delivery queue fills and the appender blocks.
+        for i in range(50):
+            fact.append_rows([(i % 3, 10, 1)])
+        done.set()
+
+    thread = threading.Thread(target=append_many)
+    thread.start()
+    assert not done.wait(timeout=0.5), "producer should be backpressured"
+    standing.close()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert done.is_set()
+    db.close()
+
+
+def test_parallel_session_subscription_leaves_pools_warm():
+    db = Database(parallelism=2, parallel_mode="thread")
+    db.register(
+        Table.from_rows(
+            "fact", ["k", "d", "v"], [(i % 5, (i % 3) * 10, i) for i in range(60)]
+        )
+    )
+    db.register(
+        Table.from_rows("dim", ["d", "w"], [(0, 1), (10, 2), (20, 3)])
+    )
+    standing = db.subscribe(STAR_SQL)
+    db.catalog.get("fact").append_rows([(9, 10, 9)])
+    assert_snapshot_parity(db, standing, STAR_SQL)
+    standing.close()
+    rows = db.execute(STAR_SQL).rows()
+    assert rows == db.execute(STAR_SQL).rows()
+    for pool in scheduler.active_pools().values():
+        assert not pool.broken
+    db.close()
+
+
+def test_database_close_closes_subscriptions():
+    db = star_db()
+    standing = db.subscribe(SCAN_SQL)
+    db.close()
+    assert standing.closed
+    assert standing.next_batch() is None
+
+
+def test_subscribe_is_warning_free_and_exported():
+    db = star_db()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        standing = db.subscribe(SCAN_SQL, options=ExecOptions(engine="binary"))
+        db.catalog.get("fact").append_rows([(1, 10, 1)])
+    assert isinstance(standing, StandingQuery)
+    assert_snapshot_parity(db, standing, SCAN_SQL)
+    standing.close()
+    db.close()
+
+
+# --------------------------------------------------------------------------- #
+# Async surface
+# --------------------------------------------------------------------------- #
+
+
+def test_async_subscribe_stream_delivers_seed_and_deltas():
+    db = star_db()
+
+    async def main():
+        async with AsyncDatabase(db) as server:
+            stream = server.subscribe_stream(SCAN_SQL)
+            seed = await stream.__anext__()
+            assert seed == db.execute(SCAN_SQL).rows()
+
+            loop = asyncio.get_running_loop()
+            fact = db.catalog.get("fact")
+            append = loop.run_in_executor(
+                None, lambda: fact.append_rows([(7, 10, 7)])
+            )
+            delta = await asyncio.wait_for(stream.__anext__(), timeout=10.0)
+            await append
+            assert {row[0] for row in delta} == {7}
+            await stream.aclose()
+        # aclose() closed the subscription and detached the hooks.
+        assert db.standing_queries() == []
+        assert db.change_feed().watched_tables() == []
+
+    asyncio.run(main())
+    db.close()
